@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section and prints the corresponding rows (via ``-s`` or the
+captured-output section of the pytest report), in addition to the
+pytest-benchmark timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block into the benchmark output."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    from repro.experiments import tiny_case
+
+    return tiny_case()
+
+
+@pytest.fixture(scope="session")
+def small():
+    from repro.experiments import small_case
+
+    return small_case()
+
+
+@pytest.fixture(scope="session")
+def large():
+    from repro.experiments import large_case
+
+    return large_case()

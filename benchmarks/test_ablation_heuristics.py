@@ -1,0 +1,52 @@
+"""Ablation A2 — RG heuristic choice (SLRG vs PLRG-hmax vs blind).
+
+The paper's phase-2 machinery exists to guide phase 3; this ablation
+quantifies the payoff on the Small/scenario-C problem.  All heuristics
+are admissible, so plan quality is identical — the difference is search
+effort (RG nodes created, wall time).
+"""
+
+import pytest
+
+from repro.domains.media import build_app
+from repro.experiments import scenario
+from repro.planner import Heuristic, Planner, PlannerConfig
+
+from .conftest import emit
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("heuristic", list(Heuristic), ids=lambda h: h.value)
+def test_heuristic_sweep(benchmark, small, heuristic):
+    app = build_app(small.server, small.client)
+    config = PlannerConfig(leveling=scenario("C").leveling(), heuristic=heuristic)
+
+    def plan_once():
+        return Planner(config).solve(app, small.network)
+
+    plan = benchmark.pedantic(plan_once, rounds=1, iterations=1, warmup_rounds=0)
+    _RESULTS[heuristic.value] = (
+        plan.cost_lb,
+        plan.stats.rg_nodes,
+        plan.stats.rg_expanded,
+        plan.stats.search_ms,
+    )
+    assert plan.cost_lb == pytest.approx(56.0)
+
+
+def test_zzz_heuristic_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"{'heuristic':>10} {'cost lb':>8} {'RG nodes':>9} "
+             f"{'expanded':>9} {'search ms':>10}"]
+    for name, (lb, nodes, expanded, ms) in _RESULTS.items():
+        lines.append(f"{name:>10} {lb:>8g} {nodes:>9} {expanded:>9} {ms:>10.0f}")
+    emit("Ablation A2 — RG heuristics on Small/C", "\n".join(lines))
+
+    if len(_RESULTS) == len(Heuristic):
+        # All admissible heuristics agree on the optimal bound.
+        bounds = {round(v[0], 6) for v in _RESULTS.values()}
+        assert len(bounds) == 1
+        # Guidance shrinks the search: SLRG <= hmax <= blind in RG nodes.
+        assert _RESULTS["slrg"][1] <= _RESULTS["plrg-max"][1]
+        assert _RESULTS["plrg-max"][1] <= _RESULTS["blind"][1]

@@ -1,0 +1,67 @@
+"""Ablation A1 — number and placement of levels vs planner work/quality.
+
+The paper's §4.3 discussion: more levels improve cost discrimination but
+inflate the ground action set and the search.  This ablation sweeps the
+cutpoint count on the Small network and reports quality (cost bound, LAN
+reservation) against work (actions, RG nodes, time), locating the sweet
+spot the paper attributes to scenario C.
+"""
+
+import pytest
+
+from repro.domains.media import build_app, proportional_leveling
+from repro.planner import Planner, PlannerConfig
+
+from .conftest import emit
+
+LEVEL_FAMILIES = {
+    1: (100,),
+    2: (90, 100),
+    3: (70, 90, 100),
+    4: (30, 70, 90, 100),
+    6: (20, 40, 60, 80, 90, 100),
+    8: (20, 40, 50, 60, 70, 80, 90, 100),
+}
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("n_cuts", sorted(LEVEL_FAMILIES))
+def test_level_count_sweep(benchmark, small, n_cuts):
+    cuts = LEVEL_FAMILIES[n_cuts]
+    app = build_app(small.server, small.client)
+    leveling = proportional_leveling(cuts)
+
+    def plan_once():
+        return Planner(PlannerConfig(leveling=leveling)).solve(app, small.network)
+
+    plan = benchmark.pedantic(plan_once, rounds=1, iterations=1, warmup_rounds=0)
+    report = plan.execute()
+    lan = report.max_consumed(small.lan_link_vars())
+    _RESULTS[n_cuts] = (
+        plan.cost_lb,
+        lan,
+        plan.stats.total_actions,
+        plan.stats.rg_nodes,
+        plan.stats.search_ms,
+    )
+    assert report.value(f"ibw:M@{small.client}") >= 90.0
+
+
+def test_zzz_sweep_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"{'cutpoints':>9} {'cost lb':>8} {'LAN bw':>7} "
+             f"{'actions':>8} {'RG nodes':>9} {'search ms':>10}"]
+    for n in sorted(_RESULTS):
+        lb, lan, actions, rg, ms = _RESULTS[n]
+        lines.append(f"{n:>9} {lb:>8g} {lan:>7g} {actions:>8} {rg:>9} {ms:>10.0f}")
+    emit("Ablation A1 — level count on Small", "\n".join(lines))
+
+    if len(_RESULTS) >= 3:
+        # One cutpoint cannot discriminate: the bound collapses and LAN
+        # reservation is maximal; two cutpoints already reach the optimum.
+        assert _RESULTS[1][1] == pytest.approx(100.0)
+        assert _RESULTS[2][1] == pytest.approx(65.0)
+        # Ground actions grow monotonically with the level count.
+        actions = [_RESULTS[n][2] for n in sorted(_RESULTS)]
+        assert actions == sorted(actions)

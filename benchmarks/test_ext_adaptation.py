@@ -1,0 +1,66 @@
+"""Extension benchmark — deployment repair (paper §6 future work).
+
+Measures the repair path against replanning from scratch: how much of a
+broken deployment survives, how many actions the delta plan needs, and
+the wall-time ratio between repair and full replanning.
+"""
+
+import pytest
+
+from repro.domains import media
+from repro.network import chain_network
+from repro.planner import Deployment, Planner, PlannerConfig, repair_deployment, solve
+
+from .conftest import emit
+
+LEV = media.proportional_leveling((90, 100))
+
+
+def before_network():
+    return chain_network([(150, "LAN"), (150, "LAN"), (150, "LAN")], cpu=30.0, name="before")
+
+
+def after_network():
+    # The final hop degrades to WAN speed.
+    return chain_network([(150, "LAN"), (150, "LAN"), (70, "WAN")], cpu=30.0, name="after")
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    app = media.build_app("n0", "n3")
+    plan = solve(app, before_network(), LEV)
+    return app, plan
+
+
+def test_repair_after_degradation(benchmark, deployed):
+    app, plan = deployed
+
+    def repair_once():
+        return repair_deployment(
+            app, after_network(), Deployment.from_plan(plan), leveling=LEV
+        )
+
+    result = benchmark.pedantic(repair_once, rounds=1, iterations=1, warmup_rounds=0)
+    emit("Extension — deployment repair", result.describe())
+    assert result.surviving_actions  # something survives
+    assert result.repair_plan.actions  # something is replanned
+
+
+def test_repair_vs_scratch(benchmark, deployed):
+    app, plan = deployed
+
+    def scratch():
+        return Planner(PlannerConfig(leveling=LEV)).solve(app, after_network())
+
+    scratch_plan = benchmark.pedantic(scratch, rounds=1, iterations=1, warmup_rounds=0)
+    repair = repair_deployment(
+        app, after_network(), Deployment.from_plan(plan), leveling=LEV
+    )
+    emit(
+        "Extension — repair vs scratch",
+        f"scratch : {len(scratch_plan)} actions, exact {scratch_plan.exact_cost:g}\n"
+        f"repair  : kept {len(repair.surviving_actions)}, delta "
+        f"{len(repair.repair_plan)} actions, exact {repair.repair_plan.exact_cost:g}",
+    )
+    # The repair delta redeploys strictly less than a scratch plan.
+    assert len(repair.repair_plan) <= len(scratch_plan)

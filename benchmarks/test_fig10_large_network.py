@@ -1,0 +1,53 @@
+"""Figure 10 — the 93-node transit-stub network.
+
+Benchmarks generation of the GT-ITM-style topology and verifies the
+census the paper's figure depicts: 93 nodes, a small transit backbone,
+stub domains hanging off it, LAN/WAN link classes at 150/70 units.
+"""
+
+import pytest
+
+from repro.network import TransitStubParams, large_paper_network, transit_stub_network
+
+from .conftest import emit
+
+
+def test_fig10_generation(benchmark):
+    net = benchmark(large_paper_network)
+    census = (
+        f"nodes          : {len(net)}\n"
+        f"links          : {len(net.links)}\n"
+        f"transit nodes  : {len(net.nodes_with_label('transit'))}\n"
+        f"stub nodes     : {len(net.nodes_with_label('stub'))}\n"
+        f"LAN links @150 : {len(net.links_with_label('LAN'))}\n"
+        f"WAN links @70  : {len(net.links_with_label('WAN'))}\n"
+        f"connected      : {net.is_connected()}"
+    )
+    emit("Fig. 10 — 93-node network census", census)
+
+    assert len(net) == 93
+    assert net.is_connected()
+    assert len(net.nodes_with_label("stub")) == 90
+
+
+@pytest.mark.parametrize("stub_size", [5, 10, 20])
+def test_generation_scaling(benchmark, stub_size):
+    """Generation cost scales roughly linearly with node count."""
+    params = TransitStubParams(stub_size=stub_size)
+    net = benchmark(transit_stub_network, params)
+    assert len(net) == params.node_count()
+
+
+def test_degree_distribution_shape(benchmark):
+    """Transit nodes are hubs; stub nodes have bounded degree."""
+    net = benchmark(large_paper_network)
+    transit_degrees = [net.degree(n.id) for n in net.nodes_with_label("transit")]
+    stub_degrees = [net.degree(n.id) for n in net.nodes_with_label("stub")]
+    emit(
+        "Fig. 10 — degree shape",
+        f"transit degrees: {sorted(transit_degrees)}\n"
+        f"stub degree min/avg/max: {min(stub_degrees)}/"
+        f"{sum(stub_degrees) / len(stub_degrees):.1f}/{max(stub_degrees)}",
+    )
+    assert min(transit_degrees) >= 4  # backbone + 3 stub gateways
+    assert max(stub_degrees) <= 15

@@ -1,0 +1,61 @@
+"""Figures 3–4 — Scenario 1: feasibility in resource-constrained settings.
+
+Fig. 3's two-node problem (200 units available, 30 CPU, 70-unit link,
+client demands 90): the greedy planner must fail, and every leveled
+scenario must find the Fig. 4 plan — split and compress at the source,
+reverse at the target, 7 actions including the client placement.
+"""
+
+import pytest
+
+from repro.baselines import GreedySekitei
+from repro.domains.media import build_app
+from repro.experiments import scenario
+from repro.planner import Planner, PlannerConfig, ResourceInfeasible
+
+from .conftest import emit
+
+FIG4_PLACEMENTS = {
+    "Splitter": "n0",
+    "Zip": "n0",
+    "Unzip": "n1",
+    "Merger": "n1",
+    "Client": "n1",
+}
+
+
+def test_greedy_failure(benchmark, tiny):
+    """The greedy baseline's failure is itself a measurement — it must
+    exhaust the (small) search space quickly."""
+    app = build_app(tiny.server, tiny.client)
+
+    def attempt():
+        try:
+            GreedySekitei().solve(app, tiny.network)
+            return "plan"
+        except ResourceInfeasible:
+            return "infeasible"
+
+    outcome = benchmark(attempt)
+    emit("Fig. 3 — greedy Sekitei", f"outcome: {outcome}")
+    assert outcome == "infeasible"
+
+
+@pytest.mark.parametrize("scen", ["B", "C", "D", "E"])
+def test_leveled_finds_fig4_plan(benchmark, tiny, scen):
+    app = build_app(tiny.server, tiny.client)
+    leveling = scenario(scen).leveling()
+
+    def plan_once():
+        return Planner(PlannerConfig(leveling=leveling)).solve(app, tiny.network)
+
+    plan = benchmark.pedantic(plan_once, rounds=1, iterations=1, warmup_rounds=0)
+    emit(f"Fig. 4 plan (scenario {scen})", plan.describe())
+
+    assert len(plan) == 7
+    assert dict(plan.placements()) == FIG4_PLACEMENTS
+    assert set(plan.crossings()) == {("Z", "n0", "n1"), ("I", "n0", "n1")}
+
+    report = plan.execute()
+    assert report.value("ibw:M@n1") >= 90.0
+    assert report.consumed["cpu@n0"] <= 30.0 + 1e-9

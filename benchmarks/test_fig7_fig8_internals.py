@@ -1,0 +1,96 @@
+"""Figures 7–8 — planner internals on the Tiny problem.
+
+Fig. 7 shows a PLRG fragment with per-proposition costs; Fig. 8 shows
+resource-map propagation along a plan tail.  These benchmarks regenerate
+both artifacts: the PLRG cost table for the Fig. 3 problem, and a step-by-
+step replay trace of the Fig. 4 plan with the evolving intervals.
+"""
+
+import pytest
+
+from repro.compile import AvailProp, PlacedProp, compile_problem
+from repro.domains.media import build_app
+from repro.experiments import scenario
+from repro.planner import SLRG, build_plrg
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def problem(tiny):
+    app = build_app(tiny.server, tiny.client)
+    return compile_problem(app, tiny.network, scenario("C").leveling())
+
+
+def test_fig7_plrg_costs(benchmark, problem):
+    plrg = benchmark(build_plrg, problem)
+
+    interesting = [
+        AvailProp("T", "n0", (1,)),
+        AvailProp("I", "n0", (1,)),
+        AvailProp("Z", "n0", (1,)),
+        AvailProp("Z", "n1", (1,)),
+        AvailProp("T", "n1", (1,)),
+        AvailProp("I", "n1", (1,)),
+        AvailProp("M", "n1", (1,)),
+        PlacedProp("Client", "n1"),
+    ]
+    lines = []
+    for prop in interesting:
+        pid = problem.props.index.get(prop)
+        if pid is not None:
+            lines.append(f"{str(prop):28s} cost = {plrg.cost(pid):g}")
+    emit("Fig. 7 — PLRG proposition costs (Tiny, scenario C)", "\n".join(lines))
+
+    # Costs must increase along the regression chain of Fig. 7.
+    cost = lambda p: plrg.cost(problem.props.index[p])  # noqa: E731
+    assert cost(AvailProp("M", "n1", (1,))) > cost(AvailProp("T", "n1", (1,)))
+    assert cost(AvailProp("T", "n1", (1,))) >= cost(AvailProp("Z", "n0", (1,)))
+    assert cost(PlacedProp("Client", "n1")) >= cost(AvailProp("M", "n1", (1,)))
+
+
+def test_fig7_slrg_refines_plrg(benchmark, problem):
+    """The paper's 18 → 19 point: the SLRG set cost exceeds hmax when two
+    streams must cross the link in sequence."""
+    plrg = benchmark(build_plrg, problem)
+    slrg = SLRG(problem, plrg)
+    t = problem.props.index[AvailProp("T", "n1", (1,))]
+    i = problem.props.index[AvailProp("I", "n1", (1,))]
+    s = frozenset((t, i))
+    hmax = plrg.set_cost(s)
+    exact = slrg.query(s)
+    emit(
+        "Fig. 7 — set cost refinement",
+        f"hmax({{T@n1, I@n1}}) = {hmax:g}\nSLRG({{T@n1, I@n1}}) = {exact:g}",
+    )
+    assert exact > hmax
+
+
+def test_fig8_replay_trace(benchmark, problem):
+    """Replay the Fig. 4 plan, logging interval evolution per action."""
+    by_name = {a.name: a for a in problem.actions}
+    plan = [
+        by_name["place(Splitter,n0)[M.ibw=1]"],
+        by_name["place(Zip,n0)[T.ibw=1]"],
+        by_name["cross(Z,n0->n1)[Z.ibw=1]"],
+        by_name["cross(I,n0->n1)[I.ibw=1]"],
+        by_name["place(Unzip,n1)[Z.ibw=1]"],
+        by_name["place(Merger,n1)[I.ibw=1,T.ibw=1]"],
+        by_name["place(Client,n1)[M.ibw=1]"],
+    ]
+
+    def replay_full():
+        rmap = problem.initial_map()
+        for action in plan:
+            action.replay(rmap)
+        return rmap
+
+    rmap = benchmark(replay_full)
+
+    watched = ["cpu@n0", "lbw@n0~n1", "ibw:M@n0", "ibw:Z@n1", "ibw:M@n1"]
+    trace = [f"{var:12s} -> {rmap[var]!r}" for var in watched if var in rmap]
+    emit("Fig. 8 — final optimistic resource map", "\n".join(trace))
+
+    assert rmap["cpu@n0"].lo >= 0.0
+    assert rmap["lbw@n0~n1"].lo >= 0.0
+    assert rmap["ibw:M@n1"].hi >= 90.0

@@ -1,0 +1,33 @@
+"""Table 1 — resource level scenarios.
+
+Regenerates the scenario table (the experiment *inputs*) and benchmarks
+the compilation cost of each leveling on the Tiny problem, which is where
+the action-count growth of §4.3 originates.
+"""
+
+import pytest
+
+from repro.compile import compile_problem
+from repro.domains.media import build_app
+from repro.experiments import SCENARIOS, render_table1, scenario
+
+from .conftest import emit
+
+
+def test_render_table1(benchmark):
+    text = benchmark(render_table1)
+    emit("Table 1 — resource level scenarios", text)
+    for key in SCENARIOS:
+        assert key in text
+
+
+@pytest.mark.parametrize("key", sorted(SCENARIOS))
+def test_compile_cost_per_scenario(benchmark, key, tiny):
+    app = build_app(tiny.server, tiny.client)
+    leveling = scenario(key).leveling()
+    problem = benchmark(compile_problem, app, tiny.network, leveling)
+    emit(
+        f"Table 1 scenario {key} on Tiny",
+        f"ground actions after leveling/pruning: {len(problem.actions)}",
+    )
+    assert len(problem.actions) > 0

@@ -1,0 +1,110 @@
+"""Table 2 — the paper's scalability evaluation.
+
+For every (network, scenario) cell: plan, execute, and report the same
+columns the paper does — cost lower bound, plan length, reserved LAN
+bandwidth, total ground actions, PLRG/SLRG/RG sizes, and timing.  The
+pytest-benchmark statistics provide the timing column; the printed table
+provides the rest.
+
+Expected shape (paper Table 2): scenario A never solves; B solves with a
+length-equal cost bound and 100 units of reserved LAN bandwidth; C, D and
+E all find the optimal configuration (65 LAN units on Small/Large);
+ground actions grow B < C < D < E; scenario E inflates the search graphs.
+"""
+
+import pytest
+
+from repro.domains.media import build_app
+from repro.experiments import Table2Row, render_table2, run_cell, scenario
+from repro.planner import Planner, PlannerConfig, ResourceInfeasible
+
+from .conftest import emit
+
+_COLLECTED: list[Table2Row] = []
+
+CELLS = [
+    ("Tiny", "B"), ("Tiny", "C"), ("Tiny", "D"), ("Tiny", "E"),
+    ("Small", "B"), ("Small", "C"), ("Small", "D"), ("Small", "E"),
+    ("Large", "B"), ("Large", "C"), ("Large", "D"), ("Large", "E"),
+]
+
+EXPECTED_LAN = {  # reserved LAN bandwidth per solved cell (None = N/A)
+    "Tiny": {"B": None, "C": None, "D": None, "E": None},
+    "Small": {"B": 100.0, "C": 65.0, "D": 65.0, "E": 65.0},
+    "Large": {"B": 100.0, "C": 65.0, "D": 65.0, "E": 65.0},
+}
+
+
+@pytest.fixture(scope="module")
+def cases(tiny, small, large):
+    return {"Tiny": tiny, "Small": small, "Large": large}
+
+
+@pytest.mark.parametrize("net_key,scen_key", CELLS, ids=[f"{n}-{s}" for n, s in CELLS])
+def test_table2_cell(benchmark, cases, net_key, scen_key):
+    case = cases[net_key]
+    app = build_app(case.server, case.client)
+    leveling = scenario(scen_key).leveling()
+    problem = Planner(PlannerConfig(leveling=leveling)).compile(app, case.network)
+
+    def plan_once():
+        return Planner(PlannerConfig(leveling=leveling)).solve(problem=problem)
+
+    plan = benchmark.pedantic(plan_once, rounds=1, iterations=1, warmup_rounds=0)
+    report = plan.execute()
+
+    row = run_row(case, scen_key, plan, report)
+    _COLLECTED.append(row)
+    emit(f"Table 2 row {net_key}/{scen_key}", render_table2([row]))
+
+    expected_lan = EXPECTED_LAN[net_key][scen_key]
+    if expected_lan is None:
+        assert row.reserved_lan_bw is None
+    else:
+        assert row.reserved_lan_bw == pytest.approx(expected_lan)
+    assert row.delivered_bw >= 90.0
+
+
+def run_row(case, scen_key, plan, report):
+    lan_vars = case.lan_link_vars()
+    return Table2Row(
+        network=case.key,
+        scenario=scen_key,
+        solved=True,
+        cost_lower_bound=plan.cost_lb,
+        actions_in_plan=len(plan),
+        reserved_lan_bw=report.max_consumed(lan_vars) if lan_vars else None,
+        exact_cost=report.total_cost,
+        delivered_bw=report.value(f"ibw:M@{case.client}"),
+        total_actions=plan.stats.total_actions,
+        plrg_props=plan.stats.plrg_prop_nodes,
+        plrg_actions=plan.stats.plrg_action_nodes,
+        slrg_nodes=plan.stats.slrg_set_nodes,
+        rg_nodes=plan.stats.rg_nodes,
+        rg_queue_left=plan.stats.rg_queue_left,
+        total_ms=plan.stats.total_ms + plan.stats.compile_ms,
+        search_ms=plan.stats.search_ms,
+        plan=plan,
+    )
+
+
+def test_scenario_a_fails_everywhere(benchmark, cases):
+    """The row the paper reports in prose: A finds no plan."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    failures = []
+    for key, case in cases.items():
+        app = build_app(case.server, case.client)
+        with pytest.raises(ResourceInfeasible):
+            Planner(PlannerConfig(leveling=scenario("A").leveling())).solve(
+                app, case.network
+            )
+        failures.append(key)
+    emit("Table 2 scenario A", f"no plan on: {', '.join(failures)} (as in the paper)")
+
+
+def test_zzz_full_table_summary(benchmark):
+    """Prints the assembled Table 2 after all cells ran (name-ordered last)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _COLLECTED:
+        emit("Table 2 — full reproduction", render_table2(_COLLECTED))
+    assert True

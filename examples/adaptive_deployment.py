@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Adaptive deployment under network churn (paper §6, future work).
+
+The paper closes by proposing to use the planner "for repairing and
+adapting existing deployments".  This example deploys the media stream
+over a healthy network, then plays a timeline of environment changes —
+a LAN degrading to WAN speed, a node losing CPU, a link failing outright
+on a ring — repairing the deployment after each event and reporting what
+survived, what was replanned, and what each repair cost.
+
+Run:  python examples/adaptive_deployment.py
+"""
+
+from repro.domains import media
+from repro.network import ring_network
+from repro.simulate import LinkChange, LinkFailure, NodeChange, Simulation
+
+LEV = media.proportional_leveling((90, 100))
+
+
+def main() -> None:
+    # A 5-node ring: redundant routes make repairs interesting.
+    net = ring_network(5, cpu=30.0, link_bw=150.0, name="campus-ring")
+    app = media.build_app("n0", "n2")
+
+    timeline = [
+        LinkChange("n1", "n2", "lbw", 70.0),   # the direct route degrades
+        NodeChange("n1", "cpu", 5.0),          # relay node loses CPU
+        LinkFailure("n1", "n2"),               # then the link dies entirely
+        LinkChange("n3", "n4", "lbw", 70.0),   # the detour degrades too
+    ]
+
+    sim = Simulation(app, net, LEV, migration_cost_factor=0.5)
+    result = sim.run(timeline)
+    print(result.describe())
+
+    print("\nStep-by-step detail:")
+    for step in result.steps:
+        print(f"  event : {step.event.describe()}")
+        if step.failed:
+            print(f"    -> unrepairable ({step.failure})")
+        else:
+            print(
+                f"    -> kept {step.survived_actions} actions, "
+                f"replanned {step.repair_actions}, cost {step.repair_cost:g}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Choosing among compatible component implementations (paper §1).
+
+The CPP includes "choosing amongst compatible components": the same
+logical compression service exists as a cheap/weak FastZip and an
+expensive/strong DeepZip.  This example sweeps the bottleneck link's
+bandwidth and shows the planner switching implementation — and refusing
+outright when the required variant cannot afford its CPU.
+
+Run:  python examples/component_variants.py
+"""
+
+from repro import report
+from repro.domains import variants
+from repro.planner import PlanningError, solve
+
+LEV = variants.variants_leveling()
+
+
+def pipeline_of(plan) -> str:
+    subjects = {a.subject for a in plan.actions}
+    if "DeepZip" in subjects:
+        return "deep (0.4x, CPU T/4)"
+    if "FastZip" in subjects:
+        return "fast (0.8x, CPU T/20)"
+    return "raw (no compression)"
+
+
+def main() -> None:
+    print(f"{'link bw':>8} {'node cpu':>9} {'chosen pipeline':>24} "
+          f"{'actions':>8} {'exact cost':>11}")
+    for link_bw, node_cpu in [
+        (150.0, 100.0),
+        (90.0, 100.0),
+        (50.0, 100.0),
+        (90.0, 20.0),
+        (50.0, 20.0),
+    ]:
+        net = variants.build_network(link_bw=link_bw, node_cpu=node_cpu)
+        app = variants.build_app("src", "dst")
+        try:
+            plan = solve(app, net, LEV)
+            print(f"{link_bw:>8g} {node_cpu:>9g} {pipeline_of(plan):>24} "
+                  f"{len(plan):>8} {plan.exact_cost:>11g}")
+        except PlanningError as exc:
+            print(f"{link_bw:>8g} {node_cpu:>9g} {'INFEASIBLE':>24} "
+                  f"{'—':>8} {type(exc).__name__:>11}")
+
+    # Render the deep-pipeline deployment as Graphviz DOT.
+    net = variants.build_network(link_bw=50.0, node_cpu=100.0)
+    plan = solve(variants.build_app("src", "dst"), net, LEV)
+    print("\nDOT rendering of the deep-compression deployment:")
+    print(report.plan_to_dot(plan))
+    print("\nPer-action summary:")
+    print(report.plan_summary_table(plan))
+
+
+if __name__ == "__main__":
+    main()

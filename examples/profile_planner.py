@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Profile the planner on the Large/C cell — "no optimization without
+measuring".
+
+Runs cProfile over compilation and the three planner phases separately
+and prints the hottest functions of each, so optimization effort lands
+where the time actually goes (historically: interval arithmetic inside
+replay for the RG, set hashing inside the SLRG).
+
+Run:  python examples/profile_planner.py [--scenario C] [--top 12]
+"""
+
+import argparse
+import cProfile
+import io
+import pstats
+
+from repro.domains import media
+from repro.experiments import large_case, scenario
+from repro.planner import Planner, PlannerConfig
+
+
+def profile_block(label: str, fn, top: int) -> None:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream).sort_stats("cumulative")
+    stats.print_stats(top)
+    body = "\n".join(
+        line
+        for line in stream.getvalue().splitlines()
+        if line.strip() and not line.lstrip().startswith(("ncalls", "Ordered", "{"))
+    )
+    print(f"\n===== {label} =====")
+    print(body[:2500])
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="C")
+    parser.add_argument("--top", type=int, default=12)
+    args = parser.parse_args()
+
+    case = large_case()
+    app = media.build_app(case.server, case.client)
+    planner = Planner(PlannerConfig(leveling=scenario(args.scenario).leveling()))
+
+    problem = profile_block(
+        "compile (grounding + leveling + pruning)",
+        lambda: planner.compile(app, case.network),
+        args.top,
+    )
+    plan = profile_block(
+        "plan (PLRG + SLRG + RG)",
+        lambda: planner.solve(problem=problem),
+        args.top,
+    )
+    profile_block("execute (exact validation)", plan.execute, args.top)
+
+    print("\nphase timings (ms):")
+    s = plan.stats
+    print(f"  compile {s.compile_ms:.0f} | plrg {s.plrg_ms:.0f} | "
+          f"slrg {s.slrg_ms:.0f} | rg {s.rg_ms:.0f}")
+
+
+if __name__ == "__main__":
+    main()

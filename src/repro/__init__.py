@@ -1,0 +1,99 @@
+"""repro — resource-aware deployment planning for component-based
+distributed applications.
+
+A from-scratch reproduction of the leveled Sekitei planner (Kichkaylo &
+Karamcheti, HPDC 2004): the component placement problem (CPP) model, the
+three-phase planning algorithm (PLRG → SLRG → RG) with resource levels and
+cost optimization, the original greedy baseline, the paper's media-stream
+evaluation domain, and a GT-ITM-style topology generator.
+
+Quickstart::
+
+    from repro import Planner, PlannerConfig
+    from repro.domains import media
+    from repro.network import pair_network
+
+    net = pair_network(cpu=30, link_bw=70)       # Fig. 3's Tiny network
+    app = media.build_app("n0", "n1")            # Server at n0, Client at n1
+    leveling = media.proportional_leveling((90, 100))   # scenario C
+    plan = Planner(PlannerConfig(leveling=leveling)).solve(app, net)
+    print(plan.describe())
+    print(plan.execute().total_cost)
+"""
+
+from .intervals import Interval, ResourceMap
+from .network import Link, Network, Node, ResourceDecl, ResourceScope
+from .model import (
+    AppSpec,
+    ComponentSpec,
+    InterfaceType,
+    Leveling,
+    LevelSpec,
+    Placement,
+    PropertySpec,
+    SpecError,
+    bandwidth_interface,
+    parse_spec_text,
+)
+from .compile import CompiledProblem, GroundAction, compile_problem
+from .planner import (
+    ExecutionError,
+    ExecutionReport,
+    Heuristic,
+    Plan,
+    Planner,
+    PlannerConfig,
+    PlanningError,
+    ResourceInfeasible,
+    SearchBudgetExceeded,
+    Unsolvable,
+    execute_plan,
+    solve,
+)
+from .baselines import DirectConnection, GreedySekitei, exhaustive_optimal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrate
+    "Interval",
+    "ResourceMap",
+    "Network",
+    "Node",
+    "Link",
+    "ResourceDecl",
+    "ResourceScope",
+    # model
+    "AppSpec",
+    "ComponentSpec",
+    "InterfaceType",
+    "PropertySpec",
+    "LevelSpec",
+    "Leveling",
+    "Placement",
+    "SpecError",
+    "bandwidth_interface",
+    "parse_spec_text",
+    # compilation
+    "CompiledProblem",
+    "GroundAction",
+    "compile_problem",
+    # planner
+    "Planner",
+    "PlannerConfig",
+    "Heuristic",
+    "Plan",
+    "solve",
+    "execute_plan",
+    "ExecutionReport",
+    "PlanningError",
+    "Unsolvable",
+    "ResourceInfeasible",
+    "SearchBudgetExceeded",
+    "ExecutionError",
+    # baselines
+    "GreedySekitei",
+    "DirectConnection",
+    "exhaustive_optimal",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``plan``
+    Plan a deployment for a spec file (the paper's pseudo-XML syntax)
+    over a network JSON file.
+``table2``
+    Reproduce (a subset of) the paper's Table 2.
+``gen-network``
+    Generate a GT-ITM-style transit-stub network as JSON.
+
+Examples
+--------
+::
+
+    python -m repro gen-network --seed 2004 -o large.json
+    python -m repro plan --network large.json --spec app.spec \\
+        --initial Server=t0_0_s0_0 --goal Client=t0_2_s2_5 \\
+        --levels M.ibw=90,100
+    python -m repro table2 --networks Tiny Small --scenarios B C
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .model import AppSpec, Leveling, LevelSpec, parse_spec_text
+from .network import TransitStubParams, load_network, network_to_dict, transit_stub_network
+from .planner import Planner, PlannerConfig, PlanningError
+
+__all__ = ["main"]
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    parsed = parse_spec_text(open(args.spec).read())
+
+    def pairs(items):
+        out = []
+        for item in items:
+            comp, _, node = item.partition("=")
+            if not node:
+                raise SystemExit(f"expected COMPONENT=NODE, got {item!r}")
+            out.append((comp, node))
+        return out
+
+    app = AppSpec.build(
+        name=args.spec,
+        interfaces=parsed.interfaces,
+        components=parsed.components,
+        initial=pairs(args.initial),
+        goals=pairs(args.goal),
+    )
+
+    specs = {}
+    for item in args.levels or ():
+        var, _, cuts = item.partition("=")
+        if not cuts:
+            raise SystemExit(f"expected VAR=c1,c2,..., got {item!r}")
+        specs[var] = LevelSpec(tuple(float(c) for c in cuts.split(",")))
+    leveling = Leveling(specs, name="cli")
+
+    planner = Planner(PlannerConfig(leveling=leveling))
+    try:
+        plan = planner.solve(app, network)
+    except PlanningError as exc:
+        print(f"no plan: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    print(plan.describe())
+    report = plan.execute()
+    print(f"\ncost lower bound : {plan.cost_lb:g}")
+    print(f"exact cost       : {report.total_cost:g}")
+    if args.json:
+        payload = {
+            "actions": plan.action_names(),
+            "cost_lower_bound": plan.cost_lb,
+            "exact_cost": report.total_cost,
+            "consumed": report.consumed,
+        }
+        open(args.json, "w").write(json.dumps(payload, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments import render_table1, render_table2, run_cell
+
+    print(render_table1())
+    print()
+    rows = [
+        run_cell(net, scen)
+        for net in args.networks
+        for scen in args.scenarios
+    ]
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_gen_network(args: argparse.Namespace) -> int:
+    params = TransitStubParams(
+        transit_nodes_per_domain=args.transit_nodes,
+        stub_domains_per_transit=args.stubs_per_transit,
+        stub_size=args.stub_size,
+        node_cpu=args.cpu,
+        lan_bandwidth=args.lan_bw,
+        wan_bandwidth=args.wan_bw,
+        seed=args.seed,
+    )
+    net = transit_stub_network(params)
+    payload = json.dumps(network_to_dict(net), indent=2, sort_keys=True)
+    if args.output == "-":
+        print(payload)
+    else:
+        open(args.output, "w").write(payload)
+        print(f"wrote {args.output}: {len(net)} nodes, {len(net.links)} links")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="plan a deployment")
+    p_plan.add_argument("--network", required=True, help="network JSON file")
+    p_plan.add_argument("--spec", required=True, help="pseudo-XML spec file")
+    p_plan.add_argument("--initial", nargs="+", default=[], metavar="COMP=NODE")
+    p_plan.add_argument("--goal", nargs="+", required=True, metavar="COMP=NODE")
+    p_plan.add_argument("--levels", nargs="*", metavar="VAR=c1,c2,...")
+    p_plan.add_argument("--json", help="also write the plan as JSON")
+    p_plan.set_defaults(fn=_cmd_plan)
+
+    p_t2 = sub.add_parser("table2", help="reproduce Table 2")
+    p_t2.add_argument("--networks", nargs="+", default=["Tiny", "Small", "Large"])
+    p_t2.add_argument("--scenarios", nargs="+", default=["A", "B", "C", "D", "E"])
+    p_t2.set_defaults(fn=_cmd_table2)
+
+    p_gen = sub.add_parser("gen-network", help="generate a transit-stub network")
+    p_gen.add_argument("--transit-nodes", type=int, default=3)
+    p_gen.add_argument("--stubs-per-transit", type=int, default=3)
+    p_gen.add_argument("--stub-size", type=int, default=10)
+    p_gen.add_argument("--cpu", type=float, default=30.0)
+    p_gen.add_argument("--lan-bw", type=float, default=150.0)
+    p_gen.add_argument("--wan-bw", type=float, default=70.0)
+    p_gen.add_argument("--seed", type=int, default=2004)
+    p_gen.add_argument("-o", "--output", default="-")
+    p_gen.set_defaults(fn=_cmd_gen_network)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Baseline planners: original greedy Sekitei, exhaustive oracle, strawman."""
+
+from .direct import DirectConnection
+from .exhaustive import ExhaustiveResult, exhaustive_optimal
+from .greedy import GreedySekitei
+
+__all__ = ["GreedySekitei", "DirectConnection", "exhaustive_optimal", "ExhaustiveResult"]

@@ -1,0 +1,88 @@
+"""Direct-connection strawman.
+
+The trivial "solution" the paper mentions in §5: connect the client and
+server directly along a shortest path, inserting no auxiliary components.
+Useful as a sanity baseline — it succeeds exactly when no transformation
+is needed, and its failure on the evaluation networks is what motivates
+the whole planning machinery.
+"""
+
+from __future__ import annotations
+
+from ..compile import CompiledProblem, GroundAction, compile_problem
+from ..model import AppSpec, Leveling
+from ..network import Network
+from ..planner.errors import ExecutionError, ResourceInfeasible
+from ..planner.executor import execute_plan
+from ..planner.plan import Plan
+
+__all__ = ["DirectConnection"]
+
+
+class DirectConnection:
+    """Cross the goal components' required interfaces along shortest paths."""
+
+    def solve(
+        self,
+        app: AppSpec,
+        network: Network,
+        leveling: Leveling | None = None,
+    ) -> Plan:
+        """Build the no-auxiliary-components plan, validating it exactly.
+
+        Raises :class:`ResourceInfeasible` when the direct plan does not
+        execute (insufficient bandwidth — the Fig. 1 situation).
+        """
+        problem = compile_problem(app, network, leveling or Leveling({}, "direct"))
+        source_nodes: dict[str, str] = {}
+        for placement in app.initial_placements:
+            comp = app.component(placement.component)
+            for iface in comp.implements:
+                source_nodes[iface] = placement.node
+
+        actions: list[GroundAction] = []
+        for placement in app.goal_placements:
+            comp = app.component(placement.component)
+            for iface in comp.requires:
+                src = source_nodes.get(iface)
+                if src is None:
+                    raise ResourceInfeasible(
+                        f"direct connection impossible: no pre-placed source for "
+                        f"interface {iface}"
+                    )
+                path = network.shortest_path(src, placement.node)
+                if path is None:
+                    raise ResourceInfeasible(f"no path from {src} to {placement.node}")
+                for a, b in zip(path, path[1:]):
+                    actions.append(self._pick_cross(problem, iface, a, b))
+            actions.append(self._pick_place(problem, placement.component, placement.node))
+
+        try:
+            execute_plan(problem, actions)
+        except ExecutionError as exc:
+            raise ResourceInfeasible(f"direct connection infeasible: {exc}") from exc
+        plan = Plan(problem=problem, actions=actions, cost_lb=sum(a.cost_lb for a in actions))
+        return plan
+
+    @staticmethod
+    def _pick_cross(problem: CompiledProblem, iface: str, a: str, b: str) -> GroundAction:
+        candidates = [
+            act
+            for act in problem.actions
+            if act.kind == "cross" and act.subject == iface and act.src == a and act.dst == b
+        ]
+        if not candidates:
+            raise ResourceInfeasible(f"no ground crossing of {iface} over {a}->{b}")
+        # Highest committed level = maximum utilization (greedy).
+        return max(candidates, key=lambda act: act.cost_lb)
+
+    @staticmethod
+    def _pick_place(problem: CompiledProblem, component: str, node: str) -> GroundAction:
+        candidates = [
+            act
+            for act in problem.actions
+            if act.kind == "place" and act.subject == component and act.node == node
+        ]
+        if not candidates:
+            raise ResourceInfeasible(f"no ground placement of {component} on {node}")
+        return max(candidates, key=lambda act: act.cost_lb)

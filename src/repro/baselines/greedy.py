@@ -1,0 +1,49 @@
+"""The original greedy Sekitei baseline (paper §2.2, Scenario A).
+
+The original planner has no resource levels: every real-valued variable
+lives in the single interval ``[0, ∞)``, and feasibility is judged at the
+maximum possible utilization (the static property bound).  In the leveled
+formulation this is *exactly* the trivial leveling, so the baseline is the
+same planner with all level specifications erased — which is also how the
+paper frames it ("Scenario A corresponds to the original version of
+Sekitei").
+"""
+
+from __future__ import annotations
+
+from ..model import AppSpec, Leveling
+from ..network import Network
+from ..planner import Plan, Planner, PlannerConfig
+
+__all__ = ["GreedySekitei"]
+
+
+class GreedySekitei:
+    """Greedy worst-case planner: finds feasible plans, never optimizes.
+
+    Guarantees of the greedy approach (paper §2.2): if it finds a plan,
+    the plan is feasible at *any* utilization up to the maximum.  Its two
+    shortcomings are the paper's motivation: it fails in
+    resource-constrained situations where a throttled plan exists
+    (Scenario 1), and its plan choice ignores cost (Scenario 2) — with
+    trivial levels every action's cost lower bound collapses to the
+    formula's value at zero bandwidth, so the search effectively minimizes
+    the number of actions.
+    """
+
+    def __init__(self, rg_node_budget: int = 500_000):
+        self._planner = Planner(
+            PlannerConfig(
+                leveling=Leveling({}, name="greedy-trivial"),
+                rg_node_budget=rg_node_budget,
+            )
+        )
+
+    def solve(self, app: AppSpec, network: Network) -> Plan:
+        """Find any feasible plan under worst-case resource assumptions.
+
+        Raises the same exceptions as :class:`~repro.planner.Planner`;
+        :class:`~repro.planner.ResourceInfeasible` signals the Scenario 1
+        failure mode.
+        """
+        return self._planner.solve(app, network)

@@ -1,0 +1,39 @@
+"""Compilation of CPP instances into leveled AI-planning problems."""
+
+from .actions import (
+    EffectKind,
+    GroundAction,
+    ReplayFailure,
+    iface_prop_var,
+    link_res_var,
+    node_res_var,
+)
+from .bounds import compute_property_bounds, resource_capacity_bounds
+from .grounding import Grounder, PropTable
+from .problem import CompiledProblem, compile_problem
+from .propositions import AvailProp, PlacedProp, Prop, dominated_level_tuples
+from .diagnose import Diagnosis, diagnose
+from .reachability import logically_reachable, prune_unreachable_actions
+
+__all__ = [
+    "EffectKind",
+    "GroundAction",
+    "ReplayFailure",
+    "iface_prop_var",
+    "node_res_var",
+    "link_res_var",
+    "compute_property_bounds",
+    "resource_capacity_bounds",
+    "Grounder",
+    "PropTable",
+    "CompiledProblem",
+    "compile_problem",
+    "AvailProp",
+    "PlacedProp",
+    "Prop",
+    "dominated_level_tuples",
+    "prune_unreachable_actions",
+    "logically_reachable",
+    "Diagnosis",
+    "diagnose",
+]

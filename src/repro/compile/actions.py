@@ -1,0 +1,136 @@
+"""Ground leveled planning actions.
+
+A :class:`GroundAction` is one fully instantiated ``place`` or ``cross``
+action with a committed level choice for every leveled variable it
+mentions (paper §3.1 "leveled actions").  Besides the logical precondition
+/ add-effect sets (interned proposition ids), each action carries its
+*replay program*: the optimistic-interval seeds, conditions, and effect
+assignments needed to re-execute a plan tail inside a resource map
+(paper §3.2.3, Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..expr import Assign, Node, apply_assign_interval, condition_satisfiable
+from ..intervals import Interval, MapContradiction, ResourceMap
+
+__all__ = ["EffectKind", "GroundAction", "ReplayFailure", "iface_prop_var", "node_res_var", "link_res_var"]
+
+_EPS = 1e-9
+
+
+def iface_prop_var(prop: str, iface: str, node: str) -> str:
+    """Ground variable for an interface property at a node."""
+    return f"{prop}:{iface}@{node}"
+
+
+def node_res_var(res: str, node: str) -> str:
+    """Ground variable for a node resource."""
+    return f"{res}@{node}"
+
+
+def link_res_var(res: str, a: str, b: str) -> str:
+    """Ground variable for a link resource (canonical endpoint order)."""
+    lo, hi = (a, b) if a <= b else (b, a)
+    return f"{res}@{lo}~{hi}"
+
+
+class EffectKind(Enum):
+    """How an effect assignment's result is written into a resource map."""
+
+    PRODUCE = "produce"                      # plain interface property
+    PRODUCE_DEGRADABLE = "produce_degradable"  # store the down-closure [0, hi]
+    PRODUCE_UPGRADABLE = "produce_upgradable"  # store the up-closure [lo, inf)
+    CONSUME = "consume"                      # ``-=`` on a consumable resource
+    SET_RESOURCE = "set_resource"            # ``:=``/``+=`` on a resource
+
+
+class ReplayFailure(Exception):
+    """A plan tail failed to execute in the optimistic resource map."""
+
+    def __init__(self, action: "GroundAction", reason: str):
+        super().__init__(f"replay of {action.name} failed: {reason}")
+        self.action = action
+        self.reason = reason
+
+
+@dataclass(slots=True)
+class GroundAction:
+    """One leveled, grounded planning action."""
+
+    index: int
+    name: str
+    kind: str  # 'place' | 'cross'
+    subject: str  # component name (place) or interface name (cross)
+    node: str | None = None  # placement node
+    src: str | None = None  # crossing source
+    dst: str | None = None  # crossing destination
+    # -- logical layer (interned proposition ids) --
+    pre_props: frozenset[int] = frozenset()
+    add_props: frozenset[int] = frozenset()
+    primary_adds: tuple[int, ...] = ()
+    # -- cost --
+    cost_lb: float = 0.0
+    cost_ast: Node | None = None
+    # -- replay program --
+    var_map: dict[str, str] = field(default_factory=dict)  # spec var -> ground var
+    seeds: tuple[tuple[str, Interval], ...] = ()
+    conditions: tuple[Node, ...] = ()
+    effects: tuple[Assign, ...] = ()
+    effect_targets: tuple[tuple[str, EffectKind], ...] = ()
+    committed: dict[str, Interval] = field(default_factory=dict)  # spec var -> level interval
+
+    def __str__(self) -> str:
+        return self.name
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self, rmap: ResourceMap) -> None:
+        """Execute this action inside ``rmap`` (mutating it).
+
+        Raises :class:`ReplayFailure` when an optimistic-interval
+        intersection empties, a condition becomes unsatisfiable, or a
+        consumable resource is overdrawn in the worst case.
+        """
+        try:
+            for var, iv in self.seeds:
+                rmap.constrain(var, iv)
+        except MapContradiction as exc:
+            raise ReplayFailure(self, str(exc)) from None
+
+        env: dict[str, Interval] = {}
+        for spec_var, ground_var in self.var_map.items():
+            got = rmap.get(ground_var)
+            if got is not None:
+                env[spec_var] = got
+
+        for cond in self.conditions:
+            if not condition_satisfiable(cond, env):
+                raise ReplayFailure(self, f"condition {cond.unparse()} unsatisfiable")
+
+        # Simultaneous effect semantics: all right-hand sides read the
+        # pre-state env, then targets are written.
+        staged: list[tuple[str, EffectKind, Interval]] = []
+        for assign, (gvar, ekind) in zip(self.effects, self.effect_targets):
+            iv = apply_assign_interval(assign, env)
+            staged.append((gvar, ekind, iv))
+
+        for gvar, ekind, iv in staged:
+            if ekind is EffectKind.CONSUME:
+                if iv.lo < -_EPS:
+                    raise ReplayFailure(
+                        self, f"worst-case overdraw of {gvar}: remaining {iv}"
+                    )
+                rmap.set(gvar, Interval(max(iv.lo, 0.0), iv.hi, False, iv.hi_open))
+            elif ekind is EffectKind.PRODUCE_DEGRADABLE:
+                rmap.set(gvar, Interval(0.0, iv.hi, False, iv.hi_open))
+            elif ekind is EffectKind.PRODUCE_UPGRADABLE:
+                rmap.set(gvar, Interval(iv.lo, math.inf, iv.lo_open, True))
+            else:
+                if iv.is_empty():
+                    raise ReplayFailure(self, f"effect on {gvar} produced empty interval")
+                rmap.set(gvar, iv)

@@ -1,0 +1,82 @@
+"""Planning propositions.
+
+The compiled planning problem uses two proposition families:
+
+* ``Placed(component, node)`` — a component instance runs on a node;
+* ``Avail(interface, node, levels)`` — a data stream is available at a
+  node, with one level index per *leveled* property of the interface.
+
+Degradable/upgradable matching is compiled away by closure: an action that
+produces ``Avail(M, n, (3,))`` for a degradable property also adds the
+dominated propositions ``Avail(M, n, (2,))`` … ``(0,)``, so precondition
+matching is plain set membership everywhere downstream (PLRG, SLRG, RG).
+
+Node and link resource levels never become propositions — they are "only
+checked" (paper §3.2.2) through the optimistic-resource-map replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+__all__ = ["PlacedProp", "AvailProp", "Prop", "dominated_level_tuples"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlacedProp:
+    component: str
+    node: str
+
+    def __str__(self) -> str:
+        return f"placed({self.component},{self.node})"
+
+
+@dataclass(frozen=True, slots=True)
+class AvailProp:
+    """Availability of an interface at a node at given property levels.
+
+    ``levels`` holds one level index per leveled property, ordered by the
+    interface's leveled-property name order (empty when no property of the
+    interface is leveled).
+    """
+
+    interface: str
+    node: str
+    levels: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.levels:
+            return f"avail({self.interface},{self.node})"
+        lv = ",".join(str(l) for l in self.levels)
+        return f"avail({self.interface},{self.node},L={lv})"
+
+
+Prop = PlacedProp | AvailProp
+
+
+def dominated_level_tuples(
+    levels: tuple[int, ...],
+    degradable: tuple[bool, ...],
+    upgradable: tuple[bool, ...],
+    level_counts: tuple[int, ...],
+) -> Iterator[tuple[int, ...]]:
+    """All level tuples implied by availability at ``levels``.
+
+    For each position: a degradable property at level ``l`` implies levels
+    ``0..l``; an upgradable one implies ``l..max``; a plain one implies
+    only ``l``.  Yields the full product, including ``levels`` itself.
+    """
+    axes: list[range] = []
+    for l, deg, upg, count in zip(levels, degradable, upgradable, level_counts):
+        if deg:
+            axes.append(range(0, l + 1))
+        elif upg:
+            axes.append(range(l, count))
+        else:
+            axes.append(range(l, l + 1))
+    if not axes:
+        yield ()
+        return
+    yield from product(*axes)

@@ -1,0 +1,6 @@
+"""Application domains: media delivery (the paper's benchmark), grid
+workflows, and the Fig. 5 web-service cost tradeoff."""
+
+from . import grid, media, variants, webservice
+
+__all__ = ["media", "grid", "webservice", "variants"]

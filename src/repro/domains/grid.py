@@ -1,0 +1,249 @@
+"""Grid task-graph domain (the paper's introduction scenario).
+
+A grid workflow reads a logical dataset, filters it, runs a compute task,
+and delivers the result to a user site, subject to a latency deadline —
+"deploying the task graph ... in a way that minimizes resource consumption
+while meeting specified deadline goals" (paper §1).
+
+The domain exercises planner features beyond the media benchmark:
+
+* **chained transformations with shrinking bandwidth** — Filter keeps 40%
+  of the raw volume, Compute emits a small result stream;
+* **an accumulating, upgradable property** — every link crossing adds the
+  link's ``delay`` to the stream's ``lat`` property, and the consumer
+  demands ``Result.lat <= deadline``.  Deadline violations are detected
+  during plan-tail replay (the paper's "discarding of partial plans whose
+  total latency exceeds a given limit");
+* **data-transfer substitution** — the paper's GridFTP staging of logical
+  files to remote sites maps onto ``cross`` actions for the ``Raw``
+  stream, and the optional ``Pack``/``Unpack`` pair models compressed
+  transfers.
+"""
+
+from __future__ import annotations
+
+from ..expr import parse_assign, parse_expr
+from ..model import (
+    AppSpec,
+    ComponentSpec,
+    InterfaceType,
+    Leveling,
+    LevelSpec,
+    PropertySpec,
+)
+from ..network import CPU, LINK_BANDWIDTH, MEMORY, Network, ResourceDecl, ResourceScope
+
+__all__ = [
+    "LINK_DELAY",
+    "DEFAULT_RAW_BW",
+    "DEFAULT_DEADLINE",
+    "build_app",
+    "build_network",
+    "grid_leveling",
+]
+
+LINK_DELAY = ResourceDecl("delay", ResourceScope.LINK, consumable=False)
+"""Per-link latency (milliseconds); accumulated, not consumed."""
+
+DEFAULT_RAW_BW = 100.0
+DEFAULT_DEADLINE = 40.0
+
+FILTER_RATIO = 0.4
+RESULT_RATIO = 0.1
+PACK_RATIO = 0.5
+
+
+def _stream(name: str, cross_cost: str) -> InterfaceType:
+    """A bandwidth stream that also accumulates latency on each crossing."""
+    return InterfaceType(
+        name=name,
+        properties=(
+            PropertySpec("ibw", degradable=True),
+            PropertySpec("lat", degradable=False, upgradable=True),
+        ),
+        cross_effects=tuple(
+            parse_assign(e)
+            for e in (
+                f"{name}.ibw' := min({name}.ibw, Link.lbw)",
+                f"Link.lbw' -= min({name}.ibw, Link.lbw)",
+                f"{name}.lat' := {name}.lat + Link.delay",
+            )
+        ),
+        cross_cost=parse_expr(cross_cost),
+    )
+
+
+def build_app(
+    source_node: str,
+    user_node: str,
+    raw_bw: float = DEFAULT_RAW_BW,
+    deadline: float = DEFAULT_DEADLINE,
+    min_result_bw: float | None = None,
+    with_pack: bool = True,
+    with_memory: bool = False,
+    name: str = "grid-workflow",
+) -> AppSpec:
+    """The grid workflow with the dataset and user pinned to sites.
+
+    ``with_memory`` adds a node-memory dimension: the ComputeTask buffers
+    the filtered dataset (``Node.mem >= Filtered.ibw``), exercising the
+    model's support for additional node resources (paper §2.1 "additional
+    resources such as node memory ... may be relevant").
+    """
+    if min_result_bw is None:
+        min_result_bw = raw_bw * FILTER_RATIO * RESULT_RATIO
+
+    interfaces = [
+        _stream("Raw", "1 + Raw.ibw/10"),
+        _stream("Filtered", "1 + Filtered.ibw/10"),
+        _stream("Result", "1 + Result.ibw/10"),
+        _stream("Packed", "1 + Packed.ibw/10"),
+    ]
+    components = [
+        ComponentSpec.parse(
+            "DataSource",
+            implements=["Raw"],
+            effects=[f"Raw.ibw := {raw_bw:g}", "Raw.lat := 0"],
+        ),
+        ComponentSpec.parse(
+            "FilterTask",
+            requires=["Raw"],
+            implements=["Filtered"],
+            conditions=["Node.cpu >= Raw.ibw/4"],
+            effects=[
+                f"Filtered.ibw := Raw.ibw*{FILTER_RATIO:g}",
+                "Filtered.lat := Raw.lat + 2",
+                "Node.cpu -= Raw.ibw/4",
+            ],
+            cost="1 + Raw.ibw/10",
+        ),
+        ComponentSpec.parse(
+            "ComputeTask",
+            requires=["Filtered"],
+            implements=["Result"],
+            conditions=(
+                ["Node.cpu >= Filtered.ibw/2", "Node.mem >= Filtered.ibw"]
+                if with_memory
+                else ["Node.cpu >= Filtered.ibw/2"]
+            ),
+            effects=(
+                [
+                    f"Result.ibw := Filtered.ibw*{RESULT_RATIO:g}",
+                    "Result.lat := Filtered.lat + 5",
+                    "Node.cpu -= Filtered.ibw/2",
+                    "Node.mem -= Filtered.ibw",
+                ]
+                if with_memory
+                else [
+                    f"Result.ibw := Filtered.ibw*{RESULT_RATIO:g}",
+                    "Result.lat := Filtered.lat + 5",
+                    "Node.cpu -= Filtered.ibw/2",
+                ]
+            ),
+            cost="1 + Filtered.ibw/5",
+        ),
+        ComponentSpec.parse(
+            "Consumer",
+            requires=["Result"],
+            conditions=[
+                f"Result.ibw >= {min_result_bw:g}",
+                f"Result.lat <= {deadline:g}",
+            ],
+            cost="1",
+        ),
+    ]
+    if with_pack:
+        components += [
+            ComponentSpec.parse(
+                "Pack",
+                requires=["Raw"],
+                implements=["Packed"],
+                conditions=["Node.cpu >= Raw.ibw/10"],
+                effects=[
+                    f"Packed.ibw := Raw.ibw*{PACK_RATIO:g}",
+                    "Packed.lat := Raw.lat + 1",
+                    "Node.cpu -= Raw.ibw/10",
+                ],
+                cost="1 + Raw.ibw/10",
+            ),
+            ComponentSpec.parse(
+                "Unpack",
+                requires=["Packed"],
+                implements=["Raw"],
+                conditions=["Node.cpu >= Packed.ibw/10"],
+                effects=[
+                    f"Raw.ibw := Packed.ibw/{PACK_RATIO:g}",
+                    "Raw.lat := Packed.lat + 1",
+                    "Node.cpu -= Packed.ibw/10",
+                ],
+                cost="1 + Packed.ibw/10",
+            ),
+        ]
+    resources = (CPU, LINK_BANDWIDTH, LINK_DELAY)
+    if with_memory:
+        resources = (CPU, MEMORY, LINK_BANDWIDTH, LINK_DELAY)
+    return AppSpec.build(
+        name=name,
+        interfaces=interfaces,
+        components=components,
+        resources=resources,
+        initial=[("DataSource", source_node)],
+        goals=[("Consumer", user_node)],
+    )
+
+
+def build_network(
+    sites: int = 4,
+    node_cpu: float = 50.0,
+    node_mem: float | None = None,
+    wan_bw: float = 60.0,
+    wan_delay: float = 8.0,
+    lan_bw: float = 200.0,
+    lan_delay: float = 1.0,
+    name: str = "grid-sites",
+) -> Network:
+    """A chain of grid sites: each site is a 2-node LAN, sites joined by WAN.
+
+    Node ids: ``site{i}_head`` (WAN-attached) and ``site{i}_worker``.
+    """
+    net = Network(name)
+    head_res = {"cpu": node_cpu}
+    worker_res = {"cpu": node_cpu * 2}
+    if node_mem is not None:
+        head_res["mem"] = node_mem
+        worker_res["mem"] = node_mem * 4  # workers carry the buffer RAM
+    for i in range(sites):
+        net.add_node(f"site{i}_head", dict(head_res), labels={"head"})
+        net.add_node(f"site{i}_worker", dict(worker_res), labels={"worker"})
+        net.add_link(
+            f"site{i}_head",
+            f"site{i}_worker",
+            {"lbw": lan_bw, "delay": lan_delay},
+            labels={"LAN"},
+        )
+        if i > 0:
+            net.add_link(
+                f"site{i - 1}_head",
+                f"site{i}_head",
+                {"lbw": wan_bw, "delay": wan_delay},
+                labels={"WAN"},
+            )
+    return net
+
+
+def grid_leveling(raw_bw: float = DEFAULT_RAW_BW, name: str = "grid") -> Leveling:
+    """Cutpoints at the workflow's natural operating points.
+
+    Raw at {half, full}; downstream streams proportional under the filter,
+    result, and pack ratios.
+    """
+    raw = LevelSpec((round(raw_bw * 0.5, 9), raw_bw))
+    return Leveling(
+        {
+            "Raw.ibw": raw,
+            "Filtered.ibw": raw.scaled(FILTER_RATIO),
+            "Result.ibw": raw.scaled(FILTER_RATIO * RESULT_RATIO),
+            "Packed.ibw": raw.scaled(PACK_RATIO),
+        },
+        name=name,
+    )

@@ -1,0 +1,171 @@
+"""The paper's media-stream-delivery application (Figs. 1, 2, 6).
+
+A *Server* produces a combined media stream ``M`` (images + text) that a
+*Client* must receive at a minimum bandwidth.  When the direct path lacks
+bandwidth, the stream can be split (*Splitter*) into a text stream ``T``
+and an image stream ``I``, the text stream compressed (*Zip*) into ``Z``
+and decompressed (*Unzip*), and the parts recombined (*Merger*).
+
+Constants are reverse-engineered from the paper's numbers and are mutually
+consistent:
+
+* The Merger condition ``T.ibw*3 == I.ibw*7`` fixes the split ratio at
+  T : I = 7 : 3, so the Splitter emits ``T = 0.7·M`` and ``I = 0.3·M``.
+* Zip halves the text stream (``Z = T/2``): with the optimal 90 units of
+  M, the compressed path carries Z = 31.5 and I = 27 — the paper's
+  "27 + 31.5 = 58.5 units of LAN bandwidth".
+* The Splitter consumes ``M/5`` CPU ("transformation of 200 units of M by
+  the splitter requires 40 units of CPU") and Zip consumes ``T/10``;
+  with the default 30 CPU per node, a node can split+zip up to
+  ``30 / (1/5 + 0.7/10) ≈ 111`` units of M — the paper's "CPU resources
+  ... sufficient to process up to 111 units of the media stream".
+* Placement and crossing costs are ``1 + bandwidth/10`` — "proportional
+  to the processed/transferred bandwidth", favouring few components and
+  low bandwidth use.
+"""
+
+from __future__ import annotations
+
+from ..model import (
+    AppSpec,
+    ComponentSpec,
+    InterfaceType,
+    Leveling,
+    LevelSpec,
+    bandwidth_interface,
+)
+
+__all__ = [
+    "SPLIT_T_RATIO",
+    "SPLIT_I_RATIO",
+    "ZIP_RATIO",
+    "DEFAULT_SOURCE_BW",
+    "DEFAULT_DEMAND",
+    "DEFAULT_NODE_CPU",
+    "build_app",
+    "proportional_leveling",
+]
+
+SPLIT_T_RATIO = 0.7
+"""Fraction of the media stream that is text (from the Merger condition)."""
+
+SPLIT_I_RATIO = 0.3
+"""Fraction of the media stream that is images."""
+
+ZIP_RATIO = 0.5
+"""Compression ratio of the Zip component (Z = T/2)."""
+
+DEFAULT_SOURCE_BW = 200.0
+"""The Server can produce up to 200 units of the M stream (§4.1)."""
+
+DEFAULT_DEMAND = 90.0
+"""The Client requires at least 90 units of M bandwidth (§4.1)."""
+
+DEFAULT_NODE_CPU = 30.0
+"""Per-node CPU such that split+zip handles ≈111 units of M (§4.1)."""
+
+
+def build_app(
+    server_node: str,
+    client_node: str,
+    source_bw: float = DEFAULT_SOURCE_BW,
+    demand: float = DEFAULT_DEMAND,
+    name: str = "media-delivery",
+) -> AppSpec:
+    """The media-delivery application with Server/Client pinned to nodes."""
+    interfaces = [
+        bandwidth_interface("M", cross_cost="1 + M.ibw/10"),
+        bandwidth_interface("T", cross_cost="1 + T.ibw/10"),
+        bandwidth_interface("I", cross_cost="1 + I.ibw/10"),
+        bandwidth_interface("Z", cross_cost="1 + Z.ibw/10"),
+    ]
+    components = [
+        ComponentSpec.parse(
+            "Server",
+            implements=["M"],
+            effects=[f"M.ibw := {source_bw:g}"],
+        ),
+        ComponentSpec.parse(
+            "Client",
+            requires=["M"],
+            conditions=[f"M.ibw >= {demand:g}"],
+            cost="1",
+        ),
+        ComponentSpec.parse(
+            "Splitter",
+            requires=["M"],
+            implements=["T", "I"],
+            conditions=["Node.cpu >= M.ibw/5"],
+            effects=[
+                f"T.ibw := M.ibw*{SPLIT_T_RATIO:g}",
+                f"I.ibw := M.ibw*{SPLIT_I_RATIO:g}",
+                "Node.cpu -= M.ibw/5",
+            ],
+            cost="1 + M.ibw/10",
+        ),
+        ComponentSpec.parse(
+            "Zip",
+            requires=["T"],
+            implements=["Z"],
+            conditions=["Node.cpu >= T.ibw/10"],
+            effects=[
+                f"Z.ibw := T.ibw*{ZIP_RATIO:g}",
+                "Node.cpu -= T.ibw/10",
+            ],
+            cost="1 + T.ibw/10",
+        ),
+        ComponentSpec.parse(
+            "Unzip",
+            requires=["Z"],
+            implements=["T"],
+            conditions=["Node.cpu >= Z.ibw/5"],
+            effects=[
+                f"T.ibw := Z.ibw/{ZIP_RATIO:g}",
+                "Node.cpu -= Z.ibw/5",
+            ],
+            cost="1 + Z.ibw/10",
+        ),
+        ComponentSpec.parse(
+            "Merger",
+            requires=["T", "I"],
+            implements=["M"],
+            conditions=[
+                "Node.cpu >= (T.ibw + I.ibw)/5",
+                "T.ibw*3 == I.ibw*7",
+            ],
+            effects=[
+                "M.ibw := T.ibw + I.ibw",
+                "Node.cpu -= (T.ibw + I.ibw)/5",
+            ],
+            cost="1 + (I.ibw + T.ibw)/10",
+        ),
+    ]
+    return AppSpec.build(
+        name=name,
+        interfaces=interfaces,
+        components=components,
+        initial=[("Server", server_node)],
+        goals=[("Client", client_node)],
+    )
+
+
+def proportional_leveling(
+    m_cutpoints: tuple[float, ...],
+    link_cutpoints: tuple[float, ...] = (),
+    name: str = "custom",
+) -> Leveling:
+    """A leveling with T/I/Z cutpoints proportional to the M cutpoints.
+
+    This is the paper's Table 1 convention: "Bandwidth levels of
+    interfaces T, I, and Z are proportional to those of the M stream."
+    """
+    specs: dict[str, LevelSpec] = {}
+    if m_cutpoints:
+        m_spec = LevelSpec(tuple(m_cutpoints))
+        specs["M.ibw"] = m_spec
+        specs["T.ibw"] = m_spec.scaled(SPLIT_T_RATIO)
+        specs["I.ibw"] = m_spec.scaled(SPLIT_I_RATIO)
+        specs["Z.ibw"] = m_spec.scaled(SPLIT_T_RATIO * ZIP_RATIO)
+    if link_cutpoints:
+        specs["Link.lbw"] = LevelSpec(tuple(link_cutpoints))
+    return Leveling(specs, name=name)

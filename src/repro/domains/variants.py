@@ -1,0 +1,121 @@
+"""Component choice among compatible implementations (paper §1).
+
+The CPP explicitly includes "choosing amongst compatible components": the
+same logical service may have several implementations with different
+resource profiles, and the planner must pick per deployment.  This domain
+offers two complete compression pipelines for a text stream:
+
+* **FastZip / FastUnzip** — cheap CPU (``T/20``), weak compression
+  (ratio 0.8);
+* **DeepZip / DeepUnzip** — expensive CPU (``T/4``), strong compression
+  (ratio 0.4).
+
+Depending on the bottleneck — link bandwidth vs node CPU — either variant
+(or raw delivery) is the right choice, and the cost optimizer picks it.
+"""
+
+from __future__ import annotations
+
+from ..model import AppSpec, ComponentSpec, Leveling, LevelSpec, bandwidth_interface
+from ..network import Network
+
+__all__ = [
+    "FAST_RATIO",
+    "DEEP_RATIO",
+    "DEFAULT_BW",
+    "build_app",
+    "build_network",
+    "variants_leveling",
+]
+
+FAST_RATIO = 0.8
+DEEP_RATIO = 0.4
+DEFAULT_BW = 100.0
+
+
+def build_app(
+    server_node: str,
+    client_node: str,
+    bandwidth: float = DEFAULT_BW,
+    name: str = "variant-choice",
+) -> AppSpec:
+    """Text delivery with two alternative compression pipelines."""
+    interfaces = [
+        bandwidth_interface("T", cross_cost="1 + T.ibw/10"),
+        bandwidth_interface("FZ", cross_cost="1 + FZ.ibw/10"),
+        bandwidth_interface("DZ", cross_cost="1 + DZ.ibw/10"),
+    ]
+    components = [
+        ComponentSpec.parse(
+            "TServer", implements=["T"], effects=[f"T.ibw := {bandwidth:g}"]
+        ),
+        ComponentSpec.parse(
+            "TClient",
+            requires=["T"],
+            conditions=[f"T.ibw >= {bandwidth:g}"],
+            cost="1",
+        ),
+        ComponentSpec.parse(
+            "FastZip",
+            requires=["T"],
+            implements=["FZ"],
+            conditions=["Node.cpu >= T.ibw/20"],
+            effects=[f"FZ.ibw := T.ibw*{FAST_RATIO:g}", "Node.cpu -= T.ibw/20"],
+            cost="1 + T.ibw/20",
+        ),
+        ComponentSpec.parse(
+            "FastUnzip",
+            requires=["FZ"],
+            implements=["T"],
+            conditions=["Node.cpu >= FZ.ibw/20"],
+            effects=[f"T.ibw := FZ.ibw/{FAST_RATIO:g}", "Node.cpu -= FZ.ibw/20"],
+            cost="1 + FZ.ibw/20",
+        ),
+        ComponentSpec.parse(
+            "DeepZip",
+            requires=["T"],
+            implements=["DZ"],
+            conditions=["Node.cpu >= T.ibw/4"],
+            effects=[f"DZ.ibw := T.ibw*{DEEP_RATIO:g}", "Node.cpu -= T.ibw/4"],
+            cost="1 + T.ibw/4",
+        ),
+        ComponentSpec.parse(
+            "DeepUnzip",
+            requires=["DZ"],
+            implements=["T"],
+            conditions=["Node.cpu >= DZ.ibw/4"],
+            effects=[f"T.ibw := DZ.ibw/{DEEP_RATIO:g}", "Node.cpu -= DZ.ibw/4"],
+            cost="1 + DZ.ibw/4",
+        ),
+    ]
+    return AppSpec.build(
+        name=name,
+        interfaces=interfaces,
+        components=components,
+        initial=[("TServer", server_node)],
+        goals=[("TClient", client_node)],
+    )
+
+
+def build_network(link_bw: float, node_cpu: float, name: str = "variants") -> Network:
+    """A 3-node chain whose middle link is the bottleneck under test."""
+    net = Network(name)
+    net.add_node("src", {"cpu": node_cpu})
+    net.add_node("mid", {"cpu": node_cpu})
+    net.add_node("dst", {"cpu": node_cpu})
+    net.add_link("src", "mid", {"lbw": link_bw}, labels={"WAN"})
+    net.add_link("mid", "dst", {"lbw": link_bw}, labels={"WAN"})
+    return net
+
+
+def variants_leveling(bandwidth: float = DEFAULT_BW, name: str = "variants") -> Leveling:
+    """Cutpoints at each pipeline's operating bandwidth."""
+    t = LevelSpec((bandwidth,))
+    return Leveling(
+        {
+            "T.ibw": t,
+            "FZ.ibw": t.scaled(FAST_RATIO),
+            "DZ.ibw": t.scaled(DEEP_RATIO),
+        },
+        name=name,
+    )

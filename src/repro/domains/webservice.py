@@ -1,0 +1,133 @@
+"""Cost-tradeoff web-service scenario (paper Fig. 5, "Scenario 2").
+
+A text stream ``T`` must travel from a server to a client.  The network
+offers two routes: a *long* route of three links and a *short* route of
+two links.  Two deployment strategies compete:
+
+* send ``T`` raw — three crossings, no components;
+* compress at the source (*WZip*), send the half-bandwidth ``Z`` stream,
+  decompress at the client (*WUnzip*) — two crossings plus two components.
+
+Which plan is cheaper depends on the relative cost of link bandwidth and
+node CPU, which the builders expose as weights: crossing cost is
+``1 + link_weight·bw/10`` and placement cost is ``1 + cpu_weight·bw/10``.
+Sweeping the weights flips the optimizer between the two configurations —
+the paper's "tradeoffs can be performed by introducing a cost function
+that depends on resource consumption".
+"""
+
+from __future__ import annotations
+
+from ..model import AppSpec, ComponentSpec, Leveling, LevelSpec, bandwidth_interface
+from ..network import Network
+
+__all__ = [
+    "DEFAULT_WS_BW",
+    "build_app",
+    "build_network",
+    "ws_leveling",
+]
+
+DEFAULT_WS_BW = 100.0
+"""The text stream's bandwidth (the client demands all of it)."""
+
+WS_ZIP_RATIO = 0.5
+
+
+def build_app(
+    server_node: str,
+    client_node: str,
+    bandwidth: float = DEFAULT_WS_BW,
+    link_weight: float = 1.0,
+    cpu_weight: float = 1.0,
+    name: str = "webservice-tradeoff",
+) -> AppSpec:
+    """The Fig. 5 application with parametric cost weights."""
+    interfaces = [
+        bandwidth_interface("T", cross_cost=f"1 + {link_weight:g}*T.ibw/10"),
+        bandwidth_interface("Z", cross_cost=f"1 + {link_weight:g}*Z.ibw/10"),
+    ]
+    components = [
+        ComponentSpec.parse(
+            "WServer",
+            implements=["T"],
+            effects=[f"T.ibw := {bandwidth:g}"],
+        ),
+        ComponentSpec.parse(
+            "WClient",
+            requires=["T"],
+            conditions=[f"T.ibw >= {bandwidth:g}"],
+            cost="1",
+        ),
+        ComponentSpec.parse(
+            "WZip",
+            requires=["T"],
+            implements=["Z"],
+            conditions=["Node.cpu >= T.ibw/10"],
+            effects=[
+                f"Z.ibw := T.ibw*{WS_ZIP_RATIO:g}",
+                "Node.cpu -= T.ibw/10",
+            ],
+            cost=f"1 + {cpu_weight:g}*T.ibw/10",
+        ),
+        ComponentSpec.parse(
+            "WUnzip",
+            requires=["Z"],
+            implements=["T"],
+            conditions=["Node.cpu >= Z.ibw/5"],
+            effects=[
+                f"T.ibw := Z.ibw/{WS_ZIP_RATIO:g}",
+                "Node.cpu -= Z.ibw/5",
+            ],
+            cost=f"1 + {cpu_weight:g}*Z.ibw/10",
+        ),
+    ]
+    return AppSpec.build(
+        name=name,
+        interfaces=interfaces,
+        components=components,
+        initial=[("WServer", server_node)],
+        goals=[("WClient", client_node)],
+    )
+
+
+def build_network(
+    node_cpu: float = 100.0,
+    long_bw: float = 200.0,
+    short_bw: float = 60.0,
+    name: str = "fig5",
+) -> Network:
+    """The two-route network of Fig. 5.
+
+    ``server — a — b — client`` is the three-link route with ample
+    bandwidth; ``server — c — client`` is the two-link route whose links
+    (default 60 units) carry the compressed ``Z`` stream (50 units) but
+    not the raw ``T`` stream (100 units).  Raw delivery therefore needs
+    three crossings while compressed delivery needs two crossings plus the
+    Zip/Unzip pair — the paper's exact tradeoff.
+    """
+    net = Network(name)
+    for n in ("server", "a", "b", "c", "client"):
+        net.add_node(n, {"cpu": node_cpu})
+    net.add_link("server", "a", {"lbw": long_bw}, labels={"WAN"})
+    net.add_link("a", "b", {"lbw": long_bw}, labels={"WAN"})
+    net.add_link("b", "client", {"lbw": long_bw}, labels={"WAN"})
+    net.add_link("server", "c", {"lbw": short_bw}, labels={"WAN"})
+    net.add_link("c", "client", {"lbw": short_bw}, labels={"WAN"})
+    return net
+
+
+def ws_leveling(bandwidth: float = DEFAULT_WS_BW, name: str = "ws") -> Leveling:
+    """One cutpoint at the demanded bandwidth for both streams.
+
+    This makes the cost lower bound reflect real bandwidth (the committed
+    levels are ``[bw, ∞)`` and ``[bw/2, ∞)``), so the optimizer can trade
+    crossings against compression components.
+    """
+    return Leveling(
+        {
+            "T.ibw": LevelSpec((bandwidth,)),
+            "Z.ibw": LevelSpec((bandwidth * WS_ZIP_RATIO,)),
+        },
+        name=name,
+    )

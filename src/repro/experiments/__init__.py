@@ -1,0 +1,36 @@
+"""Experiment harness reproducing the paper's evaluation (§4)."""
+
+from .harness import (
+    TABLE2_NETWORKS,
+    TABLE2_SCENARIOS,
+    Table2Row,
+    run_cell,
+    run_table2,
+)
+from .networks import NetworkCase, large_case, network_case, small_case, tiny_case
+from .reporting import format_table, render_table1, render_table2
+from .scaling import ScalingPoint, scaling_network, scaling_sweep
+from .scenarios import SCENARIOS, Scenario, scenario, scenario_keys
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "scenario",
+    "scenario_keys",
+    "NetworkCase",
+    "tiny_case",
+    "small_case",
+    "large_case",
+    "network_case",
+    "Table2Row",
+    "run_cell",
+    "run_table2",
+    "TABLE2_NETWORKS",
+    "TABLE2_SCENARIOS",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "ScalingPoint",
+    "scaling_network",
+    "scaling_sweep",
+]

@@ -1,0 +1,136 @@
+"""Experiment harness: runs the paper's evaluation and collects rows.
+
+The central entry point is :func:`run_cell`, which solves one
+(network, scenario) pair of Table 2 and returns a :class:`Table2Row`
+holding both halves of the table — solution quality (cost lower bound,
+plan length, reserved LAN bandwidth) and planner work (action counts,
+graph sizes, timings).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..domains.media import DEFAULT_DEMAND, DEFAULT_SOURCE_BW, build_app
+from ..planner import (
+    Plan,
+    Planner,
+    PlannerConfig,
+    PlanningError,
+    ResourceInfeasible,
+    Unsolvable,
+)
+from .networks import NetworkCase, network_case
+from .scenarios import Scenario, scenario
+
+__all__ = ["Table2Row", "run_cell", "run_table2", "TABLE2_NETWORKS", "TABLE2_SCENARIOS"]
+
+TABLE2_NETWORKS = ("Tiny", "Small", "Large")
+TABLE2_SCENARIOS = ("B", "C", "D", "E")
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2 (plus the failure case of scenario A)."""
+
+    network: str
+    scenario: str
+    solved: bool
+    failure: str = ""
+    # quality of the solution
+    cost_lower_bound: float = 0.0
+    actions_in_plan: int = 0
+    reserved_lan_bw: float | None = None  # None = N/A (no LAN links)
+    exact_cost: float = 0.0
+    delivered_bw: float = 0.0
+    # work done by the planner
+    total_actions: int = 0
+    plrg_props: int = 0
+    plrg_actions: int = 0
+    slrg_nodes: int = 0
+    rg_nodes: int = 0
+    rg_queue_left: int = 0
+    total_ms: float = 0.0
+    search_ms: float = 0.0
+    plan: Plan | None = field(default=None, repr=False)
+
+    def cells(self) -> list[str]:
+        """Formatted cells in the paper's column order."""
+        if not self.solved:
+            return [self.network, self.scenario, "—", "—", "—",
+                    str(self.total_actions), "—", "—", "—", self.failure]
+        lan = "N/A" if self.reserved_lan_bw is None else f"{self.reserved_lan_bw:g}"
+        return [
+            self.network,
+            self.scenario,
+            f"{self.cost_lower_bound:g}",
+            str(self.actions_in_plan),
+            lan,
+            str(self.total_actions),
+            f"{self.plrg_props} / {self.plrg_actions}",
+            str(self.slrg_nodes),
+            f"{self.rg_nodes} / {self.rg_queue_left}",
+            f"{self.total_ms:.0f} / {self.search_ms:.0f}",
+        ]
+
+
+def run_cell(
+    case: NetworkCase | str,
+    scen: Scenario | str,
+    source_bw: float = DEFAULT_SOURCE_BW,
+    demand: float = DEFAULT_DEMAND,
+    rg_node_budget: int = 500_000,
+) -> Table2Row:
+    """Solve one (network, scenario) cell of the paper's evaluation."""
+    if isinstance(case, str):
+        case = network_case(case)
+    if isinstance(scen, str):
+        scen = scenario(scen)
+
+    app = build_app(case.server, case.client, source_bw=source_bw, demand=demand)
+    planner = Planner(
+        PlannerConfig(leveling=scen.leveling(), rg_node_budget=rg_node_budget)
+    )
+    row = Table2Row(network=case.key, scenario=scen.key, solved=False)
+    t0 = time.perf_counter()
+    try:
+        problem = planner.compile(app, case.network)
+        row.total_actions = len(problem.actions)
+        plan = planner.solve(problem=problem)
+    except (Unsolvable, ResourceInfeasible, PlanningError) as exc:
+        row.failure = type(exc).__name__
+        row.total_ms = (time.perf_counter() - t0) * 1e3
+        return row
+
+    report = plan.execute()
+    lan_vars = case.lan_link_vars()
+    row.solved = True
+    row.plan = plan
+    row.cost_lower_bound = plan.cost_lb
+    row.actions_in_plan = len(plan)
+    row.reserved_lan_bw = report.max_consumed(lan_vars) if lan_vars else None
+    row.exact_cost = report.total_cost
+    row.delivered_bw = report.value(f"ibw:M@{case.client}")
+    row.plrg_props = plan.stats.plrg_prop_nodes
+    row.plrg_actions = plan.stats.plrg_action_nodes
+    row.slrg_nodes = plan.stats.slrg_set_nodes
+    row.rg_nodes = plan.stats.rg_nodes
+    row.rg_queue_left = plan.stats.rg_queue_left
+    row.total_ms = plan.stats.total_ms + plan.stats.compile_ms
+    row.search_ms = plan.stats.search_ms
+    return row
+
+
+def run_table2(
+    networks: tuple[str, ...] = TABLE2_NETWORKS,
+    scenarios: tuple[str, ...] = TABLE2_SCENARIOS,
+    **kwargs,
+) -> list[Table2Row]:
+    """Reproduce Table 2: every (network, scenario) pair."""
+    rows = []
+    for net_key in networks:
+        case = network_case(net_key)
+        for scen_key in scenarios:
+            rows.append(run_cell(case, scen_key, **kwargs))
+    return rows

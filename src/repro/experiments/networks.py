@@ -1,0 +1,79 @@
+"""The three evaluation networks of §4.1.
+
+All three share the paper's resource distribution: LAN links 150 units,
+WAN links 70 units, and per-node CPU sized so split+zip handles up to
+≈111 units of the media stream (30 CPU under the media domain's
+formulas).  Server and client endpoints are fixed per network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..domains.media import DEFAULT_NODE_CPU
+from ..network import Network, chain_network, large_paper_network, pair_network
+
+__all__ = ["NetworkCase", "tiny_case", "small_case", "large_case", "NETWORK_CASES", "network_case"]
+
+LAN_BW = 150.0
+WAN_BW = 70.0
+
+
+@dataclass(frozen=True)
+class NetworkCase:
+    """One evaluation network with its server/client endpoints."""
+
+    key: str
+    network: Network
+    server: str
+    client: str
+    description: str
+
+    def lan_link_vars(self) -> set[str]:
+        """Ground variables of the LAN links' bandwidth (for Table 2 col. 4)."""
+        return {f"lbw@{l.a}~{l.b}" for l in self.network.links_with_label("LAN")}
+
+
+def tiny_case(cpu: float = DEFAULT_NODE_CPU) -> NetworkCase:
+    """The two-node network of Fig. 3: one 70-unit WAN link, 30 CPU at the
+    source, ample CPU at the target (the paper's footnote 1)."""
+    net = pair_network(cpu=cpu, link_bw=WAN_BW, name="tiny")
+    return NetworkCase("Tiny", net, "n0", "n1", "2-node network of Fig. 3")
+
+
+def small_case(cpu: float = DEFAULT_NODE_CPU) -> NetworkCase:
+    """The 6-node network of Fig. 9: LAN–WAN–LAN chain plus two spur nodes.
+
+    The suboptimal plan ships M raw over the LAN links (reserving 100
+    units there); the optimal plan splits at the server and reserves only
+    Z + I = 65 units of LAN bandwidth.
+    """
+    net = chain_network(
+        [(LAN_BW, "LAN"), (WAN_BW, "WAN"), (LAN_BW, "LAN")],
+        cpu=cpu,
+        spurs=2,
+        spur_bw=LAN_BW,
+        name="small",
+    )
+    return NetworkCase("Small", net, "n0", "n3", "6-node network of Fig. 9")
+
+
+def large_case(cpu: float = DEFAULT_NODE_CPU, seed: int = 2004) -> NetworkCase:
+    """The 93-node GT-ITM transit-stub network of Fig. 10.
+
+    Server and client sit in stub domains attached to different transit
+    nodes, so the data path must traverse the WAN backbone; the other ~80
+    nodes take no part in the plan but cannot be statically pruned.
+    """
+    net = large_paper_network(node_cpu=cpu, lan_bandwidth=LAN_BW, wan_bandwidth=WAN_BW, seed=seed)
+    return NetworkCase("Large", net, "t0_0_s0_0", "t0_2_s2_5", "93-node network of Fig. 10")
+
+
+NETWORK_CASES = {"Tiny": tiny_case, "Small": small_case, "Large": large_case}
+
+
+def network_case(key: str) -> NetworkCase:
+    try:
+        return NETWORK_CASES[key.capitalize() if key.lower() != "tiny" else "Tiny"]()
+    except KeyError:
+        raise KeyError(f"unknown network {key!r}; choose from {sorted(NETWORK_CASES)}") from None

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .harness import Table2Row
+from .scenarios import SCENARIOS, Scenario
+
+__all__ = ["format_table", "render_table1", "render_table2"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width text table."""
+    materialized = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(cells))
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [line(headers), sep]
+    out.extend(line(r) for r in materialized)
+    return "\n".join(out)
+
+
+def render_table1(scenarios: Iterable[Scenario] | None = None) -> str:
+    """Table 1 — resource level scenarios."""
+    scens = list(scenarios) if scenarios is not None else [SCENARIOS[k] for k in sorted(SCENARIOS)]
+    headers = ["Scenario", "Levels of bandwidth of M", "Levels of link bandwidth"]
+    rows = [[s.key, s.m_levels_str(), s.link_levels_str()] for s in scens]
+    return format_table(headers, rows)
+
+
+def render_table2(rows: Iterable[Table2Row]) -> str:
+    """Table 2 — scalability evaluation (quality + planner work)."""
+    headers = [
+        "Network",
+        "Scen",
+        "cost lb",
+        "plan len",
+        "LAN bw",
+        "actions",
+        "PLRG",
+        "SLRG",
+        "RG",
+        "time ms (tot/search)",
+    ]
+    return format_table(headers, [r.cells() for r in rows])

@@ -1,0 +1,100 @@
+"""Network-size scaling beyond the paper's 93 nodes.
+
+The paper evaluates one large network; this module sweeps the transit-stub
+generator's stub size to produce a family of networks (21 … 183+ nodes)
+and measures how compilation and the three planner phases scale — the
+analysis the paper's §6 proposes ("analyze the dependency between … and
+performance of the algorithm").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..domains.media import build_app
+from ..network import TransitStubParams, transit_stub_network
+from ..planner import Planner, PlannerConfig, PlanningError
+from .scenarios import scenario
+
+__all__ = ["ScalingPoint", "scaling_network", "scaling_sweep"]
+
+
+@dataclass
+class ScalingPoint:
+    """Measurements for one network size."""
+
+    stub_size: int
+    nodes: int
+    links: int
+    solved: bool
+    ground_actions: int = 0
+    plan_len: int = 0
+    cost_lb: float = 0.0
+    rg_nodes: int = 0
+    compile_ms: float = 0.0
+    search_ms: float = 0.0
+    wall_ms: float = 0.0
+    failure: str = ""
+
+    def row(self) -> list[str]:
+        if not self.solved:
+            return [str(self.nodes), str(self.links), "—", "—", "—", "—", "—", self.failure]
+        return [
+            str(self.nodes),
+            str(self.links),
+            str(self.ground_actions),
+            str(self.plan_len),
+            f"{self.cost_lb:g}",
+            str(self.rg_nodes),
+            f"{self.compile_ms:.0f}",
+            f"{self.search_ms:.0f}",
+        ]
+
+
+def scaling_network(stub_size: int, seed: int = 2004, node_cpu: float = 30.0):
+    """A transit-stub network of 3 + 9·stub_size nodes with endpoints in
+    stubs of different transit nodes."""
+    params = TransitStubParams(stub_size=stub_size, node_cpu=node_cpu, seed=seed)
+    net = transit_stub_network(params, name=f"scale-{params.node_count()}")
+    server = "t0_0_s0_0"
+    client = f"t0_2_s2_{stub_size - 1}"
+    return net, server, client
+
+
+def scaling_sweep(
+    stub_sizes: tuple[int, ...] = (2, 5, 10, 15, 20),
+    scenario_key: str = "C",
+    seed: int = 2004,
+    rg_node_budget: int = 200_000,
+) -> list[ScalingPoint]:
+    """Plan the media delivery across a family of network sizes."""
+    scen = scenario(scenario_key)
+    points: list[ScalingPoint] = []
+    for stub_size in stub_sizes:
+        net, server, client = scaling_network(stub_size, seed=seed)
+        point = ScalingPoint(
+            stub_size=stub_size, nodes=len(net), links=len(net.links), solved=False
+        )
+        app = build_app(server, client)
+        planner = Planner(
+            PlannerConfig(leveling=scen.leveling(), rg_node_budget=rg_node_budget)
+        )
+        t0 = time.perf_counter()
+        try:
+            plan = planner.solve(app, net)
+        except PlanningError as exc:
+            point.failure = type(exc).__name__
+            point.wall_ms = (time.perf_counter() - t0) * 1e3
+            points.append(point)
+            continue
+        point.solved = True
+        point.ground_actions = plan.stats.total_actions
+        point.plan_len = len(plan)
+        point.cost_lb = plan.cost_lb
+        point.rg_nodes = plan.stats.rg_nodes
+        point.compile_ms = plan.stats.compile_ms
+        point.search_ms = plan.stats.search_ms
+        point.wall_ms = (time.perf_counter() - t0) * 1e3
+        points.append(point)
+    return points

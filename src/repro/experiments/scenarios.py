@@ -1,0 +1,72 @@
+"""The resource-level scenarios of Table 1.
+
+Five levelings of the media-delivery problem, from the original greedy
+planner (A — no levels) through increasingly fine stream-bandwidth levels
+(B, C, D) to leveled link bandwidth (E).  T/I/Z cutpoints are proportional
+to M's, per the table's footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..domains.media import proportional_leveling
+from ..model import Leveling
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "scenario_keys"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One row of Table 1."""
+
+    key: str
+    m_cutpoints: tuple[float, ...]
+    link_cutpoints: tuple[float, ...]
+    description: str
+
+    def leveling(self) -> Leveling:
+        return proportional_leveling(self.m_cutpoints, self.link_cutpoints, name=self.key)
+
+    def m_levels_str(self) -> str:
+        return _levels_str(self.m_cutpoints)
+
+    def link_levels_str(self) -> str:
+        return _levels_str(self.link_cutpoints)
+
+
+def _levels_str(cutpoints: tuple[float, ...]) -> str:
+    if not cutpoints:
+        return "[0, inf)"
+    parts = []
+    prev = 0.0
+    for c in cutpoints:
+        parts.append(f"[{prev:g}, {c:g})")
+        prev = c
+    parts.append(f"[{prev:g}, inf)")
+    return " ".join(parts)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    "A": Scenario("A", (), (), "original greedy Sekitei — no levels"),
+    "B": Scenario("B", (100.0,), (), "single cutpoint capping utilization at 100"),
+    "C": Scenario("C", (90.0, 100.0), (), "cutpoints around the client demand"),
+    "D": Scenario("D", (30.0, 70.0, 90.0, 100.0), (), "five bandwidth levels"),
+    "E": Scenario(
+        "E",
+        (30.0, 70.0, 90.0, 100.0),
+        (31.0, 62.0),
+        "five bandwidth levels plus leveled link bandwidth",
+    ),
+}
+
+
+def scenario(key: str) -> Scenario:
+    try:
+        return SCENARIOS[key.upper()]
+    except KeyError:
+        raise KeyError(f"unknown scenario {key!r}; choose from {sorted(SCENARIOS)}") from None
+
+
+def scenario_keys() -> list[str]:
+    return sorted(SCENARIOS)

@@ -1,0 +1,84 @@
+"""Specification formula language: lexer, parser, evaluators, analysis.
+
+CPP specifications describe component conditions, effects, cross effects,
+and cost metrics as formulas over real-valued resource/property variables
+(paper Figs. 2 and 6).  This package parses that language and evaluates it
+under both exact (float) and planning (interval) semantics.
+"""
+
+from .ast_nodes import And, Assign, BinOp, Call, Compare, Node, Num, Var
+from .errors import EvalError, ExprError, LexError, ParseError
+from .parser import parse_assign, parse_condition, parse_expr, parse_formula
+from .evaluator import (
+    apply_assign_float,
+    apply_assign_interval,
+    check_condition_float,
+    condition_certain,
+    condition_satisfiable,
+    eval_float,
+    eval_interval,
+)
+from .functions import (
+    DEFAULT_REGISTRY,
+    FunctionRegistry,
+    TableFunction,
+    lookup_function,
+    register_function,
+    unregister_function,
+)
+from .analysis import (
+    Direction,
+    assigned_variables,
+    constant_value,
+    infer_degradable,
+    is_constant,
+    is_monotone_nondecreasing,
+    monotonicity,
+    variables,
+)
+
+__all__ = [
+    # AST
+    "Node",
+    "Num",
+    "Var",
+    "BinOp",
+    "Call",
+    "Compare",
+    "And",
+    "Assign",
+    # errors
+    "ExprError",
+    "LexError",
+    "ParseError",
+    "EvalError",
+    # parsing
+    "parse_expr",
+    "parse_condition",
+    "parse_assign",
+    "parse_formula",
+    # evaluation
+    "eval_float",
+    "eval_interval",
+    "check_condition_float",
+    "condition_satisfiable",
+    "condition_certain",
+    "apply_assign_float",
+    "apply_assign_interval",
+    # analysis
+    "Direction",
+    "variables",
+    "assigned_variables",
+    "monotonicity",
+    "is_monotone_nondecreasing",
+    "infer_degradable",
+    "is_constant",
+    "constant_value",
+    # table functions
+    "TableFunction",
+    "FunctionRegistry",
+    "DEFAULT_REGISTRY",
+    "register_function",
+    "unregister_function",
+    "lookup_function",
+]

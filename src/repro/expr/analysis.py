@@ -1,0 +1,169 @@
+"""Syntactic analysis of specification formulas.
+
+Provides the automatic analyses the paper relies on:
+
+* :func:`variables` — the set of variables a formula mentions (drives
+  leveled-action parameterization);
+* :func:`monotonicity` — per-variable monotonicity direction, used both to
+  justify the greedy/leveled semantics (the paper assumes all resource
+  functions are monotone) and to infer degradability;
+* :func:`is_monotone_nondecreasing` — convenience wrapper;
+* :func:`infer_degradable` — the paper's "information about degradability
+  ... can be obtained automatically by syntactic analysis": a property is
+  degradable w.r.t. a set of effect formulas when every output is
+  nondecreasing in it, so throttling the input can only lower downstream
+  demands.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from .ast_nodes import And, Assign, BinOp, Call, Compare, Node, Num, Var
+
+__all__ = [
+    "Direction",
+    "variables",
+    "assigned_variables",
+    "monotonicity",
+    "is_monotone_nondecreasing",
+    "infer_degradable",
+    "is_constant",
+    "constant_value",
+]
+
+
+class Direction(Enum):
+    """Monotonicity of an expression in one variable."""
+
+    CONSTANT = 0
+    NONDECREASING = 1
+    NONINCREASING = -1
+    UNKNOWN = 99
+
+    def flip(self) -> "Direction":
+        if self is Direction.NONDECREASING:
+            return Direction.NONINCREASING
+        if self is Direction.NONINCREASING:
+            return Direction.NONDECREASING
+        return self
+
+
+def variables(node: Node) -> set[str]:
+    """All variable names mentioned by a formula (primes stripped)."""
+    out: set[str] = set()
+    _collect(node, out)
+    return out
+
+
+def _collect(node: Node, out: set[str]) -> None:
+    if isinstance(node, Var):
+        out.add(node.name)
+    elif isinstance(node, BinOp):
+        _collect(node.left, out)
+        _collect(node.right, out)
+    elif isinstance(node, Call):
+        for a in node.args:
+            _collect(a, out)
+    elif isinstance(node, Compare):
+        _collect(node.left, out)
+        _collect(node.right, out)
+    elif isinstance(node, And):
+        for p in node.parts:
+            _collect(p, out)
+    elif isinstance(node, Assign):
+        out.add(node.target.name)
+        _collect(node.expr, out)
+
+
+def assigned_variables(assigns: Iterable[Assign]) -> set[str]:
+    """Targets written by a sequence of effect assignments."""
+    return {a.target.name for a in assigns}
+
+
+def _combine(a: Direction, b: Direction) -> Direction:
+    """Direction of a sum of two sub-expressions."""
+    if a is Direction.CONSTANT:
+        return b
+    if b is Direction.CONSTANT:
+        return a
+    if a is b and a is not Direction.UNKNOWN:
+        return a
+    return Direction.UNKNOWN
+
+
+def is_constant(node: Node) -> bool:
+    """True when the expression mentions no variables."""
+    return not variables(node)
+
+
+def constant_value(node: Node) -> float | None:
+    """Value of a constant expression, or None if it mentions variables."""
+    if is_constant(node):
+        from .evaluator import eval_float
+
+        return eval_float(node, {})
+    return None
+
+
+def monotonicity(node: Node, var: str) -> Direction:
+    """Monotonicity of an arithmetic expression in ``var``.
+
+    Sound but incomplete: :data:`Direction.UNKNOWN` means the analysis
+    cannot classify the dependence (e.g. a product of two variable
+    sub-expressions), not that the function is non-monotone.
+    """
+    if isinstance(node, Num):
+        return Direction.CONSTANT
+    if isinstance(node, Var):
+        return Direction.NONDECREASING if node.name == var else Direction.CONSTANT
+    if isinstance(node, Call):
+        # min/max are nondecreasing in every argument.
+        acc = Direction.CONSTANT
+        for a in node.args:
+            acc = _combine(acc, monotonicity(a, var))
+        return acc
+    if isinstance(node, BinOp):
+        dl = monotonicity(node.left, var)
+        dr = monotonicity(node.right, var)
+        if node.op == "+":
+            return _combine(dl, dr)
+        if node.op == "-":
+            return _combine(dl, dr.flip())
+        if node.op in ("*", "/"):
+            lconst = constant_value(node.left)
+            rconst = constant_value(node.right)
+            if rconst is not None:
+                if rconst == 0:
+                    return Direction.CONSTANT if node.op == "*" else Direction.UNKNOWN
+                return dl if rconst > 0 else dl.flip()
+            if lconst is not None and node.op == "*":
+                if lconst == 0:
+                    return Direction.CONSTANT
+                return dr if lconst > 0 else dr.flip()
+            if lconst is not None and node.op == "/":
+                # c / f(x): direction flips with the sign of c for positive f;
+                # sign of f is unknown syntactically.
+                return Direction.UNKNOWN
+            return Direction.UNKNOWN
+    return Direction.UNKNOWN
+
+
+def is_monotone_nondecreasing(node: Node, var: str) -> bool:
+    d = monotonicity(node, var)
+    return d in (Direction.NONDECREASING, Direction.CONSTANT)
+
+
+def infer_degradable(var: str, effects: Iterable[Assign]) -> bool:
+    """Infer whether ``var`` may be safely used below its available value.
+
+    True when every effect RHS mentioning ``var`` is nondecreasing in it:
+    feeding less of the property through a component can only reduce the
+    outputs and consumptions, so plans remain feasible under throttling.
+    """
+    for assign in effects:
+        if var in variables(assign.expr):
+            if not is_monotone_nondecreasing(assign.expr, var):
+                return False
+    return True

@@ -1,0 +1,112 @@
+"""AST node types for specification formulas.
+
+Three formula categories appear in CPP specifications:
+
+* **expressions** — arithmetic over variables (:class:`Num`, :class:`Var`,
+  :class:`BinOp`, :class:`Call`);
+* **conditions** — comparisons and conjunctions (:class:`Compare`,
+  :class:`And`), used in component ``<conditions>`` blocks;
+* **assignments** — ``target := expr`` / ``target += expr`` /
+  ``target -= expr`` (:class:`Assign`), used in ``<effects>`` and
+  ``<cross_effects>`` blocks.
+
+All nodes are immutable and hashable so compiled actions can be shared
+freely across planner phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Node", "Num", "Var", "BinOp", "Call", "Compare", "And", "Assign"]
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Num(Node):
+    value: float
+
+    def unparse(self) -> str:
+        if self.value == int(self.value) and abs(self.value) < 1e15:
+            return str(int(self.value))
+        return repr(self.value)  # full precision round-trip
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Node):
+    """A dotted variable reference, e.g. ``T.ibw`` or ``Node.cpu``.
+
+    ``primed`` marks the post-operation value convention of cross-effect
+    specifications (``M.ibw'``).
+    """
+
+    name: str
+    primed: bool = False
+
+    def unparse(self) -> str:
+        return self.name + ("'" if self.primed else "")
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Node):
+    op: str  # one of + - * /
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Node):
+    """A builtin function application; ``min`` and ``max`` are supported."""
+
+    fn: str
+    args: tuple[Node, ...]
+
+    def unparse(self) -> str:
+        inner = ", ".join(a.unparse() for a in self.args)
+        return f"{self.fn}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Compare(Node):
+    op: str  # one of >= <= > < == !=
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} {self.op} {self.right.unparse()}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Node):
+    parts: tuple[Node, ...]
+
+    def unparse(self) -> str:
+        return " and ".join(p.unparse() for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Node):
+    """``target := expr`` (or ``+=`` / ``-=`` sugar).
+
+    The augmented forms are kept as-is rather than desugared so that
+    consumption effects (``Node.cpu -= ...``) remain recognizable to the
+    compiler's resource accounting.
+    """
+
+    target: Var
+    op: str  # one of := += -=
+    expr: Node
+
+    def unparse(self) -> str:
+        return f"{self.target.unparse()} {self.op} {self.expr.unparse()}"

@@ -1,0 +1,31 @@
+"""Exception types for the specification expression language."""
+
+from __future__ import annotations
+
+__all__ = ["ExprError", "LexError", "ParseError", "EvalError"]
+
+
+class ExprError(Exception):
+    """Base class for all expression-language errors."""
+
+
+class LexError(ExprError):
+    """Raised on an unrecognized character in a specification formula."""
+
+    def __init__(self, text: str, pos: int, message: str):
+        super().__init__(f"{message} at position {pos} in {text!r}")
+        self.text = text
+        self.pos = pos
+
+
+class ParseError(ExprError):
+    """Raised on a syntactically malformed specification formula."""
+
+    def __init__(self, text: str, pos: int, message: str):
+        super().__init__(f"{message} at position {pos} in {text!r}")
+        self.text = text
+        self.pos = pos
+
+
+class EvalError(ExprError):
+    """Raised when a formula references an unbound variable or misuses an op."""

@@ -1,0 +1,222 @@
+"""Evaluation of specification formulas over floats and intervals.
+
+Two semantics share one AST:
+
+* **Exact (float)** — used by the forward executor that validates finished
+  plans with concrete values.
+* **Interval** — used during planning.  Expressions evaluate to sound
+  enclosures; conditions are checked *existentially* (DESIGN.md rule 3):
+  a condition passes iff some assignment of values inside the operand
+  intervals satisfies it.  When the two sides of a comparison share
+  variables this is an over-approximation (it may accept an unsatisfiable
+  condition but never rejects a satisfiable one), which is the safe
+  direction for planning — the exact forward execution is the final gate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..intervals import Interval, iadd, idiv, imax, imin, imul, isub
+from .ast_nodes import And, Assign, BinOp, Call, Compare, Node, Num, Var
+from .errors import EvalError
+
+__all__ = [
+    "eval_float",
+    "eval_interval",
+    "check_condition_float",
+    "condition_satisfiable",
+    "condition_certain",
+    "apply_assign_float",
+    "apply_assign_interval",
+]
+
+FloatEnv = Mapping[str, float]
+IntervalEnv = Mapping[str, Interval]
+
+
+def _lookup(env: Mapping, node: Var, kind: str):
+    try:
+        return env[node.name]
+    except KeyError:
+        raise EvalError(f"unbound {kind} variable {node.unparse()!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Exact semantics
+# ---------------------------------------------------------------------------
+
+
+def eval_float(node: Node, env: FloatEnv) -> float:
+    """Evaluate an arithmetic expression over concrete values."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Var):
+        return _lookup(env, node, "float")
+    if isinstance(node, BinOp):
+        left = eval_float(node.left, env)
+        right = eval_float(node.right, env)
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            if right == 0.0:
+                raise EvalError(f"division by zero in {node.unparse()!r}")
+            return left / right
+        raise EvalError(f"unknown operator {node.op!r}")
+    if isinstance(node, Call):
+        args = [eval_float(a, env) for a in node.args]
+        if node.fn == "min":
+            return min(args)
+        if node.fn == "max":
+            return max(args)
+        from .functions import lookup_function
+
+        return lookup_function(node.fn)(args[0])
+    raise EvalError(f"cannot evaluate {type(node).__name__} as an expression")
+
+
+_FLOAT_CMP: dict[str, Callable[[float, float], bool]] = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    "==": lambda a, b: abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b)),
+    "!=": lambda a, b: abs(a - b) > 1e-9 * max(1.0, abs(a), abs(b)),
+}
+
+
+def check_condition_float(node: Node, env: FloatEnv) -> bool:
+    """Exact truth of a condition under concrete values."""
+    if isinstance(node, And):
+        return all(check_condition_float(p, env) for p in node.parts)
+    if isinstance(node, Compare):
+        return _FLOAT_CMP[node.op](eval_float(node.left, env), eval_float(node.right, env))
+    raise EvalError(f"not a condition: {node.unparse()!r}")
+
+
+def apply_assign_float(node: Assign, env: FloatEnv) -> float:
+    """Compute the new value an assignment gives its target.
+
+    The caller stores the result; ``+=``/``-=`` read the target's current
+    value from ``env``.
+    """
+    rhs = eval_float(node.expr, env)
+    if node.op == ":=":
+        return rhs
+    current = _lookup(env, node.target, "float")
+    return current + rhs if node.op == "+=" else current - rhs
+
+
+# ---------------------------------------------------------------------------
+# Interval semantics
+# ---------------------------------------------------------------------------
+
+_INTERVAL_BINOP = {"+": iadd, "-": isub, "*": imul, "/": idiv}
+
+
+def eval_interval(node: Node, env: IntervalEnv) -> Interval:
+    """Evaluate an arithmetic expression to a sound interval enclosure."""
+    if isinstance(node, Num):
+        return Interval.point(node.value)
+    if isinstance(node, Var):
+        return _lookup(env, node, "interval")
+    if isinstance(node, BinOp):
+        left = eval_interval(node.left, env)
+        right = eval_interval(node.right, env)
+        try:
+            return _INTERVAL_BINOP[node.op](left, right)
+        except KeyError:
+            raise EvalError(f"unknown operator {node.op!r}") from None
+        except ZeroDivisionError as exc:
+            raise EvalError(str(exc)) from None
+    if isinstance(node, Call):
+        args = [eval_interval(a, env) for a in node.args]
+        if node.fn in ("min", "max"):
+            fold = imin if node.fn == "min" else imax
+            acc = args[0]
+            for a in args[1:]:
+                acc = fold(acc, a)
+            return acc
+        from .functions import lookup_function
+
+        return lookup_function(node.fn).image(args[0])
+    raise EvalError(f"cannot evaluate {type(node).__name__} as an expression")
+
+
+def _exists_cmp(op: str, left: Interval, right: Interval) -> bool:
+    """∃ x ∈ left, y ∈ right with ``x op y`` (operands independent)."""
+    if left.is_empty() or right.is_empty():
+        return False
+    if op == ">=":
+        if left.hi > right.lo:
+            return True
+        return left.hi == right.lo and not left.hi_open and not right.lo_open
+    if op == ">":
+        return left.hi > right.lo
+    if op == "<=":
+        return _exists_cmp(">=", right, left)
+    if op == "<":
+        return _exists_cmp(">", right, left)
+    if op == "==":
+        return left.overlaps(right)
+    if op == "!=":
+        return not (left.is_point() and right.is_point() and left.lo == right.lo)
+    raise EvalError(f"unknown comparison {op!r}")
+
+
+def _forall_cmp(op: str, left: Interval, right: Interval) -> bool:
+    """∀ x ∈ left, y ∈ right: ``x op y`` (vacuously true on empties)."""
+    if left.is_empty() or right.is_empty():
+        return True
+    if op == ">=":
+        # min x >= max y; when the extrema coincide at c, every x >= c >= y.
+        return left.lo >= right.hi
+    if op == ">":
+        if left.lo > right.hi:
+            return True
+        return left.lo == right.hi and (left.lo_open or right.hi_open)
+    if op == "<=":
+        return _forall_cmp(">=", right, left)
+    if op == "<":
+        return _forall_cmp(">", right, left)
+    if op == "==":
+        return left.is_point() and right.is_point() and left.lo == right.lo
+    if op == "!=":
+        return not left.overlaps(right)
+    raise EvalError(f"unknown comparison {op!r}")
+
+
+def condition_satisfiable(node: Node, env: IntervalEnv) -> bool:
+    """Existential check of a condition over an interval environment.
+
+    This is the planner's pruning test: ``False`` means the condition is
+    provably violated for every concretization, so the action can be
+    discarded.
+    """
+    if isinstance(node, And):
+        return all(condition_satisfiable(p, env) for p in node.parts)
+    if isinstance(node, Compare):
+        return _exists_cmp(node.op, eval_interval(node.left, env), eval_interval(node.right, env))
+    raise EvalError(f"not a condition: {node.unparse()!r}")
+
+
+def condition_certain(node: Node, env: IntervalEnv) -> bool:
+    """Universal check: the condition holds for *every* concretization."""
+    if isinstance(node, And):
+        return all(condition_certain(p, env) for p in node.parts)
+    if isinstance(node, Compare):
+        return _forall_cmp(node.op, eval_interval(node.left, env), eval_interval(node.right, env))
+    raise EvalError(f"not a condition: {node.unparse()!r}")
+
+
+def apply_assign_interval(node: Assign, env: IntervalEnv) -> Interval:
+    """Interval counterpart of :func:`apply_assign_float`."""
+    rhs = eval_interval(node.expr, env)
+    if node.op == ":=":
+        return rhs
+    current = _lookup(env, node.target, "interval")
+    return iadd(current, rhs) if node.op == "+=" else isub(current, rhs)

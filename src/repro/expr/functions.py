@@ -1,0 +1,143 @@
+"""Profiled table functions for specification formulas.
+
+The paper stresses that real component behaviour is "often represented by
+tables obtained by application profiling", that analytical forms may not
+exist, and that the *only* restriction Sekitei imposes is monotonicity.
+This module makes such tables first-class: a :class:`TableFunction` wraps
+a monotone piecewise-linear profile and can be called from any
+specification formula (``cpu_profile(M.ibw)``), under both the exact and
+the interval semantics.
+
+Functions are resolved through a :class:`FunctionRegistry`; the module
+default registry is consulted by the evaluators, so registering a profile
+makes it available everywhere (grounding, replay, execution) without
+threading a registry through every call site.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+from ..intervals import Interval
+from .errors import EvalError
+
+__all__ = [
+    "TableFunction",
+    "FunctionRegistry",
+    "DEFAULT_REGISTRY",
+    "register_function",
+    "unregister_function",
+    "lookup_function",
+]
+
+
+class TableFunction:
+    """A monotone nondecreasing piecewise-linear profile.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in formulas (a plain identifier, no dots).
+    points:
+        ``(x, y)`` samples; x strictly increasing, y nondecreasing
+        (monotonicity is the planner's soundness requirement and is
+        validated here).  Inputs outside the sampled range clamp to the
+        boundary values — profiled tables say nothing beyond their range.
+    """
+
+    __slots__ = ("name", "xs", "ys")
+
+    def __init__(self, name: str, points: Iterable[tuple[float, float]]):
+        if not name.isidentifier() or "." in name:
+            raise ValueError(f"table function name must be a plain identifier: {name!r}")
+        pts: Sequence[tuple[float, float]] = sorted(points)
+        if len(pts) < 2:
+            raise ValueError(f"table {name!r} needs at least two sample points")
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ValueError(f"table {name!r}: x samples must be strictly increasing")
+        if any(b < a - 1e-12 for a, b in zip(ys, ys[1:])):
+            raise ValueError(
+                f"table {name!r}: profile must be monotone nondecreasing "
+                "(the planner's soundness requirement)"
+            )
+        self.name = name
+        self.xs = xs
+        self.ys = ys
+
+    def __call__(self, x: float) -> float:
+        xs, ys = self.xs, self.ys
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        i = bisect.bisect_right(xs, x)
+        x0, x1 = xs[i - 1], xs[i]
+        y0, y1 = ys[i - 1], ys[i]
+        return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+
+    def image(self, iv: Interval) -> Interval:
+        """Exact image of an interval under this (nondecreasing) profile."""
+        if iv.is_empty():
+            return iv
+        lo = self(max(iv.lo, self.xs[0]) if iv.lo != float("-inf") else self.xs[0])
+        hi = self(min(iv.hi, self.xs[-1]) if iv.hi != float("inf") else self.xs[-1])
+        # Clamped regions are flat, so an open operand bound can still
+        # attain the clamped value; only propagate openness inside the
+        # sampled range.
+        lo_open = iv.lo_open and self.xs[0] < iv.lo < self.xs[-1]
+        hi_open = iv.hi_open and self.xs[0] < iv.hi < self.xs[-1]
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TableFunction({self.name!r}, {len(self.xs)} samples)"
+
+
+class FunctionRegistry:
+    """A namespace of table functions available to formulas."""
+
+    __slots__ = ("_functions",)
+
+    def __init__(self) -> None:
+        self._functions: dict[str, TableFunction] = {}
+
+    def register(self, fn: TableFunction) -> TableFunction:
+        if fn.name in ("min", "max"):
+            raise ValueError(f"{fn.name!r} is a builtin and cannot be overridden")
+        self._functions[fn.name] = fn
+        return fn
+
+    def unregister(self, name: str) -> None:
+        self._functions.pop(name, None)
+
+    def get(self, name: str) -> TableFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise EvalError(
+                f"unknown function {name!r}; register a TableFunction for it"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+
+DEFAULT_REGISTRY = FunctionRegistry()
+
+
+def register_function(fn: TableFunction) -> TableFunction:
+    """Register a profile in the default registry (see module docs)."""
+    return DEFAULT_REGISTRY.register(fn)
+
+
+def unregister_function(name: str) -> None:
+    DEFAULT_REGISTRY.unregister(name)
+
+
+def lookup_function(name: str) -> TableFunction:
+    return DEFAULT_REGISTRY.get(name)

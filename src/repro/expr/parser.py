@@ -1,0 +1,199 @@
+"""Recursive-descent parser for specification formulas.
+
+Entry points:
+
+* :func:`parse_expr` — an arithmetic expression (cost formulas, RHS of
+  effects);
+* :func:`parse_condition` — a comparison or ``and``-conjunction
+  (component ``<conditions>``);
+* :func:`parse_assign` — a single assignment (``<effects>`` /
+  ``<cross_effects>`` lines);
+* :func:`parse_formula` — auto-detects the category.
+
+Grammar (standard precedence)::
+
+    condition  := compare ("and" compare)*
+    compare    := expr (CMPOP expr)?
+    assign     := var ASSIGNOP expr
+    expr       := term (("+" | "-") term)*
+    term       := unary (("*" | "/") unary)*
+    unary      := "-" unary | atom
+    atom       := NUMBER | var | call | "(" expr ")"
+    call       := ("min" | "max") "(" expr ("," expr)* ")"
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import And, Assign, BinOp, Call, Compare, Node, Num, Var
+from .errors import ParseError
+from .tokens import Token, TokenKind, tokenize
+
+__all__ = ["parse_expr", "parse_condition", "parse_assign", "parse_formula"]
+
+_CMP_OPS = {">=", "<=", ">", "<", "==", "!="}
+_ASSIGN_OPS = {":=", "+=", "-="}
+_BUILTIN_FNS = {"min", "max"}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(self.text, tok.pos, f"expected {want}, found {tok.text!r}")
+        return self.advance()
+
+    def at_op(self, *ops: str) -> bool:
+        tok = self.peek()
+        return tok.kind == TokenKind.OP and tok.text in ops
+
+    def done(self) -> bool:
+        return self.peek().kind == TokenKind.EOF
+
+    def require_done(self) -> None:
+        tok = self.peek()
+        if tok.kind != TokenKind.EOF:
+            raise ParseError(self.text, tok.pos, f"unexpected trailing {tok.text!r}")
+
+    # -- grammar ------------------------------------------------------------
+
+    def condition(self) -> Node:
+        parts = [self.compare()]
+        while self.peek().kind == TokenKind.AND:
+            self.advance()
+            parts.append(self.compare())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def compare(self) -> Node:
+        left = self.expr()
+        if self.at_op(*_CMP_OPS):
+            op = self.advance().text
+            right = self.expr()
+            return Compare(op, left, right)
+        return left
+
+    def assign(self) -> Assign:
+        target = self.atom()
+        if not isinstance(target, Var):
+            tok = self.peek()
+            raise ParseError(self.text, tok.pos, "assignment target must be a variable")
+        if not self.at_op(*_ASSIGN_OPS):
+            tok = self.peek()
+            raise ParseError(self.text, tok.pos, "expected := or += or -=")
+        op = self.advance().text
+        expr = self.expr()
+        return Assign(target, op, expr)
+
+    def expr(self) -> Node:
+        node = self.term()
+        while self.at_op("+", "-"):
+            op = self.advance().text
+            node = BinOp(op, node, self.term())
+        return node
+
+    def term(self) -> Node:
+        node = self.unary()
+        while self.at_op("*", "/"):
+            op = self.advance().text
+            node = BinOp(op, node, self.unary())
+        return node
+
+    def unary(self) -> Node:
+        if self.at_op("-"):
+            tok = self.advance()
+            inner = self.unary()
+            if isinstance(inner, Num):
+                return Num(-inner.value)
+            return BinOp("-", Num(0.0), inner)
+        return self.atom()
+
+    def atom(self) -> Node:
+        tok = self.peek()
+        if tok.kind == TokenKind.NUMBER:
+            self.advance()
+            return Num(float(tok.text))
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            is_callable_name = "." not in tok.text and not tok.text.endswith("'")
+            if is_callable_name and self.peek().kind == TokenKind.LPAREN:
+                return self._call(tok.text)
+            primed = tok.text.endswith("'")
+            name = tok.text[:-1] if primed else tok.text
+            return Var(name, primed)
+        if tok.kind == TokenKind.LPAREN:
+            self.advance()
+            node = self.expr()
+            self.expect(TokenKind.RPAREN)
+            return node
+        raise ParseError(self.text, tok.pos, f"unexpected token {tok.text!r}")
+
+    def _call(self, fn: str) -> Node:
+        self.expect(TokenKind.LPAREN)
+        args = [self.expr()]
+        while self.peek().kind == TokenKind.COMMA:
+            self.advance()
+            args.append(self.expr())
+        self.expect(TokenKind.RPAREN)
+        if fn in _BUILTIN_FNS and len(args) < 2:
+            tok = self.peek()
+            raise ParseError(self.text, tok.pos, f"{fn}() needs at least two arguments")
+        if fn not in _BUILTIN_FNS and len(args) != 1:
+            tok = self.peek()
+            raise ParseError(
+                self.text, tok.pos, f"table function {fn}() takes exactly one argument"
+            )
+        return Call(fn, tuple(args))
+
+
+def parse_expr(text: str) -> Node:
+    """Parse an arithmetic expression (no comparisons, no assignment)."""
+    p = _Parser(text)
+    node = p.expr()
+    p.require_done()
+    return node
+
+
+def parse_condition(text: str) -> Node:
+    """Parse a condition: comparisons joined by ``and``."""
+    p = _Parser(text)
+    node = p.condition()
+    p.require_done()
+    if not isinstance(node, (Compare, And)):
+        raise ParseError(text, 0, "condition must contain a comparison")
+    return node
+
+
+def parse_assign(text: str) -> Assign:
+    """Parse a single effect assignment."""
+    p = _Parser(text)
+    node = p.assign()
+    p.require_done()
+    return node
+
+
+def parse_formula(text: str) -> Node:
+    """Parse any formula, auto-detecting assignment vs condition vs expr."""
+    stripped = text.strip()
+    if any(op in stripped for op in (":=", "+=", "-=")):
+        return parse_assign(stripped)
+    p = _Parser(stripped)
+    node = p.condition()
+    p.require_done()
+    return node

@@ -1,0 +1,111 @@
+"""Lexer for the CPP specification formula language.
+
+The token stream covers everything appearing in the paper's specification
+fragments (Figs. 2 and 6): dotted identifiers with an optional prime mark
+(``M.ibw'`` — "value after the operation"), numbers, arithmetic operators,
+comparisons, the assignment forms ``:=``, ``+=``, ``-=``, parentheses,
+commas, and the boolean connective ``and``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import LexError
+
+__all__ = ["Token", "tokenize", "TokenKind"]
+
+
+class TokenKind:
+    NUMBER = "NUMBER"
+    IDENT = "IDENT"
+    OP = "OP"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    AND = "AND"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    text: str
+    pos: int
+
+
+_MULTI_OPS = (":=", "+=", "-=", ">=", "<=", "==", "!=")
+_SINGLE_OPS = "+-*/><"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "._"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a formula; raises :class:`LexError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot followed by a non-digit belongs to an identifier
+                    # context, not this number.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token(TokenKind.NUMBER, text[i:j], i)
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            if j < n and text[j] == "'":
+                j += 1
+            word = text[i:j]
+            if word == "and":
+                yield Token(TokenKind.AND, word, i)
+            else:
+                yield Token(TokenKind.IDENT, word, i)
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _MULTI_OPS:
+            yield Token(TokenKind.OP, two, i)
+            i += 2
+            continue
+        if ch in _SINGLE_OPS:
+            yield Token(TokenKind.OP, ch, i)
+            i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenKind.LPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenKind.RPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ",":
+            yield Token(TokenKind.COMMA, ch, i)
+            i += 1
+            continue
+        raise LexError(text, i, f"unexpected character {ch!r}")
+    yield Token(TokenKind.EOF, "", n)

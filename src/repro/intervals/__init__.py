@@ -1,0 +1,26 @@
+"""Interval arithmetic substrate for optimistic resource maps.
+
+Resource levels, condition satisfiability, and resource-map propagation all
+reduce to operations on intervals with open/closed endpoints; this package
+provides that substrate.
+"""
+
+from .interval import EMPTY, Interval
+from .arithmetic import iadd, idiv, imax, imin, imul, ineg, ipow, iscale, isub
+from .resource_map import MapContradiction, ResourceMap
+
+__all__ = [
+    "Interval",
+    "EMPTY",
+    "iadd",
+    "isub",
+    "ineg",
+    "imul",
+    "idiv",
+    "iscale",
+    "imin",
+    "imax",
+    "ipow",
+    "ResourceMap",
+    "MapContradiction",
+]

@@ -1,0 +1,196 @@
+"""Interval arithmetic with open/closed bound propagation.
+
+These operations compute the exact image of each arithmetic operation over
+interval operands, tracking whether the resulting extrema are attainable.
+They are the interval counterpart of the specification formulas' float
+semantics: for monotone specification functions, evaluating over intervals
+yields sound enclosures of every attainable concrete value (tested by the
+property suite).
+"""
+
+from __future__ import annotations
+
+import math
+from .interval import EMPTY, Interval
+
+__all__ = [
+    "iadd",
+    "isub",
+    "ineg",
+    "imul",
+    "idiv",
+    "iscale",
+    "imin",
+    "imax",
+    "ipow",
+]
+
+_INF = math.inf
+
+
+def _b(value: float, is_open: bool) -> tuple[float, bool]:
+    """A bound as a (value, openness) pair; infinities are always open."""
+    return (value, is_open or math.isinf(value))
+
+
+def _min_bound(*bounds: tuple[float, bool]) -> tuple[float, bool]:
+    """Lower envelope of bounds; on value ties a closed bound wins."""
+    best = bounds[0]
+    for b in bounds[1:]:
+        if b[0] < best[0] or (b[0] == best[0] and not b[1]):
+            best = b
+    return best
+
+
+def _max_bound(*bounds: tuple[float, bool]) -> tuple[float, bool]:
+    """Upper envelope of bounds; on value ties a closed bound wins."""
+    best = bounds[0]
+    for b in bounds[1:]:
+        if b[0] > best[0] or (b[0] == best[0] and not b[1]):
+            best = b
+    return best
+
+
+def iadd(a: Interval, b: Interval) -> Interval:
+    """Image of ``x + y``."""
+    if a.is_empty() or b.is_empty():
+        return EMPTY
+    return Interval(
+        a.lo + b.lo,
+        a.hi + b.hi,
+        a.lo_open or b.lo_open,
+        a.hi_open or b.hi_open,
+    )
+
+
+def ineg(a: Interval) -> Interval:
+    """Image of ``-x``."""
+    if a.is_empty():
+        return EMPTY
+    return Interval(-a.hi, -a.lo, a.hi_open, a.lo_open)
+
+
+def isub(a: Interval, b: Interval) -> Interval:
+    """Image of ``x - y``."""
+    return iadd(a, ineg(b))
+
+
+def _mul_pair(a: tuple[float, bool], b: tuple[float, bool]) -> tuple[float, bool]:
+    va, oa = a
+    vb, ob = b
+    # 0 * inf: the finite-zero factor dominates (the product of attainable
+    # values near the bound tends to 0).
+    if (va == 0.0 and math.isinf(vb)) or (vb == 0.0 and math.isinf(va)):
+        return (0.0, oa or ob)
+    return (va * vb, oa or ob)
+
+
+def imul(a: Interval, b: Interval) -> Interval:
+    """Image of ``x * y`` (general signs)."""
+    if a.is_empty() or b.is_empty():
+        return EMPTY
+    pairs = [
+        _mul_pair(_b(a.lo, a.lo_open), _b(b.lo, b.lo_open)),
+        _mul_pair(_b(a.lo, a.lo_open), _b(b.hi, b.hi_open)),
+        _mul_pair(_b(a.hi, a.hi_open), _b(b.lo, b.lo_open)),
+        _mul_pair(_b(a.hi, a.hi_open), _b(b.hi, b.hi_open)),
+    ]
+    lo, lo_open = _min_bound(*pairs)
+    hi, hi_open = _max_bound(*pairs)
+    return Interval(lo, hi, lo_open, hi_open)
+
+
+def iscale(a: Interval, k: float) -> Interval:
+    """Image of ``k * x`` for a scalar ``k``."""
+    return imul(a, Interval.point(k))
+
+
+def idiv(a: Interval, b: Interval) -> Interval:
+    """Image of ``x / y``; the divisor must exclude zero.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If ``b`` contains 0 — CPP specifications never divide by a
+        quantity that can vanish, so this is a specification error.
+    """
+    if a.is_empty() or b.is_empty():
+        return EMPTY
+    if 0.0 in b:
+        raise ZeroDivisionError(f"interval divisor {b} contains zero")
+
+    def inv(v: float, o: bool) -> tuple[float, bool]:
+        if math.isinf(v):
+            return (0.0, True)
+        return (1.0 / v, o)
+
+    lo_b = inv(b.hi, b.hi_open)
+    hi_b = inv(b.lo, b.lo_open)
+    recip = Interval(
+        min(lo_b[0], hi_b[0]),
+        max(lo_b[0], hi_b[0]),
+        lo_b[1] if lo_b[0] <= hi_b[0] else hi_b[1],
+        hi_b[1] if lo_b[0] <= hi_b[0] else lo_b[1],
+    )
+    return imul(a, recip)
+
+
+def imin(a: Interval, b: Interval) -> Interval:
+    """Image of ``min(x, y)``.
+
+    Openness differs per bound: the lower bound is attained if *either*
+    operand attains it (min picks the smaller), while attaining the upper
+    bound requires *both* operands at their suprema simultaneously —
+    ``min([63,70), [70,70])`` tops out strictly below 70.
+    """
+    if a.is_empty() or b.is_empty():
+        return EMPTY
+    if a.lo < b.lo:
+        lo, lo_open = a.lo, a.lo_open
+    elif b.lo < a.lo:
+        lo, lo_open = b.lo, b.lo_open
+    else:
+        lo, lo_open = a.lo, a.lo_open and b.lo_open
+    if a.hi < b.hi:
+        hi, hi_open = a.hi, a.hi_open
+    elif b.hi < a.hi:
+        hi, hi_open = b.hi, b.hi_open
+    else:
+        hi, hi_open = a.hi, a.hi_open or b.hi_open
+    return Interval(lo, hi, lo_open, hi_open)
+
+
+def imax(a: Interval, b: Interval) -> Interval:
+    """Image of ``max(x, y)`` (mirror of :func:`imin`)."""
+    if a.is_empty() or b.is_empty():
+        return EMPTY
+    if a.lo > b.lo:
+        lo, lo_open = a.lo, a.lo_open
+    elif b.lo > a.lo:
+        lo, lo_open = b.lo, b.lo_open
+    else:
+        lo, lo_open = a.lo, a.lo_open or b.lo_open
+    if a.hi > b.hi:
+        hi, hi_open = a.hi, a.hi_open
+    elif b.hi > a.hi:
+        hi, hi_open = b.hi, b.hi_open
+    else:
+        hi, hi_open = a.hi, a.hi_open and b.hi_open
+    return Interval(lo, hi, lo_open, hi_open)
+
+
+def ipow(a: Interval, exponent: float) -> Interval:
+    """Image of ``x ** k`` for nonnegative intervals and ``k > 0``.
+
+    Component profiles occasionally use sub/super-linear powers (e.g.
+    CPU cost growing as ``bw**1.5``); the CPP only ever raises nonnegative
+    quantities, which keeps the function monotone.
+    """
+    if a.is_empty():
+        return EMPTY
+    if exponent <= 0:
+        raise ValueError("ipow requires a positive exponent")
+    if a.lo < 0:
+        raise ValueError(f"ipow requires a nonnegative base interval, got {a}")
+    hi = _INF if math.isinf(a.hi) else a.hi**exponent
+    return Interval(a.lo**exponent, hi, a.lo_open, a.hi_open)

@@ -1,0 +1,26 @@
+"""The CPP model: interfaces, components, applications, levels."""
+
+from .errors import SpecError
+from .levels import TRIVIAL_LEVELS, Leveling, LevelSpec
+from .interface import InterfaceType, PropertySpec, bandwidth_interface
+from .component import ComponentSpec
+from .application import AppSpec, Placement
+from .parser import ParsedSpecs, parse_spec_text
+from .validation import require_valid, validate_against_network
+
+__all__ = [
+    "SpecError",
+    "LevelSpec",
+    "TRIVIAL_LEVELS",
+    "Leveling",
+    "PropertySpec",
+    "InterfaceType",
+    "bandwidth_interface",
+    "ComponentSpec",
+    "AppSpec",
+    "Placement",
+    "ParsedSpecs",
+    "parse_spec_text",
+    "validate_against_network",
+    "require_valid",
+]

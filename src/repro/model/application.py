@@ -1,0 +1,145 @@
+"""Application specifications: the full CPP input minus the network.
+
+An :class:`AppSpec` bundles interface types, component types, the resource
+vocabulary, pre-placed components (the running Server of Fig. 1), and the
+goal placements (the Client that must be deployed).  Combined with a
+:class:`~repro.network.Network` and a
+:class:`~repro.model.levels.Leveling`, it fully determines a CPP instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..network.resources import CPU, LINK_BANDWIDTH, ResourceDecl, ResourceScope
+from .component import ComponentSpec
+from .errors import SpecError
+from .interface import InterfaceType
+from .levels import Leveling
+
+__all__ = ["Placement", "AppSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """A (component, node) pair — either pre-existing or a goal."""
+
+    component: str
+    node: str
+
+
+@dataclass
+class AppSpec:
+    """A component-based application and its deployment goal."""
+
+    name: str
+    interfaces: dict[str, InterfaceType]
+    components: dict[str, ComponentSpec]
+    resources: tuple[ResourceDecl, ...] = (CPU, LINK_BANDWIDTH)
+    initial_placements: tuple[Placement, ...] = ()
+    goal_placements: tuple[Placement, ...] = ()
+    pinned: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def build(
+        name: str,
+        interfaces: Iterable[InterfaceType],
+        components: Iterable[ComponentSpec],
+        resources: Iterable[ResourceDecl] = (CPU, LINK_BANDWIDTH),
+        initial: Iterable[tuple[str, str]] = (),
+        goals: Iterable[tuple[str, str]] = (),
+    ) -> "AppSpec":
+        """Assemble an AppSpec from component/interface collections.
+
+        Initial and goal components are automatically pinned to their
+        nodes — a pre-placed Server cannot float, and the Client's
+        location is part of the goal.
+        """
+        initial_p = tuple(Placement(c, n) for c, n in initial)
+        goal_p = tuple(Placement(c, n) for c, n in goals)
+        pinned = {p.component: p.node for p in initial_p + goal_p}
+        return AppSpec(
+            name=name,
+            interfaces={i.name: i for i in interfaces},
+            components={c.name: c for c in components},
+            resources=tuple(resources),
+            initial_placements=initial_p,
+            goal_placements=goal_p,
+            pinned=pinned,
+        )
+
+    # -- validation -------------------------------------------------------------
+
+    def _validate(self) -> None:
+        names = set(self.resources and [r.name for r in self.resources])
+        if len(names) != len(self.resources):
+            raise SpecError(f"app {self.name}: duplicate resource declarations")
+        for comp in self.components.values():
+            for iface in comp.requires + comp.implements:
+                if iface not in self.interfaces:
+                    raise SpecError(
+                        f"component {comp.name} links unknown interface {iface!r}"
+                    )
+        for p in self.initial_placements + self.goal_placements:
+            if p.component not in self.components:
+                raise SpecError(f"placement of unknown component {p.component!r}")
+        for comp, node in self.pinned.items():
+            if comp not in self.components:
+                raise SpecError(f"pin of unknown component {comp!r}")
+        goal_comps = {p.component for p in self.goal_placements}
+        init_comps = {p.component for p in self.initial_placements}
+        if goal_comps & init_comps:
+            raise SpecError(
+                f"app {self.name}: components {sorted(goal_comps & init_comps)} are "
+                "both pre-placed and goals"
+            )
+        if not self.goal_placements:
+            raise SpecError(f"app {self.name}: no goal placements — nothing to plan")
+
+    # -- queries ------------------------------------------------------------------
+
+    def interface(self, name: str) -> InterfaceType:
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise SpecError(f"unknown interface {name!r}") from None
+
+    def component(self, name: str) -> ComponentSpec:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise SpecError(f"unknown component {name!r}") from None
+
+    def resource(self, name: str) -> ResourceDecl:
+        for r in self.resources:
+            if r.name == name:
+                return r
+        raise SpecError(f"unknown resource {name!r}")
+
+    def node_resources(self) -> list[ResourceDecl]:
+        return [r for r in self.resources if r.scope is ResourceScope.NODE]
+
+    def link_resources(self) -> list[ResourceDecl]:
+        return [r for r in self.resources if r.scope is ResourceScope.LINK]
+
+    def placeable_nodes(self, component: str, candidate_nodes: Iterable[str]) -> list[str]:
+        """Nodes where ``component`` may go, honouring pins."""
+        pin = self.pinned.get(component)
+        if pin is not None:
+            return [pin] if pin in set(candidate_nodes) else []
+        return list(candidate_nodes)
+
+    def default_leveling(self) -> Leveling:
+        """Leveling assembled from the interfaces' inline level specs."""
+        specs = {}
+        for iface in self.interfaces.values():
+            for prop in iface.properties:
+                if prop.default_levels is not None:
+                    specs[iface.spec_var(prop.name)] = prop.default_levels
+        return Leveling(specs, name=f"{self.name}-defaults")

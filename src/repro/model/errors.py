@@ -1,0 +1,9 @@
+"""Exception types for CPP model specifications."""
+
+from __future__ import annotations
+
+__all__ = ["SpecError"]
+
+
+class SpecError(Exception):
+    """Raised on malformed or inconsistent CPP specifications."""

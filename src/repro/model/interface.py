@@ -1,0 +1,152 @@
+"""Interface (data stream) specifications.
+
+An interface type names a kind of data stream, its application-specific
+properties (the paper's ``ibw`` — delivered stream bandwidth), and the
+formulas governing a link crossing (Fig. 6): conditions that must hold for
+the stream to cross, and effects on the post-crossing property values
+(primed variables) and on link resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..expr import (
+    Assign,
+    Node,
+    infer_degradable,
+    parse_assign,
+    parse_condition,
+    parse_expr,
+    variables,
+)
+from .errors import SpecError
+from .levels import LevelSpec
+
+__all__ = ["PropertySpec", "InterfaceType"]
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """One application-specific property of an interface.
+
+    Attributes
+    ----------
+    name:
+        Property identifier (``ibw``).
+    degradable / upgradable:
+        §3.1 tags.  Stream bandwidth is degradable: a component may
+        process less than is available.  ``None`` requests automatic
+        syntactic inference at compile time.
+    default_levels:
+        Levels declared inline in the interface spec (Fig. 6); experiment
+        levelings override these.
+    """
+
+    name: str
+    degradable: bool | None = None
+    upgradable: bool = False
+    default_levels: LevelSpec | None = None
+
+
+@dataclass
+class InterfaceType:
+    """A data-stream interface with crossing semantics."""
+
+    name: str
+    properties: tuple[PropertySpec, ...] = (PropertySpec("ibw", degradable=True),)
+    cross_conditions: tuple[Node, ...] = ()
+    cross_effects: tuple[Assign, ...] = ()
+    cross_cost: Node | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SpecError(f"interface name must be an identifier: {self.name!r}")
+        seen: set[str] = set()
+        for p in self.properties:
+            if p.name in seen:
+                raise SpecError(f"duplicate property {p.name!r} on interface {self.name}")
+            seen.add(p.name)
+        self._check_vars()
+
+    @staticmethod
+    def parse(
+        name: str,
+        properties: Iterable[PropertySpec] | None = None,
+        cross_conditions: Iterable[str] = (),
+        cross_effects: Iterable[str] = (),
+        cross_cost: str | None = None,
+    ) -> "InterfaceType":
+        """Build an interface from formula strings (the usual entry point)."""
+        return InterfaceType(
+            name=name,
+            properties=tuple(properties) if properties is not None else (PropertySpec("ibw", degradable=True),),
+            cross_conditions=tuple(parse_condition(c) for c in cross_conditions),
+            cross_effects=tuple(parse_assign(e) for e in cross_effects),
+            cross_cost=parse_expr(cross_cost) if cross_cost is not None else None,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def property_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.properties)
+
+    def property_spec(self, prop: str) -> PropertySpec:
+        for p in self.properties:
+            if p.name == prop:
+                return p
+        raise SpecError(f"interface {self.name} has no property {prop!r}")
+
+    def spec_var(self, prop: str) -> str:
+        """The spec-variable name for one of this interface's properties."""
+        return f"{self.name}.{prop}"
+
+    def is_degradable(self, prop: str) -> bool:
+        """Resolve the degradable tag, inferring syntactically if unset."""
+        spec = self.property_spec(prop)
+        if spec.degradable is not None:
+            return spec.degradable
+        return infer_degradable(self.spec_var(prop), self.cross_effects)
+
+    def _check_vars(self) -> None:
+        """Cross formulas may only mention this interface and ``Link``."""
+        own = {self.spec_var(p.name) for p in self.properties}
+        formulas: list[Node] = list(self.cross_conditions) + list(self.cross_effects)
+        if self.cross_cost is not None:
+            formulas.append(self.cross_cost)
+        for f in formulas:
+            for v in variables(f):
+                scope = v.split(".", 1)[0]
+                if scope != "Link" and v not in own:
+                    raise SpecError(
+                        f"cross formula of interface {self.name} references {v!r}; "
+                        f"only Link.* and {sorted(own)} are in scope"
+                    )
+
+
+def _default_cross_effects(iface: str, prop: str = "ibw") -> tuple[Assign, ...]:
+    """The paper's Fig. 6 crossing semantics for a bandwidth stream."""
+    return (
+        parse_assign(f"{iface}.{prop}' := min({iface}.{prop}, Link.lbw)"),
+        parse_assign(f"Link.lbw' -= min({iface}.{prop}, Link.lbw)"),
+    )
+
+
+def bandwidth_interface(
+    name: str,
+    cross_cost: str | None = None,
+    levels: LevelSpec | None = None,
+) -> InterfaceType:
+    """Convenience constructor for a Fig. 6-style bandwidth stream."""
+    return InterfaceType(
+        name=name,
+        properties=(PropertySpec("ibw", degradable=True, default_levels=levels),),
+        cross_effects=_default_cross_effects(name),
+        cross_cost=parse_expr(cross_cost) if cross_cost is not None else None,
+    )
+
+
+InterfaceType.bandwidth = staticmethod(bandwidth_interface)  # type: ignore[attr-defined]
+
+__all__.append("bandwidth_interface")

@@ -1,0 +1,214 @@
+"""Parser for the paper's pseudo-XML specification syntax (Figs. 2 and 6).
+
+The paper writes component and interface specifications as an indented,
+unclosed tag format::
+
+    <component name=Merger>
+      <linkages>
+        <requires>
+          <interface name=T>
+          <interface name=I>
+        <implements>
+          <interface name=M>
+      <conditions>
+        Node.cpu >= (T.ibw+I.ibw)/5
+        T.ibw*3 == I.ibw*7
+      <effects>
+        M.ibw := T.ibw + I.ibw
+        Node.cpu -= (T.ibw+I.ibw)/5
+
+    <interface name=M>
+      <cross_effects>
+        M.ibw' := min(M.ibw, Link.lbw)
+        Link.lbw' -= min(M.ibw, Link.lbw)
+      <levels>
+        <cutpoint value=30>
+        <cutpoint value=70>
+
+This module parses that format (indentation-insensitive, closing tags
+optional and ignored) into :class:`ComponentSpec` / :class:`InterfaceType`
+objects.  A ``<cost>`` section holding a single formula line is accepted
+in both spec kinds as the §3.1 cost extension.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..expr import parse_assign, parse_condition, parse_expr
+from .component import ComponentSpec
+from .errors import SpecError
+from .interface import InterfaceType, PropertySpec
+from .levels import LevelSpec
+
+__all__ = ["parse_spec_text", "ParsedSpecs"]
+
+_TAG_RE = re.compile(r"^<\s*(/?)(\w+)((?:\s+\w+\s*=\s*[^\s>]+)*)\s*>$")
+_ATTR_RE = re.compile(r"(\w+)\s*=\s*([^\s>]+)")
+
+_COMPONENT_SECTIONS = {"linkages", "requires", "implements", "conditions", "effects", "cost"}
+_INTERFACE_SECTIONS = {"cross_conditions", "cross_effects", "levels", "cost", "properties"}
+
+
+@dataclass
+class ParsedSpecs:
+    """The result of parsing a specification document."""
+
+    components: list[ComponentSpec] = field(default_factory=list)
+    interfaces: list[InterfaceType] = field(default_factory=list)
+
+
+@dataclass
+class _ComponentDraft:
+    name: str
+    requires: list[str] = field(default_factory=list)
+    implements: list[str] = field(default_factory=list)
+    conditions: list[str] = field(default_factory=list)
+    effects: list[str] = field(default_factory=list)
+    cost: str | None = None
+
+    def build(self) -> ComponentSpec:
+        return ComponentSpec.parse(
+            self.name,
+            requires=self.requires,
+            implements=self.implements,
+            conditions=self.conditions,
+            effects=self.effects,
+            cost=self.cost,
+        )
+
+
+@dataclass
+class _InterfaceDraft:
+    name: str
+    cross_conditions: list[str] = field(default_factory=list)
+    cross_effects: list[str] = field(default_factory=list)
+    cutpoints: list[float] = field(default_factory=list)
+    cost: str | None = None
+    properties: list[str] = field(default_factory=list)
+
+    def build(self) -> InterfaceType:
+        prop_names = self.properties or ["ibw"]
+        levels = LevelSpec(tuple(self.cutpoints)) if self.cutpoints else None
+        props = tuple(
+            PropertySpec(p, degradable=None, default_levels=levels if p == prop_names[0] else None)
+            for p in prop_names
+        )
+        return InterfaceType(
+            name=self.name,
+            properties=props,
+            cross_conditions=tuple(parse_condition(c) for c in self.cross_conditions),
+            cross_effects=tuple(parse_assign(e) for e in self.cross_effects),
+            cross_cost=parse_expr(self.cost) if self.cost else None,
+        )
+
+
+def _parse_tag(line: str) -> tuple[str, dict[str, str]] | None:
+    m = _TAG_RE.match(line)
+    if not m:
+        return None
+    closing, name, attr_text = m.groups()
+    if closing:
+        return (f"/{name}", {})
+    attrs = {k: v.strip("\"'") for k, v in _ATTR_RE.findall(attr_text or "")}
+    return (name, attrs)
+
+
+def parse_spec_text(text: str) -> ParsedSpecs:
+    """Parse a specification document into component/interface specs."""
+    out = ParsedSpecs()
+    current: _ComponentDraft | _InterfaceDraft | None = None
+    section: str | None = None
+    linkage_mode: str | None = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is None:
+            return
+        if isinstance(current, _ComponentDraft):
+            out.components.append(current.build())
+        else:
+            out.interfaces.append(current.build())
+        current = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tag = _parse_tag(line)
+        if tag is not None:
+            name, attrs = tag
+            if name.startswith("/"):
+                continue  # closing tags are optional noise
+            if name == "component":
+                flush()
+                if "name" not in attrs:
+                    raise SpecError(f"line {lineno}: <component> needs a name attribute")
+                current = _ComponentDraft(attrs["name"])
+                section = None
+                linkage_mode = None
+            elif name == "interface":
+                if "name" not in attrs:
+                    raise SpecError(f"line {lineno}: <interface> needs a name attribute")
+                in_linkage = isinstance(current, _ComponentDraft) and linkage_mode in (
+                    "requires",
+                    "implements",
+                )
+                if in_linkage:
+                    getattr(current, linkage_mode).append(attrs["name"])
+                else:
+                    # Top-level interface spec (Fig. 6).
+                    flush()
+                    current = _InterfaceDraft(attrs["name"])
+                    section = None
+            elif name == "cutpoint":
+                if not isinstance(current, _InterfaceDraft) or section != "levels":
+                    raise SpecError(f"line {lineno}: <cutpoint> outside a <levels> section")
+                try:
+                    current.cutpoints.append(float(attrs["value"]))
+                except (KeyError, ValueError):
+                    raise SpecError(f"line {lineno}: <cutpoint> needs a numeric value") from None
+            elif name == "property":
+                if not isinstance(current, _InterfaceDraft) or section != "properties":
+                    raise SpecError(f"line {lineno}: <property> outside a <properties> section")
+                current.properties.append(attrs["name"])
+            elif name in _COMPONENT_SECTIONS and isinstance(current, _ComponentDraft):
+                if name in ("requires", "implements"):
+                    linkage_mode = name
+                    section = "linkages"
+                elif name == "linkages":
+                    section = "linkages"
+                else:
+                    section = name
+                    linkage_mode = None
+            elif name in _INTERFACE_SECTIONS and isinstance(current, _InterfaceDraft):
+                section = name
+            else:
+                raise SpecError(f"line {lineno}: unexpected tag <{name}> in this context")
+            continue
+
+        # Formula line.
+        if current is None or section is None:
+            raise SpecError(f"line {lineno}: formula outside any section: {line!r}")
+        if isinstance(current, _ComponentDraft):
+            if section == "conditions":
+                current.conditions.append(line)
+            elif section == "effects":
+                current.effects.append(line)
+            elif section == "cost":
+                current.cost = line
+            else:
+                raise SpecError(f"line {lineno}: formula in non-formula section {section!r}")
+        else:
+            if section == "cross_conditions":
+                current.cross_conditions.append(line)
+            elif section == "cross_effects":
+                current.cross_effects.append(line)
+            elif section == "cost":
+                current.cost = line
+            else:
+                raise SpecError(f"line {lineno}: formula in non-formula section {section!r}")
+
+    flush()
+    return out

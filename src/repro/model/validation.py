@@ -1,0 +1,68 @@
+"""Cross-validation of an application spec against a concrete network.
+
+The compiler assumes a well-formed pairing of app and network; this module
+surfaces problems early with readable messages instead of letting them
+appear as mysterious planner failures.
+"""
+
+from __future__ import annotations
+
+from ..network import Network, ResourceScope
+from .application import AppSpec
+
+__all__ = ["validate_against_network", "require_valid"]
+
+
+def validate_against_network(app: AppSpec, network: Network) -> list[str]:
+    """Return a list of human-readable problems (empty when consistent)."""
+    problems: list[str] = []
+
+    for placement in app.initial_placements + app.goal_placements:
+        if placement.node not in network:
+            problems.append(
+                f"placement of {placement.component} references unknown node "
+                f"{placement.node!r}"
+            )
+    for comp, node in app.pinned.items():
+        if node not in network:
+            problems.append(f"component {comp} pinned to unknown node {node!r}")
+
+    node_res = {r.name for r in app.node_resources()}
+    link_res = {r.name for r in app.link_resources()}
+    for node in network.nodes.values():
+        unknown = set(node.resources) - node_res
+        if unknown:
+            problems.append(
+                f"node {node.id} carries undeclared resources {sorted(unknown)}"
+            )
+    for link in network.links.values():
+        unknown = set(link.resources) - link_res
+        if unknown:
+            problems.append(
+                f"link {link.key} carries undeclared resources {sorted(unknown)}"
+            )
+
+    for r in app.resources:
+        if r.scope is ResourceScope.NODE:
+            missing = [n.id for n in network.nodes.values() if r.name not in n.resources]
+            if missing and len(missing) == len(network.nodes):
+                problems.append(f"no node provides resource {r.name!r}")
+        else:
+            missing = [l.key for l in network.links.values() if r.name not in l.resources]
+            if missing and network.links and len(missing) == len(network.links):
+                problems.append(f"no link provides resource {r.name!r}")
+
+    if not network.is_connected():
+        problems.append("network is not connected")
+
+    return problems
+
+
+def require_valid(app: AppSpec, network: Network) -> None:
+    """Raise :class:`ValueError` with all problems when validation fails."""
+    problems = validate_against_network(app, network)
+    if problems:
+        raise ValueError(
+            f"app {app.name!r} inconsistent with network {network.name!r}:\n  "
+            + "\n  ".join(problems)
+        )

@@ -1,0 +1,39 @@
+"""Network substrate: nodes, links, resources, topologies, generators."""
+
+from .resources import CPU, LATENCY, LINK_BANDWIDTH, MEMORY, ResourceDecl, ResourceScope
+from .topology import Link, Network, NetworkError, Node, canonical_ends
+from .builders import chain_network, grid_network, pair_network, ring_network, star_network
+from .gtitm import TransitStubParams, large_paper_network, transit_stub_network, waxman_network
+from .io import load_network, network_from_dict, network_to_dict, save_network
+from .paths import bottleneck, k_shortest_paths, path_capacity, widest_path
+
+__all__ = [
+    "ResourceDecl",
+    "ResourceScope",
+    "CPU",
+    "LINK_BANDWIDTH",
+    "MEMORY",
+    "LATENCY",
+    "Node",
+    "Link",
+    "Network",
+    "NetworkError",
+    "canonical_ends",
+    "pair_network",
+    "chain_network",
+    "star_network",
+    "ring_network",
+    "grid_network",
+    "TransitStubParams",
+    "transit_stub_network",
+    "large_paper_network",
+    "waxman_network",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "widest_path",
+    "bottleneck",
+    "path_capacity",
+    "k_shortest_paths",
+]

@@ -1,0 +1,126 @@
+"""Deterministic topology builders for small experiment networks.
+
+These construct the fixed networks of the paper's evaluation:
+
+* :func:`pair_network` — the *Tiny* two-node network of Fig. 3;
+* :func:`chain_network` — linear chains (the *Small* network of Fig. 9 is a
+  chain of LAN–WAN–LAN links with spur nodes);
+* :func:`star_network`, :func:`ring_network` — additional shapes used by
+  tests and examples.
+
+Resource values are supplied by the caller; the experiment presets in
+:mod:`repro.experiments.networks` wire in the paper's numbers (LAN 150,
+WAN 70, CPU sized for 111 units of media processing).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .topology import Network
+
+__all__ = ["pair_network", "chain_network", "star_network", "ring_network", "grid_network"]
+
+
+def pair_network(
+    cpu: float = 30.0,
+    link_bw: float = 70.0,
+    cpu_target: float | None = None,
+    name: str = "tiny",
+) -> Network:
+    """Two nodes joined by one WAN link (the paper's Fig. 3 shape).
+
+    ``cpu`` is the CPU at the source node ``n0``; the target node gets
+    ``cpu_target`` (default: ample CPU, per the paper's footnote that the
+    target has sufficient resources for Unzip and Merger).
+    """
+    net = Network(name)
+    net.add_node("n0", {"cpu": cpu}, labels={"server-site"})
+    net.add_node("n1", {"cpu": cpu_target if cpu_target is not None else 1000.0}, labels={"client-site"})
+    net.add_link("n0", "n1", {"lbw": link_bw}, labels={"WAN"})
+    return net
+
+
+def chain_network(
+    link_specs: Sequence[tuple[float, str]],
+    cpu: float = 1000.0,
+    name: str = "chain",
+    spurs: int = 0,
+    spur_bw: float = 150.0,
+    spur_label: str = "LAN",
+) -> Network:
+    """A linear chain ``n0 - n1 - ... - nk``.
+
+    ``link_specs`` is a sequence of ``(bandwidth, label)`` pairs, one per
+    chain link.  ``spurs`` optional leaf nodes are attached to interior
+    chain nodes round-robin — they enlarge the search space without
+    changing the solution, mimicking the non-prunable idle nodes of the
+    paper's Large scenario.
+    """
+    net = Network(name)
+    n_nodes = len(link_specs) + 1
+    for i in range(n_nodes):
+        net.add_node(f"n{i}", {"cpu": cpu})
+    for i, (bw, label) in enumerate(link_specs):
+        net.add_link(f"n{i}", f"n{i + 1}", {"lbw": bw}, labels={label})
+    interior = [f"n{i}" for i in range(1, n_nodes - 1)] or [f"n{0}"]
+    for s in range(spurs):
+        spur_id = f"s{s}"
+        net.add_node(spur_id, {"cpu": cpu})
+        net.add_link(spur_id, interior[s % len(interior)], {"lbw": spur_bw}, labels={spur_label})
+    return net
+
+
+def star_network(
+    leaves: int,
+    hub_cpu: float = 1000.0,
+    leaf_cpu: float = 1000.0,
+    link_bw: float = 150.0,
+    name: str = "star",
+) -> Network:
+    """A hub node ``hub`` with ``leaves`` leaf nodes."""
+    net = Network(name)
+    net.add_node("hub", {"cpu": hub_cpu})
+    for i in range(leaves):
+        leaf = f"leaf{i}"
+        net.add_node(leaf, {"cpu": leaf_cpu})
+        net.add_link("hub", leaf, {"lbw": link_bw}, labels={"LAN"})
+    return net
+
+
+def ring_network(
+    size: int,
+    cpu: float = 1000.0,
+    link_bw: float = 150.0,
+    name: str = "ring",
+) -> Network:
+    """A cycle of ``size`` nodes — gives the planner alternative routes."""
+    if size < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    net = Network(name)
+    for i in range(size):
+        net.add_node(f"n{i}", {"cpu": cpu})
+    for i in range(size):
+        net.add_link(f"n{i}", f"n{(i + 1) % size}", {"lbw": link_bw}, labels={"LAN"})
+    return net
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    cpu: float = 1000.0,
+    link_bw: float = 150.0,
+    name: str = "grid",
+) -> Network:
+    """A rows×cols mesh — used by scaling tests beyond the paper's sizes."""
+    net = Network(name)
+    for r in range(rows):
+        for c in range(cols):
+            net.add_node(f"n{r}_{c}", {"cpu": cpu})
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                net.add_link(f"n{r}_{c}", f"n{r}_{c + 1}", {"lbw": link_bw}, labels={"LAN"})
+            if r + 1 < rows:
+                net.add_link(f"n{r}_{c}", f"n{r + 1}_{c}", {"lbw": link_bw}, labels={"LAN"})
+    return net

@@ -1,0 +1,200 @@
+"""GT-ITM-style transit-stub topology generator.
+
+The paper's *Large* scenario uses a 93-node network produced by the
+GeorgiaTech Internetwork Topology Models tool (Zegura, Calvert &
+Bhattacharjee, INFOCOM '96).  That tool is external C software; this module
+reimplements its transit-stub model:
+
+* a backbone of *transit domains*, each a connected random graph of
+  transit nodes, with inter-domain links between random gateway pairs;
+* *stub domains* (connected random graphs) hanging off each transit node.
+
+Links are classified ``WAN`` (transit-level and stub attachment links) or
+``LAN`` (intra-stub links), and given class-wide bandwidths, reproducing
+the paper's "same distribution of resources: LAN links 150 units, WAN
+links 70 units".  Generation is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .topology import Network
+
+__all__ = ["TransitStubParams", "transit_stub_network", "large_paper_network", "waxman_network"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransitStubParams:
+    """Parameters of the transit-stub model.
+
+    Defaults produce the 93-node shape of the paper's Fig. 10:
+    3 transit nodes, each attached to 3 stub domains of 10 nodes
+    (3 + 3·3·10 = 93).
+    """
+
+    transit_domains: int = 1
+    transit_nodes_per_domain: int = 3
+    stub_domains_per_transit: int = 3
+    stub_size: int = 10
+    transit_edge_prob: float = 0.5
+    stub_edge_prob: float = 0.3
+    lan_bandwidth: float = 150.0
+    wan_bandwidth: float = 70.0
+    node_cpu: float = 1000.0
+    seed: int = 2004
+
+    def node_count(self) -> int:
+        transit = self.transit_domains * self.transit_nodes_per_domain
+        return transit + transit * self.stub_domains_per_transit * self.stub_size
+
+
+def _connected_random_graph(
+    net: Network,
+    members: list[str],
+    rng: random.Random,
+    extra_edge_prob: float,
+    bandwidth: float,
+    label: str,
+) -> None:
+    """Wire ``members`` into a connected random subgraph.
+
+    A random spanning tree guarantees connectivity; each remaining pair is
+    linked independently with ``extra_edge_prob`` — the standard "pure
+    random" edge method of the GT-ITM flat model applied per domain.
+    """
+    shuffled = members[:]
+    rng.shuffle(shuffled)
+    for i in range(1, len(shuffled)):
+        attach_to = shuffled[rng.randrange(i)]
+        net.add_link(shuffled[i], attach_to, {"lbw": bandwidth}, labels={label})
+    for i in range(len(members)):
+        for j in range(i + 1, len(members)):
+            a, b = members[i], members[j]
+            if not net.has_link(a, b) and rng.random() < extra_edge_prob:
+                net.add_link(a, b, {"lbw": bandwidth}, labels={label})
+
+
+def transit_stub_network(params: TransitStubParams | None = None, name: str = "transit-stub") -> Network:
+    """Generate a transit-stub network per ``params`` (deterministic)."""
+    p = params or TransitStubParams()
+    if p.transit_domains < 1 or p.transit_nodes_per_domain < 1:
+        raise ValueError("need at least one transit domain with one node")
+    if p.stub_size < 1:
+        raise ValueError("stub domains need at least one node")
+    rng = random.Random(p.seed)
+    net = Network(name)
+
+    transit_by_domain: list[list[str]] = []
+    for d in range(p.transit_domains):
+        domain_nodes = []
+        for t in range(p.transit_nodes_per_domain):
+            node_id = f"t{d}_{t}"
+            net.add_node(node_id, {"cpu": p.node_cpu}, labels={"transit"})
+            domain_nodes.append(node_id)
+        if len(domain_nodes) > 1:
+            _connected_random_graph(
+                net, domain_nodes, rng, p.transit_edge_prob, p.wan_bandwidth, "WAN"
+            )
+        transit_by_domain.append(domain_nodes)
+
+    # Inter-domain backbone: a ring over domains via random gateways (a
+    # chain when there are exactly two domains).
+    if p.transit_domains > 1:
+        for d in range(p.transit_domains):
+            nd = (d + 1) % p.transit_domains
+            if p.transit_domains == 2 and d == 1:
+                break
+            a = rng.choice(transit_by_domain[d])
+            b = rng.choice(transit_by_domain[nd])
+            if not net.has_link(a, b):
+                net.add_link(a, b, {"lbw": p.wan_bandwidth}, labels={"WAN"})
+
+    for domain_nodes in transit_by_domain:
+        for transit_node in domain_nodes:
+            for s in range(p.stub_domains_per_transit):
+                stub_nodes = []
+                for k in range(p.stub_size):
+                    node_id = f"{transit_node}_s{s}_{k}"
+                    net.add_node(node_id, {"cpu": p.node_cpu}, labels={"stub"})
+                    stub_nodes.append(node_id)
+                if len(stub_nodes) > 1:
+                    _connected_random_graph(
+                        net, stub_nodes, rng, p.stub_edge_prob, p.lan_bandwidth, "LAN"
+                    )
+                gateway = rng.choice(stub_nodes)
+                net.add_link(gateway, transit_node, {"lbw": p.wan_bandwidth}, labels={"WAN"})
+
+    assert net.is_connected(), "transit-stub generation must yield a connected network"
+    return net
+
+
+def waxman_network(
+    n: int,
+    alpha: float = 0.4,
+    beta: float = 0.6,
+    seed: int = 2004,
+    node_cpu: float = 30.0,
+    link_bw: float = 100.0,
+    name: str = "waxman",
+) -> Network:
+    """A flat Waxman random graph (the GT-ITM flat model's classic method).
+
+    Nodes are placed uniformly in the unit square; an edge between ``u``
+    and ``v`` appears with probability ``alpha * exp(-d(u,v) / (beta * L))``
+    where ``L`` is the maximum possible distance.  A random spanning tree
+    guarantees connectivity (pure Waxman graphs can be disconnected, which
+    is useless as a planning substrate).
+    """
+    import math as _math
+
+    if n < 2:
+        raise ValueError("a Waxman graph needs at least two nodes")
+    if not (0 < alpha <= 1) or beta <= 0:
+        raise ValueError("alpha must be in (0, 1], beta positive")
+    rng = random.Random(seed)
+    net = Network(name)
+    coords: dict[str, tuple[float, float]] = {}
+    for i in range(n):
+        node_id = f"w{i}"
+        net.add_node(node_id, {"cpu": node_cpu})
+        coords[node_id] = (rng.random(), rng.random())
+
+    ids = list(coords)
+    # Spanning tree for connectivity.
+    shuffled = ids[:]
+    rng.shuffle(shuffled)
+    for i in range(1, len(shuffled)):
+        attach = shuffled[rng.randrange(i)]
+        net.add_link(shuffled[i], attach, {"lbw": link_bw}, labels={"WAN"})
+
+    l_max = _math.sqrt(2.0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = ids[i], ids[j]
+            if net.has_link(a, b):
+                continue
+            (xa, ya), (xb, yb) = coords[a], coords[b]
+            d = _math.hypot(xa - xb, ya - yb)
+            if rng.random() < alpha * _math.exp(-d / (beta * l_max)):
+                net.add_link(a, b, {"lbw": link_bw}, labels={"WAN"})
+    return net
+
+
+def large_paper_network(
+    node_cpu: float = 1000.0,
+    lan_bandwidth: float = 150.0,
+    wan_bandwidth: float = 70.0,
+    seed: int = 2004,
+) -> Network:
+    """The 93-node network of the paper's Large scenario (Fig. 10)."""
+    params = TransitStubParams(
+        node_cpu=node_cpu,
+        lan_bandwidth=lan_bandwidth,
+        wan_bandwidth=wan_bandwidth,
+        seed=seed,
+    )
+    net = transit_stub_network(params, name="large-93")
+    assert len(net) == 93, f"expected 93 nodes, generated {len(net)}"
+    return net

@@ -1,0 +1,70 @@
+"""JSON (de)serialization of network topologies.
+
+A stable on-disk form lets experiments pin exact topologies (the paper's
+Large network is generated once and reused across scenarios) and lets
+users bring their own networks to the planner.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .topology import Network, NetworkError
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(net: Network) -> dict[str, Any]:
+    """A JSON-ready dict capturing the full topology."""
+    return {
+        "format": _FORMAT_VERSION,
+        "name": net.name,
+        "nodes": [
+            {
+                "id": n.id,
+                "resources": dict(n.resources),
+                "labels": sorted(n.labels),
+                **({"software": sorted(n.software)} if n.software is not None else {}),
+            }
+            for n in net.nodes.values()
+        ],
+        "links": [
+            {
+                "a": l.a,
+                "b": l.b,
+                "resources": dict(l.resources),
+                "labels": sorted(l.labels),
+            }
+            for l in net.links.values()
+        ],
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> Network:
+    """Rebuild a :class:`Network` from :func:`network_to_dict` output."""
+    version = data.get("format", 0)
+    if version != _FORMAT_VERSION:
+        raise NetworkError(f"unsupported network format version {version!r}")
+    net = Network(data.get("name", "network"))
+    for nd in data.get("nodes", []):
+        net.add_node(
+            nd["id"],
+            nd.get("resources", {}),
+            nd.get("labels", ()),
+            nd.get("software"),
+        )
+    for ld in data.get("links", []):
+        net.add_link(ld["a"], ld["b"], ld.get("resources", {}), ld.get("labels", ()))
+    return net
+
+
+def save_network(net: Network, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(network_to_dict(net), indent=2, sort_keys=True))
+
+
+def load_network(path: str | Path) -> Network:
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,144 @@
+"""Path algorithms over topologies.
+
+Planning-adjacent helpers: the planner itself searches in action space,
+but baselines, analyses, and examples need classical path queries —
+widest (maximum-bottleneck) paths for "can this stream fit anywhere?",
+k-shortest simple paths for route enumeration, and bottleneck values for
+quick feasibility triage before invoking the full planner.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+from .topology import Network, NetworkError
+
+__all__ = ["widest_path", "bottleneck", "k_shortest_paths", "path_capacity"]
+
+
+def widest_path(
+    net: Network, source: str, target: str, resource: str = "lbw"
+) -> list[str] | None:
+    """Maximum-bottleneck path from ``source`` to ``target``.
+
+    Dijkstra variant maximizing the minimum link capacity along the path.
+    Returns the node sequence, or ``None`` when disconnected.
+    """
+    if source not in net or target not in net:
+        raise NetworkError("unknown endpoint")
+    if source == target:
+        return [source]
+    best: dict[str, float] = {source: math.inf}
+    parent: dict[str, str] = {}
+    counter = itertools.count()
+    heap = [(-math.inf, next(counter), source)]
+    visited: set[str] = set()
+    while heap:
+        neg_width, _tie, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        if u == target:
+            path = [u]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            return list(reversed(path))
+        for v in net.neighbors(u):
+            if v in visited:
+                continue
+            cap = net.link(u, v).capacity(resource)
+            width = min(-neg_width, cap)
+            if width > best.get(v, -math.inf):
+                best[v] = width
+                parent[v] = u
+                heapq.heappush(heap, (-width, next(counter), v))
+    return None
+
+
+def path_capacity(net: Network, path: list[str], resource: str = "lbw") -> float:
+    """Bottleneck capacity of a concrete path (inf for a single node)."""
+    if len(path) < 2:
+        return math.inf
+    return min(net.link(a, b).capacity(resource) for a, b in zip(path, path[1:]))
+
+
+def bottleneck(
+    net: Network, source: str, target: str, resource: str = "lbw"
+) -> float:
+    """Best achievable bottleneck between two nodes (0 when disconnected)."""
+    path = widest_path(net, source, target, resource)
+    if path is None:
+        return 0.0
+    return path_capacity(net, path, resource)
+
+
+def k_shortest_paths(
+    net: Network, source: str, target: str, k: int
+) -> list[list[str]]:
+    """Up to ``k`` loop-free hop-shortest paths (Yen's algorithm).
+
+    Deterministic: candidate ties break lexicographically on the node
+    sequence.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    first = net.shortest_path(source, target)
+    if first is None:
+        return []
+    paths: list[list[str]] = [first]
+    candidates: list[tuple[int, list[str]]] = []
+
+    for _ in range(1, k):
+        prev = paths[-1]
+        for i in range(len(prev) - 1):
+            spur_node = prev[i]
+            root = prev[: i + 1]
+            removed_edges: set[tuple[str, str]] = set()
+            for p in paths:
+                if p[: i + 1] == root and len(p) > i + 1:
+                    removed_edges.add(tuple(sorted((p[i], p[i + 1]))))
+            removed_nodes = set(root[:-1])
+            spur = _shortest_avoiding(net, spur_node, target, removed_edges, removed_nodes)
+            if spur is None:
+                continue
+            candidate = root[:-1] + spur
+            if candidate not in paths and all(c[1] != candidate for c in candidates):
+                candidates.append((len(candidate), candidate))
+        if not candidates:
+            break
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        paths.append(candidates.pop(0)[1])
+    return paths
+
+
+def _shortest_avoiding(
+    net: Network,
+    source: str,
+    target: str,
+    removed_edges: set[tuple[str, str]],
+    removed_nodes: set[str],
+) -> list[str] | None:
+    """BFS shortest path avoiding given edges and nodes."""
+    from collections import deque
+
+    if source in removed_nodes:
+        return None
+    parent = {source: source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in sorted(net.neighbors(u)):
+            if v in parent or v in removed_nodes:
+                continue
+            if tuple(sorted((u, v))) in removed_edges:
+                continue
+            parent[v] = u
+            if v == target:
+                path = [v]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            queue.append(v)
+    return None

@@ -1,0 +1,61 @@
+"""Resource declarations for nodes and links.
+
+The CPP model is parametric in the set of resources: the paper's
+evaluation uses node CPU and link bandwidth, and mentions node memory,
+disk bandwidth, or link security as further examples.  A
+:class:`ResourceDecl` names a resource, says whether it lives on nodes or
+links, and carries the degradable/upgradable tags of §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["ResourceScope", "ResourceDecl", "CPU", "LINK_BANDWIDTH", "MEMORY", "LATENCY"]
+
+
+class ResourceScope(Enum):
+    NODE = "node"
+    LINK = "link"
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceDecl:
+    """Declaration of one resource kind.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in specification formulas (``Node.cpu`` refers to
+        the node-scoped resource named ``cpu``).
+    scope:
+        Whether the resource is attached to nodes or links.
+    degradable:
+        A degradable resource available at a high value is also usable at
+        any lower value (link bandwidth: a 150-unit link can carry a
+        90-unit stream).
+    upgradable:
+        The mirror property: availability at a low value implies
+        availability at higher values (e.g. accumulated latency budgets).
+    consumable:
+        Whether deployments subtract from the resource (CPU, bandwidth)
+        as opposed to merely inspecting it (e.g. a security label encoded
+        numerically).
+    """
+
+    name: str
+    scope: ResourceScope
+    degradable: bool = False
+    upgradable: bool = False
+    consumable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.degradable and self.upgradable:
+            raise ValueError(f"resource {self.name!r} cannot be both degradable and upgradable")
+
+
+CPU = ResourceDecl("cpu", ResourceScope.NODE, degradable=True)
+LINK_BANDWIDTH = ResourceDecl("lbw", ResourceScope.LINK, degradable=True)
+MEMORY = ResourceDecl("mem", ResourceScope.NODE, degradable=True)
+LATENCY = ResourceDecl("lat", ResourceScope.LINK, upgradable=True, consumable=False)

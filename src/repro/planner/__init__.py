@@ -1,0 +1,49 @@
+"""The leveled Sekitei planner: PLRG, SLRG, RG phases and the facade."""
+
+from .adaptation import Deployment, RepairResult, repair_deployment, surviving_prefix
+from .errors import (
+    ExecutionError,
+    PlanningError,
+    ResourceInfeasible,
+    SearchBudgetExceeded,
+    Unsolvable,
+)
+from .executor import ExecutionReport, ExecutionStep, execute_plan
+from .plan import Plan
+from .planner import Heuristic, Planner, PlannerConfig, solve
+from .plrg import PLRG, build_plrg
+from .postopt import PostOptResult, post_optimize
+from .rg import RGResult, regression_search
+from .slrg import SLRG
+from .stats import PlannerStats
+from .trace import SearchTrace, TraceEvent
+
+__all__ = [
+    "PlanningError",
+    "Unsolvable",
+    "ResourceInfeasible",
+    "SearchBudgetExceeded",
+    "ExecutionError",
+    "ExecutionReport",
+    "ExecutionStep",
+    "execute_plan",
+    "Plan",
+    "Planner",
+    "PlannerConfig",
+    "Heuristic",
+    "solve",
+    "PLRG",
+    "build_plrg",
+    "SLRG",
+    "RGResult",
+    "regression_search",
+    "PlannerStats",
+    "Deployment",
+    "RepairResult",
+    "repair_deployment",
+    "surviving_prefix",
+    "PostOptResult",
+    "post_optimize",
+    "SearchTrace",
+    "TraceEvent",
+]

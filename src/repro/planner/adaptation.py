@@ -1,0 +1,193 @@
+"""Deployment repair and adaptation (paper §6, future work).
+
+The paper closes by proposing to "use our planner for repairing and
+adapting existing deployments by introducing operators for migrating and
+reconnecting components", noting that "separate operators are necessary,
+because the cost of migration differs from that of the initial
+deployment".  This module implements that extension:
+
+1. A finished plan (plus its problem) defines a :class:`Deployment`.
+2. When the environment changes (links degrade, nodes lose CPU), the old
+   plan is *re-executed step by step* against the new network; the longest
+   exactly-executing prefix survives, and its placements and streams
+   become part of the repair problem's initial state.
+3. The repair problem is compiled against the new network.  Components
+   that were running in the surviving prefix get **migration-discounted**
+   placement actions elsewhere (the component image is already staged, so
+   redeployment costs ``migration_cost_factor`` times the normal cost),
+   while brand-new components pay full price.
+4. The ordinary leveled planner then completes the deployment; the repair
+   plan contains only the delta actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compile import CompiledProblem, GroundAction, compile_problem
+from ..compile.propositions import AvailProp, PlacedProp, dominated_level_tuples
+from ..model import AppSpec, Leveling
+from ..network import Network
+from .errors import ExecutionError
+from .executor import execute_plan
+from .plan import Plan
+from .planner import Planner, PlannerConfig
+
+__all__ = ["Deployment", "RepairResult", "surviving_prefix", "repair_deployment"]
+
+
+@dataclass
+class Deployment:
+    """A running deployment: the plan that created it and its problem."""
+
+    problem: CompiledProblem
+    actions: list[GroundAction]
+
+    @staticmethod
+    def from_plan(plan: Plan) -> "Deployment":
+        return Deployment(problem=plan.problem, actions=list(plan.actions))
+
+    def placements(self) -> list[tuple[str, str]]:
+        return [(a.subject, a.node) for a in self.actions if a.kind == "place"]
+
+
+@dataclass
+class RepairResult:
+    """Outcome of a repair: the surviving prefix and the delta plan."""
+
+    surviving_actions: list[GroundAction]
+    repair_plan: Plan
+    migrated_components: list[str] = field(default_factory=list)
+
+    def combined_actions(self) -> list[GroundAction]:
+        """Surviving prefix followed by the repair delta."""
+        return self.surviving_actions + list(self.repair_plan.actions)
+
+    def describe(self) -> str:
+        lines = [f"surviving prefix: {len(self.surviving_actions)} actions"]
+        for a in self.surviving_actions:
+            lines.append(f"  (kept) {a.name}")
+        lines.append(self.repair_plan.describe())
+        return "\n".join(lines)
+
+
+def surviving_prefix(
+    deployment: Deployment, new_problem: CompiledProblem
+) -> list[GroundAction]:
+    """Longest prefix of the old plan that still executes exactly.
+
+    Each old action is re-resolved by name in the new compiled problem (the
+    same (subject, location, levels) may compile to different bounds under
+    the changed network); an action that no longer exists or whose
+    execution now fails truncates the prefix.
+    """
+    by_name = {a.name: a for a in new_problem.actions}
+    prefix: list[GroundAction] = []
+    for old_action in deployment.actions:
+        new_action = by_name.get(old_action.name)
+        if new_action is None:
+            break
+        candidate = prefix + [new_action]
+        try:
+            execute_plan(new_problem, candidate)
+        except ExecutionError:
+            break
+        prefix.append(new_action)
+    return prefix
+
+
+def repair_deployment(
+    app: AppSpec,
+    new_network: Network,
+    deployment: Deployment,
+    leveling: Leveling | None = None,
+    migration_cost_factor: float = 0.5,
+    planner_config: PlannerConfig | None = None,
+) -> RepairResult:
+    """Repair ``deployment`` against a changed network.
+
+    Parameters
+    ----------
+    migration_cost_factor:
+        Multiplier on the placement-cost lower bound for components that
+        were already running in the surviving prefix (their images are
+        staged; re-placing them elsewhere is a migration, not a fresh
+        deployment).  ``1.0`` disables the discount; ``0.0`` makes
+        migrations logically free (their cost formula still applies at
+        execution time).
+
+    Returns
+    -------
+    RepairResult
+        With the surviving prefix and a delta plan that completes the
+        deployment.  The combined action sequence is re-validated exactly.
+    """
+    if not 0.0 <= migration_cost_factor:
+        raise ValueError("migration_cost_factor must be nonnegative")
+
+    config = planner_config or PlannerConfig(leveling=leveling)
+    if leveling is not None:
+        config.leveling = leveling
+    new_problem = compile_problem(app, new_network, config.leveling)
+
+    prefix = surviving_prefix(deployment, new_problem)
+
+    # Fold the surviving prefix into the initial state: achieved
+    # propositions join the initial set, and exact post-prefix values
+    # replace the initial resource values.
+    report = execute_plan(new_problem, prefix)
+    achieved = set(new_problem.initial_prop_ids)
+    for action in prefix:
+        achieved |= action.add_props
+    new_problem.initial_prop_ids = frozenset(achieved)
+    new_problem.initial_values = {
+        k: v
+        for k, v in report.final_values.items()
+        if k in new_problem.initial_values
+    }
+    # Stream values produced by the prefix become initial streams.
+    extra_streams = []
+    for gvar, value in report.final_values.items():
+        if gvar in new_problem.initial_values or ":" not in gvar:
+            continue
+        prop_part, rest = gvar.split(":", 1)
+        iface_name, node_id = rest.split("@", 1)
+        iface = app.interface(iface_name)
+        extra_streams.append(
+            (
+                iface_name,
+                node_id,
+                value,
+                iface.is_degradable(prop_part),
+                iface.property_spec(prop_part).upgradable,
+                prop_part,
+            )
+        )
+    new_problem._initial_streams = list(new_problem._initial_streams) + extra_streams
+    new_problem._initial_map_cache = None
+
+    # Migration discount: components already running somewhere get cheaper
+    # placement actions elsewhere.
+    running = {comp for comp, _node in (
+        (a.subject, a.node) for a in prefix if a.kind == "place"
+    )}
+    migrated = sorted(running)
+    if migration_cost_factor != 1.0:
+        for action in new_problem.actions:
+            if action.kind == "place" and action.subject in running:
+                action.cost_lb *= migration_cost_factor
+
+    planner = Planner(config)
+    repair_plan = planner.solve(problem=new_problem)
+
+    # Final validation of the stitched deployment on a fresh compilation.
+    fresh = compile_problem(app, new_network, config.leveling)
+    by_name = {a.name: a for a in fresh.actions}
+    stitched = [by_name[a.name] for a in prefix + list(repair_plan.actions)]
+    execute_plan(fresh, stitched)
+
+    return RepairResult(
+        surviving_actions=prefix,
+        repair_plan=repair_plan,
+        migrated_components=migrated,
+    )

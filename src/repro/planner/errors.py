@@ -1,0 +1,29 @@
+"""Planner exception types."""
+
+from __future__ import annotations
+
+__all__ = ["PlanningError", "Unsolvable", "ResourceInfeasible", "SearchBudgetExceeded", "ExecutionError"]
+
+
+class PlanningError(Exception):
+    """Base class for planner failures."""
+
+
+class Unsolvable(PlanningError):
+    """The goal is logically unreachable (PLRG expansion exhausted)."""
+
+
+class ResourceInfeasible(PlanningError):
+    """Logically reachable, but no plan survives resource replay.
+
+    This is the failure mode of the greedy planner in the paper's
+    Scenario 1: the RG search space empties without a terminal node.
+    """
+
+
+class SearchBudgetExceeded(PlanningError):
+    """A search phase exceeded its configured node budget."""
+
+
+class ExecutionError(PlanningError):
+    """Exact forward execution of a plan failed (plan is invalid)."""

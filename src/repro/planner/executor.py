@@ -1,0 +1,164 @@
+"""Exact forward execution of plans.
+
+The planner reasons in levels and intervals; this module is the ground
+truth.  It executes a plan with concrete float values under the greedy
+within-level concretization (DESIGN.md rule 2): each action processes
+``min(available, level cap)`` units of its input streams.  Conditions are
+checked exactly; resources are debited exactly.  A plan that fails here is
+invalid — the planner's soundness invariant (tested property-style) is
+that every plan it returns executes cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..expr import EvalError, check_condition_float, eval_float
+from ..compile import CompiledProblem, EffectKind, GroundAction
+from .errors import ExecutionError
+
+__all__ = ["ExecutionStep", "ExecutionReport", "execute_plan"]
+
+_EPS = 1e-6
+
+
+@dataclass
+class ExecutionStep:
+    """One executed action with its concrete values."""
+
+    action: GroundAction
+    inputs: dict[str, float]  # spec var -> processed value
+    outputs: dict[str, float]  # ground var -> produced/updated value
+    cost: float
+
+
+@dataclass
+class ExecutionReport:
+    """Result of executing a full plan."""
+
+    steps: list[ExecutionStep] = field(default_factory=list)
+    total_cost: float = 0.0
+    final_values: dict[str, float] = field(default_factory=dict)
+    consumed: dict[str, float] = field(default_factory=dict)  # ground var -> used
+
+    def consumed_matching(self, prefix: str, keys: set[str] | None = None) -> dict[str, float]:
+        """Consumption filtered to ground variables with a prefix (e.g. ``lbw@``)."""
+        out = {}
+        for gvar, used in self.consumed.items():
+            if gvar.startswith(prefix) and used > _EPS:
+                if keys is None or gvar in keys:
+                    out[gvar] = used
+        return out
+
+    def max_consumed(self, gvars: set[str]) -> float:
+        """Largest consumption over a set of resource variables."""
+        return max((self.consumed.get(g, 0.0) for g in gvars), default=0.0)
+
+    def value(self, gvar: str) -> float:
+        return self.final_values.get(gvar, 0.0)
+
+
+def execute_plan(problem: CompiledProblem, actions: list[GroundAction]) -> ExecutionReport:
+    """Execute ``actions`` in order from the initial state.
+
+    Raises :class:`ExecutionError` with a precise reason on any violation:
+    missing input stream, failed condition, or resource overdraw.
+    """
+    values: dict[str, float] = dict(problem.initial_values)
+    for iface, node, value, _deg, _upg, prop in problem._initial_streams:
+        from ..compile import iface_prop_var
+
+        values[iface_prop_var(prop, iface, node)] = value
+
+    report = ExecutionReport()
+    baseline = dict(values)
+
+    for action in actions:
+        env: dict[str, float] = {}
+        inputs: dict[str, float] = {}
+        for spec_var, gvar in action.var_map.items():
+            raw = values.get(gvar)
+            committed = action.committed.get(spec_var)
+            if committed is None:
+                continue  # output-only mapping: written by effects below
+            if _is_resource_var(spec_var):
+                if raw is None:
+                    raise ExecutionError(f"{action.name}: resource {gvar} has no value")
+                env[spec_var] = raw
+                continue
+            if raw is None:
+                raise ExecutionError(
+                    f"{action.name}: input stream {gvar} is not available"
+                )
+            cap = math.inf
+            lo = 0.0
+            if committed is not None:
+                cap = committed.hi
+                lo = committed.lo
+            u = min(raw, cap)
+            if u + _EPS < lo:
+                raise ExecutionError(
+                    f"{action.name}: only {u:g} of {gvar} available but the "
+                    f"committed level requires at least {lo:g}"
+                )
+            env[spec_var] = u
+            inputs[spec_var] = u
+
+        try:
+            for cond in action.conditions:
+                if not check_condition_float(cond, env):
+                    raise ExecutionError(
+                        f"{action.name}: condition {cond.unparse()} fails with "
+                        + ", ".join(f"{k}={v:g}" for k, v in sorted(env.items()))
+                    )
+        except EvalError as exc:
+            raise ExecutionError(f"{action.name}: {exc}") from exc
+
+        # Simultaneous effects: stage all right-hand sides, then write.
+        staged: list[tuple[str, EffectKind, float, str]] = []
+        for assign, (gvar, kind) in zip(action.effects, action.effect_targets):
+            try:
+                rhs = eval_float(assign.expr, env)
+            except EvalError as exc:
+                raise ExecutionError(f"{action.name}: {exc}") from exc
+            staged.append((gvar, kind, rhs, assign.op))
+
+        outputs: dict[str, float] = {}
+        for gvar, kind, rhs, op in staged:
+            if kind is EffectKind.CONSUME:
+                values[gvar] = values.get(gvar, 0.0) - rhs
+                if values[gvar] < -_EPS:
+                    raise ExecutionError(
+                        f"{action.name}: overdraws {gvar} by {-values[gvar]:g}"
+                    )
+                values[gvar] = max(values[gvar], 0.0)
+            elif kind is EffectKind.SET_RESOURCE:
+                current = values.get(gvar, 0.0)
+                if op == ":=":
+                    values[gvar] = rhs
+                elif op == "+=":
+                    values[gvar] = current + rhs
+                else:
+                    values[gvar] = current - rhs
+            else:
+                values[gvar] = rhs
+            outputs[gvar] = values[gvar]
+
+        try:
+            cost = eval_float(action.cost_ast, env) if action.cost_ast is not None else 1.0
+        except EvalError as exc:
+            raise ExecutionError(f"{action.name}: cost formula: {exc}") from exc
+        report.steps.append(ExecutionStep(action, inputs, outputs, cost))
+        report.total_cost += cost
+
+    report.final_values = values
+    for gvar, before in baseline.items():
+        after = values.get(gvar, before)
+        if after < before - _EPS:
+            report.consumed[gvar] = before - after
+    return report
+
+
+def _is_resource_var(spec_var: str) -> bool:
+    return spec_var.startswith("Node.") or spec_var.startswith("Link.")

@@ -1,0 +1,203 @@
+"""The leveled Sekitei planner facade.
+
+Runs the three phases of §3.2 — PLRG (per-proposition costs), SLRG (set
+costs), RG (resource-aware regression A*) — over a compiled problem and
+returns a validated, cost-optimized :class:`Plan`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..compile import CompiledProblem, compile_problem
+from ..model import AppSpec, Leveling
+from ..network import Network
+from .errors import ExecutionError, PlanningError, ResourceInfeasible, Unsolvable
+from .executor import execute_plan
+from .plan import Plan
+from .plrg import build_plrg
+from .rg import regression_search
+from .slrg import SLRG
+from .stats import PlannerStats
+from .trace import SearchTrace
+
+__all__ = ["Heuristic", "PlannerConfig", "Planner"]
+
+
+class Heuristic(Enum):
+    """RG heuristic choice (the paper uses SLRG; the rest are ablations)."""
+
+    SLRG = "slrg"
+    PLRG_MAX = "plrg-max"
+    BLIND = "blind"
+
+
+@dataclass
+class PlannerConfig:
+    """Knobs for one planner run.
+
+    Attributes
+    ----------
+    leveling:
+        The resource-level assignment (Table 1 scenario).  ``None`` uses
+        the application's inline level declarations (Fig. 6 style); an
+        empty leveling reproduces the original greedy Sekitei.
+    heuristic:
+        RG guidance: the paper's SLRG, the PLRG ``hmax`` bound, or blind
+        (uniform-cost) search.
+    slrg_node_budget / rg_node_budget:
+        Safety bounds on the search phases.
+    validate:
+        When true (default), the returned plan has been executed exactly
+        and a failure raises :class:`ExecutionError` instead of returning
+        an invalid plan.
+    bound_overrides:
+        Optional static property-bound overrides for non-converging apps.
+    """
+
+    leveling: Leveling | None = None
+    heuristic: Heuristic = Heuristic.SLRG
+    slrg_node_budget: int = 50_000
+    rg_node_budget: int = 500_000
+    validate: bool = True
+    bound_overrides: dict[str, float] = field(default_factory=dict)
+    trace: bool = False
+    """Record a bounded RG search trace on the returned plan
+    (``plan.trace``): node creations, expansions, prunes with reasons."""
+    branch_all_props: bool = True
+    """RG branching rule: True (default) regresses achievers of every open
+    proposition — the paper's rule, required for optimality when one action
+    (e.g. the Splitter) must cover several open subgoals at once.  False
+    regresses only the hardest open proposition: faster, complete for
+    feasibility on chain-structured problems, but may return suboptimal
+    plans when multi-output components feed parallel branches."""
+
+
+class Planner:
+    """Resource-aware, cost-optimizing CPP planner (leveled Sekitei)."""
+
+    def __init__(self, config: PlannerConfig | None = None):
+        self.config = config or PlannerConfig()
+
+    def compile(self, app: AppSpec, network: Network) -> CompiledProblem:
+        """Compile only (exposed for inspection and benchmarks)."""
+        return compile_problem(
+            app,
+            network,
+            self.config.leveling,
+            self.config.bound_overrides or None,
+        )
+
+    def solve(
+        self,
+        app: AppSpec | None = None,
+        network: Network | None = None,
+        problem: CompiledProblem | None = None,
+    ) -> Plan:
+        """Find a cost-optimal (w.r.t. level lower bounds) deployment plan.
+
+        Either pass ``app`` and ``network``, or a pre-compiled ``problem``.
+
+        Raises
+        ------
+        Unsolvable
+            The goal is logically unreachable.
+        ResourceInfeasible
+            Logically reachable but no plan survives resource constraints
+            (the greedy planner's Scenario 1 failure).
+        SearchBudgetExceeded
+            A phase exceeded its node budget.
+        ExecutionError
+            Validation of the found plan failed (indicates a planner bug;
+            never expected).
+        """
+        t_start = time.perf_counter()
+        if problem is None:
+            if app is None or network is None:
+                raise ValueError("pass either problem= or both app= and network=")
+            problem = self.compile(app, network)
+        stats = PlannerStats(
+            total_actions=len(problem.actions),
+            compile_ms=problem.compile_seconds * 1e3,
+        )
+
+        t0 = time.perf_counter()
+        try:
+            plrg = build_plrg(problem)
+        except Unsolvable:
+            if problem.logically_solvable:
+                # The goal has logical support, but best-value reachability
+                # pruning removed it: a resource conflict, not a modelling
+                # gap (the greedy Scenario 1 failure, detected statically).
+                from ..compile import diagnose
+
+                detail = str(diagnose(problem))
+                raise ResourceInfeasible(
+                    "goal unreachable under best-case resource propagation "
+                    f"({problem.reachability_pruned} actions pruned)\n{detail}"
+                ) from None
+            raise
+        stats.plrg_ms = (time.perf_counter() - t0) * 1e3
+        stats.plrg_prop_nodes = plrg.prop_nodes
+        stats.plrg_action_nodes = plrg.action_nodes
+
+        slrg = SLRG(problem, plrg, node_budget=self.config.slrg_node_budget)
+        t0 = time.perf_counter()
+        if self.config.heuristic is Heuristic.SLRG:
+            # Phase 2 proper: price the goal set, warming the set-cost cache.
+            slrg.query(frozenset(problem.goal_prop_ids))
+            heuristic = slrg.query
+        elif self.config.heuristic is Heuristic.PLRG_MAX:
+            heuristic = plrg.set_cost
+        else:
+            heuristic = lambda props: 0.0  # noqa: E731 - blind search
+        stats.slrg_ms = (time.perf_counter() - t0) * 1e3
+
+        search_trace = SearchTrace() if self.config.trace else None
+        t0 = time.perf_counter()
+        result = regression_search(
+            problem,
+            heuristic,
+            plrg.usable_actions,
+            node_budget=self.config.rg_node_budget,
+            branch_all_props=self.config.branch_all_props,
+            prop_rank=plrg.cost,
+            trace=search_trace,
+        )
+        stats.rg_ms = (time.perf_counter() - t0) * 1e3
+        stats.slrg_set_nodes = slrg.nodes_created
+        stats.rg_nodes = result.nodes_created
+        stats.rg_queue_left = result.nodes_left_in_queue
+        stats.rg_expanded = result.nodes_expanded
+        stats.total_ms = (time.perf_counter() - t_start) * 1e3
+
+        plan = Plan(
+            problem=problem,
+            actions=result.plan_actions,
+            cost_lb=result.cost_lb,
+            stats=stats,
+            trace=search_trace,
+        )
+        if self.config.validate:
+            try:
+                execute_plan(problem, plan.actions)
+            except ExecutionError as exc:
+                raise ExecutionError(
+                    f"planner produced an invalid plan ({exc}); this is a bug"
+                ) from exc
+        return plan
+
+
+def solve(
+    app: AppSpec,
+    network: Network,
+    leveling: Leveling | None = None,
+    **config_kwargs,
+) -> Plan:
+    """One-call convenience wrapper around :class:`Planner`."""
+    return Planner(PlannerConfig(leveling=leveling, **config_kwargs)).solve(app, network)
+
+
+__all__.append("solve")

@@ -1,0 +1,211 @@
+"""Phase 3 — the main regression graph (paper §3.2.3).
+
+The RG performs A* regression from the goal set.  Each node carries a
+proposition set and a totally ordered *plan tail* (the actions regressed
+over so far, which form the suffix of any plan through this node).  On
+node creation the tail is replayed inside the optimistic resource map —
+contradictions, unsatisfiable conditions, or worst-case overdraws prune
+the node immediately (early detection of quality-of-service violations).
+
+A node is terminal when its propositions all hold in the initial state
+and its tail replays successfully against the initial state's resource
+map.  Because resource failures depend on the whole tail, nodes are not
+reused; the RG is a tree (the paper's observation).  We do apply one safe
+transposition prune: two nodes with the same proposition set and the same
+*multiset* of tail actions are interchangeable, so the later/costlier one
+is dropped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..compile import CompiledProblem, GroundAction, ReplayFailure
+from .errors import ResourceInfeasible, SearchBudgetExceeded
+from .trace import SearchTrace
+
+__all__ = ["RGResult", "regression_search"]
+
+_INF = math.inf
+
+
+@dataclass(slots=True)
+class _Node:
+    props: frozenset[int]
+    g: float
+    action: GroundAction | None
+    parent: "_Node | None"
+    depth: int
+
+    def tail(self) -> list[GroundAction]:
+        """Plan tail in execution order (this node's action first)."""
+        out: list[GroundAction] = []
+        node: _Node | None = self
+        while node is not None and node.action is not None:
+            out.append(node.action)
+            node = node.parent
+        return out
+
+    def tail_ids(self) -> frozenset[int]:
+        out = set()
+        node: _Node | None = self
+        while node is not None and node.action is not None:
+            out.add(node.action.index)
+            node = node.parent
+        return out
+
+
+@dataclass
+class RGResult:
+    """Outcome of the RG search."""
+
+    plan_actions: list[GroundAction]
+    cost_lb: float
+    nodes_created: int  # Table 2, column 8 (first number)
+    nodes_left_in_queue: int  # Table 2, column 8 (second number)
+    nodes_expanded: int
+
+
+def regression_search(
+    problem: CompiledProblem,
+    heuristic: Callable[[frozenset[int]], float],
+    usable_actions: tuple[int, ...],
+    node_budget: int = 500_000,
+    branch_all_props: bool = True,
+    prop_rank: Callable[[int], float] | None = None,
+    trace: SearchTrace | None = None,
+) -> RGResult:
+    """A* regression with plan-tail replay.
+
+    Parameters
+    ----------
+    heuristic:
+        Maps a proposition set to an admissible cost-to-initial-state
+        bound (SLRG query or PLRG hmax, per configuration).
+    usable_actions:
+        Indices of actions that survived PLRG relevance/reachability.
+    branch_all_props:
+        When true (the paper's rule, and the planner default), children
+        regress over achievers of *any* open proposition.  When false,
+        only the hardest open proposition is regressed — cheaper, but a
+        multi-output action covering several open subgoals may be missed,
+        losing optimality (and, in corner cases, feasibility).
+    prop_rank:
+        Ranking used to pick the hardest proposition (defaults to the
+        heuristic of singleton sets; the planner passes PLRG costs).
+
+    Raises
+    ------
+    ResourceInfeasible
+        When the search space empties without a terminal node — the
+        greedy failure mode of Scenario 1.
+    SearchBudgetExceeded
+        When ``node_budget`` nodes have been created without a solution.
+    """
+    initial = problem.initial_prop_ids
+    actions = problem.actions
+    usable = set(usable_actions)
+    achievers: dict[int, list[int]] = {
+        pid: [a for a in acts if a in usable] for pid, acts in problem.achievers.items()
+    }
+    if prop_rank is None:
+        prop_rank = lambda pid: heuristic(frozenset((pid,)))  # noqa: E731
+
+    root = _Node(props=frozenset(problem.goal_prop_ids), g=0.0, action=None, parent=None, depth=0)
+
+    counter = itertools.count()
+    h0 = heuristic(root.props)
+    if h0 == _INF:
+        raise ResourceInfeasible("goal set has no logical support")
+    # Ties on f are broken toward smaller h (deeper progress), which walks
+    # a uniform-cost plateau depth-first instead of flooding it.
+    heap: list[tuple[float, float, int, _Node]] = [(h0, h0, next(counter), root)]
+    nodes_created = 1
+    nodes_expanded = 0
+    # Transposition pruning: (props, tail action multiset) -> best g.
+    seen: dict[tuple[frozenset[int], frozenset[int]], float] = {}
+
+    while heap:
+        f, _h, _tie, node = heapq.heappop(heap)
+        open_props = node.props - initial
+
+        if not open_props:
+            # Logically satisfied; final validation replays against the
+            # exact initial map (already done at creation — the node's
+            # replay base *is* the initial map — so this is terminal).
+            if trace is not None:
+                trace.terminal(node.g, node.depth)
+            return RGResult(
+                plan_actions=node.tail(),
+                cost_lb=node.g,
+                nodes_created=nodes_created,
+                nodes_left_in_queue=len(heap),
+                nodes_expanded=nodes_expanded,
+            )
+
+        nodes_expanded += 1
+        if trace is not None:
+            trace.expanded(len(open_props), f, node.depth)
+
+        # Child actions must achieve at least one open proposition (the
+        # paper's rule).  By default we fix the hardest open proposition
+        # and branch over its achievers only; branch_all_props restores
+        # the literal any-proposition branching.
+        candidate_actions: set[int] = set()
+        if branch_all_props:
+            for pid in open_props:
+                candidate_actions.update(achievers.get(pid, ()))
+        else:
+            target = max(open_props, key=prop_rank)
+            candidate_actions.update(achievers.get(target, ()))
+
+        tail_ids = node.tail_ids()
+        for a_idx in candidate_actions:
+            if a_idx in tail_ids:
+                continue  # add-only logic never needs a repeated action
+            action = actions[a_idx]
+            new_props = frozenset((node.props - action.add_props) | action.pre_props)
+            ng = node.g + action.cost_lb
+            key = (new_props, frozenset(tail_ids | {a_idx}))
+            prev = seen.get(key)
+            if prev is not None and prev <= ng:
+                if trace is not None:
+                    trace.pruned(action.name, "transposition: duplicate tail set", node.depth + 1)
+                continue
+
+            child = _Node(props=new_props, g=ng, action=action, parent=node, depth=node.depth + 1)
+
+            # Replay the tail (child's action first) in the optimistic map
+            # seeded from the initial state.
+            rmap = problem.initial_map()
+            try:
+                for act in child.tail():
+                    act.replay(rmap)
+            except ReplayFailure as exc:
+                if trace is not None:
+                    trace.pruned(action.name, f"replay: {exc.reason}", child.depth)
+                continue
+
+            nh = heuristic(new_props)
+            if nh == _INF:
+                if trace is not None:
+                    trace.pruned(action.name, "heuristic: infinite cost-to-go", child.depth)
+                continue
+            seen[key] = ng
+            nodes_created += 1
+            if nodes_created > node_budget:
+                raise SearchBudgetExceeded(
+                    f"RG exceeded {node_budget} nodes (created {nodes_created})"
+                )
+            if trace is not None:
+                trace.created(action.name, ng + nh, child.depth)
+            heapq.heappush(heap, (ng + nh, nh, next(counter), child))
+
+    raise ResourceInfeasible(
+        "no deployment plan survives resource replay (the goal is logically "
+        "reachable but every candidate plan violates resource constraints)"
+    )

@@ -1,0 +1,47 @@
+"""Planner statistics — the "work done by the planner" half of Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlannerStats"]
+
+
+@dataclass
+class PlannerStats:
+    """Everything Table 2 reports about one planner run.
+
+    Attributes mirror the paper's columns: total ground actions after
+    leveling/pruning (col. 5), PLRG proposition/action node counts
+    (col. 6), total SLRG set nodes (col. 7), RG nodes created and nodes
+    left in the A* queue at solution time (col. 8), and total vs
+    search-only time in milliseconds (col. 9).
+    """
+
+    total_actions: int = 0
+    plrg_prop_nodes: int = 0
+    plrg_action_nodes: int = 0
+    slrg_set_nodes: int = 0
+    rg_nodes: int = 0
+    rg_queue_left: int = 0
+    rg_expanded: int = 0
+    compile_ms: float = 0.0
+    plrg_ms: float = 0.0
+    slrg_ms: float = 0.0
+    rg_ms: float = 0.0
+    total_ms: float = 0.0
+
+    @property
+    def search_ms(self) -> float:
+        """Search-and-graph-construction time (the second number of col. 9)."""
+        return self.plrg_ms + self.slrg_ms + self.rg_ms
+
+    def row(self) -> dict[str, float | int | str]:
+        """A flat dict suitable for table rendering."""
+        return {
+            "total_actions": self.total_actions,
+            "plrg": f"{self.plrg_prop_nodes} / {self.plrg_action_nodes}",
+            "slrg": self.slrg_set_nodes,
+            "rg": f"{self.rg_nodes} / {self.rg_queue_left}",
+            "time_ms": f"{self.total_ms:.0f} / {self.search_ms:.0f}",
+        }

@@ -1,0 +1,112 @@
+"""Reporting and export: Graphviz DOT renderings and plan summaries.
+
+Deployment plans are easiest to review as pictures: the network graph
+with the data path and placed components overlaid (the style of the
+paper's Figs. 1, 3, 9, 10).  This module emits Graphviz DOT text — no
+graphviz dependency is required to *generate* it, only to render.
+"""
+
+from __future__ import annotations
+
+from .network import Network
+from .planner.plan import Plan
+
+__all__ = ["network_to_dot", "plan_to_dot", "plan_summary_table"]
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', r"\"") + '"'
+
+
+def network_to_dot(
+    net: Network,
+    highlight_nodes: dict[str, str] | None = None,
+    highlight_links: dict[tuple[str, str], str] | None = None,
+    label_resources: bool = True,
+) -> str:
+    """Graphviz DOT for a topology.
+
+    ``highlight_nodes`` / ``highlight_links`` map elements to extra label
+    text (placed components, crossing streams).
+    """
+    highlight_nodes = highlight_nodes or {}
+    highlight_links = highlight_links or {}
+    lines = [f"graph {_quote(net.name)} {{", "  node [shape=box, fontsize=10];"]
+    for node in net.nodes.values():
+        label = node.id
+        if label_resources and node.resources:
+            res = ", ".join(f"{k}={v:g}" for k, v in sorted(node.resources.items()))
+            label += f"\\n{res}"
+        extra = highlight_nodes.get(node.id)
+        if extra:
+            label += "\\n" + extra
+        attrs = [f"label={_quote(label)}"]
+        if extra:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="lightblue"')
+        elif "transit" in node.labels:
+            attrs.append('fillcolor="gray90"')
+            attrs.append("style=filled")
+        lines.append(f"  {_quote(node.id)} [{', '.join(attrs)}];")
+    for link in net.links.values():
+        label_parts = []
+        if label_resources and link.resources:
+            label_parts.append(
+                ", ".join(f"{k}={v:g}" for k, v in sorted(link.resources.items()))
+            )
+        extra = highlight_links.get(link.key)
+        attrs = []
+        if extra:
+            label_parts.append(extra)
+            attrs.append("penwidth=2.5")
+            attrs.append('color="blue"')
+        if label_parts:
+            joined = "\\n".join(label_parts)  # literal backslash-n for DOT
+            attrs.append(f"label={_quote(joined)}")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(link.a)} -- {_quote(link.b)}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_to_dot(plan: Plan) -> str:
+    """The plan's network with placements and crossings overlaid."""
+    placements: dict[str, str] = {}
+    for comp, node in plan.placements():
+        placements[node] = (
+            placements.get(node, "") + ("+" if node in placements else "") + comp
+        )
+    for placement in plan.problem.app.initial_placements:
+        placements.setdefault(placement.node, placement.component)
+    crossings: dict[tuple[str, str], str] = {}
+    for iface, src, dst in plan.crossings():
+        key = (src, dst) if src <= dst else (dst, src)
+        crossings[key] = crossings.get(key, "")
+        crossings[key] = (crossings[key] + "," if crossings[key] else "") + iface
+    return network_to_dot(
+        plan.problem.network,
+        highlight_nodes=placements,
+        highlight_links=crossings,
+    )
+
+
+def plan_summary_table(plan: Plan) -> str:
+    """A per-action table: action, cost bound, exact cost, key values."""
+    from .experiments.reporting import format_table
+
+    report = plan.execute()
+    rows = []
+    for step in report.steps:
+        inputs = ", ".join(
+            f"{var.split('.', 1)[0]}={val:g}" for var, val in sorted(step.inputs.items())
+        )
+        rows.append(
+            [
+                step.action.name,
+                f"{step.action.cost_lb:g}",
+                f"{step.cost:g}",
+                inputs or "-",
+            ]
+        )
+    rows.append(["TOTAL", f"{plan.cost_lb:g}", f"{report.total_cost:g}", ""])
+    return format_table(["action", "cost lb", "exact", "processed"], rows)

@@ -1,0 +1,16 @@
+"""Network-churn simulation driving deployment repair over time."""
+
+from .events import Event, LinkChange, LinkFailure, NodeChange, apply_event, copy_network
+from .runner import Simulation, SimulationResult, SimulationStep
+
+__all__ = [
+    "Event",
+    "LinkChange",
+    "NodeChange",
+    "LinkFailure",
+    "apply_event",
+    "copy_network",
+    "Simulation",
+    "SimulationResult",
+    "SimulationStep",
+]

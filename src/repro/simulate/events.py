@@ -1,0 +1,76 @@
+"""Environment-change events for the churn simulator.
+
+Each event rewrites part of a network's resource assignment.  Events are
+pure descriptions; applying one produces a *new* Network (topologies are
+cheap to copy at the evaluation scales), so simulation histories stay
+replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network import Network, NetworkError, network_from_dict, network_to_dict
+
+__all__ = ["LinkChange", "NodeChange", "LinkFailure", "Event", "apply_event", "copy_network"]
+
+
+def copy_network(net: Network) -> Network:
+    """Deep copy via the serialization round trip."""
+    return network_from_dict(network_to_dict(net))
+
+
+@dataclass(frozen=True, slots=True)
+class LinkChange:
+    """Set a link resource to a new value (degradation or recovery)."""
+
+    a: str
+    b: str
+    resource: str
+    value: float
+
+    def describe(self) -> str:
+        return f"link {self.a}~{self.b}: {self.resource} -> {self.value:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class NodeChange:
+    """Set a node resource to a new value."""
+
+    node: str
+    resource: str
+    value: float
+
+    def describe(self) -> str:
+        return f"node {self.node}: {self.resource} -> {self.value:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFailure:
+    """Remove a link outright."""
+
+    a: str
+    b: str
+
+    def describe(self) -> str:
+        return f"link {self.a}~{self.b}: failed"
+
+
+Event = LinkChange | NodeChange | LinkFailure
+
+
+def apply_event(net: Network, event: Event) -> Network:
+    """A new network with ``event`` applied.
+
+    Raises :class:`NetworkError` for events referencing unknown elements.
+    """
+    out = copy_network(net)
+    if isinstance(event, LinkChange):
+        out.link(event.a, event.b).resources[event.resource] = event.value
+    elif isinstance(event, NodeChange):
+        out.node(event.node).resources[event.resource] = event.value
+    elif isinstance(event, LinkFailure):
+        out.remove_link(event.a, event.b)
+    else:  # pragma: no cover - exhaustive match
+        raise TypeError(f"unknown event type {type(event).__name__}")
+    return out

@@ -1,0 +1,155 @@
+"""The churn simulator: deploy once, repair across environment changes.
+
+Drives the §6 adaptation machinery through a timeline of network events:
+after each event the current deployment is re-validated, the surviving
+prefix kept, and a repair delta planned.  The simulation records, per
+step, what broke, what was kept, what was redeployed, and the repair
+cost — the data one needs to evaluate adaptive deployment policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model import AppSpec, Leveling
+from ..network import Network
+from ..planner import (
+    Deployment,
+    Plan,
+    Planner,
+    PlannerConfig,
+    PlanningError,
+    repair_deployment,
+)
+from .events import Event, apply_event
+
+__all__ = ["SimulationStep", "SimulationResult", "Simulation"]
+
+
+@dataclass
+class SimulationStep:
+    """Outcome of one event."""
+
+    index: int
+    event: Event
+    survived_actions: int
+    repair_actions: int
+    repair_cost: float
+    total_plan_cost: float
+    failed: bool = False
+    failure: str = ""
+
+    def describe(self) -> str:
+        if self.failed:
+            return f"[{self.index}] {self.event.describe()} -> UNREPAIRABLE ({self.failure})"
+        return (
+            f"[{self.index}] {self.event.describe()} -> kept {self.survived_actions}, "
+            f"replanned {self.repair_actions} (repair cost {self.repair_cost:g})"
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Full simulation record."""
+
+    initial_plan: Plan
+    steps: list[SimulationStep] = field(default_factory=list)
+
+    @property
+    def total_repair_cost(self) -> float:
+        return sum(s.repair_cost for s in self.steps if not s.failed)
+
+    @property
+    def outage_steps(self) -> int:
+        return sum(1 for s in self.steps if s.failed)
+
+    def describe(self) -> str:
+        lines = [f"initial deployment: {len(self.initial_plan)} actions, "
+                 f"exact cost {self.initial_plan.exact_cost:g}"]
+        lines += [s.describe() for s in self.steps]
+        lines.append(
+            f"total repair cost {self.total_repair_cost:g}, "
+            f"outages {self.outage_steps}/{len(self.steps)}"
+        )
+        return "\n".join(lines)
+
+
+class Simulation:
+    """Deploy an application, then play a sequence of network events.
+
+    Parameters
+    ----------
+    migration_cost_factor:
+        Passed through to :func:`repair_deployment`.
+    replan_from_scratch_on_outage:
+        When an event leaves the deployment unrepairable (e.g. the network
+        partitioned), later events may restore connectivity; with this
+        flag (default) the simulator attempts a full re-deployment at each
+        subsequent step until one succeeds.
+    """
+
+    def __init__(
+        self,
+        app: AppSpec,
+        network: Network,
+        leveling: Leveling,
+        migration_cost_factor: float = 0.5,
+        replan_from_scratch_on_outage: bool = True,
+    ):
+        self.app = app
+        self.network = network
+        self.leveling = leveling
+        self.migration_cost_factor = migration_cost_factor
+        self.replan_from_scratch_on_outage = replan_from_scratch_on_outage
+        self._planner = Planner(PlannerConfig(leveling=leveling))
+
+    def run(self, events: list[Event]) -> SimulationResult:
+        """Deploy, then apply every event in order, repairing after each."""
+        plan = self._planner.solve(self.app, self.network)
+        result = SimulationResult(initial_plan=plan)
+        network = self.network
+        deployment: Deployment | None = Deployment.from_plan(plan)
+
+        for i, event in enumerate(events):
+            network = apply_event(network, event)
+            step = SimulationStep(
+                index=i,
+                event=event,
+                survived_actions=0,
+                repair_actions=0,
+                repair_cost=0.0,
+                total_plan_cost=0.0,
+            )
+            try:
+                if deployment is None:
+                    if not self.replan_from_scratch_on_outage:
+                        raise PlanningError("deployment lost and replanning disabled")
+                    fresh = self._planner.solve(self.app, network)
+                    step.repair_actions = len(fresh)
+                    step.repair_cost = fresh.exact_cost
+                    step.total_plan_cost = fresh.exact_cost
+                    deployment = Deployment.from_plan(fresh)
+                else:
+                    repair = repair_deployment(
+                        self.app,
+                        network,
+                        deployment,
+                        leveling=self.leveling,
+                        migration_cost_factor=self.migration_cost_factor,
+                    )
+                    step.survived_actions = len(repair.surviving_actions)
+                    step.repair_actions = len(repair.repair_plan)
+                    step.repair_cost = (
+                        repair.repair_plan.exact_cost if repair.repair_plan.actions else 0.0
+                    )
+                    combined = repair.combined_actions()
+                    deployment = Deployment(
+                        problem=repair.repair_plan.problem, actions=combined
+                    )
+                    step.total_plan_cost = step.repair_cost
+            except PlanningError as exc:
+                step.failed = True
+                step.failure = type(exc).__name__
+                deployment = None
+            result.steps.append(step)
+        return result

@@ -1,0 +1,33 @@
+"""Unit tests for the direct-connection strawman."""
+
+import pytest
+
+from repro.baselines import DirectConnection
+from repro.domains.media import build_app
+from repro.network import chain_network, pair_network
+from repro.planner import ResourceInfeasible
+
+
+class TestDirect:
+    def test_succeeds_on_wide_link(self):
+        net = pair_network(cpu=100.0, link_bw=250.0)
+        plan = DirectConnection().solve(build_app("n0", "n1"), net)
+        assert [a.kind for a in plan.actions] == ["cross", "place"]
+        assert plan.execute().value("ibw:M@n1") == pytest.approx(200.0)
+
+    def test_fails_on_narrow_link(self):
+        """The Fig. 1 motivation: 70 < 90 demanded."""
+        net = pair_network(cpu=100.0, link_bw=70.0)
+        with pytest.raises(ResourceInfeasible):
+            DirectConnection().solve(build_app("n0", "n1"), net)
+
+    def test_multi_hop_path(self):
+        net = chain_network([(250, "LAN"), (250, "LAN")], cpu=100.0)
+        plan = DirectConnection().solve(build_app("n0", "n2"), net)
+        assert len(plan.crossings()) == 2
+        assert plan.crossings() == [("M", "n0", "n1"), ("M", "n1", "n2")]
+
+    def test_fails_when_any_hop_narrow(self):
+        net = chain_network([(250, "LAN"), (70, "WAN")], cpu=100.0)
+        with pytest.raises(ResourceInfeasible):
+            DirectConnection().solve(build_app("n0", "n2"), net)

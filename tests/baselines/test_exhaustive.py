@@ -1,0 +1,54 @@
+"""Unit tests for the exhaustive optimal oracle."""
+
+import pytest
+
+from repro.baselines import exhaustive_optimal
+from repro.compile import compile_problem
+from repro.domains.media import build_app, proportional_leveling
+from repro.network import pair_network
+from repro.planner import Planner, PlannerConfig
+
+
+def tiny_problem(cuts=(90, 100), cpu=30.0, link=70.0):
+    return compile_problem(
+        build_app("n0", "n1"),
+        pair_network(cpu=cpu, link_bw=link),
+        proportional_leveling(cuts),
+    )
+
+
+class TestOracle:
+    def test_finds_seven_action_plan(self):
+        problem = tiny_problem()
+        result = exhaustive_optimal(problem, max_depth=7)
+        assert result is not None
+        assert len(result.actions) == 7
+
+    def test_none_when_depth_too_small(self):
+        problem = tiny_problem()
+        assert exhaustive_optimal(problem, max_depth=3) is None
+
+    def test_direct_connection_is_optimal_on_wide_link(self):
+        problem = tiny_problem(cpu=100.0, link=250.0)
+        result = exhaustive_optimal(problem, max_depth=4)
+        assert result is not None
+        assert len(result.actions) == 2  # cross M + place Client
+
+    def test_planner_matches_oracle_cost(self):
+        """On the Tiny problem the leveled planner's plan is exactly the
+        oracle-optimal plan (same exact cost)."""
+        problem = tiny_problem()
+        oracle = exhaustive_optimal(problem, max_depth=7)
+        plan = Planner(
+            PlannerConfig(leveling=proportional_leveling((90, 100)))
+        ).solve(problem=problem)
+        assert oracle is not None
+        assert plan.exact_cost == pytest.approx(oracle.exact_cost)
+
+    def test_oracle_cost_not_above_any_plan(self):
+        problem = tiny_problem()
+        oracle = exhaustive_optimal(problem, max_depth=7)
+        plan = Planner(
+            PlannerConfig(leveling=proportional_leveling((90, 100)))
+        ).solve(problem=problem)
+        assert oracle.exact_cost <= plan.exact_cost + 1e-9

@@ -1,0 +1,44 @@
+"""Unit tests for the greedy Sekitei baseline."""
+
+import pytest
+
+from repro.baselines import GreedySekitei
+from repro.domains.media import build_app
+from repro.network import pair_network
+from repro.planner import ResourceInfeasible
+
+
+class TestGreedy:
+    def test_scenario1_failure(self):
+        """Fig. 3: the greedy planner cannot throttle, so it fails."""
+        with pytest.raises(ResourceInfeasible):
+            GreedySekitei().solve(build_app("n0", "n1"), pair_network(cpu=30.0, link_bw=70.0))
+
+    def test_ample_cpu_does_not_rescue_greedy(self):
+        """Even with CPU for 200 units, the greedy split plan pushes
+        Z + I = 130 units at a 70-unit link — greedy cannot throttle."""
+        net = pair_network(cpu=1000.0, link_bw=70.0)
+        with pytest.raises(ResourceInfeasible):
+            GreedySekitei().solve(build_app("n0", "n1"), net)
+
+    def test_succeeds_with_adequate_link(self):
+        """A 100-unit link carries (a truncation of) M directly."""
+        net = pair_network(cpu=100.0, link_bw=100.0)
+        plan = GreedySekitei().solve(build_app("n0", "n1"), net)
+        assert len(plan) == 2
+        assert plan.actions[0].kind == "cross"
+        assert plan.execute().value("ibw:M@n1") == pytest.approx(100.0)
+
+    def test_succeeds_with_wide_link(self):
+        """A 250-unit link carries the full M stream — 2 actions suffice."""
+        net = pair_network(cpu=100.0, link_bw=250.0)
+        plan = GreedySekitei().solve(build_app("n0", "n1"), net)
+        assert len(plan) == 2
+        assert plan.execute().value("ibw:M@n1") == pytest.approx(200.0)
+
+    def test_greedy_plan_is_feasible_at_lower_utilization(self):
+        """The paper's §2.2 guarantee: greedy-feasible stays feasible."""
+        net = pair_network(cpu=100.0, link_bw=250.0)
+        plan = GreedySekitei().solve(build_app("n0", "n1", source_bw=200.0), net)
+        smaller = GreedySekitei().solve(build_app("n0", "n1", source_bw=150.0), net)
+        assert [a.subject for a in smaller.actions] == [a.subject for a in plan.actions]

@@ -1,0 +1,59 @@
+"""Unit tests for static property bounds."""
+
+import math
+
+import pytest
+
+from repro.compile import compute_property_bounds
+from repro.domains import grid
+from repro.domains.media import build_app
+from repro.model import SpecError
+from repro.network import pair_network
+
+
+class TestMediaBounds:
+    def test_fixpoint_values(self):
+        app = build_app("n0", "n1")
+        net = pair_network()
+        bounds = compute_property_bounds(app, net)
+        assert bounds["M.ibw"] == pytest.approx(200.0)
+        assert bounds["T.ibw"] == pytest.approx(140.0)
+        assert bounds["I.ibw"] == pytest.approx(60.0)
+        assert bounds["Z.ibw"] == pytest.approx(70.0)
+
+    def test_source_bw_propagates(self):
+        app = build_app("n0", "n1", source_bw=100.0)
+        bounds = compute_property_bounds(app, pair_network())
+        assert bounds["M.ibw"] == pytest.approx(100.0)
+        assert bounds["T.ibw"] == pytest.approx(70.0)
+
+    def test_overrides(self):
+        app = build_app("n0", "n1")
+        bounds = compute_property_bounds(app, pair_network(), {"M.ibw": 50.0})
+        assert bounds["M.ibw"] == 50.0
+        # downstream values follow the forced bound
+        assert bounds["T.ibw"] == pytest.approx(35.0)
+
+    def test_unknown_override_rejected(self):
+        app = build_app("n0", "n1")
+        with pytest.raises(SpecError):
+            compute_property_bounds(app, pair_network(), {"Q.foo": 1.0})
+
+
+class TestAccumulatingProperties:
+    def test_latency_becomes_unbounded(self):
+        app = grid.build_app("site0_worker", "site1_worker")
+        net = grid.build_network(sites=2)
+        bounds = compute_property_bounds(app, net)
+        # Bandwidths converge; latency accumulates per crossing -> inf.
+        assert bounds["Raw.ibw"] == pytest.approx(100.0)
+        assert math.isinf(bounds["Raw.lat"])
+        assert math.isinf(bounds["Result.lat"])
+
+    def test_bandwidth_still_finite_alongside_latency(self):
+        app = grid.build_app("site0_worker", "site1_worker")
+        net = grid.build_network(sites=2)
+        bounds = compute_property_bounds(app, net)
+        assert bounds["Filtered.ibw"] == pytest.approx(40.0)
+        assert bounds["Result.ibw"] == pytest.approx(4.0)
+        assert bounds["Packed.ibw"] == pytest.approx(50.0)

@@ -1,0 +1,87 @@
+"""Unit tests for compiled problem assembly and the initial state."""
+
+import pytest
+
+from repro.compile import AvailProp, PlacedProp, compile_problem
+from repro.domains.media import build_app, proportional_leveling
+from repro.intervals import Interval
+from repro.model import ComponentSpec, SpecError, AppSpec, bandwidth_interface
+from repro.network import pair_network
+
+
+@pytest.fixture
+def problem():
+    return compile_problem(
+        build_app("n0", "n1"),
+        pair_network(cpu=30.0, link_bw=70.0),
+        proportional_leveling((90, 100)),
+    )
+
+
+class TestInitialState:
+    def test_server_placed(self, problem):
+        pid = problem.props.index[PlacedProp("Server", "n0")]
+        assert problem.holds_initially(pid)
+
+    def test_stream_available_with_closure(self, problem):
+        # M at 200 classifies to the top level; degradable closure covers all.
+        for level in (0, 1, 2):
+            pid = problem.props.index[AvailProp("M", "n0", (level,))]
+            assert problem.holds_initially(pid)
+
+    def test_goal_ids(self, problem):
+        goal = {str(problem.props[p]) for p in problem.goal_prop_ids}
+        assert goal == {"placed(Client,n1)"}
+
+    def test_initial_values_capacities(self, problem):
+        assert problem.initial_values["cpu@n0"] == 30.0
+        assert problem.initial_values["lbw@n0~n1"] == 70.0
+
+    def test_initial_map_streams_down_closed(self, problem):
+        rmap = problem.initial_map()
+        assert rmap["ibw:M@n0"] == Interval.closed(0.0, 200.0)
+        assert rmap["cpu@n0"] == Interval.point(30.0)
+
+    def test_initial_map_returns_fresh_copies(self, problem):
+        a = problem.initial_map()
+        a.set("cpu@n0", Interval.point(1))
+        b = problem.initial_map()
+        assert b["cpu@n0"] == Interval.point(30.0)
+
+
+class TestAchievers:
+    def test_every_added_prop_has_achiever_entry(self, problem):
+        for action in problem.actions:
+            for pid in action.add_props:
+                assert action.index in problem.achievers[pid]
+
+    def test_goal_achievers_are_client_placements(self, problem):
+        (goal_pid,) = problem.goal_prop_ids
+        achievers = problem.achievers[goal_pid]
+        assert achievers
+        assert all(problem.actions[i].subject == "Client" for i in achievers)
+
+
+class TestErrors:
+    def test_nonsource_initial_placement_rejected(self):
+        app = AppSpec.build(
+            "bad",
+            interfaces=[bandwidth_interface("M")],
+            components=[
+                ComponentSpec.parse("Relay", requires=["M"], implements=[],
+                                   conditions=["M.ibw >= 1"]),
+                ComponentSpec.parse("C", requires=["M"]),
+            ],
+            initial=[("Relay", "n0")],
+            goals=[("C", "n1")],
+        )
+        with pytest.raises(SpecError):
+            compile_problem(app, pair_network(), proportional_leveling(()))
+
+    def test_inconsistent_network_rejected(self):
+        app = build_app("n0", "nowhere")
+        with pytest.raises(ValueError):
+            compile_problem(app, pair_network(), proportional_leveling(()))
+
+    def test_compile_seconds_recorded(self, problem):
+        assert problem.compile_seconds > 0

@@ -1,0 +1,48 @@
+"""Unit tests for propositions and degradability closure."""
+
+from repro.compile import AvailProp, PlacedProp, dominated_level_tuples
+
+
+class TestProps:
+    def test_placed_identity(self):
+        assert PlacedProp("Client", "n0") == PlacedProp("Client", "n0")
+        assert PlacedProp("Client", "n0") != PlacedProp("Client", "n1")
+
+    def test_avail_identity_includes_levels(self):
+        assert AvailProp("M", "n0", (3,)) != AvailProp("M", "n0", (2,))
+
+    def test_hashable(self):
+        s = {PlacedProp("C", "n"), AvailProp("M", "n", (1,))}
+        assert len(s) == 2
+
+    def test_str(self):
+        assert str(PlacedProp("Cl", "n1")) == "placed(Cl,n1)"
+        assert str(AvailProp("M", "n1", (2,))) == "avail(M,n1,L=2)"
+        assert str(AvailProp("M", "n1")) == "avail(M,n1)"
+
+
+class TestDominatedClosure:
+    def test_degradable_closes_downward(self):
+        tups = set(dominated_level_tuples((3,), (True,), (False,), (5,)))
+        assert tups == {(0,), (1,), (2,), (3,)}
+
+    def test_upgradable_closes_upward(self):
+        tups = set(dominated_level_tuples((1,), (False,), (True,), (4,)))
+        assert tups == {(1,), (2,), (3,)}
+
+    def test_plain_is_exact(self):
+        tups = set(dominated_level_tuples((2,), (False,), (False,), (5,)))
+        assert tups == {(2,)}
+
+    def test_empty_levels(self):
+        assert list(dominated_level_tuples((), (), (), ())) == [()]
+
+    def test_multi_property_product(self):
+        tups = set(
+            dominated_level_tuples((1, 1), (True, False), (False, True), (3, 3))
+        )
+        # degradable ibw: {0,1} × upgradable lat: {1,2}
+        assert tups == {(0, 1), (0, 2), (1, 1), (1, 2)}
+
+    def test_level_zero_degradable(self):
+        assert set(dominated_level_tuples((0,), (True,), (False,), (5,))) == {(0,)}

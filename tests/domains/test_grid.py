@@ -1,0 +1,102 @@
+"""Unit tests for the grid task-graph domain."""
+
+import pytest
+
+from repro.domains import grid
+from repro.planner import Planner, PlannerConfig, ResourceInfeasible, solve
+
+
+def plan_for(sites=3, deadline=grid.DEFAULT_DEADLINE, **app_kwargs):
+    net = grid.build_network(sites=sites)
+    app = grid.build_app(
+        "site0_worker", f"site{sites - 1}_worker", deadline=deadline, **app_kwargs
+    )
+    return Planner(PlannerConfig(leveling=grid.grid_leveling())).solve(app, net)
+
+
+class TestWorkflowPlacement:
+    def test_compute_placed_near_data(self):
+        """Shipping the 100-unit raw stream is expensive; the planner
+        keeps Filter and Compute at the source site and ships the small
+        result — the classic move-computation-to-data outcome."""
+        plan = plan_for(sites=3)
+        placements = dict(plan.placements())
+        assert placements["FilterTask"].startswith("site0")
+        assert placements["ComputeTask"].startswith("site0")
+        result_hops = [c for c in plan.crossings() if c[0] == "Result"]
+        assert len(result_hops) >= 3
+
+    def test_latency_accumulates_exactly(self):
+        plan = plan_for(sites=3)
+        report = plan.execute()
+        lat = report.value("lat:Result@site2_worker")
+        # filter 2 + compute 5 + LAN 1 + WAN 8 + WAN 8 + LAN 1 = 25.
+        assert lat == pytest.approx(25.0)
+
+    def test_deadline_satisfied(self):
+        plan = plan_for(sites=3)
+        report = plan.execute()
+        assert report.value("lat:Result@site2_worker") <= grid.DEFAULT_DEADLINE
+
+
+class TestDeadline:
+    def test_tight_deadline_infeasible(self):
+        """Replay prunes plans whose accumulated latency exceeds the
+        deadline (the paper's QoS early-detection)."""
+        with pytest.raises(ResourceInfeasible):
+            plan_for(sites=4, deadline=10.0)
+
+    def test_loose_deadline_feasible_at_distance(self):
+        plan = plan_for(sites=4, deadline=60.0)
+        assert plan.execute().value("lat:Result@site3_worker") <= 60.0
+
+
+class TestBandwidthDemand:
+    def test_result_bandwidth_delivered(self):
+        plan = plan_for(sites=2)
+        report = plan.execute()
+        assert report.value("ibw:Result@site1_worker") == pytest.approx(4.0)
+
+    def test_impossible_demand_rejected(self):
+        from repro.planner import PlanningError
+
+        net = grid.build_network(sites=2)
+        app = grid.build_app("site0_worker", "site1_worker", min_result_bw=99.0)
+        with pytest.raises(PlanningError):
+            Planner(PlannerConfig(leveling=grid.grid_leveling())).solve(app, net)
+
+
+class TestPackUnpack:
+    def test_pack_available_in_app(self):
+        app = grid.build_app("a", "b")
+        assert "Pack" in app.components and "Unpack" in app.components
+
+    def test_without_pack(self):
+        app = grid.build_app("a", "b", with_pack=False)
+        assert "Pack" not in app.components
+
+
+class TestMemoryDimension:
+    def test_memory_constrains_compute_placement(self):
+        """With memory enabled, ComputeTask needs Node.mem >= Filtered.ibw
+        (40 units); heads have 10, workers 40 — compute lands on workers."""
+        net = grid.build_network(sites=3, node_mem=10.0)
+        app = grid.build_app("site0_worker", "site2_worker", with_memory=True)
+        plan = Planner(PlannerConfig(leveling=grid.grid_leveling())).solve(app, net)
+        placements = dict(plan.placements())
+        assert placements["ComputeTask"].endswith("worker")
+        report = plan.execute()
+        compute_node = placements["ComputeTask"]
+        assert report.consumed[f"mem@{compute_node}"] == pytest.approx(40.0)
+
+    def test_insufficient_memory_everywhere(self):
+        net = grid.build_network(sites=2, node_mem=5.0)  # workers have 20 < 40
+        app = grid.build_app("site0_worker", "site1_worker", with_memory=True)
+        from repro.planner import PlanningError
+
+        with pytest.raises(PlanningError):
+            Planner(PlannerConfig(leveling=grid.grid_leveling())).solve(app, net)
+
+    def test_memory_off_by_default(self):
+        app = grid.build_app("a", "b")
+        assert all(r.name != "mem" for r in app.resources)

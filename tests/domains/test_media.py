@@ -1,0 +1,73 @@
+"""Unit tests for the media-delivery domain constants and structure."""
+
+import pytest
+
+from repro.domains import media
+from repro.expr import check_condition_float, eval_float
+
+
+class TestConstants:
+    def test_split_ratios_sum_to_one(self):
+        assert media.SPLIT_T_RATIO + media.SPLIT_I_RATIO == pytest.approx(1.0)
+
+    def test_ratio_satisfies_merger_condition(self):
+        """T:I = 7:3 is forced by the paper's T*3 == I*7."""
+        assert media.SPLIT_T_RATIO * 3 == pytest.approx(media.SPLIT_I_RATIO * 7)
+
+    def test_paper_585_lan_units(self):
+        """Optimal 90 units: Z + I = 31.5 + 27 = 58.5 (paper §4.1)."""
+        m = 90.0
+        z = m * media.SPLIT_T_RATIO * media.ZIP_RATIO
+        i = m * media.SPLIT_I_RATIO
+        assert z + i == pytest.approx(58.5)
+
+    def test_paper_111_unit_cpu_budget(self):
+        """30 CPU supports split+zip of ≈111 units of M (paper §4.1)."""
+        per_unit = 1 / 5 + media.SPLIT_T_RATIO / 10
+        assert media.DEFAULT_NODE_CPU / per_unit == pytest.approx(111.11, abs=0.1)
+
+    def test_splitter_cpu_at_200_is_40(self):
+        """Paper Scenario 1: splitting 200 units needs 40 CPU."""
+        app = media.build_app("s", "c")
+        splitter = app.component("Splitter")
+        consumption = [a for a in splitter.effects if a.target.name == "Node.cpu"][0]
+        assert eval_float(consumption.expr, {"M.ibw": 200.0}) == pytest.approx(40.0)
+
+
+class TestApp:
+    def test_roundtrip_preserves_bandwidth(self):
+        """split -> zip -> unzip -> merge reconstructs the stream."""
+        m = 100.0
+        t = m * media.SPLIT_T_RATIO
+        i = m * media.SPLIT_I_RATIO
+        z = t * media.ZIP_RATIO
+        t2 = z / media.ZIP_RATIO
+        assert t2 + i == pytest.approx(m)
+
+    def test_custom_demand_in_client_condition(self):
+        app = media.build_app("s", "c", demand=42.0)
+        cond = app.component("Client").conditions[0]
+        assert check_condition_float(cond, {"M.ibw": 42.0})
+        assert not check_condition_float(cond, {"M.ibw": 41.0})
+
+    def test_custom_source_bw(self):
+        app = media.build_app("s", "c", source_bw=120.0)
+        effect = app.component("Server").effects[0]
+        assert eval_float(effect.expr, {}) == 120.0
+
+
+class TestProportionalLeveling:
+    def test_table1_footnote(self):
+        lev = media.proportional_leveling((30, 70, 90, 100))
+        assert lev.for_var("M.ibw").cutpoints == (30, 70, 90, 100)
+        assert lev.for_var("T.ibw").cutpoints == (21, 49, 63, 70)
+        assert lev.for_var("I.ibw").cutpoints == (9, 21, 27, 30)
+        assert lev.for_var("Z.ibw").cutpoints == (10.5, 24.5, 31.5, 35)
+
+    def test_empty_cutpoints_trivial(self):
+        lev = media.proportional_leveling(())
+        assert lev.for_var("M.ibw").is_trivial()
+
+    def test_link_cutpoints(self):
+        lev = media.proportional_leveling((100,), (31, 62))
+        assert lev.for_var("Link.lbw").cutpoints == (31, 62)

@@ -1,0 +1,68 @@
+"""Unit tests for component choice among compatible implementations."""
+
+import pytest
+
+from repro.domains import variants
+from repro.planner import PlanningError, solve
+
+LEV = variants.variants_leveling()
+
+
+def chosen_pipeline(plan):
+    subjects = {a.subject for a in plan.actions}
+    if "DeepZip" in subjects:
+        return "deep"
+    if "FastZip" in subjects:
+        return "fast"
+    return "raw"
+
+
+class TestChoiceByBottleneck:
+    def test_wide_link_goes_raw(self):
+        """Links fit the full stream: no compression pays off."""
+        net = variants.build_network(link_bw=150.0, node_cpu=100.0)
+        plan = solve(variants.build_app("src", "dst"), net, LEV)
+        assert chosen_pipeline(plan) == "raw"
+
+    def test_medium_link_picks_fast_variant(self):
+        """90-unit links fit the 0.8-ratio stream (80) but not raw (100);
+        the cheap fast pipeline wins over the deep one."""
+        net = variants.build_network(link_bw=90.0, node_cpu=100.0)
+        plan = solve(variants.build_app("src", "dst"), net, LEV)
+        assert chosen_pipeline(plan) == "fast"
+
+    def test_narrow_link_forces_deep_variant(self):
+        """50-unit links only fit the 0.4-ratio stream (40)."""
+        net = variants.build_network(link_bw=50.0, node_cpu=100.0)
+        plan = solve(variants.build_app("src", "dst"), net, LEV)
+        assert chosen_pipeline(plan) == "deep"
+
+    def test_low_cpu_blocks_deep_variant(self):
+        """A narrow link demands deep compression, but the nodes cannot
+        afford its CPU (100/4 = 25 > 20): no plan exists."""
+        net = variants.build_network(link_bw=50.0, node_cpu=20.0)
+        with pytest.raises(PlanningError):
+            solve(variants.build_app("src", "dst"), net, LEV)
+
+    def test_low_cpu_still_allows_fast_variant(self):
+        """The same 20-CPU nodes handle the fast pipeline (100/20 = 5)."""
+        net = variants.build_network(link_bw=90.0, node_cpu=20.0)
+        plan = solve(variants.build_app("src", "dst"), net, LEV)
+        assert chosen_pipeline(plan) == "fast"
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("link_bw,expected", [(150.0, "raw"), (90.0, "fast"), (50.0, "deep")])
+    def test_full_bandwidth_restored(self, link_bw, expected):
+        net = variants.build_network(link_bw=link_bw, node_cpu=100.0)
+        plan = solve(variants.build_app("src", "dst"), net, LEV)
+        assert chosen_pipeline(plan) == expected
+        report = plan.execute()
+        assert report.value("ibw:T@dst") == pytest.approx(variants.DEFAULT_BW)
+
+    def test_compress_once_decompress_once(self):
+        net = variants.build_network(link_bw=50.0, node_cpu=100.0)
+        plan = solve(variants.build_app("src", "dst"), net, LEV)
+        subjects = [a.subject for a in plan.actions if a.kind == "place"]
+        assert subjects.count("DeepZip") == 1
+        assert subjects.count("DeepUnzip") == 1

@@ -1,0 +1,70 @@
+"""Unit tests for the Fig. 5 web-service cost-tradeoff domain."""
+
+import pytest
+
+from repro.domains import webservice as ws
+from repro.planner import Planner, PlannerConfig
+
+
+def solve_with(link_weight, cpu_weight):
+    net = ws.build_network()
+    app = ws.build_app("server", "client", link_weight=link_weight, cpu_weight=cpu_weight)
+    return Planner(PlannerConfig(leveling=ws.ws_leveling())).solve(app, net)
+
+
+def strategy(plan):
+    return "zip" if any(a.subject == "WZip" for a in plan.actions) else "raw"
+
+
+class TestNetworkShape:
+    def test_two_routes(self):
+        net = ws.build_network()
+        assert net.shortest_path("server", "client") == ["server", "c", "client"]
+        assert len(net) == 5
+
+    def test_short_route_fits_only_compressed(self):
+        net = ws.build_network()
+        short = net.link("server", "c").capacity("lbw")
+        assert ws.DEFAULT_WS_BW * ws.WS_ZIP_RATIO <= short < ws.DEFAULT_WS_BW
+
+
+class TestTradeoff:
+    def test_cheap_links_choose_raw_three_hops(self):
+        plan = solve_with(link_weight=0.2, cpu_weight=2.0)
+        assert strategy(plan) == "raw"
+        assert len(plan.crossings()) == 3
+
+    def test_expensive_links_choose_zip_two_hops(self):
+        plan = solve_with(link_weight=3.0, cpu_weight=0.2)
+        assert strategy(plan) == "zip"
+        assert len(plan.crossings()) == 2
+
+    def test_flip_is_monotone_in_link_weight(self):
+        """Sweeping link cost from cheap to dear flips raw -> zip once."""
+        strategies = [
+            strategy(solve_with(link_weight=w, cpu_weight=1.0))
+            for w in (0.1, 0.5, 1.0, 2.0, 4.0)
+        ]
+        # No zig-zag: once zip wins it keeps winning.
+        first_zip = strategies.index("zip") if "zip" in strategies else len(strategies)
+        assert all(s == "raw" for s in strategies[:first_zip])
+        assert all(s == "zip" for s in strategies[first_zip:])
+
+    def test_cheapest_plan_not_necessarily_shortest(self):
+        """The paper: 'the cheapest plan is not necessarily the one with
+        the smallest number of steps'."""
+        plan = solve_with(link_weight=3.0, cpu_weight=0.2)
+        assert strategy(plan) == "zip"
+        assert len(plan) == 5  # vs 4 actions for the raw route
+
+    def test_exact_cost_matches_lower_bound_at_point_levels(self):
+        # Demand == source: committed levels pin the exact bandwidth.
+        plan = solve_with(link_weight=1.0, cpu_weight=1.0)
+        assert plan.exact_cost == pytest.approx(plan.cost_lb)
+
+
+class TestDelivery:
+    def test_full_bandwidth_delivered_both_ways(self):
+        for lw, cw in ((0.2, 2.0), (3.0, 0.2)):
+            report = solve_with(lw, cw).execute()
+            assert report.value("ibw:T@client") == pytest.approx(ws.DEFAULT_WS_BW)

@@ -1,0 +1,75 @@
+"""Unit tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.experiments import (
+    Table2Row,
+    format_table,
+    render_table1,
+    render_table2,
+    run_cell,
+)
+
+
+class TestRunCell:
+    def test_tiny_a_fails(self):
+        row = run_cell("Tiny", "A")
+        assert not row.solved
+        assert row.failure == "ResourceInfeasible"
+
+    def test_tiny_b_row(self):
+        row = run_cell("Tiny", "B")
+        assert row.solved
+        assert row.actions_in_plan == 7
+        assert row.cost_lower_bound == pytest.approx(7.0)
+        assert row.reserved_lan_bw is None  # Tiny has no LAN links -> N/A
+        assert row.delivered_bw == pytest.approx(100.0)
+
+    def test_tiny_c_row(self):
+        row = run_cell("Tiny", "C")
+        assert row.solved and row.actions_in_plan == 7
+        assert row.cost_lower_bound == pytest.approx(40.3)
+        assert row.exact_cost >= row.cost_lower_bound
+
+    def test_small_quality_columns(self):
+        b = run_cell("Small", "B")
+        c = run_cell("Small", "C")
+        assert b.reserved_lan_bw == pytest.approx(100.0)
+        assert c.reserved_lan_bw == pytest.approx(65.0)
+        assert c.actions_in_plan > b.actions_in_plan
+        assert c.exact_cost < b.exact_cost
+
+    def test_work_columns_populated(self):
+        row = run_cell("Tiny", "C")
+        assert row.total_actions > 0
+        assert row.plrg_props > 0 and row.plrg_actions > 0
+        assert row.slrg_nodes > 0 and row.rg_nodes > 0
+        assert row.total_ms > 0
+
+    def test_action_counts_grow_b_to_e(self):
+        counts = [run_cell("Tiny", k).total_actions for k in ("B", "C", "D", "E")]
+        assert counts == sorted(counts) and counts[0] < counts[-1]
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_table1_contains_all_scenarios(self):
+        text = render_table1()
+        for key in "ABCDE":
+            assert f"\n{key} " in text or text.startswith(f"{key} ")
+
+    def test_render_table2(self):
+        rows = [run_cell("Tiny", "B"), run_cell("Tiny", "A")]
+        text = render_table2(rows)
+        assert "Tiny" in text
+        assert "ResourceInfeasible" in text
+
+    def test_failure_row_cells(self):
+        row = Table2Row(network="X", scenario="A", solved=False, failure="boom")
+        cells = row.cells()
+        assert "boom" in cells

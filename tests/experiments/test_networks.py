@@ -1,0 +1,61 @@
+"""Unit tests for the evaluation network cases."""
+
+import pytest
+
+from repro.experiments import large_case, network_case, small_case, tiny_case
+
+
+class TestTiny:
+    def test_fig3_shape(self):
+        case = tiny_case()
+        assert len(case.network) == 2
+        assert case.network.link("n0", "n1").capacity("lbw") == 70.0
+        assert case.network.node("n0").capacity("cpu") == 30.0
+
+    def test_no_lan_links(self):
+        assert tiny_case().lan_link_vars() == set()
+
+
+class TestSmall:
+    def test_six_nodes(self):
+        case = small_case()
+        assert len(case.network) == 6
+
+    def test_lan_wan_lan_chain(self):
+        net = small_case().network
+        assert "LAN" in net.link("n0", "n1").labels
+        assert "WAN" in net.link("n1", "n2").labels
+        assert "LAN" in net.link("n2", "n3").labels
+
+    def test_endpoints(self):
+        case = small_case()
+        assert case.server == "n0" and case.client == "n3"
+
+    def test_lan_link_vars(self):
+        assert "lbw@n0~n1" in small_case().lan_link_vars()
+
+
+class TestLarge:
+    def test_93_nodes(self):
+        case = large_case()
+        assert len(case.network) == 93
+
+    def test_endpoints_in_different_stubs(self):
+        case = large_case()
+        hops = case.network.hop_distances(case.server)
+        assert hops[case.client] >= 4  # must traverse the backbone
+
+    def test_resource_distribution(self):
+        net = large_case().network
+        assert all(l.capacity("lbw") == 150.0 for l in net.links_with_label("LAN"))
+        assert all(l.capacity("lbw") == 70.0 for l in net.links_with_label("WAN"))
+
+
+class TestLookup:
+    @pytest.mark.parametrize("key", ["Tiny", "tiny", "Small", "large"])
+    def test_case_lookup(self, key):
+        assert network_case(key).key.lower() == key.lower()
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            network_case("Huge")

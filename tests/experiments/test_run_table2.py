@@ -1,0 +1,22 @@
+"""Unit tests for the run_table2 batch entry point."""
+
+from repro.experiments import render_table2, run_table2
+
+
+class TestRunTable2:
+    def test_subset_run(self):
+        rows = run_table2(networks=("Tiny",), scenarios=("A", "B"))
+        assert len(rows) == 2
+        a, b = rows
+        assert a.network == "Tiny" and a.scenario == "A" and not a.solved
+        assert b.solved and b.actions_in_plan == 7
+
+    def test_rows_render_together(self):
+        rows = run_table2(networks=("Tiny",), scenarios=("B", "C"))
+        text = render_table2(rows)
+        assert text.count("Tiny") == 2
+
+    def test_custom_demand_propagates(self):
+        rows = run_table2(networks=("Tiny",), scenarios=("B",), demand=95.0)
+        assert rows[0].solved
+        assert rows[0].delivered_bw >= 95.0

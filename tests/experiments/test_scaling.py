@@ -1,0 +1,37 @@
+"""Unit tests for the network-size scaling sweep."""
+
+import pytest
+
+from repro.experiments import scaling_network, scaling_sweep
+
+
+class TestScalingNetwork:
+    def test_node_count_formula(self):
+        net, server, client = scaling_network(stub_size=4)
+        assert len(net) == 3 + 9 * 4
+        assert server in net and client in net
+
+    def test_endpoints_in_different_stubs(self):
+        net, server, client = scaling_network(stub_size=4)
+        assert server.startswith("t0_0_") and client.startswith("t0_2_")
+        assert net.hop_distances(server)[client] >= 3
+
+
+class TestScalingSweep:
+    def test_small_sweep(self):
+        points = scaling_sweep(stub_sizes=(2, 4))
+        assert [p.nodes for p in points] == [21, 39]
+        assert all(p.solved for p in points)
+        assert points[0].ground_actions < points[1].ground_actions
+
+    def test_rows_render(self):
+        points = scaling_sweep(stub_sizes=(2,))
+        row = points[0].row()
+        assert row[0] == "21"
+        assert len(row) == 8
+
+    def test_failure_row(self):
+        from repro.experiments.scaling import ScalingPoint
+
+        p = ScalingPoint(stub_size=1, nodes=12, links=11, solved=False, failure="X")
+        assert "X" in p.row()

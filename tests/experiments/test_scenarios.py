@@ -1,0 +1,44 @@
+"""Unit tests for the Table 1 scenarios."""
+
+import pytest
+
+from repro.experiments import SCENARIOS, scenario, scenario_keys
+
+
+class TestTable1:
+    def test_five_scenarios(self):
+        assert scenario_keys() == ["A", "B", "C", "D", "E"]
+
+    def test_a_is_trivial(self):
+        lev = scenario("A").leveling()
+        assert lev.for_var("M.ibw").is_trivial()
+        assert lev.for_var("Link.lbw").is_trivial()
+
+    def test_b_single_cutpoint(self):
+        assert scenario("B").m_cutpoints == (100.0,)
+
+    def test_c_cutpoints_around_demand(self):
+        assert scenario("C").m_cutpoints == (90.0, 100.0)
+
+    def test_d_five_levels(self):
+        lev = scenario("D").leveling()
+        assert lev.for_var("M.ibw").count == 5
+
+    def test_e_levels_link_bandwidth(self):
+        lev = scenario("E").leveling()
+        assert lev.for_var("Link.lbw").cutpoints == (31.0, 62.0)
+
+    def test_proportional_interfaces(self):
+        lev = scenario("D").leveling()
+        assert lev.for_var("T.ibw").cutpoints == (21.0, 49.0, 63.0, 70.0)
+
+    def test_lowercase_lookup(self):
+        assert scenario("c") is SCENARIOS["C"]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            scenario("Z")
+
+    def test_levels_str_rendering(self):
+        assert scenario("B").m_levels_str() == "[0, 100) [100, inf)"
+        assert scenario("A").m_levels_str() == "[0, inf)"

@@ -1,0 +1,114 @@
+"""Unit tests for syntactic formula analysis."""
+
+from repro.expr import (
+    Direction,
+    assigned_variables,
+    constant_value,
+    infer_degradable,
+    is_constant,
+    is_monotone_nondecreasing,
+    monotonicity,
+    parse_assign,
+    parse_condition,
+    parse_expr,
+    variables,
+)
+
+
+class TestVariables:
+    def test_expr(self):
+        assert variables(parse_expr("(T.ibw+I.ibw)/5")) == {"T.ibw", "I.ibw"}
+
+    def test_condition(self):
+        assert variables(parse_condition("Node.cpu >= M.ibw/5")) == {"Node.cpu", "M.ibw"}
+
+    def test_assign_includes_target(self):
+        assert variables(parse_assign("M.ibw' := min(M.ibw, Link.lbw)")) == {
+            "M.ibw",
+            "Link.lbw",
+        }
+
+    def test_assigned_variables(self):
+        assigns = [parse_assign("a := 1"), parse_assign("b -= 2")]
+        assert assigned_variables(assigns) == {"a", "b"}
+
+    def test_constant(self):
+        assert is_constant(parse_expr("1 + 2*3"))
+        assert constant_value(parse_expr("1 + 2*3")) == 7.0
+        assert constant_value(parse_expr("x + 1")) is None
+
+
+class TestMonotonicity:
+    def test_var_itself(self):
+        assert monotonicity(parse_expr("x"), "x") is Direction.NONDECREASING
+
+    def test_unrelated_var(self):
+        assert monotonicity(parse_expr("y"), "x") is Direction.CONSTANT
+
+    def test_sum(self):
+        assert monotonicity(parse_expr("x + y"), "x") is Direction.NONDECREASING
+
+    def test_difference_flips(self):
+        assert monotonicity(parse_expr("10 - x"), "x") is Direction.NONINCREASING
+
+    def test_positive_scale(self):
+        assert monotonicity(parse_expr("x * 0.7"), "x") is Direction.NONDECREASING
+
+    def test_negative_scale_flips(self):
+        assert monotonicity(parse_expr("x * -2"), "x") is Direction.NONINCREASING
+
+    def test_divide_by_positive_const(self):
+        assert monotonicity(parse_expr("x / 5"), "x") is Direction.NONDECREASING
+
+    def test_divide_by_negative_const(self):
+        assert monotonicity(parse_expr("x / -5"), "x") is Direction.NONINCREASING
+
+    def test_min_nondecreasing(self):
+        assert monotonicity(parse_expr("min(x, Link.lbw)"), "x") is Direction.NONDECREASING
+
+    def test_var_times_var_unknown(self):
+        assert monotonicity(parse_expr("x * y"), "x") is Direction.UNKNOWN
+
+    def test_const_over_var_unknown(self):
+        assert monotonicity(parse_expr("5 / x"), "x") is Direction.UNKNOWN
+
+    def test_paper_formulas_are_monotone(self):
+        for text, var in [
+            ("(T.ibw+I.ibw)/5", "T.ibw"),
+            ("T.ibw + I.ibw", "I.ibw"),
+            ("min(M.ibw, Link.lbw)", "M.ibw"),
+            ("M.ibw*0.7", "M.ibw"),
+        ]:
+            assert is_monotone_nondecreasing(parse_expr(text), var), text
+
+
+class TestDegradableInference:
+    """The paper: degradability 'can be obtained automatically by
+    syntactic analysis of the problem specification'."""
+
+    def test_bandwidth_stream_is_degradable(self):
+        effects = [
+            parse_assign("M.ibw' := min(M.ibw, Link.lbw)"),
+            parse_assign("Link.lbw' -= min(M.ibw, Link.lbw)"),
+        ]
+        assert infer_degradable("M.ibw", effects)
+
+    def test_splitter_inputs_degradable(self):
+        effects = [
+            parse_assign("T.ibw := M.ibw*0.7"),
+            parse_assign("I.ibw := M.ibw*0.3"),
+            parse_assign("Node.cpu -= M.ibw/5"),
+        ]
+        assert infer_degradable("M.ibw", effects)
+
+    def test_inverted_dependence_not_degradable(self):
+        effects = [parse_assign("out := 100 - x")]
+        assert not infer_degradable("x", effects)
+
+    def test_unknown_dependence_not_degradable(self):
+        effects = [parse_assign("out := x * y")]
+        assert not infer_degradable("x", effects)
+
+    def test_unmentioned_var_trivially_degradable(self):
+        effects = [parse_assign("out := y")]
+        assert infer_degradable("x", effects)

@@ -1,0 +1,172 @@
+"""Unit tests for float and interval evaluation of formulas."""
+
+import math
+
+import pytest
+
+from repro.expr import (
+    EvalError,
+    apply_assign_float,
+    apply_assign_interval,
+    check_condition_float,
+    condition_certain,
+    condition_satisfiable,
+    eval_float,
+    eval_interval,
+    parse_assign,
+    parse_condition,
+    parse_expr,
+)
+from repro.intervals import Interval
+
+
+class TestFloatEval:
+    def test_arith(self):
+        assert eval_float(parse_expr("1 + 2*3 - 4/2"), {}) == 5.0
+
+    def test_vars(self):
+        env = {"T.ibw": 63.0, "I.ibw": 27.0}
+        assert eval_float(parse_expr("(T.ibw+I.ibw)/5"), env) == pytest.approx(18.0)
+
+    def test_min_max(self):
+        env = {"M.ibw": 100.0, "Link.lbw": 70.0}
+        assert eval_float(parse_expr("min(M.ibw, Link.lbw)"), env) == 70.0
+        assert eval_float(parse_expr("max(M.ibw, Link.lbw, 150)"), env) == 150.0
+
+    def test_unbound_var(self):
+        with pytest.raises(EvalError):
+            eval_float(parse_expr("x + 1"), {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            eval_float(parse_expr("1/x"), {"x": 0.0})
+
+
+class TestFloatConditions:
+    def test_cpu_condition(self):
+        cond = parse_condition("Node.cpu >= (T.ibw+I.ibw)/5")
+        assert check_condition_float(cond, {"Node.cpu": 30.0, "T.ibw": 70.0, "I.ibw": 30.0})
+        assert not check_condition_float(cond, {"Node.cpu": 30.0, "T.ibw": 140.0, "I.ibw": 60.0})
+
+    def test_ratio_equality_with_tolerance(self):
+        cond = parse_condition("T.ibw*3 == I.ibw*7")
+        assert check_condition_float(cond, {"T.ibw": 70.0, "I.ibw": 30.0})
+        assert check_condition_float(cond, {"T.ibw": 0.7 * 90, "I.ibw": 0.3 * 90})
+        assert not check_condition_float(cond, {"T.ibw": 71.0, "I.ibw": 30.0})
+
+    def test_and(self):
+        cond = parse_condition("x >= 1 and x <= 2")
+        assert check_condition_float(cond, {"x": 1.5})
+        assert not check_condition_float(cond, {"x": 3.0})
+
+    def test_not_a_condition(self):
+        with pytest.raises(EvalError):
+            check_condition_float(parse_expr("x+1"), {"x": 1.0})
+
+
+class TestFloatAssign:
+    def test_set(self):
+        assert apply_assign_float(parse_assign("M.ibw := T.ibw + I.ibw"),
+                                  {"T.ibw": 70.0, "I.ibw": 30.0}) == 100.0
+
+    def test_minus_equals(self):
+        assign = parse_assign("Node.cpu -= (T.ibw+I.ibw)/5")
+        env = {"Node.cpu": 30.0, "T.ibw": 70.0, "I.ibw": 30.0}
+        assert apply_assign_float(assign, env) == pytest.approx(10.0)
+
+    def test_plus_equals(self):
+        assign = parse_assign("lat += 5")
+        assert apply_assign_float(assign, {"lat": 3.0}) == 8.0
+
+
+class TestIntervalEval:
+    def test_vars_and_arith(self):
+        env = {"T.ibw": Interval.half_open(63, 70), "I.ibw": Interval.half_open(27, 30)}
+        out = eval_interval(parse_expr("T.ibw + I.ibw"), env)
+        assert out.lo == 90 and out.hi == 100 and out.hi_open
+
+    def test_fig6_cross_effect(self):
+        env = {"M.ibw": Interval.half_open(90, 100), "Link.lbw": Interval.point(70)}
+        out = eval_interval(parse_expr("min(M.ibw, Link.lbw)"), env)
+        assert out.is_point() and out.lo == 70
+
+    def test_unbound(self):
+        with pytest.raises(EvalError):
+            eval_interval(parse_expr("nope"), {})
+
+
+class TestConditionSatisfiability:
+    """The existential semantics of DESIGN.md rule 3."""
+
+    def test_demand_met_at_closed_lower_bound(self):
+        cond = parse_condition("M.ibw >= 90")
+        assert condition_satisfiable(cond, {"M.ibw": Interval.half_open(90, 100)})
+
+    def test_demand_unmet_at_open_supremum(self):
+        cond = parse_condition("M.ibw >= 90")
+        assert not condition_satisfiable(cond, {"M.ibw": Interval.half_open(0, 90)})
+
+    def test_demand_met_in_interior(self):
+        cond = parse_condition("M.ibw >= 90")
+        assert condition_satisfiable(cond, {"M.ibw": Interval.half_open(0, 100)})
+
+    def test_merger_ratio_on_matching_levels(self):
+        cond = parse_condition("T.ibw*3 == I.ibw*7")
+        env = {"T.ibw": Interval.half_open(63, 70), "I.ibw": Interval.half_open(27, 30)}
+        assert condition_satisfiable(cond, env)
+
+    def test_merger_ratio_on_mismatched_levels(self):
+        cond = parse_condition("T.ibw*3 == I.ibw*7")
+        env = {"T.ibw": Interval.half_open(63, 70), "I.ibw": Interval.half_open(0, 27)}
+        assert not condition_satisfiable(cond, env)
+
+    def test_cpu_condition_greedy_failure(self):
+        # Scenario A: M pinned at its 200-unit bound needs 40 CPU > 30.
+        cond = parse_condition("Node.cpu >= M.ibw/5")
+        env = {"Node.cpu": Interval.closed(0, 30), "M.ibw": Interval.point(200)}
+        assert not condition_satisfiable(cond, env)
+
+    def test_ne(self):
+        cond = parse_condition("x != 5")
+        assert not condition_satisfiable(cond, {"x": Interval.point(5)})
+        assert condition_satisfiable(cond, {"x": Interval.closed(5, 6)})
+
+    def test_and_all_parts(self):
+        cond = parse_condition("x >= 1 and x <= 0")
+        # Over-approximate: each part is satisfiable in isolation.
+        assert condition_satisfiable(cond, {"x": Interval.closed(0, 2)})
+
+
+class TestConditionCertainty:
+    def test_certain_ge(self):
+        cond = parse_condition("x >= 1")
+        assert condition_certain(cond, {"x": Interval.closed(1, 5)})
+        assert not condition_certain(cond, {"x": Interval.closed(0.5, 5)})
+
+    def test_certain_lt_openness(self):
+        cond = parse_condition("x < 5")
+        assert condition_certain(cond, {"x": Interval.half_open(0, 5)})
+        assert not condition_certain(cond, {"x": Interval.closed(0, 5)})
+
+    def test_certain_eq_only_points(self):
+        cond = parse_condition("x == 5")
+        assert condition_certain(cond, {"x": Interval.point(5)})
+        assert not condition_certain(cond, {"x": Interval.closed(5, 6)})
+
+
+class TestIntervalAssign:
+    def test_consumption_interval(self):
+        assign = parse_assign("Node.cpu -= M.ibw/5")
+        env = {"Node.cpu": Interval.point(30), "M.ibw": Interval.half_open(90, 100)}
+        out = apply_assign_interval(assign, env)
+        assert out.lo == 10 and out.hi == 12
+
+    def test_set(self):
+        assign = parse_assign("M.ibw := T.ibw + I.ibw")
+        env = {"T.ibw": Interval.point(63), "I.ibw": Interval.point(27)}
+        assert apply_assign_interval(assign, env) == Interval.point(90)
+
+    def test_accumulate(self):
+        assign = parse_assign("lat += 5")
+        out = apply_assign_interval(assign, {"lat": Interval.at_least(3)})
+        assert out.lo == 8 and math.isinf(out.hi)

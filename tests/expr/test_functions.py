@@ -1,0 +1,165 @@
+"""Unit tests for profiled table functions."""
+
+import pytest
+
+from repro.expr import (
+    EvalError,
+    TableFunction,
+    eval_float,
+    eval_interval,
+    parse_expr,
+    register_function,
+    unregister_function,
+)
+from repro.expr.functions import FunctionRegistry
+from repro.intervals import Interval
+
+
+@pytest.fixture
+def cpu_profile():
+    """A profiled CPU-vs-bandwidth table (sub-linear, like real codecs)."""
+    fn = TableFunction(
+        "cpu_profile",
+        [(0.0, 0.0), (50.0, 8.0), (100.0, 14.0), (200.0, 22.0)],
+    )
+    register_function(fn)
+    yield fn
+    unregister_function("cpu_profile")
+
+
+class TestTableFunction:
+    def test_interpolation(self, cpu_profile):
+        assert cpu_profile(0) == 0.0
+        assert cpu_profile(50) == 8.0
+        assert cpu_profile(75) == pytest.approx(11.0)
+
+    def test_clamping_outside_range(self, cpu_profile):
+        assert cpu_profile(-10) == 0.0
+        assert cpu_profile(500) == 22.0
+
+    def test_image_of_interval(self, cpu_profile):
+        out = cpu_profile.image(Interval.half_open(50, 100))
+        assert out.lo == 8.0 and out.hi == 14.0
+        assert not out.lo_open and out.hi_open
+
+    def test_image_of_clamped_interval(self, cpu_profile):
+        out = cpu_profile.image(Interval.closed(150, 1000))
+        assert out.hi == 22.0 and not out.hi_open
+
+    def test_image_empty(self, cpu_profile):
+        assert cpu_profile.image(Interval(2, 1)).is_empty()
+
+    def test_monotonicity_validated(self):
+        with pytest.raises(ValueError):
+            TableFunction("bad", [(0, 5.0), (10, 3.0)])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            TableFunction("bad", [(0, 0)])
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ValueError):
+            TableFunction("bad", [(0, 0), (0, 1), (2, 2)])
+
+    def test_dotted_name_rejected(self):
+        with pytest.raises(ValueError):
+            TableFunction("a.b", [(0, 0), (1, 1)])
+
+
+class TestRegistry:
+    def test_builtin_names_protected(self):
+        reg = FunctionRegistry()
+        with pytest.raises(ValueError):
+            reg.register(TableFunction("min", [(0, 0), (1, 1)]))
+
+    def test_unknown_lookup_raises(self):
+        reg = FunctionRegistry()
+        with pytest.raises(EvalError):
+            reg.get("nope")
+
+    def test_register_get_names(self):
+        reg = FunctionRegistry()
+        fn = reg.register(TableFunction("f", [(0, 0), (1, 1)]))
+        assert reg.get("f") is fn
+        assert "f" in reg and reg.names() == ["f"]
+
+
+class TestFormulasWithTables:
+    def test_parse_call(self, cpu_profile):
+        node = parse_expr("cpu_profile(M.ibw)")
+        assert eval_float(node, {"M.ibw": 75.0}) == pytest.approx(11.0)
+
+    def test_interval_eval(self, cpu_profile):
+        node = parse_expr("cpu_profile(M.ibw)")
+        out = eval_interval(node, {"M.ibw": Interval.half_open(50, 100)})
+        assert out.lo == 8.0 and out.hi == 14.0
+
+    def test_composed_formula(self, cpu_profile):
+        node = parse_expr("1 + cpu_profile(M.ibw)/2")
+        assert eval_float(node, {"M.ibw": 100.0}) == pytest.approx(8.0)
+
+    def test_unregistered_call_raises(self):
+        node = parse_expr("mystery(x)")
+        with pytest.raises(EvalError):
+            eval_float(node, {"x": 1.0})
+
+    def test_table_call_requires_one_arg(self, cpu_profile):
+        from repro.expr import ParseError
+
+        with pytest.raises(ParseError):
+            parse_expr("cpu_profile(a, b)")
+
+    def test_enclosure_property(self, cpu_profile):
+        """Sampled points inside the interval map into the image."""
+        node = parse_expr("cpu_profile(M.ibw)")
+        iv = Interval.closed(30, 170)
+        image = eval_interval(node, {"M.ibw": iv})
+        for x in (30, 60, 99.5, 150, 170):
+            assert eval_float(node, {"M.ibw": x}) in image
+
+
+class TestPlannerWithProfiledComponent:
+    def test_end_to_end_profiled_splitter(self, cpu_profile):
+        """A component whose CPU demand comes from a profile table plans
+        and executes exactly like a closed-form one."""
+        from repro.model import AppSpec, ComponentSpec, Leveling, LevelSpec, bandwidth_interface
+        from repro.network import pair_network
+        from repro.planner import solve
+
+        app = AppSpec.build(
+            "profiled",
+            interfaces=[
+                bandwidth_interface("M", cross_cost="1 + M.ibw/10"),
+                bandwidth_interface("S", cross_cost="1 + S.ibw/10"),
+            ],
+            components=[
+                ComponentSpec.parse(
+                    "Src", implements=["M"], effects=["M.ibw := 200"]
+                ),
+                ComponentSpec.parse(
+                    "Shrink",
+                    requires=["M"],
+                    implements=["S"],
+                    conditions=["Node.cpu >= cpu_profile(M.ibw)"],
+                    effects=[
+                        "S.ibw := M.ibw/4",
+                        "Node.cpu -= cpu_profile(M.ibw)",
+                    ],
+                    cost="1 + cpu_profile(M.ibw)",
+                ),
+                ComponentSpec.parse(
+                    "Sink", requires=["S"], conditions=["S.ibw >= 20"], cost="1"
+                ),
+            ],
+            initial=[("Src", "n0")],
+            goals=[("Sink", "n1")],
+        )
+        net = pair_network(cpu=15.0, link_bw=60.0)
+        leveling = Leveling(
+            {"M.ibw": LevelSpec((100.0,)), "S.ibw": LevelSpec((20.0,))}, "prof"
+        )
+        # Full 200 units need 22 CPU > 15; level [0,100) needs 14 <= 15.
+        plan = solve(app, net, leveling)
+        report = plan.execute()
+        assert report.value("ibw:S@n1") == pytest.approx(25.0)
+        assert report.consumed["cpu@n0"] == pytest.approx(14.0)

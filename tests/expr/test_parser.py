@@ -1,0 +1,157 @@
+"""Unit tests for the formula parser."""
+
+import pytest
+
+from repro.expr import (
+    And,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Num,
+    ParseError,
+    Var,
+    parse_assign,
+    parse_condition,
+    parse_expr,
+    parse_formula,
+)
+
+
+class TestExpressions:
+    def test_number(self):
+        assert parse_expr("42") == Num(42.0)
+
+    def test_var(self):
+        assert parse_expr("T.ibw") == Var("T.ibw")
+
+    def test_precedence(self):
+        node = parse_expr("1 + 2 * 3")
+        assert isinstance(node, BinOp) and node.op == "+"
+        assert node.right == BinOp("*", Num(2.0), Num(3.0))
+
+    def test_left_associativity(self):
+        node = parse_expr("10 - 2 - 3")
+        assert node == BinOp("-", BinOp("-", Num(10.0), Num(2.0)), Num(3.0))
+
+    def test_parens_override(self):
+        node = parse_expr("(1 + 2) * 3")
+        assert node.op == "*"
+
+    def test_unary_minus(self):
+        assert parse_expr("-5") == Num(-5.0)
+        node = parse_expr("-x")
+        assert node == BinOp("-", Num(0.0), Var("x"))
+
+    def test_min_call(self):
+        node = parse_expr("min(M.ibw, Link.lbw)")
+        assert node == Call("min", (Var("M.ibw"), Var("Link.lbw")))
+
+    def test_nested_call(self):
+        node = parse_expr("max(1, min(a, b), 3)")
+        assert isinstance(node, Call) and len(node.args) == 3
+
+    def test_min_needs_two_args(self):
+        with pytest.raises(ParseError):
+            parse_expr("min(a)")
+
+    def test_ident_named_min_without_call(self):
+        # 'min' not followed by '(' is a plain variable.
+        assert parse_expr("min + 1") == BinOp("+", Var("min"), Num(1.0))
+
+
+class TestConditions:
+    def test_comparison(self):
+        node = parse_condition("Node.cpu >= (T.ibw+I.ibw)/5")
+        assert isinstance(node, Compare) and node.op == ">="
+
+    def test_equality(self):
+        node = parse_condition("T.ibw*3 == I.ibw*7")
+        assert node.op == "=="
+
+    def test_and(self):
+        node = parse_condition("a >= 1 and b <= 2 and c > 3")
+        assert isinstance(node, And) and len(node.parts) == 3
+
+    def test_bare_expr_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condition("a + b")
+
+    def test_all_comparison_ops(self):
+        for op in (">=", "<=", ">", "<", "==", "!="):
+            assert parse_condition(f"x {op} 1").op == op
+
+
+class TestAssignments:
+    def test_simple(self):
+        node = parse_assign("M.ibw := T.ibw + I.ibw")
+        assert node.target == Var("M.ibw") and node.op == ":="
+
+    def test_augmented(self):
+        node = parse_assign("Node.cpu -= (T.ibw+I.ibw)/5")
+        assert node.op == "-="
+
+    def test_primed_target(self):
+        node = parse_assign("M.ibw' := min(M.ibw, Link.lbw)")
+        assert node.target.primed and node.target.name == "M.ibw"
+
+    def test_rhs_prime_stripped_to_name(self):
+        # Primes are only meaningful on targets; the parser records them.
+        node = parse_assign("x := y")
+        assert not node.target.primed
+
+    def test_number_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assign("5 := x")
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assign("x y")
+
+
+class TestAutodetect:
+    def test_detects_assign(self):
+        assert isinstance(parse_formula("x := 1"), Assign)
+
+    def test_detects_augmented(self):
+        assert isinstance(parse_formula("x -= 1"), Assign)
+
+    def test_detects_condition(self):
+        assert isinstance(parse_formula("x >= 1"), Compare)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 )")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_expr("(1 + 2")
+
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_expr("")
+
+    def test_double_operator(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + * 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            "Node.cpu >= (T.ibw + I.ibw) / 5",
+            "T.ibw * 3 == I.ibw * 7",
+            "M.ibw := T.ibw + I.ibw",
+            "M.ibw' := min(M.ibw, Link.lbw)",
+            "Link.lbw' -= min(M.ibw, Link.lbw)",
+            "1 + (I.ibw + T.ibw) / 10",
+            "a >= 1 and b <= 2",
+        ],
+    )
+    def test_parse_unparse_parse_fixpoint(self, formula):
+        first = parse_formula(formula)
+        second = parse_formula(first.unparse())
+        assert first == second

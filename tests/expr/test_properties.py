@@ -1,0 +1,98 @@
+"""Property-based tests tying float and interval semantics together.
+
+Invariant: for any generated expression and any concrete environment drawn
+from inside an interval environment, the float result lies inside the
+interval result — the formula-level version of enclosure soundness.  A
+second invariant checks that a satisfied concrete condition implies the
+existential interval check passes (the planner never prunes a condition
+that some concretization satisfies).
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.expr import (
+    BinOp,
+    Call,
+    Compare,
+    Num,
+    Var,
+    check_condition_float,
+    condition_satisfiable,
+    eval_float,
+    eval_interval,
+    parse_formula,
+)
+from repro.intervals import Interval
+
+VARS = ["M.ibw", "T.ibw", "I.ibw", "Node.cpu", "Link.lbw"]
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth >= 3:
+        leaf = draw(st.sampled_from(["num", "var"]))
+    else:
+        leaf = draw(st.sampled_from(["num", "var", "bin", "call"]))
+    if leaf == "num":
+        return Num(draw(st.floats(min_value=0.1, max_value=100, allow_nan=False)))
+    if leaf == "var":
+        return Var(draw(st.sampled_from(VARS)))
+    if leaf == "bin":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return BinOp(op, draw(exprs(depth + 1)), draw(exprs(depth + 1)))
+    fn = draw(st.sampled_from(["min", "max"]))
+    return Call(fn, (draw(exprs(depth + 1)), draw(exprs(depth + 1))))
+
+
+@st.composite
+def environments(draw):
+    """Paired interval env and a concrete env sampled inside it."""
+    ienv, fenv = {}, {}
+    for var in VARS:
+        a = draw(st.floats(min_value=0, max_value=200, allow_nan=False))
+        b = draw(st.floats(min_value=0, max_value=200, allow_nan=False))
+        lo, hi = min(a, b), max(a, b)
+        ienv[var] = Interval.closed(lo, hi)
+        if lo == hi:
+            fenv[var] = lo
+        else:
+            fenv[var] = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    return ienv, fenv
+
+
+class TestEnclosure:
+    @given(exprs(), environments())
+    def test_float_result_inside_interval_result(self, expr, envs):
+        ienv, fenv = envs
+        fv = eval_float(expr, fenv)
+        iv = eval_interval(expr, ienv)
+        pad = 1e-6 * max(1.0, abs(fv))
+        assert iv.lo - pad <= fv <= iv.hi + pad
+
+    @given(exprs(), environments(), st.sampled_from([">=", "<=", ">", "<", "=="]))
+    def test_satisfied_condition_never_pruned(self, expr, envs, op):
+        ienv, fenv = envs
+        threshold = eval_float(expr, fenv)  # pick a threshold the env attains
+        cond = Compare(op, expr, Num(threshold))
+        if check_condition_float(cond, fenv):
+            assert condition_satisfiable(cond, ienv)
+
+
+class TestUnparseStability:
+    @given(exprs())
+    def test_generated_exprs_round_trip(self, expr):
+        text = expr.unparse()
+        again = parse_formula(text)
+        # Values may differ in formatting but the tree must be equal.
+        assert again.unparse() == text
+
+    @given(exprs(), environments())
+    def test_round_trip_preserves_value(self, expr, envs):
+        _ienv, fenv = envs
+        text = expr.unparse()
+        again = parse_formula(text)
+        v1 = eval_float(expr, fenv)
+        v2 = eval_float(again, fenv)
+        assert math.isclose(v1, v2, rel_tol=1e-12, abs_tol=1e-12)

@@ -1,0 +1,93 @@
+"""Unit tests for the formula lexer."""
+
+import pytest
+
+from repro.expr import LexError
+from repro.expr.tokens import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert texts("42") == ["42"]
+
+    def test_decimal(self):
+        assert texts("3.14") == ["3.14"]
+
+    def test_leading_dot(self):
+        assert texts(".5") == [".5"]
+
+    def test_number_then_ident(self):
+        assert texts("2*x") == ["2", "*", "x"]
+
+
+class TestIdentifiers:
+    def test_dotted(self):
+        assert texts("Node.cpu") == ["Node.cpu"]
+
+    def test_primed(self):
+        assert texts("M.ibw'") == ["M.ibw'"]
+
+    def test_underscore(self):
+        assert texts("some_var.x_1") == ["some_var.x_1"]
+
+    def test_and_keyword(self):
+        toks = tokenize("a and b")
+        assert toks[1].kind == TokenKind.AND
+
+
+class TestOperators:
+    def test_multichar_ops(self):
+        for op in (":=", "+=", "-=", ">=", "<=", "==", "!="):
+            assert texts(f"x {op} y") == ["x", op, "y"]
+
+    def test_single_ops(self):
+        assert texts("a+b-c*d/e") == ["a", "+", "b", "-", "c", "*", "d", "/", "e"]
+
+    def test_comparison_not_split(self):
+        assert texts("x>=1") == ["x", ">=", "1"]
+
+    def test_parens_comma(self):
+        assert texts("min(a, b)") == ["min", "(", "a", ",", "b", ")"]
+
+
+class TestPaperFormulas:
+    """Every formula string appearing in the paper's figures must lex."""
+
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            "Node.cpu >= (T.ibw+I.ibw )/5",
+            "T.ibw*3 == I.ibw*7",
+            "M.ibw := T.ibw + I.ibw",
+            "Node.cpu -= (T.ibw+I.ibw )/5",
+            "M.ibw' := min( M.ibw, Link.lbw )",
+            "Link.lbw' -= min( M.ibw, Link.lbw )",
+            "1+(I.ibw+T.ibw)/10",
+        ],
+    )
+    def test_lexes(self, formula):
+        toks = tokenize(formula)
+        assert toks[-1].kind == TokenKind.EOF
+        assert len(toks) > 1
+
+
+class TestErrors:
+    def test_unknown_char(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ab @ cd")
+        assert exc.value.pos == 3
+
+    def test_whitespace_only(self):
+        assert kinds("   ") == [TokenKind.EOF]

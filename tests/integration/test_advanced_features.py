@@ -1,0 +1,138 @@
+"""Integration tests for features beyond the paper's benchmark: multiple
+goal components, software placement constraints, and failure injection."""
+
+import pytest
+
+from repro.domains import media
+from repro.model import AppSpec, ComponentSpec, bandwidth_interface
+from repro.network import Network, chain_network, star_network
+from repro.planner import Planner, PlannerConfig, PlanningError, solve
+
+LEV = media.proportional_leveling((90, 100))
+
+
+def two_client_app(server, client_a, client_b):
+    """The media app extended with a second client at another node."""
+    base = media.build_app(server, client_a)
+    client2 = ComponentSpec.parse(
+        "Client2",
+        requires=["M"],
+        conditions=["M.ibw >= 90"],
+        cost="1",
+    )
+    components = dict(base.components)
+    components["Client2"] = client2
+    return AppSpec(
+        name="two-clients",
+        interfaces=base.interfaces,
+        components=components,
+        resources=base.resources,
+        initial_placements=base.initial_placements,
+        goal_placements=base.goal_placements
+        + type(base.goal_placements)([type(base.goal_placements[0])("Client2", client_b)]),
+        pinned={**base.pinned, "Client2": client_b},
+    )
+
+
+class TestMultipleGoals:
+    def test_two_clients_on_star(self):
+        net = star_network(3, hub_cpu=1000.0, leaf_cpu=1000.0, link_bw=150.0)
+        app = two_client_app("leaf0", "leaf1", "leaf2")
+        plan = solve(app, net, LEV)
+        placed = dict(plan.placements())
+        assert placed["Client"] == "leaf1"
+        assert placed["Client2"] == "leaf2"
+        report = plan.execute()
+        assert report.value("ibw:M@leaf1") >= 90.0
+        assert report.value("ibw:M@leaf2") >= 90.0
+
+    def test_stream_multicast_shares_the_uplink(self):
+        """A stream available at a node serves any number of consumers:
+        one split stream (Z + I = 65 units) over a 70-unit uplink feeds
+        both clients, while a 60-unit uplink fits neither."""
+        def star_with(uplink_bw):
+            net = Network("shared")
+            net.add_node("src", {"cpu": 30.0})
+            net.add_node("hub", {"cpu": 1000.0})
+            net.add_node("a", {"cpu": 1000.0})
+            net.add_node("b", {"cpu": 1000.0})
+            net.add_link("src", "hub", {"lbw": uplink_bw}, labels={"WAN"})
+            net.add_link("hub", "a", {"lbw": 300.0}, labels={"LAN"})
+            net.add_link("hub", "b", {"lbw": 300.0}, labels={"LAN"})
+            return net
+
+        app = two_client_app("src", "a", "b")
+        with pytest.raises(PlanningError):
+            solve(app, star_with(60.0), LEV, rg_node_budget=50_000)
+        plan = solve(app, star_with(70.0), LEV)
+        report = plan.execute()
+        # The compressed streams cross the uplink exactly once each.
+        uplink_crossings = [c for c in plan.crossings() if {c[1], c[2]} == {"src", "hub"}]
+        assert len(uplink_crossings) == 2  # Z and I, shared by both clients
+        assert report.consumed["lbw@hub~src"] == pytest.approx(65.0)
+
+
+class TestSoftwareConstraints:
+    def test_component_restricted_to_licensed_nodes(self):
+        """Splitter/Merger can only run where the software is installed."""
+        net = Network("licensed")
+        net.add_node("n0", {"cpu": 30.0}, software=["Splitter", "Zip"])
+        net.add_node("n1", {"cpu": 30.0}, software=[])  # relay only
+        net.add_node("n2", {"cpu": 1000.0},
+                     software=["Unzip", "Merger", "Client"])
+        net.add_link("n0", "n1", {"lbw": 70.0}, labels={"WAN"})
+        net.add_link("n1", "n2", {"lbw": 70.0}, labels={"WAN"})
+        app = media.build_app("n0", "n2")
+        plan = solve(app, net, LEV)
+        placed = dict(plan.placements())
+        assert placed["Splitter"] == "n0"
+        assert placed["Merger"] == "n2"
+        assert all(node != "n1" for node in placed.values())
+
+    def test_unsatisfiable_when_no_node_allows_component(self):
+        net = Network("nowhere")
+        net.add_node("n0", {"cpu": 30.0}, software=["Server"])
+        net.add_node("n1", {"cpu": 30.0}, software=["Client"])
+        net.add_link("n0", "n1", {"lbw": 70.0}, labels={"WAN"})
+        app = media.build_app("n0", "n1")  # needs a splitter somewhere
+        with pytest.raises(PlanningError):
+            solve(app, net, LEV)
+
+
+class TestFailureInjection:
+    def test_zero_cpu_blocks_transformation(self):
+        """With no CPU anywhere, the split plan is impossible; on a narrow
+        link that plan is the only option, so planning must fail."""
+        net = chain_network([(70, "WAN")], cpu=0.0)
+        app = media.build_app("n0", "n1")
+        with pytest.raises(PlanningError):
+            solve(app, net, LEV)
+
+    def test_zero_cpu_still_allows_pure_forwarding(self):
+        """Crossing and placing the (CPU-free) client needs no CPU."""
+        net = chain_network([(150, "LAN")], cpu=0.0)
+        app = media.build_app("n0", "n1")
+        plan = solve(app, net, LEV)
+        assert [a.kind for a in plan.actions] == ["cross", "place"]
+
+    def test_zero_bandwidth_link(self):
+        net = chain_network([(0.0, "LAN")], cpu=30.0)
+        app = media.build_app("n0", "n1")
+        with pytest.raises(PlanningError):
+            solve(app, net, LEV)
+
+    def test_demand_above_source_capacity(self):
+        net = chain_network([(500, "LAN")], cpu=1000.0)
+        app = media.build_app("n0", "n1", demand=250.0)  # source caps at 200
+        with pytest.raises(PlanningError):
+            solve(app, net, LEV)
+
+    def test_budget_exhaustion_is_typed(self):
+        from repro.planner import SearchBudgetExceeded
+
+        net = chain_network([(150, "LAN"), (70, "WAN"), (150, "LAN")], cpu=30.0)
+        app = media.build_app("n0", "n3")
+        with pytest.raises(SearchBudgetExceeded):
+            Planner(
+                PlannerConfig(leveling=LEV, rg_node_budget=2)
+            ).solve(app, net)

@@ -1,0 +1,158 @@
+"""Fuzzing the planner over randomly generated application domains.
+
+Random transformation chains (source → k transformers → sink) with random
+ratios, CPU profiles, demands, levelings, and networks.  Invariants:
+
+* soundness — every returned plan executes exactly and meets the demand;
+* admissibility — the cost lower bound never exceeds the exact cost;
+* oracle agreement — on instances small enough for exhaustive search,
+  the planner's exact cost matches the optimum.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import exhaustive_optimal
+from repro.model import AppSpec, ComponentSpec, Leveling, LevelSpec, bandwidth_interface
+from repro.network import Network
+from repro.planner import Planner, PlannerConfig, PlanningError
+
+
+@st.composite
+def chain_domains(draw):
+    """A random source → transformers → sink application."""
+    n_stages = draw(st.integers(min_value=1, max_value=3))
+    source_bw = draw(st.sampled_from([80.0, 100.0, 160.0, 200.0]))
+    ratios = [draw(st.sampled_from([0.25, 0.5, 0.8, 1.0])) for _ in range(n_stages)]
+    cpu_div = [draw(st.sampled_from([5.0, 10.0, 20.0])) for _ in range(n_stages)]
+
+    ifaces = [bandwidth_interface(f"S{i}", cross_cost=f"1 + S{i}.ibw/10")
+              for i in range(n_stages + 1)]
+    comps = [
+        ComponentSpec.parse(
+            "Source", implements=["S0"], effects=[f"S0.ibw := {source_bw:g}"]
+        )
+    ]
+    out_bw = source_bw
+    for i, (ratio, div) in enumerate(zip(ratios, cpu_div)):
+        comps.append(
+            ComponentSpec.parse(
+                f"Stage{i}",
+                requires=[f"S{i}"],
+                implements=[f"S{i + 1}"],
+                conditions=[f"Node.cpu >= S{i}.ibw/{div:g}"],
+                effects=[
+                    f"S{i + 1}.ibw := S{i}.ibw*{ratio:g}",
+                    f"Node.cpu -= S{i}.ibw/{div:g}",
+                ],
+                cost=f"1 + S{i}.ibw/10",
+            )
+        )
+        out_bw *= ratio
+    demand_frac = draw(st.sampled_from([0.4, 0.7, 0.9, 1.0]))
+    demand = round(out_bw * demand_frac, 6)
+    comps.append(
+        ComponentSpec.parse(
+            "Sink",
+            requires=[f"S{n_stages}"],
+            conditions=[f"S{n_stages}.ibw >= {demand:g}"],
+            cost="1",
+        )
+    )
+    return comps, ifaces, n_stages, source_bw, demand
+
+
+@st.composite
+def small_networks(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=4))
+    net = Network("fuzz")
+    for i in range(n_nodes):
+        cpu = draw(st.sampled_from([10.0, 25.0, 50.0, 200.0]))
+        net.add_node(f"n{i}", {"cpu": cpu})
+    for i in range(n_nodes - 1):
+        bw = draw(st.sampled_from([30.0, 60.0, 120.0, 250.0]))
+        net.add_link(f"n{i}", f"n{i + 1}", {"lbw": bw}, labels={"L"})
+    if n_nodes >= 3 and draw(st.booleans()):
+        bw = draw(st.sampled_from([30.0, 120.0]))
+        if not net.has_link("n0", f"n{n_nodes - 1}"):
+            net.add_link("n0", f"n{n_nodes - 1}", {"lbw": bw}, labels={"L"})
+    return net
+
+
+@st.composite
+def levelings_for(draw, n_stages, source_bw):
+    specs = {}
+    for i in range(n_stages + 1):
+        if draw(st.booleans()):
+            cuts = sorted(
+                draw(
+                    st.lists(
+                        st.sampled_from(
+                            [source_bw * f for f in (0.25, 0.5, 0.75, 1.0)]
+                        ),
+                        min_size=1,
+                        max_size=3,
+                        unique=True,
+                    )
+                )
+            )
+            specs[f"S{i}.ibw"] = LevelSpec(tuple(round(c, 9) for c in cuts))
+    return Leveling(specs, name="fuzz")
+
+
+class TestFuzzedDomains:
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(data=st.data())
+    def test_soundness_and_admissibility(self, data):
+        comps, ifaces, n_stages, source_bw, demand = data.draw(chain_domains())
+        net = data.draw(small_networks())
+        leveling = data.draw(levelings_for(n_stages, source_bw))
+        app = AppSpec.build(
+            "fuzz",
+            interfaces=ifaces,
+            components=comps,
+            initial=[("Source", "n0")],
+            goals=[("Sink", f"n{len(net) - 1}")],
+        )
+        planner = Planner(
+            PlannerConfig(leveling=leveling, rg_node_budget=40_000, validate=False)
+        )
+        try:
+            plan = planner.solve(app, net)
+        except PlanningError:
+            return
+        report = plan.execute()  # soundness: must not raise
+        sink_node = f"n{len(net) - 1}"
+        assert report.value(f"ibw:S{n_stages}@{sink_node}") >= demand - 1e-6
+        assert report.total_cost >= plan.cost_lb - 1e-6
+
+    @settings(
+        max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(data=st.data())
+    def test_oracle_agreement_on_tiny_instances(self, data):
+        comps, ifaces, n_stages, source_bw, demand = data.draw(chain_domains())
+        net = data.draw(small_networks())
+        if len(net) > 3 or n_stages > 2:
+            return  # keep the oracle tractable
+        leveling = data.draw(levelings_for(n_stages, source_bw))
+        app = AppSpec.build(
+            "fuzz",
+            interfaces=ifaces,
+            components=comps,
+            initial=[("Source", "n0")],
+            goals=[("Sink", f"n{len(net) - 1}")],
+        )
+        planner = Planner(PlannerConfig(leveling=leveling, rg_node_budget=40_000))
+        try:
+            plan = planner.solve(app, net)
+        except PlanningError:
+            return
+        oracle = exhaustive_optimal(plan.problem, max_depth=min(len(plan) + 2, 9))
+        assert oracle is not None
+        # The planner optimizes the level lower bound; its exact cost can
+        # exceed the oracle's only within the level approximation, and the
+        # lower bound must never exceed the oracle's exact optimum.
+        assert plan.cost_lb <= oracle.exact_cost + 1e-6

@@ -1,0 +1,83 @@
+"""Integration tests asserting the paper's qualitative results end-to-end.
+
+These encode the *shape* claims of the evaluation section: who wins, by
+roughly what factor, and where the crossovers fall — on the actual
+experiment harness.
+"""
+
+import pytest
+
+from repro.experiments import run_cell
+
+
+class TestScenario1Shape:
+    """Paper §2.3 Scenario 1 + Table 2: A fails everywhere, B–E solve."""
+
+    def test_a_fails_on_tiny(self):
+        assert not run_cell("Tiny", "A").solved
+
+    def test_a_fails_on_small(self):
+        assert not run_cell("Small", "A").solved
+
+    @pytest.mark.parametrize("scen", ["B", "C", "D", "E"])
+    def test_leveled_solves_tiny(self, scen):
+        row = run_cell("Tiny", scen)
+        assert row.solved and row.actions_in_plan == 7
+
+
+class TestQualityShape:
+    """Table 2 quality: B suboptimal, C/D/E identical optimum."""
+
+    def test_small_b_vs_c_reserved_lan(self):
+        b = run_cell("Small", "B")
+        c = run_cell("Small", "C")
+        assert b.reserved_lan_bw == pytest.approx(100.0)
+        assert c.reserved_lan_bw == pytest.approx(65.0)
+
+    def test_small_c_d_e_agree(self):
+        rows = [run_cell("Small", k) for k in ("C", "D", "E")]
+        bounds = {round(r.cost_lower_bound, 6) for r in rows}
+        lans = {round(r.reserved_lan_bw, 6) for r in rows}
+        assert len(bounds) == 1 and len(lans) == 1
+
+    def test_processing_100_units(self):
+        """Paper §4.2: C/D/E process 100 units, more than the strict 90."""
+        for scen in ("B", "C"):
+            row = run_cell("Small", scen)
+            assert row.delivered_bw == pytest.approx(100.0)
+
+    def test_b_bound_collapses_to_plan_length(self):
+        row = run_cell("Small", "B")
+        assert row.cost_lower_bound == pytest.approx(float(row.actions_in_plan))
+
+    def test_c_bound_close_to_exact(self):
+        """Paper §4.2: the bound must approximate the real cost to certify
+        optimality; C's gap is small."""
+        row = run_cell("Small", "C")
+        assert row.cost_lower_bound >= 0.85 * row.exact_cost
+
+
+class TestWorkShape:
+    """Table 2 planner-work columns: growth patterns across scenarios."""
+
+    def test_leveling_increases_action_count(self):
+        rows = {k: run_cell("Tiny", k) for k in ("B", "C", "D", "E")}
+        assert (
+            rows["B"].total_actions
+            < rows["C"].total_actions
+            < rows["D"].total_actions
+            < rows["E"].total_actions
+        )
+
+    def test_e_explodes_search_relative_to_c(self):
+        """The paper's E rows blow up the SLRG/RG; ours must too."""
+        c = run_cell("Small", "C")
+        e = run_cell("Small", "E")
+        assert e.rg_nodes > 2 * c.rg_nodes
+
+    def test_c_beats_b_in_rg_nodes_on_small(self):
+        """Paper: better cost discrimination focuses the search (C's RG is
+        smaller than B's despite more ground actions)."""
+        b = run_cell("Small", "B")
+        c = run_cell("Small", "C")
+        assert c.rg_nodes < b.rg_nodes

@@ -1,0 +1,75 @@
+"""Replay/executor consistency: the optimistic resource map encloses the
+exact execution.
+
+For any plan the planner returns, replaying it through the interval
+machinery and executing it exactly must agree: every concrete final value
+lies inside (or above, for degradable down-closures) the corresponding
+replay interval.  This ties the two semantics — planning-time intervals
+and execution-time floats — together across randomized instances.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.domains.media import build_app, proportional_leveling
+from repro.network import Network
+from repro.planner import Planner, PlannerConfig, PlanningError
+
+
+@st.composite
+def line_instances(draw):
+    n_links = draw(st.integers(min_value=1, max_value=3))
+    net = Network("rand")
+    for i in range(n_links + 1):
+        net.add_node(f"n{i}", {"cpu": draw(st.sampled_from([25.0, 30.0, 100.0]))})
+    for i in range(n_links):
+        bw = draw(st.sampled_from([70.0, 100.0, 150.0, 250.0]))
+        net.add_link(f"n{i}", f"n{i + 1}", {"lbw": bw}, labels={"L"})
+    cuts = draw(st.sampled_from([(100.0,), (90.0, 100.0), (30.0, 70.0, 90.0, 100.0)]))
+    return net, cuts
+
+
+class TestConsistency:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(inst=line_instances())
+    def test_execution_within_replay_envelope(self, inst):
+        net, cuts = inst
+        app = build_app("n0", f"n{len(net) - 1}")
+        planner = Planner(
+            PlannerConfig(leveling=proportional_leveling(cuts), rg_node_budget=30_000)
+        )
+        try:
+            plan = planner.solve(app, net)
+        except PlanningError:
+            return
+
+        # Replay the full plan against the initial map.
+        rmap = plan.problem.initial_map()
+        for action in plan.actions:
+            action.replay(rmap)
+
+        from repro.compile import iface_prop_var
+
+        source_vars = {
+            iface_prop_var(prop, iface, node)
+            for iface, node, _v, _d, _u, prop in plan.problem._initial_streams
+        }
+        report = plan.execute()
+        for gvar, exact in report.final_values.items():
+            iv = rmap.get(gvar)
+            if iv is None:
+                continue
+            pad = 1e-6 * max(1.0, abs(exact))
+            if gvar.startswith(("cpu@", "lbw@")):
+                # Consumption tracking: the interval's worst case must not
+                # be optimistic relative to reality.
+                assert iv.lo - pad <= exact <= iv.hi + pad, (gvar, exact, iv)
+            elif gvar in source_vars:
+                # Source availability: the replay map holds the *committed*
+                # (throttled) view, which never exceeds what is available.
+                assert iv.hi <= exact + pad, (gvar, exact, iv)
+            else:
+                # Produced values: the exact result lies under the replay
+                # interval's cap (greedy concretization at the cap).
+                assert exact <= iv.hi + pad, (gvar, exact, iv)
+                assert exact >= iv.lo - pad or iv.lo == 0.0, (gvar, exact, iv)

@@ -1,0 +1,89 @@
+"""The planner's core soundness invariant, property-tested.
+
+Every plan the planner returns must execute cleanly under exact forward
+semantics — across randomized networks, resource capacities, demands, and
+level choices.  Infeasibility is an acceptable outcome; an invalid plan is
+never acceptable.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.domains.media import build_app, proportional_leveling
+from repro.network import Network
+from repro.planner import (
+    ExecutionError,
+    Planner,
+    PlannerConfig,
+    PlanningError,
+)
+
+
+@st.composite
+def random_line_networks(draw):
+    """Small random chains with mixed capacities."""
+    n_links = draw(st.integers(min_value=1, max_value=3))
+    net = Network("rand")
+    cpus = [draw(st.sampled_from([20.0, 30.0, 60.0, 1000.0])) for _ in range(n_links + 1)]
+    for i, cpu in enumerate(cpus):
+        net.add_node(f"n{i}", {"cpu": cpu})
+    for i in range(n_links):
+        bw = draw(st.sampled_from([40.0, 70.0, 100.0, 150.0, 250.0]))
+        net.add_link(f"n{i}", f"n{i + 1}", {"lbw": bw}, labels={"L"})
+    return net
+
+
+@st.composite
+def level_choices(draw):
+    pool = [30.0, 50.0, 70.0, 90.0, 100.0, 120.0]
+    picked = draw(st.lists(st.sampled_from(pool), min_size=0, max_size=3, unique=True))
+    return tuple(sorted(picked))
+
+
+class TestPlannerSoundness:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        net=random_line_networks(),
+        cuts=level_choices(),
+        demand=st.sampled_from([50.0, 90.0, 120.0]),
+    )
+    def test_every_plan_executes(self, net, cuts, demand):
+        app = build_app("n0", f"n{len(net) - 1}", demand=demand)
+        planner = Planner(
+            PlannerConfig(
+                leveling=proportional_leveling(cuts),
+                rg_node_budget=30_000,
+                validate=False,  # we validate explicitly below
+            )
+        )
+        try:
+            plan = planner.solve(app, net)
+        except PlanningError:
+            return  # infeasible / budget: acceptable
+        report = plan.execute()  # must not raise
+        # Delivered bandwidth must honour the demand.
+        client_node = f"n{len(net) - 1}"
+        assert report.value(f"ibw:M@{client_node}") >= demand - 1e-6
+        # Exact cost dominates the optimized lower bound.
+        assert report.total_cost >= plan.cost_lb - 1e-6
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(net=random_line_networks(), cuts=level_choices())
+    def test_finer_levels_never_raise_optimal_bound(self, net, cuts):
+        """Refining the leveling can only improve (or keep) the bound's
+        tightness — it never loses feasibility."""
+        app = build_app("n0", f"n{len(net) - 1}")
+        coarse = Planner(
+            PlannerConfig(leveling=proportional_leveling(cuts), rg_node_budget=30_000)
+        )
+        fine_cuts = tuple(sorted(set(cuts) | {90.0, 100.0}))
+        fine = Planner(
+            PlannerConfig(leveling=proportional_leveling(fine_cuts), rg_node_budget=30_000)
+        )
+        try:
+            coarse_plan = coarse.solve(app, net)
+        except PlanningError:
+            return
+        # If the coarse leveling solves it, the refined one must too.
+        fine_plan = fine.solve(app, net)
+        assert fine_plan.execute().total_cost <= coarse_plan.execute().total_cost + 1e-6

@@ -1,0 +1,138 @@
+"""Unit tests for interval arithmetic, including openness propagation."""
+
+import math
+
+import pytest
+
+from repro.intervals import (
+    EMPTY,
+    Interval,
+    iadd,
+    idiv,
+    imax,
+    imin,
+    imul,
+    ineg,
+    ipow,
+    iscale,
+    isub,
+)
+
+
+class TestAdd:
+    def test_basic(self):
+        assert iadd(Interval.closed(1, 2), Interval.closed(10, 20)) == Interval.closed(11, 22)
+
+    def test_openness_or(self):
+        r = iadd(Interval.half_open(0, 5), Interval.closed(1, 1))
+        assert not r.lo_open and r.hi_open
+
+    def test_empty_absorbs(self):
+        assert iadd(EMPTY, Interval.closed(0, 1)).is_empty()
+
+    def test_infinite(self):
+        r = iadd(Interval.at_least(5), Interval.closed(1, 1))
+        assert r.lo == 6 and math.isinf(r.hi)
+
+
+class TestNegSub:
+    def test_neg_swaps_bounds_and_openness(self):
+        r = ineg(Interval(1, 2, True, False))
+        assert r == Interval(-2, -1, False, True)
+
+    def test_sub(self):
+        assert isub(Interval.closed(10, 20), Interval.closed(1, 2)) == Interval.closed(8, 19)
+
+    def test_sub_consumption_shape(self):
+        # remaining = [150,150] - [90,100): worst-case remaining is 50+ε.
+        r = isub(Interval.point(150), Interval.half_open(90, 100))
+        assert r.lo == 50 and r.hi == 60
+        assert r.lo_open and not r.hi_open
+
+
+class TestMul:
+    def test_positive(self):
+        assert imul(Interval.closed(2, 3), Interval.closed(4, 5)) == Interval.closed(8, 15)
+
+    def test_sign_crossing(self):
+        r = imul(Interval.closed(-2, 3), Interval.closed(-1, 4))
+        assert r.lo == -8 and r.hi == 12
+
+    def test_openness_tracks_achieving_corner(self):
+        r = imul(Interval.half_open(1, 2), Interval.closed(3, 3))
+        assert r == Interval(3, 6, False, True)
+
+    def test_zero_times_unbounded(self):
+        r = imul(Interval.point(0), Interval.nonnegative())
+        assert r.lo == 0 and r.hi == 0
+
+    def test_scale(self):
+        assert iscale(Interval.half_open(90, 100), 0.7).lo == pytest.approx(63.0)
+
+
+class TestDiv:
+    def test_basic(self):
+        assert idiv(Interval.closed(10, 20), Interval.closed(2, 5)) == Interval.closed(2, 10)
+
+    def test_by_zero_interval_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            idiv(Interval.closed(1, 2), Interval.closed(-1, 1))
+
+    def test_by_scalar(self):
+        r = idiv(Interval.half_open(90, 100), Interval.point(5))
+        assert r.lo == 18 and r.hi == 20 and r.hi_open
+
+    def test_negative_divisor(self):
+        r = idiv(Interval.closed(10, 20), Interval.closed(-4, -2))
+        assert r.lo == -10 and r.hi == -2.5
+
+
+class TestMinMax:
+    def test_min_basic(self):
+        assert imin(Interval.closed(0, 10), Interval.closed(5, 20)) == Interval.closed(0, 10)
+
+    def test_min_upper_needs_both_attainable(self):
+        # min([63,70), [70,70]) never attains 70.
+        r = imin(Interval.half_open(63, 70), Interval.point(70))
+        assert r.hi == 70 and r.hi_open
+
+    def test_min_lower_either_attains(self):
+        r = imin(Interval(5, 9, True, False), Interval.closed(5, 9))
+        assert r.lo == 5 and not r.lo_open
+
+    def test_min_link_truncation(self):
+        # The Fig. 6 crossing: min(M in [90,100), link 70) == exactly 70.
+        r = imin(Interval.half_open(90, 100), Interval.point(70))
+        assert r.is_point() and r.lo == 70
+
+    def test_max_mirror(self):
+        r = imax(Interval.half_open(63, 70), Interval.point(70))
+        assert r.is_point() and r.lo == 70
+
+    def test_max_lower_needs_both(self):
+        r = imax(Interval(5, 9, True, False), Interval.closed(5, 9))
+        assert r.lo == 5 and r.lo_open
+
+
+class TestPow:
+    def test_square(self):
+        assert ipow(Interval.closed(2, 3), 2) == Interval.closed(4, 9)
+
+    def test_sublinear(self):
+        r = ipow(Interval.closed(4, 9), 0.5)
+        assert r.lo == 2 and r.hi == 3
+
+    def test_openness_preserved(self):
+        assert ipow(Interval.half_open(1, 2), 2).hi_open
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            ipow(Interval.closed(-1, 1), 2)
+
+    def test_nonpositive_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ipow(Interval.closed(1, 2), 0)
+
+    def test_unbounded(self):
+        r = ipow(Interval.nonnegative(), 1.5)
+        assert r.lo == 0 and math.isinf(r.hi)

@@ -1,0 +1,103 @@
+"""Unit tests for application specifications."""
+
+import pytest
+
+from repro.domains.media import build_app
+from repro.model import AppSpec, ComponentSpec, SpecError, bandwidth_interface
+
+
+class TestBuild:
+    def test_media_app_structure(self):
+        app = build_app("n0", "n1")
+        assert set(app.interfaces) == {"M", "T", "I", "Z"}
+        assert set(app.components) == {"Server", "Client", "Splitter", "Zip", "Unzip", "Merger"}
+        assert app.pinned == {"Server": "n0", "Client": "n1"}
+
+    def test_initial_and_goal_pinning(self):
+        app = build_app("s", "c")
+        assert app.initial_placements[0].component == "Server"
+        assert app.goal_placements[0].node == "c"
+
+    def test_placeable_nodes_respects_pins(self):
+        app = build_app("n0", "n1")
+        assert app.placeable_nodes("Client", ["n0", "n1", "n2"]) == ["n1"]
+        assert app.placeable_nodes("Zip", ["n0", "n1"]) == ["n0", "n1"]
+
+    def test_placeable_nodes_pin_not_in_candidates(self):
+        app = build_app("n0", "n1")
+        assert app.placeable_nodes("Client", ["n0", "n2"]) == []
+
+    def test_lookups(self):
+        app = build_app("n0", "n1")
+        assert app.interface("M").name == "M"
+        assert app.component("Merger").requires == ("T", "I")
+        assert app.resource("cpu").name == "cpu"
+        with pytest.raises(SpecError):
+            app.interface("Q")
+        with pytest.raises(SpecError):
+            app.component("Q")
+        with pytest.raises(SpecError):
+            app.resource("gpu")
+
+    def test_resource_scopes(self):
+        app = build_app("n0", "n1")
+        assert [r.name for r in app.node_resources()] == ["cpu"]
+        assert [r.name for r in app.link_resources()] == ["lbw"]
+
+
+class TestValidation:
+    def test_unknown_interface_in_linkage(self):
+        with pytest.raises(SpecError):
+            AppSpec.build(
+                "x",
+                interfaces=[bandwidth_interface("M")],
+                components=[ComponentSpec.parse("C", requires=["Q"])],
+                goals=[("C", "n0")],
+            )
+
+    def test_goal_required(self):
+        with pytest.raises(SpecError):
+            AppSpec.build(
+                "x",
+                interfaces=[bandwidth_interface("M")],
+                components=[ComponentSpec.parse("C", requires=["M"])],
+            )
+
+    def test_placement_of_unknown_component(self):
+        with pytest.raises(SpecError):
+            AppSpec.build(
+                "x",
+                interfaces=[bandwidth_interface("M")],
+                components=[ComponentSpec.parse("C", requires=["M"])],
+                goals=[("Nope", "n0")],
+            )
+
+    def test_component_cannot_be_both_initial_and_goal(self):
+        with pytest.raises(SpecError):
+            AppSpec.build(
+                "x",
+                interfaces=[bandwidth_interface("M")],
+                components=[
+                    ComponentSpec.parse("S", implements=["M"], effects=["M.ibw := 1"])
+                ],
+                initial=[("S", "n0")],
+                goals=[("S", "n1")],
+            )
+
+
+class TestDefaultLeveling:
+    def test_collects_inline_levels(self):
+        from repro.model import LevelSpec
+
+        app = AppSpec.build(
+            "x",
+            interfaces=[
+                bandwidth_interface("M", levels=LevelSpec((100,))),
+                bandwidth_interface("T"),
+            ],
+            components=[ComponentSpec.parse("C", requires=["M"])],
+            goals=[("C", "n0")],
+        )
+        lev = app.default_leveling()
+        assert lev.for_var("M.ibw").count == 2
+        assert lev.for_var("T.ibw").is_trivial()

@@ -1,0 +1,97 @@
+"""Unit tests for interface specifications."""
+
+import pytest
+
+from repro.model import (
+    InterfaceType,
+    LevelSpec,
+    PropertySpec,
+    SpecError,
+    bandwidth_interface,
+)
+
+
+class TestBandwidthInterface:
+    def test_fig6_shape(self):
+        m = bandwidth_interface("M", cross_cost="1 + M.ibw/10")
+        assert m.property_names() == ("ibw",)
+        assert len(m.cross_effects) == 2
+        assert m.cross_cost is not None
+
+    def test_degradable_explicit(self):
+        m = bandwidth_interface("M")
+        assert m.is_degradable("ibw")
+
+    def test_spec_var(self):
+        assert bandwidth_interface("M").spec_var("ibw") == "M.ibw"
+
+    def test_inline_levels(self):
+        m = bandwidth_interface("M", levels=LevelSpec((30, 70)))
+        assert m.property_spec("ibw").default_levels.count == 3
+
+
+class TestValidation:
+    def test_bad_name(self):
+        with pytest.raises(SpecError):
+            InterfaceType(name="M stream")
+
+    def test_duplicate_property(self):
+        with pytest.raises(SpecError):
+            InterfaceType(
+                name="X",
+                properties=(PropertySpec("ibw"), PropertySpec("ibw")),
+            )
+
+    def test_cross_formula_scope(self):
+        with pytest.raises(SpecError) as exc:
+            InterfaceType.parse(
+                "M",
+                cross_effects=["M.ibw' := min(T.ibw, Link.lbw)"],
+            )
+        assert "T.ibw" in str(exc.value)
+
+    def test_link_vars_in_scope(self):
+        m = InterfaceType.parse(
+            "M",
+            cross_effects=["M.ibw' := min(M.ibw, Link.lbw)"],
+        )
+        assert m.name == "M"
+
+    def test_unknown_property_lookup(self):
+        with pytest.raises(SpecError):
+            bandwidth_interface("M").property_spec("nope")
+
+
+class TestDegradabilityInference:
+    def test_auto_inferred_from_cross_effects(self):
+        m = InterfaceType(
+            name="M",
+            properties=(PropertySpec("ibw", degradable=None),),
+            cross_effects=InterfaceType.parse(
+                "M", cross_effects=["M.ibw' := min(M.ibw, Link.lbw)"]
+            ).cross_effects,
+        )
+        assert m.is_degradable("ibw")
+
+    def test_explicit_override_wins(self):
+        m = InterfaceType(
+            name="M",
+            properties=(PropertySpec("ibw", degradable=False),),
+        )
+        assert not m.is_degradable("ibw")
+
+    def test_multi_property_stream(self):
+        s = InterfaceType.parse(
+            "S",
+            properties=[
+                PropertySpec("ibw", degradable=True),
+                PropertySpec("lat", upgradable=True),
+            ],
+            cross_effects=[
+                "S.ibw' := min(S.ibw, Link.lbw)",
+                "S.lat' := S.lat + 1",
+            ],
+        )
+        assert s.property_names() == ("ibw", "lat")
+        assert s.is_degradable("ibw")
+        assert s.property_spec("lat").upgradable

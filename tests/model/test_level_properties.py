@@ -1,0 +1,87 @@
+"""Property-based tests for level specifications."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.intervals import Interval
+from repro.model import LevelSpec
+
+
+@st.composite
+def level_specs(draw):
+    cuts = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1000, allow_nan=False),
+            min_size=0,
+            max_size=6,
+            unique=True,
+        )
+    )
+    rounded = sorted({round(c, 6) for c in cuts if c > 0})
+    return LevelSpec(tuple(rounded))
+
+
+values = st.floats(min_value=0, max_value=2000, allow_nan=False)
+
+
+class TestPartitionLaws:
+    @given(level_specs(), values)
+    def test_value_in_its_level_interval(self, spec, v):
+        # classify_value snaps within 1e-9 relative of a cutpoint, so the
+        # membership check carries the same tolerance.
+        idx = spec.classify_value(v)
+        iv = spec.interval(idx)
+        pad = 1e-6 * max(1.0, abs(v))
+        assert Interval(iv.lo - pad, iv.hi + pad).exists_eq(v)
+
+    @given(level_specs(), values)
+    def test_levels_are_disjoint(self, spec, v):
+        containing = [i for i in range(spec.count) if v in spec.interval(i)]
+        assert len(containing) == 1
+
+    @given(level_specs())
+    def test_intervals_cover_nonnegative_reals(self, spec):
+        ivs = spec.intervals()
+        assert ivs[0].lo == 0.0
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.hi == b.lo  # contiguous
+        assert ivs[-1].hi == float("inf")
+
+    @given(level_specs(), values, values)
+    def test_classification_monotone(self, spec, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert spec.classify_value(lo) <= spec.classify_value(hi)
+
+
+class TestClippingLaws:
+    @given(level_specs(), st.floats(min_value=1, max_value=2000, allow_nan=False))
+    def test_clipped_intervals_stay_within_bound(self, spec, bound):
+        for i in spec.feasible_indices(bound):
+            iv = spec.interval(i, bound)
+            assert iv.hi <= bound
+
+    @given(level_specs(), st.floats(min_value=1, max_value=2000, allow_nan=False))
+    def test_feasible_indices_are_prefix(self, spec, bound):
+        feasible = spec.feasible_indices(bound)
+        assert feasible == list(range(len(feasible)))
+
+    @given(level_specs(), values)
+    def test_classify_interval_at_least_point_class(self, spec, v):
+        assume(v > 0)
+        iv = Interval.closed(0.0, v)
+        assert spec.classify_interval(iv) == spec.classify_value(v)
+
+
+class TestScalingLaws:
+    @given(level_specs(), st.sampled_from([0.25, 0.3, 0.5, 0.7, 0.8]))
+    def test_scaled_classification_commutes(self, spec, factor):
+        assume(not spec.is_trivial())
+        scaled = spec.scaled(factor)
+        # Midpoints of original levels map into the same level index.
+        for i in range(spec.count - 1):
+            iv = spec.interval(i)
+            mid = (iv.lo + iv.hi) / 2
+            assert scaled.classify_value(round(mid * factor, 9)) == i
+
+    @given(level_specs())
+    def test_scaled_preserves_count(self, spec):
+        assert spec.scaled(0.5).count == spec.count

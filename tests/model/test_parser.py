@@ -1,0 +1,127 @@
+"""Unit tests for the pseudo-XML specification parser."""
+
+import pytest
+
+from repro.model import SpecError, parse_spec_text
+
+FIG2_MERGER = """
+<component name=Merger>
+  <linkages>
+    <requires>
+      <interface name=T>
+      <interface name=I>
+    <implements>
+      <interface name=M>
+  <conditions>
+    Node.cpu >= (T.ibw+I.ibw)/5
+    T.ibw*3 == I.ibw*7
+  <effects>
+    M.ibw := T.ibw + I.ibw
+    Node.cpu -= (T.ibw+I.ibw)/5
+"""
+
+FIG6_M_INTERFACE = """
+<interface name=M>
+  <cross_effects>
+    M.ibw' := min(M.ibw, Link.lbw)
+    Link.lbw' -= min(M.ibw, Link.lbw)
+  <levels>
+    <cutpoint value=30>
+    <cutpoint value=70>
+    <cutpoint value=90>
+    <cutpoint value=100>
+"""
+
+
+class TestFig2:
+    def test_merger_component(self):
+        parsed = parse_spec_text(FIG2_MERGER)
+        assert len(parsed.components) == 1
+        m = parsed.components[0]
+        assert m.name == "Merger"
+        assert m.requires == ("T", "I")
+        assert m.implements == ("M",)
+        assert len(m.conditions) == 2
+        assert len(m.effects) == 2
+
+
+class TestFig6:
+    def test_m_interface(self):
+        parsed = parse_spec_text(FIG6_M_INTERFACE)
+        assert len(parsed.interfaces) == 1
+        m = parsed.interfaces[0]
+        assert m.name == "M"
+        assert len(m.cross_effects) == 2
+        levels = m.properties[0].default_levels
+        assert levels is not None and levels.cutpoints == (30.0, 70.0, 90.0, 100.0)
+
+
+class TestCombined:
+    def test_component_then_interface(self):
+        parsed = parse_spec_text(FIG2_MERGER + FIG6_M_INTERFACE)
+        assert [c.name for c in parsed.components] == ["Merger"]
+        assert [i.name for i in parsed.interfaces] == ["M"]
+
+    def test_multiple_components(self):
+        text = FIG2_MERGER + "\n<component name=Client>\n<linkages>\n<requires>\n<interface name=M>\n<conditions>\nM.ibw >= 90\n"
+        parsed = parse_spec_text(text)
+        assert [c.name for c in parsed.components] == ["Merger", "Client"]
+
+    def test_cost_sections(self):
+        text = """
+<component name=Zip>
+<linkages>
+<requires>
+<interface name=T>
+<implements>
+<interface name=Z>
+<effects>
+Z.ibw := T.ibw/2
+<cost>
+1 + T.ibw/10
+"""
+        parsed = parse_spec_text(text)
+        assert parsed.components[0].cost is not None
+
+    def test_comments_and_blank_lines_ignored(self):
+        parsed = parse_spec_text("# a comment\n\n" + FIG2_MERGER)
+        assert parsed.components[0].name == "Merger"
+
+    def test_closing_tags_tolerated(self):
+        text = FIG6_M_INTERFACE + "</interface>\n"
+        parsed = parse_spec_text(text)
+        assert parsed.interfaces[0].name == "M"
+
+
+class TestErrors:
+    def test_formula_outside_section(self):
+        with pytest.raises(SpecError):
+            parse_spec_text("M.ibw := 1\n")
+
+    def test_component_without_name(self):
+        with pytest.raises(SpecError):
+            parse_spec_text("<component>\n")
+
+    def test_cutpoint_outside_levels(self):
+        with pytest.raises(SpecError):
+            parse_spec_text("<interface name=M>\n<cutpoint value=5>\n")
+
+    def test_cutpoint_needs_numeric_value(self):
+        with pytest.raises(SpecError):
+            parse_spec_text("<interface name=M>\n<levels>\n<cutpoint value=abc>\n")
+
+    def test_unexpected_tag(self):
+        with pytest.raises(SpecError):
+            parse_spec_text("<zorp name=x>\n")
+
+    def test_malformed_formula_propagates(self):
+        bad = """
+<component name=X>
+<linkages>
+<requires>
+<interface name=T>
+<conditions>
+T.ibw >=
+"""
+        with pytest.raises(Exception):
+            parse_spec_text(bad)

@@ -1,0 +1,56 @@
+"""Unit tests for app-vs-network validation."""
+
+import pytest
+
+from repro.domains.media import build_app
+from repro.model import require_valid, validate_against_network
+from repro.network import Network, pair_network
+
+
+class TestValidate:
+    def test_consistent_pair(self):
+        app = build_app("n0", "n1")
+        net = pair_network(cpu=30)
+        assert validate_against_network(app, net) == []
+
+    def test_unknown_placement_node(self):
+        app = build_app("n0", "nowhere")
+        net = pair_network()
+        problems = validate_against_network(app, net)
+        assert any("nowhere" in p for p in problems)
+
+    def test_undeclared_node_resource(self):
+        app = build_app("n0", "n1")
+        net = Network()
+        net.add_node("n0", {"cpu": 30, "gpu": 1})
+        net.add_node("n1", {"cpu": 30})
+        net.add_link("n0", "n1", {"lbw": 70})
+        problems = validate_against_network(app, net)
+        assert any("gpu" in p for p in problems)
+
+    def test_no_node_provides_resource(self):
+        app = build_app("n0", "n1")
+        net = Network()
+        net.add_node("n0")
+        net.add_node("n1")
+        net.add_link("n0", "n1", {"lbw": 70})
+        problems = validate_against_network(app, net)
+        assert any("cpu" in p for p in problems)
+
+    def test_disconnected_network(self):
+        app = build_app("n0", "n1")
+        net = Network()
+        net.add_node("n0", {"cpu": 1})
+        net.add_node("n1", {"cpu": 1})
+        problems = validate_against_network(app, net)
+        assert any("connected" in p for p in problems)
+
+    def test_require_valid_raises_with_all_problems(self):
+        app = build_app("n0", "missing")
+        net = pair_network()
+        with pytest.raises(ValueError) as exc:
+            require_valid(app, net)
+        assert "missing" in str(exc.value)
+
+    def test_require_valid_passes(self):
+        require_valid(build_app("n0", "n1"), pair_network())

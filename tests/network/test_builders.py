@@ -1,0 +1,73 @@
+"""Unit tests for deterministic topology builders."""
+
+import pytest
+
+from repro.network import (
+    chain_network,
+    grid_network,
+    pair_network,
+    ring_network,
+    star_network,
+)
+
+
+class TestPair:
+    def test_shape(self):
+        net = pair_network(cpu=30, link_bw=70)
+        assert len(net) == 2
+        assert net.link("n0", "n1").capacity("lbw") == 70
+
+    def test_asymmetric_cpu(self):
+        net = pair_network(cpu=30, cpu_target=99)
+        assert net.node("n0").capacity("cpu") == 30
+        assert net.node("n1").capacity("cpu") == 99
+
+    def test_default_target_has_ample_cpu(self):
+        # Paper footnote 1: the target node can host Unzip and Merger.
+        net = pair_network(cpu=30)
+        assert net.node("n1").capacity("cpu") >= 100
+
+
+class TestChain:
+    def test_links_and_labels(self):
+        net = chain_network([(150, "LAN"), (70, "WAN"), (150, "LAN")])
+        assert len(net) == 4
+        assert net.link("n0", "n1").capacity("lbw") == 150
+        assert "WAN" in net.link("n1", "n2").labels
+
+    def test_spurs_attach_to_interior(self):
+        net = chain_network([(150, "LAN"), (70, "WAN"), (150, "LAN")], spurs=2)
+        assert len(net) == 6
+        assert net.degree("s0") == 1
+        assert net.is_connected()
+
+    def test_single_link_chain_with_spur(self):
+        net = chain_network([(100, "LAN")], spurs=1)
+        assert net.is_connected()
+
+
+class TestStarRingGrid:
+    def test_star(self):
+        net = star_network(5)
+        assert len(net) == 6 and net.degree("hub") == 5
+
+    def test_ring(self):
+        net = ring_network(6)
+        assert len(net) == 6
+        assert all(net.degree(n) == 2 for n in net.nodes)
+        assert net.is_connected()
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_network(2)
+
+    def test_grid(self):
+        net = grid_network(3, 4)
+        assert len(net) == 12
+        assert len(net.links) == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert net.is_connected()
+
+    def test_grid_corner_degree(self):
+        net = grid_network(3, 3)
+        assert net.degree("n0_0") == 2
+        assert net.degree("n1_1") == 4

@@ -1,0 +1,137 @@
+"""Unit tests for the GT-ITM-style transit-stub generator."""
+
+import pytest
+
+from repro.network import TransitStubParams, large_paper_network, transit_stub_network
+
+
+class TestLargePaperNetwork:
+    def test_exactly_93_nodes(self):
+        assert len(large_paper_network()) == 93
+
+    def test_connected(self):
+        assert large_paper_network().is_connected()
+
+    def test_deterministic(self):
+        a = large_paper_network(seed=7)
+        b = large_paper_network(seed=7)
+        assert set(a.nodes) == set(b.nodes)
+        assert set(a.links) == set(b.links)
+
+    def test_seed_changes_wiring(self):
+        a = large_paper_network(seed=1)
+        b = large_paper_network(seed=2)
+        assert set(a.nodes) == set(b.nodes)  # same naming scheme
+        assert set(a.links) != set(b.links)
+
+    def test_paper_resource_distribution(self):
+        net = large_paper_network()
+        for link in net.links_with_label("LAN"):
+            assert link.capacity("lbw") == 150.0
+        for link in net.links_with_label("WAN"):
+            assert link.capacity("lbw") == 70.0
+        assert net.links_with_label("LAN") and net.links_with_label("WAN")
+
+    def test_every_link_classified(self):
+        net = large_paper_network()
+        for link in net.links.values():
+            assert link.labels & {"LAN", "WAN"}
+
+    def test_transit_and_stub_roles(self):
+        net = large_paper_network()
+        transit = net.nodes_with_label("transit")
+        stub = net.nodes_with_label("stub")
+        assert len(transit) == 3
+        assert len(stub) == 90
+
+
+class TestTransitStubModel:
+    def test_node_count_formula(self):
+        p = TransitStubParams(
+            transit_domains=2,
+            transit_nodes_per_domain=2,
+            stub_domains_per_transit=2,
+            stub_size=3,
+        )
+        net = transit_stub_network(p)
+        assert len(net) == p.node_count() == 4 + 4 * 2 * 3
+
+    def test_multi_domain_backbone_connected(self):
+        p = TransitStubParams(transit_domains=3, transit_nodes_per_domain=2, stub_size=2)
+        assert transit_stub_network(p).is_connected()
+
+    def test_stub_gateway_attachment(self):
+        net = transit_stub_network(TransitStubParams())
+        # Every stub domain must reach its transit node via a WAN link.
+        for transit in net.nodes_with_label("transit"):
+            wan_neighbors = [
+                n for n in net.neighbors(transit.id)
+                if "stub" in net.node(n).labels
+            ]
+            assert len(wan_neighbors) >= 3  # one gateway per stub domain
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            transit_stub_network(TransitStubParams(transit_domains=0))
+        with pytest.raises(ValueError):
+            transit_stub_network(TransitStubParams(stub_size=0))
+
+    def test_custom_bandwidths(self):
+        p = TransitStubParams(lan_bandwidth=999.0, wan_bandwidth=11.0, stub_size=2)
+        net = transit_stub_network(p)
+        assert all(l.capacity("lbw") == 999.0 for l in net.links_with_label("LAN"))
+        assert all(l.capacity("lbw") == 11.0 for l in net.links_with_label("WAN"))
+
+    def test_intra_stub_links_are_lan(self):
+        net = transit_stub_network(TransitStubParams())
+        for link in net.links_with_label("LAN"):
+            assert "stub" in net.node(link.a).labels
+            assert "stub" in net.node(link.b).labels
+
+
+class TestWaxman:
+    def test_connected_and_sized(self):
+        from repro.network import waxman_network
+
+        net = waxman_network(30, seed=1)
+        assert len(net) == 30
+        assert net.is_connected()
+
+    def test_deterministic(self):
+        from repro.network import waxman_network
+
+        a = waxman_network(20, seed=9)
+        b = waxman_network(20, seed=9)
+        assert set(a.links) == set(b.links)
+
+    def test_alpha_raises_density(self):
+        from repro.network import waxman_network
+
+        sparse = waxman_network(40, alpha=0.05, seed=3)
+        dense = waxman_network(40, alpha=0.9, seed=3)
+        assert len(dense.links) > len(sparse.links)
+
+    def test_parameter_validation(self):
+        from repro.network import waxman_network
+
+        with pytest.raises(ValueError):
+            waxman_network(1)
+        with pytest.raises(ValueError):
+            waxman_network(10, alpha=0.0)
+        with pytest.raises(ValueError):
+            waxman_network(10, beta=-1.0)
+
+    def test_planning_on_waxman(self):
+        from repro.domains.media import build_app, proportional_leveling
+        from repro.network import waxman_network
+        from repro.planner import PlanningError, solve
+
+        net = waxman_network(15, seed=4, node_cpu=30.0, link_bw=100.0)
+        nodes = sorted(net.nodes)
+        try:
+            plan = solve(
+                build_app(nodes[0], nodes[-1]), net, proportional_leveling((90, 100))
+            )
+            plan.execute()
+        except PlanningError:
+            pass  # acceptable on an unlucky topology; soundness is the point

@@ -1,0 +1,61 @@
+"""Unit tests for network serialization."""
+
+import pytest
+
+from repro.network import (
+    NetworkError,
+    large_paper_network,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    pair_network,
+    save_network,
+)
+
+
+class TestRoundTrip:
+    def test_small_round_trip(self):
+        net = pair_network(cpu=30, link_bw=70)
+        again = network_from_dict(network_to_dict(net))
+        assert set(again.nodes) == set(net.nodes)
+        assert set(again.links) == set(net.links)
+        assert again.node("n0").capacity("cpu") == 30
+        assert again.link("n0", "n1").capacity("lbw") == 70
+
+    def test_labels_preserved(self):
+        net = pair_network()
+        again = network_from_dict(network_to_dict(net))
+        assert "WAN" in again.link("n0", "n1").labels
+        assert "server-site" in again.node("n0").labels
+
+    def test_software_preserved(self):
+        from repro.network import Network
+
+        net = Network()
+        net.add_node("n", software=["Zip"])
+        again = network_from_dict(network_to_dict(net))
+        assert again.node("n").software == {"Zip"}
+        assert again.node("n").allows("Zip") and not again.node("n").allows("X")
+
+    def test_large_round_trip(self):
+        net = large_paper_network()
+        again = network_from_dict(network_to_dict(net))
+        assert len(again) == 93
+        assert again.is_connected()
+
+    def test_file_round_trip(self, tmp_path):
+        net = pair_network()
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        again = load_network(path)
+        assert set(again.nodes) == set(net.nodes)
+
+
+class TestErrors:
+    def test_unknown_format_version(self):
+        with pytest.raises(NetworkError):
+            network_from_dict({"format": 99, "nodes": [], "links": []})
+
+    def test_missing_format(self):
+        with pytest.raises(NetworkError):
+            network_from_dict({"nodes": []})

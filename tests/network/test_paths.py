@@ -1,0 +1,86 @@
+"""Unit tests for path algorithms."""
+
+import math
+
+import pytest
+
+from repro.network import (
+    Network,
+    NetworkError,
+    bottleneck,
+    grid_network,
+    k_shortest_paths,
+    path_capacity,
+    widest_path,
+)
+
+
+@pytest.fixture
+def diamond():
+    """Two routes with different bottlenecks: top 70, bottom 100."""
+    net = Network("diamond")
+    for n in ("s", "a", "b", "t"):
+        net.add_node(n)
+    net.add_link("s", "a", {"lbw": 150.0})
+    net.add_link("a", "t", {"lbw": 70.0})
+    net.add_link("s", "b", {"lbw": 100.0})
+    net.add_link("b", "t", {"lbw": 120.0})
+    return net
+
+
+class TestWidestPath:
+    def test_prefers_wider_route(self, diamond):
+        assert widest_path(diamond, "s", "t") == ["s", "b", "t"]
+
+    def test_bottleneck_value(self, diamond):
+        assert bottleneck(diamond, "s", "t") == 100.0
+
+    def test_same_node(self, diamond):
+        assert widest_path(diamond, "s", "s") == ["s"]
+        assert bottleneck(diamond, "s", "s") == math.inf
+
+    def test_disconnected(self):
+        net = Network()
+        net.add_node("x")
+        net.add_node("y")
+        assert widest_path(net, "x", "y") is None
+        assert bottleneck(net, "x", "y") == 0.0
+
+    def test_unknown_endpoint(self, diamond):
+        with pytest.raises(NetworkError):
+            widest_path(diamond, "s", "zzz")
+
+    def test_path_capacity(self, diamond):
+        assert path_capacity(diamond, ["s", "a", "t"]) == 70.0
+        assert path_capacity(diamond, ["s"]) == math.inf
+
+
+class TestKShortestPaths:
+    def test_first_is_shortest(self, diamond):
+        paths = k_shortest_paths(diamond, "s", "t", 1)
+        assert len(paths) == 1 and len(paths[0]) == 3
+
+    def test_enumerates_alternatives(self, diamond):
+        paths = k_shortest_paths(diamond, "s", "t", 3)
+        assert ["s", "a", "t"] in paths and ["s", "b", "t"] in paths
+        assert len(paths) == 2  # only two simple routes exist
+
+    def test_grid_third_path_longer(self):
+        net = grid_network(2, 3)
+        paths = k_shortest_paths(net, "n0_0", "n1_2", 4)
+        assert len(paths) == 4
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        # All simple.
+        for p in paths:
+            assert len(set(p)) == len(p)
+
+    def test_k_must_be_positive(self, diamond):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond, "s", "t", 0)
+
+    def test_disconnected_returns_empty(self):
+        net = Network()
+        net.add_node("x")
+        net.add_node("y")
+        assert k_shortest_paths(net, "x", "y", 3) == []

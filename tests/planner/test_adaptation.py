@@ -1,0 +1,123 @@
+"""Unit tests for deployment repair and adaptation (paper §6 extension)."""
+
+import pytest
+
+from repro.domains import media
+from repro.network import chain_network, pair_network
+from repro.planner import (
+    Deployment,
+    Planner,
+    PlannerConfig,
+    repair_deployment,
+    solve,
+    surviving_prefix,
+)
+
+LEV = media.proportional_leveling((90, 100))
+
+
+def healthy_chain():
+    return chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0, name="before")
+
+
+def degraded_chain():
+    # The second link degrades from LAN to a 70-unit WAN.
+    return chain_network([(150, "LAN"), (70, "WAN")], cpu=30.0, name="after")
+
+
+@pytest.fixture
+def deployed():
+    app = media.build_app("n0", "n2")
+    plan = solve(app, healthy_chain(), LEV)
+    return app, plan
+
+
+class TestSurvivingPrefix:
+    def test_full_survival_when_network_unchanged(self, deployed):
+        app, plan = deployed
+        problem = Planner(PlannerConfig(leveling=LEV)).compile(app, healthy_chain())
+        prefix = surviving_prefix(Deployment.from_plan(plan), problem)
+        assert [a.name for a in prefix] == plan.action_names()
+
+    def test_truncation_at_degraded_link(self, deployed):
+        app, plan = deployed
+        problem = Planner(PlannerConfig(leveling=LEV)).compile(app, degraded_chain())
+        prefix = surviving_prefix(Deployment.from_plan(plan), problem)
+        # The first hop still works; the second (now 70 units) does not.
+        assert 0 < len(prefix) < len(plan)
+        assert all("n1->n2" not in a.name for a in prefix)
+
+
+class TestRepair:
+    def test_repair_completes_deployment(self, deployed):
+        app, plan = deployed
+        result = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        assert result.repair_plan.actions
+        # The repaired deployment inserts the compression pipeline.
+        subjects = {a.subject for a in result.repair_plan.actions}
+        assert {"Splitter", "Zip", "Unzip", "Merger", "Client"} <= subjects
+
+    def test_combined_plan_validates(self, deployed):
+        app, plan = deployed
+        result = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        combined = result.combined_actions()
+        assert len(combined) == len(result.surviving_actions) + len(result.repair_plan)
+
+    def test_noop_repair_when_nothing_broke(self, deployed):
+        app, plan = deployed
+        result = repair_deployment(
+            app, healthy_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        assert result.repair_plan.actions == []
+        assert [a.name for a in result.surviving_actions] == plan.action_names()
+
+    def test_describe_mentions_kept_actions(self, deployed):
+        app, plan = deployed
+        result = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        assert "(kept)" in result.describe()
+
+    def test_invalid_migration_factor(self, deployed):
+        app, plan = deployed
+        with pytest.raises(ValueError):
+            repair_deployment(
+                app,
+                degraded_chain(),
+                Deployment.from_plan(plan),
+                leveling=LEV,
+                migration_cost_factor=-1.0,
+            )
+
+
+class TestMigrationDiscount:
+    def test_discount_prefers_moving_running_component(self):
+        """A Splitter already running on a node that lost its link should
+        migrate (cheaply) rather than stay unused while a full-price copy
+        deploys — observable through the repair plan's cost bound."""
+        app = media.build_app("n0", "n1")
+        net_old = pair_network(cpu=30.0, link_bw=70.0)
+        plan = solve(app, net_old, LEV)
+        deployment = Deployment.from_plan(plan)
+
+        # The link hardens further: now even Z + I need re-planning from
+        # scratch; compare repair bounds with and without the discount.
+        net_new = pair_network(cpu=30.0, link_bw=70.0, name="after")
+        full = repair_deployment(
+            app, net_new, deployment, leveling=LEV, migration_cost_factor=1.0
+        )
+        cheap = repair_deployment(
+            app, net_new, deployment, leveling=LEV, migration_cost_factor=0.1
+        )
+        assert cheap.repair_plan.cost_lb <= full.repair_plan.cost_lb + 1e-9
+
+    def test_migrated_components_reported(self, deployed):
+        app, plan = deployed
+        result = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        assert isinstance(result.migrated_components, list)

@@ -1,0 +1,75 @@
+"""Unit tests for the Plan representation and persistence."""
+
+import pytest
+
+from repro.domains import media
+from repro.network import pair_network
+from repro.planner import Plan, Planner, PlannerConfig, solve
+
+LEV = media.proportional_leveling((90, 100))
+
+
+@pytest.fixture(scope="module")
+def plan():
+    net = pair_network(cpu=30.0, link_bw=70.0)
+    return solve(media.build_app("n0", "n1"), net, LEV)
+
+
+class TestPlanHelpers:
+    def test_len(self, plan):
+        assert len(plan) == len(plan.actions) == 7
+
+    def test_placements_and_crossings_partition(self, plan):
+        assert len(plan.placements()) + len(plan.crossings()) == len(plan)
+
+    def test_exact_cost_cached(self, plan):
+        first = plan.execute()
+        second = plan.execute()
+        assert first is second
+
+    def test_action_names_unique(self, plan):
+        names = plan.action_names()
+        assert len(names) == len(set(names))
+
+
+class TestPersistence:
+    def test_round_trip(self, plan):
+        data = plan.to_dict()
+        again = Plan.from_dict(data, plan.problem)
+        assert again.action_names() == plan.action_names()
+        assert again.cost_lb == plan.cost_lb
+        assert again.execute().total_cost == pytest.approx(plan.exact_cost)
+
+    def test_round_trip_through_json(self, plan, tmp_path):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        again = Plan.from_dict(json.loads(path.read_text()), plan.problem)
+        assert len(again) == len(plan)
+
+    def test_round_trip_against_fresh_compile(self, plan):
+        """A fresh compilation of the same instance accepts the plan."""
+        planner = Planner(PlannerConfig(leveling=LEV))
+        fresh = planner.compile(
+            media.build_app("n0", "n1"), pair_network(cpu=30.0, link_bw=70.0)
+        )
+        again = Plan.from_dict(plan.to_dict(), fresh)
+        again.execute()
+
+    def test_wrong_problem_rejected(self, plan):
+        planner = Planner(PlannerConfig(leveling=media.proportional_leveling((100,))))
+        other = planner.compile(
+            media.build_app("n0", "n1"), pair_network(cpu=30.0, link_bw=70.0)
+        )
+        with pytest.raises(KeyError):
+            Plan.from_dict(plan.to_dict(), other)
+
+    def test_unknown_format_rejected(self, plan):
+        with pytest.raises(ValueError):
+            Plan.from_dict({"format": 99, "actions": []}, plan.problem)
+
+    def test_metadata_recorded(self, plan):
+        data = plan.to_dict()
+        assert data["app"] == "media-delivery"
+        assert data["leveling"]

@@ -1,0 +1,135 @@
+"""End-to-end planner tests over the paper's Tiny and Small problems."""
+
+import pytest
+
+from repro.domains.media import build_app, proportional_leveling
+from repro.network import chain_network, pair_network
+from repro.planner import (
+    Heuristic,
+    Planner,
+    PlannerConfig,
+    ResourceInfeasible,
+    solve,
+)
+
+
+def tiny_net():
+    return pair_network(cpu=30.0, link_bw=70.0)
+
+
+def small_net():
+    return chain_network(
+        [(150, "LAN"), (70, "WAN"), (150, "LAN")], cpu=30.0, spurs=2, name="small"
+    )
+
+
+class TestScenario1:
+    """Fig. 3/4: greedy fails, leveled planner finds the 7-action plan."""
+
+    def test_greedy_fails(self):
+        with pytest.raises(ResourceInfeasible):
+            solve(build_app("n0", "n1"), tiny_net(), proportional_leveling(()))
+
+    def test_leveled_succeeds_with_seven_actions(self):
+        plan = solve(build_app("n0", "n1"), tiny_net(), proportional_leveling((100,)))
+        assert len(plan) == 7
+        assert plan.placements() == [
+            ("Splitter", "n0"),
+            ("Zip", "n0"),
+            ("Unzip", "n1"),
+            ("Merger", "n1"),
+            ("Client", "n1"),
+        ] or set(p[0] for p in plan.placements()) == {
+            "Splitter",
+            "Zip",
+            "Unzip",
+            "Merger",
+            "Client",
+        }
+
+    def test_fig4_structure(self):
+        plan = solve(build_app("n0", "n1"), tiny_net(), proportional_leveling((90, 100)))
+        # Split and compress at the source, reverse at the target.
+        placements = dict(plan.placements())
+        assert placements["Splitter"] == "n0" and placements["Zip"] == "n0"
+        assert placements["Unzip"] == "n1" and placements["Merger"] == "n1"
+        assert set(plan.crossings()) == {("Z", "n0", "n1"), ("I", "n0", "n1")}
+
+
+class TestScenarioQuality:
+    """Table 2 quality columns on Tiny and Small."""
+
+    def test_tiny_b_lower_bound_is_plan_length(self):
+        plan = solve(build_app("n0", "n1"), tiny_net(), proportional_leveling((100,)))
+        assert plan.cost_lb == pytest.approx(float(len(plan)))
+
+    def test_tiny_c_d_same_quality(self):
+        c = solve(build_app("n0", "n1"), tiny_net(), proportional_leveling((90, 100)))
+        d = solve(build_app("n0", "n1"), tiny_net(), proportional_leveling((30, 70, 90, 100)))
+        assert c.cost_lb == pytest.approx(d.cost_lb)
+        assert len(c) == len(d) == 7
+
+    def test_small_b_suboptimal_lan_usage(self):
+        plan = solve(build_app("n0", "n3"), small_net(), proportional_leveling((100,)))
+        report = plan.execute()
+        lan = max(report.consumed.get(f"lbw@{k}", 0.0) for k in ("n0~n1", "n2~n3"))
+        assert lan == pytest.approx(100.0)
+
+    def test_small_c_optimal_lan_usage(self):
+        """The paper's headline number: 65 units instead of 100."""
+        plan = solve(build_app("n0", "n3"), small_net(), proportional_leveling((90, 100)))
+        report = plan.execute()
+        lan = max(report.consumed.get(f"lbw@{k}", 0.0) for k in ("n0~n1", "n2~n3"))
+        assert lan == pytest.approx(65.0)
+
+    def test_small_c_longer_but_cheaper_than_b(self):
+        b = solve(build_app("n0", "n3"), small_net(), proportional_leveling((100,)))
+        c = solve(build_app("n0", "n3"), small_net(), proportional_leveling((90, 100)))
+        assert len(c) > len(b)  # more actions...
+        assert c.exact_cost < b.exact_cost  # ...but cheaper overall
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("heuristic", list(Heuristic))
+    def test_all_heuristics_agree_on_cost(self, heuristic):
+        plan = Planner(
+            PlannerConfig(
+                leveling=proportional_leveling((90, 100)), heuristic=heuristic
+            )
+        ).solve(build_app("n0", "n1"), tiny_net())
+        assert plan.cost_lb == pytest.approx(40.3)
+
+    def test_slrg_guides_best(self):
+        def run(h):
+            return Planner(
+                PlannerConfig(leveling=proportional_leveling((90, 100)), heuristic=h)
+            ).solve(build_app("n0", "n3"), small_net())
+
+        slrg = run(Heuristic.SLRG)
+        blind = run(Heuristic.BLIND)
+        assert slrg.stats.rg_nodes <= blind.stats.rg_nodes
+
+
+class TestFacade:
+    def test_solve_requires_inputs(self):
+        with pytest.raises(ValueError):
+            Planner().solve()
+
+    def test_problem_reuse(self):
+        planner = Planner(PlannerConfig(leveling=proportional_leveling((90, 100))))
+        problem = planner.compile(build_app("n0", "n1"), tiny_net())
+        p1 = planner.solve(problem=problem)
+        p2 = planner.solve(problem=problem)
+        assert p1.cost_lb == p2.cost_lb
+
+    def test_stats_table_row(self):
+        plan = solve(build_app("n0", "n1"), tiny_net(), proportional_leveling((90, 100)))
+        row = plan.stats.row()
+        assert row["total_actions"] > 0
+        assert "/" in row["plrg"] and "/" in row["rg"]
+
+    def test_describe_mentions_every_action(self):
+        plan = solve(build_app("n0", "n1"), tiny_net(), proportional_leveling((90, 100)))
+        text = plan.describe()
+        assert text.count("\n") == len(plan)
+        assert "place Client on node n1" in text

@@ -1,0 +1,87 @@
+"""Unit tests for the post-processing utilization optimizer (§2.3)."""
+
+import pytest
+
+from repro.baselines import GreedySekitei
+from repro.domains import media
+from repro.network import chain_network, pair_network
+from repro.planner import solve
+from repro.planner.postopt import post_optimize
+
+
+class TestPostOptimize:
+    def test_shrinks_to_demand(self):
+        """A scenario-B plan processes 100 units; post-optimization
+        throttles it down towards the 90-unit demand."""
+        net = pair_network(cpu=30.0, link_bw=70.0)
+        app = media.build_app("n0", "n1")
+        plan = solve(app, net, media.proportional_leveling((100,)))
+        result = post_optimize(plan.problem, plan.actions)
+        assert result.optimized_cost < result.original_cost
+        delivered = result.optimized_report.value("ibw:M@n1")
+        assert 90.0 - 1e-6 <= delivered <= 92.0  # close to the demand
+
+    def test_paper_585_lan_units_reached(self):
+        """Post-optimizing the optimal-structure plan approaches the
+        paper's ideal 58.5 LAN units (achievable only with exact 90-unit
+        processing)."""
+        net = chain_network(
+            [(150, "LAN"), (70, "WAN"), (150, "LAN")], cpu=30.0, spurs=2
+        )
+        app = media.build_app("n0", "n3")
+        plan = solve(app, net, media.proportional_leveling((90, 100)))
+        result = post_optimize(plan.problem, plan.actions)
+        lan = max(
+            result.optimized_report.consumed.get(f"lbw@{k}", 0.0)
+            for k in ("n0~n1", "n2~n3")
+        )
+        assert lan == pytest.approx(58.5, abs=0.5)
+
+    def test_cannot_fix_structure(self):
+        """The paper's point: post-processing cannot turn the suboptimal
+        raw-LAN plan into the split-at-server plan — its LAN reservation
+        stays above the structural optimum."""
+        net = chain_network(
+            [(150, "LAN"), (70, "WAN"), (150, "LAN")], cpu=30.0, spurs=2
+        )
+        app = media.build_app("n0", "n3")
+        b_plan = solve(app, net, media.proportional_leveling((100,)))
+        result = post_optimize(b_plan.problem, b_plan.actions)
+        lan = max(
+            result.optimized_report.consumed.get(f"lbw@{k}", 0.0)
+            for k in ("n0~n1", "n2~n3")
+        )
+        # Shrinks from 100 towards 90 — but the optimal structure's 65/58.5
+        # is unreachable without replanning.
+        assert 85.0 <= lan <= 100.0
+        assert lan > 65.0
+
+    def test_noop_when_demand_equals_capacity(self):
+        """When the plan already runs at the minimum, throttle stays ~1."""
+        net = pair_network(cpu=100.0, link_bw=250.0)
+        app = media.build_app("n0", "n1", source_bw=90.0, demand=90.0)
+        plan = solve(app, net, media.proportional_leveling((90,)))
+        result = post_optimize(plan.problem, plan.actions)
+        assert result.optimized_report.value("ibw:M@n1") >= 90.0 - 1e-6
+        assert result.saving <= result.original_cost * 0.05
+
+    def test_greedy_plus_postopt_still_loses_to_leveled(self):
+        """Greedy + post-processing vs the leveled planner on a feasible
+        instance: the leveled plan structure is at least as cheap."""
+        net = pair_network(cpu=100.0, link_bw=250.0)
+        app = media.build_app("n0", "n1")
+        greedy = GreedySekitei().solve(app, net)
+        post = post_optimize(greedy.problem, greedy.actions)
+        leveled = solve(app, net, media.proportional_leveling((90, 100)))
+        leveled_post = post_optimize(leveled.problem, leveled.actions)
+        assert leveled_post.optimized_cost <= post.optimized_cost + 1e-6
+
+    def test_invalid_plan_rejected(self):
+        from repro.planner import ExecutionError
+
+        net = pair_network(cpu=30.0, link_bw=70.0)
+        app = media.build_app("n0", "n1")
+        plan = solve(app, net, media.proportional_leveling((90, 100)))
+        broken = plan.actions[1:]  # drop the splitter
+        with pytest.raises(ExecutionError):
+            post_optimize(plan.problem, broken)

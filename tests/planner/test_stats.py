@@ -1,0 +1,34 @@
+"""Unit tests for planner statistics."""
+
+from repro.planner import PlannerStats
+
+
+class TestPlannerStats:
+    def test_search_ms_sums_phases(self):
+        stats = PlannerStats(plrg_ms=10.0, slrg_ms=20.0, rg_ms=30.0)
+        assert stats.search_ms == 60.0
+
+    def test_row_shapes_table2_columns(self):
+        stats = PlannerStats(
+            total_actions=44,
+            plrg_prop_nodes=16,
+            plrg_action_nodes=27,
+            slrg_set_nodes=39,
+            rg_nodes=23,
+            rg_queue_left=13,
+            total_ms=10.0,
+            plrg_ms=1.0,
+            slrg_ms=1.0,
+            rg_ms=2.0,
+        )
+        row = stats.row()
+        assert row["total_actions"] == 44
+        assert row["plrg"] == "16 / 27"
+        assert row["slrg"] == 39
+        assert row["rg"] == "23 / 13"
+        assert row["time_ms"] == "10 / 4"
+
+    def test_defaults_zero(self):
+        stats = PlannerStats()
+        assert stats.total_actions == 0
+        assert stats.search_ms == 0.0

@@ -1,0 +1,64 @@
+"""Unit tests for RG search tracing."""
+
+import pytest
+
+from repro.domains import media
+from repro.network import pair_network
+from repro.planner import Planner, PlannerConfig, SearchTrace
+
+
+@pytest.fixture(scope="module")
+def traced_plan():
+    net = pair_network(cpu=30.0, link_bw=70.0)
+    app = media.build_app("n0", "n1")
+    config = PlannerConfig(leveling=media.proportional_leveling((90, 100)), trace=True)
+    return Planner(config).solve(app, net)
+
+
+class TestTraceRecording:
+    def test_trace_attached(self, traced_plan):
+        assert traced_plan.trace is not None
+
+    def test_counters_consistent_with_stats(self, traced_plan):
+        trace = traced_plan.trace
+        # Root is created before tracing starts; every other RG node is
+        # recorded as a create event.
+        assert trace.counters["create"] == traced_plan.stats.rg_nodes - 1
+        assert trace.counters["expand"] == traced_plan.stats.rg_expanded
+        assert trace.counters["terminal"] == 1
+
+    def test_prune_reasons_classified(self, traced_plan):
+        reasons = traced_plan.trace.prune_reasons
+        assert reasons  # the Tiny problem always prunes something
+        assert set(reasons) <= {"replay", "transposition", "heuristic"}
+
+    def test_terminal_cost_matches_plan(self, traced_plan):
+        terminal = [e for e in traced_plan.trace.events if e.kind == "terminal"]
+        assert len(terminal) == 1
+        assert f"{traced_plan.cost_lb:g}" in terminal[0].detail
+
+    def test_summary_readable(self, traced_plan):
+        text = traced_plan.trace.summary()
+        assert "create" in text and "prune reasons" in text
+
+    def test_tail(self, traced_plan):
+        tail = traced_plan.trace.tail(5)
+        assert len(tail) <= 5
+        assert tail[-1].kind == "terminal"
+
+
+class TestTraceBounds:
+    def test_ring_buffer_bounded(self):
+        trace = SearchTrace(max_events=10)
+        for i in range(100):
+            trace.created(f"a{i}", float(i), i)
+        assert len(trace.events) == 10
+        assert trace.counters["create"] == 100  # counters never truncate
+
+    def test_disabled_by_default(self):
+        net = pair_network(cpu=30.0, link_bw=70.0)
+        app = media.build_app("n0", "n1")
+        plan = Planner(
+            PlannerConfig(leveling=media.proportional_leveling((90, 100)))
+        ).solve(app, net)
+        assert plan.trace is None

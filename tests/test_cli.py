@@ -1,0 +1,133 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.network import pair_network, save_network
+
+SPEC = """
+<interface name=M>
+<cross_effects>
+M.ibw' := min(M.ibw, Link.lbw)
+Link.lbw' -= min(M.ibw, Link.lbw)
+<cost>
+1 + M.ibw/10
+
+<component name=Server>
+<linkages>
+<implements>
+<interface name=M>
+<effects>
+M.ibw := 200
+
+<component name=Client>
+<linkages>
+<requires>
+<interface name=M>
+<conditions>
+M.ibw >= 90
+<cost>
+1
+"""
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    save_network(pair_network(cpu=100.0, link_bw=120.0), tmp_path / "net.json")
+    (tmp_path / "app.spec").write_text(SPEC)
+    return tmp_path
+
+
+class TestPlan:
+    def test_plan_success(self, workdir, capsys):
+        rc = main(
+            [
+                "plan",
+                "--network", str(workdir / "net.json"),
+                "--spec", str(workdir / "app.spec"),
+                "--initial", "Server=n0",
+                "--goal", "Client=n1",
+                "--levels", "M.ibw=90,100",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "place Client on node n1" in out
+        assert "cost lower bound" in out
+
+    def test_plan_json_output(self, workdir, capsys):
+        out_file = workdir / "plan.json"
+        rc = main(
+            [
+                "plan",
+                "--network", str(workdir / "net.json"),
+                "--spec", str(workdir / "app.spec"),
+                "--initial", "Server=n0",
+                "--goal", "Client=n1",
+                "--levels", "M.ibw=90,100",
+                "--json", str(out_file),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["actions"]
+        assert payload["exact_cost"] >= payload["cost_lower_bound"] - 1e-9
+
+    def test_plan_failure_exit_code(self, workdir, tmp_path, capsys):
+        save_network(pair_network(cpu=1.0, link_bw=10.0), tmp_path / "weak.json")
+        rc = main(
+            [
+                "plan",
+                "--network", str(tmp_path / "weak.json"),
+                "--spec", str(workdir / "app.spec"),
+                "--initial", "Server=n0",
+                "--goal", "Client=n1",
+            ]
+        )
+        assert rc == 1
+        assert "no plan" in capsys.readouterr().err
+
+    def test_bad_placement_syntax(self, workdir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "plan",
+                    "--network", str(workdir / "net.json"),
+                    "--spec", str(workdir / "app.spec"),
+                    "--initial", "Server@n0",
+                    "--goal", "Client=n1",
+                ]
+            )
+
+
+class TestGenNetwork:
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "net.json"
+        rc = main(["gen-network", "--stub-size", "2", "-o", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["nodes"]
+
+    def test_generate_stdout(self, capsys):
+        rc = main(["gen-network", "--stub-size", "2"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["nodes"]) == 3 + 3 * 3 * 2
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["gen-network", "--seed", "5", "-o", str(a)])
+        main(["gen-network", "--seed", "5", "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestTable2:
+    def test_tiny_subset(self, capsys):
+        rc = main(["table2", "--networks", "Tiny", "--scenarios", "A", "B"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Scenario" in out  # Table 1 header
+        assert "ResourceInfeasible" in out  # the A row
+        assert "Tiny" in out

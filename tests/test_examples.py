@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Long-running examples are exercised with reduced arguments.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list[str] | None = None) -> str:
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    runpy.run_path(f"{EXAMPLES}/{name}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py")
+        assert "no plan" in out  # greedy failure
+        assert "place Merger on node n1" in out
+        assert "delivered M @ n1 : 100" in out
+
+    def test_media_delivery_subset(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "media_delivery.py",
+            ["--networks", "Tiny", "--scenarios", "A", "C"],
+        )
+        assert "Table 1" in out and "Table 2" in out
+        assert "ResourceInfeasible" in out
+
+    def test_grid_workflow(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "grid_workflow.py")
+        assert "result latency" in out
+        assert "infeasible" in out  # the tight-deadline case
+
+    def test_cost_tradeoffs(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "cost_tradeoffs.py")
+        assert "crossover" in out
+
+    def test_custom_domain(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "custom_domain.py")
+        assert "place Transcoder" in out
+        assert "SD stream at the viewer: 20" in out
+
+    def test_component_variants(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "component_variants.py")
+        assert "INFEASIBLE" in out
+        assert "deep" in out and "fast" in out and "raw" in out
+        assert 'graph "variants"' in out
+
+    def test_adaptive_deployment(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "adaptive_deployment.py")
+        assert "initial deployment" in out
+        assert "total repair cost" in out
+
+    @pytest.mark.slow
+    def test_large_network(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "large_network.py")
+        assert "93 nodes" in out
+        assert "reserved LAN bandwidth    : 65" in out

@@ -1,0 +1,70 @@
+"""Public-API stability tests.
+
+Everything a downstream user is told to import must exist, be exported,
+and carry documentation.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.intervals",
+    "repro.expr",
+    "repro.network",
+    "repro.model",
+    "repro.compile",
+    "repro.planner",
+    "repro.baselines",
+    "repro.domains",
+    "repro.experiments",
+    "repro.simulate",
+    "repro.report",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_alls_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_readme_quickstart_symbols(self):
+        # The exact imports the README shows.
+        from repro import Planner, PlannerConfig  # noqa: F401
+        from repro.domains import media  # noqa: F401
+        from repro.network import pair_network  # noqa: F401
+
+    def test_key_classes_documented(self):
+        for obj in (
+            repro.Planner,
+            repro.PlannerConfig,
+            repro.Plan,
+            repro.AppSpec,
+            repro.ComponentSpec,
+            repro.InterfaceType,
+            repro.LevelSpec,
+            repro.Leveling,
+            repro.Network,
+            repro.Interval,
+            repro.GreedySekitei,
+        ):
+            assert inspect.getdoc(obj), obj
+
+    def test_public_planner_methods_documented(self):
+        for name, member in inspect.getmembers(repro.Planner):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert inspect.getdoc(member), f"Planner.{name} lacks a docstring"

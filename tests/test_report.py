@@ -1,0 +1,86 @@
+"""Unit tests for DOT export and plan reporting."""
+
+import pytest
+
+from repro import report
+from repro.domains import media
+from repro.network import pair_network
+from repro.planner import solve
+
+
+@pytest.fixture(scope="module")
+def tiny_plan():
+    net = pair_network(cpu=30.0, link_bw=70.0)
+    return solve(media.build_app("n0", "n1"), net, media.proportional_leveling((90, 100)))
+
+
+class TestNetworkDot:
+    def test_basic_structure(self):
+        dot = report.network_to_dot(pair_network())
+        assert dot.startswith('graph "tiny"')
+        assert '"n0" -- "n1"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_resources_labelled(self):
+        dot = report.network_to_dot(pair_network(cpu=30.0))
+        assert "cpu=30" in dot
+        assert "lbw=70" in dot
+
+    def test_resources_suppressible(self):
+        dot = report.network_to_dot(pair_network(), label_resources=False)
+        assert "cpu=" not in dot
+
+    def test_highlights(self):
+        dot = report.network_to_dot(
+            pair_network(),
+            highlight_nodes={"n0": "Splitter"},
+            highlight_links={("n0", "n1"): "Z,I"},
+        )
+        assert "Splitter" in dot
+        assert "Z,I" in dot
+        assert "penwidth" in dot
+
+    def test_quoting(self):
+        from repro.network import Network
+
+        net = Network('we"ird')
+        net.add_node("a")
+        dot = report.network_to_dot(net)
+        assert r"\"" in dot
+
+
+class TestPlanDot:
+    def test_placements_overlaid(self, tiny_plan):
+        dot = report.plan_to_dot(tiny_plan)
+        assert "Splitter+Zip" in dot
+        assert "Unzip+Merger+Client" in dot
+
+    def test_crossings_overlaid(self, tiny_plan):
+        dot = report.plan_to_dot(tiny_plan)
+        assert "Z,I" in dot or "I,Z" in dot
+
+    def test_server_shown(self, tiny_plan):
+        # Pre-placed components appear too (n0 already has placements,
+        # so Server rides along only when the node is otherwise empty).
+        dot = report.plan_to_dot(tiny_plan)
+        assert "lightblue" in dot
+
+    def test_valid_dot_braces(self, tiny_plan):
+        dot = report.plan_to_dot(tiny_plan)
+        assert dot.count("{") == dot.count("}") == 1
+
+
+class TestSummaryTable:
+    def test_rows_per_action_plus_total(self, tiny_plan):
+        table = report.plan_summary_table(tiny_plan)
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(tiny_plan) + 1  # header, sep, rows, total
+
+    def test_total_matches_exact_cost(self, tiny_plan):
+        table = report.plan_summary_table(tiny_plan)
+        assert "TOTAL" in table
+        assert f"{tiny_plan.exact_cost:g}" in table
+
+    def test_processed_values_shown(self, tiny_plan):
+        table = report.plan_summary_table(tiny_plan)
+        assert "M=100" in table

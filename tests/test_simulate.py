@@ -1,0 +1,97 @@
+"""Unit tests for the churn simulator."""
+
+import pytest
+
+from repro.domains import media
+from repro.network import chain_network, ring_network
+from repro.simulate import (
+    LinkChange,
+    LinkFailure,
+    NodeChange,
+    Simulation,
+    apply_event,
+    copy_network,
+)
+
+LEV = media.proportional_leveling((90, 100))
+
+
+class TestEvents:
+    def test_link_change(self):
+        net = chain_network([(150, "LAN")])
+        out = apply_event(net, LinkChange("n0", "n1", "lbw", 70.0))
+        assert out.link("n0", "n1").capacity("lbw") == 70.0
+        assert net.link("n0", "n1").capacity("lbw") == 150.0  # original untouched
+
+    def test_node_change(self):
+        net = chain_network([(150, "LAN")], cpu=30.0)
+        out = apply_event(net, NodeChange("n0", "cpu", 5.0))
+        assert out.node("n0").capacity("cpu") == 5.0
+
+    def test_link_failure(self):
+        net = ring_network(4)
+        out = apply_event(net, LinkFailure("n0", "n1"))
+        assert not out.has_link("n0", "n1")
+        assert out.is_connected()  # the ring reroutes
+
+    def test_unknown_element(self):
+        from repro.network import NetworkError
+
+        net = chain_network([(150, "LAN")])
+        with pytest.raises(NetworkError):
+            apply_event(net, LinkChange("n0", "zzz", "lbw", 1.0))
+
+    def test_copy_independent(self):
+        net = chain_network([(150, "LAN")])
+        cp = copy_network(net)
+        cp.node("n0").resources["cpu"] = 1.0
+        assert net.node("n0").capacity("cpu") != 1.0
+
+
+class TestSimulation:
+    def test_quiet_timeline_no_repairs(self):
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        sim = Simulation(media.build_app("n0", "n2"), net, LEV)
+        result = sim.run([LinkChange("n0", "n1", "lbw", 140.0)])  # still ample
+        assert result.steps[0].repair_actions == 0
+        assert result.total_repair_cost == 0.0
+
+    def test_degradation_triggers_repair(self):
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        sim = Simulation(media.build_app("n0", "n2"), net, LEV)
+        result = sim.run([LinkChange("n1", "n2", "lbw", 70.0)])
+        step = result.steps[0]
+        assert not step.failed
+        assert step.repair_actions > 0  # the compression pipeline appears
+        assert result.total_repair_cost > 0
+
+    def test_partition_then_recovery(self):
+        """Losing the only path is an outage; restoring capacity later
+        lets the simulator redeploy from scratch."""
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        sim = Simulation(media.build_app("n0", "n2"), net, LEV)
+        result = sim.run(
+            [
+                LinkChange("n1", "n2", "lbw", 10.0),  # below any useful stream
+                LinkChange("n1", "n2", "lbw", 150.0),  # recovery
+            ]
+        )
+        assert result.steps[0].failed
+        assert not result.steps[1].failed
+        assert result.outage_steps == 1
+
+    def test_ring_survives_link_failure(self):
+        """On a ring, a failed link reroutes rather than failing."""
+        net = ring_network(4, cpu=30.0, link_bw=150.0)
+        sim = Simulation(media.build_app("n0", "n2"), net, LEV)
+        result = sim.run([LinkFailure("n0", "n1")])
+        step = result.steps[0]
+        assert not step.failed
+
+    def test_describe(self):
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        sim = Simulation(media.build_app("n0", "n2"), net, LEV)
+        result = sim.run([LinkChange("n1", "n2", "lbw", 70.0)])
+        text = result.describe()
+        assert "initial deployment" in text
+        assert "total repair cost" in text
