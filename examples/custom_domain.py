@@ -4,13 +4,14 @@
 Component and interface specifications can be written exactly as the
 paper prints them (Figs. 2 and 6) and parsed with
 :func:`repro.parse_spec_text`.  This example defines a tiny video
-transcoding pipeline that way, assembles an AppSpec, and plans a
-deployment over a three-node chain.
+transcoding pipeline that way, assembles an AppSpec, lints it against
+the target network (docs/LINTING.md), and plans a deployment over a
+three-node chain.
 
 Run:  python examples/custom_domain.py
 """
 
-from repro import AppSpec, Planner, PlannerConfig, parse_spec_text
+from repro import AppSpec, Planner, PlannerConfig, lint_app, parse_spec_text
 from repro.model import Leveling, LevelSpec
 from repro.network import chain_network
 
@@ -83,6 +84,15 @@ def main() -> None:
         {"HD.ibw": LevelSpec((40.0, 80.0)), "SD.ibw": LevelSpec((10.0, 20.0))},
         name="video",
     )
+
+    # Lint before planning: hand-written specs earn typos, and a lint
+    # report beats a planner failure three phases later.  (Equivalent to
+    # `python -m repro lint ...`, or PlannerConfig(strict=True).)
+    report = lint_app(app, net, leveling)
+    print(report.render_text())
+    if report.has_errors():
+        raise SystemExit(1)
+
     plan = Planner(PlannerConfig(leveling=leveling)).solve(app, net)
     print(plan.describe())
     report = plan.execute()

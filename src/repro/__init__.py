@@ -51,6 +51,7 @@ from .planner import (
     solve,
 )
 from .baselines import DirectConnection, GreedySekitei, exhaustive_optimal
+from .lint import Diagnostic, LintOptions, LintReport, Severity, lint_app, require_lint_clean
 
 __version__ = "1.0.0"
 
@@ -96,4 +97,11 @@ __all__ = [
     "GreedySekitei",
     "DirectConnection",
     "exhaustive_optimal",
+    # lint
+    "Diagnostic",
+    "LintReport",
+    "LintOptions",
+    "Severity",
+    "lint_app",
+    "require_lint_clean",
 ]

@@ -5,6 +5,9 @@ Subcommands
 ``plan``
     Plan a deployment for a spec file (the paper's pseudo-XML syntax)
     over a network JSON file.
+``lint``
+    Statically verify a spec/network pair before planning: monotonicity,
+    level soundness, reachability, cost sanity (see docs/LINTING.md).
 ``table2``
     Reproduce (a subset of) the paper's Table 2.
 ``gen-network``
@@ -15,6 +18,8 @@ Examples
 ::
 
     python -m repro gen-network --seed 2004 -o large.json
+    python -m repro lint --network large.json --spec app.spec \\
+        --initial Server=t0_0_s0_0 --goal Client=t0_2_s2_5
     python -m repro plan --network large.json --spec app.spec \\
         --initial Server=t0_0_s0_0 --goal Client=t0_2_s2_5 \\
         --levels M.ibw=90,100
@@ -27,47 +32,56 @@ import argparse
 import json
 import sys
 
-from .model import AppSpec, Leveling, LevelSpec, parse_spec_text
+from .model import AppSpec, Leveling, LevelSpec, SpecError, parse_spec_text
 from .network import TransitStubParams, load_network, network_to_dict, transit_stub_network
 from .planner import Planner, PlannerConfig, PlanningError
 
 __all__ = ["main"]
 
 
-def _cmd_plan(args: argparse.Namespace) -> int:
-    network = load_network(args.network)
-    parsed = parse_spec_text(open(args.spec).read())
+def _placement_pairs(items) -> list[tuple[str, str]]:
+    out = []
+    for item in items:
+        comp, _, node = item.partition("=")
+        if not node:
+            raise SystemExit(f"expected COMPONENT=NODE, got {item!r}")
+        out.append((comp, node))
+    return out
 
-    def pairs(items):
-        out = []
-        for item in items:
-            comp, _, node = item.partition("=")
-            if not node:
-                raise SystemExit(f"expected COMPONENT=NODE, got {item!r}")
-            out.append((comp, node))
-        return out
 
-    app = AppSpec.build(
-        name=args.spec,
-        interfaces=parsed.interfaces,
-        components=parsed.components,
-        initial=pairs(args.initial),
-        goals=pairs(args.goal),
-    )
-
+def _leveling_from_args(items) -> Leveling:
     specs = {}
-    for item in args.levels or ():
+    for item in items or ():
         var, _, cuts = item.partition("=")
         if not cuts:
             raise SystemExit(f"expected VAR=c1,c2,..., got {item!r}")
         specs[var] = LevelSpec(tuple(float(c) for c in cuts.split(",")))
-    leveling = Leveling(specs, name="cli")
+    return Leveling(specs, name="cli")
 
-    planner = Planner(PlannerConfig(leveling=leveling))
+
+def _load_instance(args: argparse.Namespace) -> tuple[AppSpec, object, Leveling]:
+    network = load_network(args.network)
+    parsed = parse_spec_text(open(args.spec).read())
+    app = AppSpec.build(
+        name=args.spec,
+        interfaces=parsed.interfaces,
+        components=parsed.components,
+        initial=_placement_pairs(args.initial),
+        goals=_placement_pairs(args.goal),
+    )
+    return app, network, _leveling_from_args(args.levels)
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    app, network, leveling = _load_instance(args)
+    planner = Planner(PlannerConfig(leveling=leveling, strict=args.strict))
     try:
         plan = planner.solve(app, network)
     except PlanningError as exc:
         print(f"no plan: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except SpecError as exc:
+        print(f"spec failed strict lint: {exc}", file=sys.stderr)
         return 1
 
     print(plan.describe())
@@ -83,6 +97,24 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         }
         open(args.json, "w").write(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import LintOptions, lint_app
+
+    app, network, leveling = _load_instance(args)
+    report = lint_app(
+        app, network, leveling, options=LintOptions(deep=not args.no_deep)
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if report.has_errors():
+        return 1
+    if args.werror and report.warnings:
+        return 1
     return 0
 
 
@@ -124,14 +156,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_instance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--network", required=True, help="network JSON file")
+        p.add_argument("--spec", required=True, help="pseudo-XML spec file")
+        p.add_argument("--initial", nargs="+", default=[], metavar="COMP=NODE")
+        p.add_argument("--goal", nargs="+", required=True, metavar="COMP=NODE")
+        p.add_argument("--levels", nargs="*", metavar="VAR=c1,c2,...")
+
     p_plan = sub.add_parser("plan", help="plan a deployment")
-    p_plan.add_argument("--network", required=True, help="network JSON file")
-    p_plan.add_argument("--spec", required=True, help="pseudo-XML spec file")
-    p_plan.add_argument("--initial", nargs="+", default=[], metavar="COMP=NODE")
-    p_plan.add_argument("--goal", nargs="+", required=True, metavar="COMP=NODE")
-    p_plan.add_argument("--levels", nargs="*", metavar="VAR=c1,c2,...")
+    add_instance_args(p_plan)
     p_plan.add_argument("--json", help="also write the plan as JSON")
+    p_plan.add_argument(
+        "--strict",
+        action="store_true",
+        help="lint the spec first and refuse to plan on lint errors",
+    )
     p_plan.set_defaults(fn=_cmd_plan)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically verify a spec against a network"
+    )
+    add_instance_args(p_lint)
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p_lint.add_argument(
+        "--no-deep",
+        action="store_true",
+        help="skip the compile-based ground reachability check",
+    )
+    p_lint.add_argument(
+        "--werror", action="store_true", help="exit non-zero on warnings too"
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_t2 = sub.add_parser("table2", help="reproduce Table 2")
     p_t2.add_argument("--networks", nargs="+", default=["Tiny", "Small", "Large"])

@@ -55,7 +55,7 @@ def compute_property_bounds(
         for r in app.node_resources()
     }
     max_link_res = {
-        r.name: max((l.capacity(r.name) for l in network.links.values()), default=0.0)
+        r.name: max((lk.capacity(r.name) for lk in network.links.values()), default=0.0)
         for r in app.link_resources()
     }
     forced = set(overrides or ())
@@ -139,7 +139,7 @@ def resource_capacity_bounds(app: AppSpec, network: Network) -> dict[str, float]
         )
     for r in app.link_resources():
         out[f"Link.{r.name}"] = max(
-            (l.capacity(r.name) for l in network.links.values()), default=0.0
+            (lk.capacity(r.name) for lk in network.links.values()), default=0.0
         )
     return out
 

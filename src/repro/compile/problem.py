@@ -19,7 +19,7 @@ from ..network import Network
 from .actions import GroundAction, iface_prop_var, link_res_var, node_res_var
 from .bounds import compute_property_bounds
 from .grounding import Grounder, PropTable
-from .propositions import AvailProp, PlacedProp, Prop, dominated_level_tuples
+from .propositions import AvailProp, PlacedProp, dominated_level_tuples
 from .reachability import logically_reachable, prune_unreachable_actions
 
 __all__ = ["CompiledProblem", "compile_problem"]
@@ -90,14 +90,20 @@ def compile_problem(
     network: Network,
     leveling: Leveling | None = None,
     bound_overrides: dict[str, float] | None = None,
+    strict: bool = False,
 ) -> CompiledProblem:
     """Compile a CPP instance into a leveled planning problem.
+
+    With ``strict=True`` the spec linter (:mod:`repro.lint`) runs first
+    and any error-severity finding aborts compilation with a
+    :class:`SpecError` listing every diagnostic.
 
     Raises
     ------
     SpecError
         On malformed specifications (non-source initial placements,
-        unbounded properties, formula scope violations).
+        unbounded properties, formula scope violations), or on lint
+        errors when ``strict`` is set.
     ValueError
         When the app and network are inconsistent (unknown pinned nodes,
         undeclared resources, disconnected network).
@@ -105,6 +111,13 @@ def compile_problem(
     import time
 
     t0 = time.perf_counter()
+    if strict:
+        # Lazy import: repro.lint reuses compile.bounds, so importing it at
+        # module scope would cycle.  Deep reachability is disabled — it
+        # would recurse into this very compilation.
+        from ..lint import LintOptions, require_lint_clean
+
+        require_lint_clean(app, network, leveling, options=LintOptions(deep=False))
     require_valid(app, network)
     if leveling is None:
         leveling = app.default_leveling()

@@ -49,7 +49,7 @@ class AvailProp:
     def __str__(self) -> str:
         if not self.levels:
             return f"avail({self.interface},{self.node})"
-        lv = ",".join(str(l) for l in self.levels)
+        lv = ",".join(str(lv) for lv in self.levels)
         return f"avail({self.interface},{self.node},L={lv})"
 
 
@@ -69,13 +69,13 @@ def dominated_level_tuples(
     only ``l``.  Yields the full product, including ``levels`` itself.
     """
     axes: list[range] = []
-    for l, deg, upg, count in zip(levels, degradable, upgradable, level_counts):
+    for lvl, deg, upg, count in zip(levels, degradable, upgradable, level_counts):
         if deg:
-            axes.append(range(0, l + 1))
+            axes.append(range(0, lvl + 1))
         elif upg:
-            axes.append(range(l, count))
+            axes.append(range(lvl, count))
         else:
-            axes.append(range(l, l + 1))
+            axes.append(range(lvl, lvl + 1))
     if not axes:
         yield ()
         return

@@ -29,7 +29,6 @@ from __future__ import annotations
 from ..model import (
     AppSpec,
     ComponentSpec,
-    InterfaceType,
     Leveling,
     LevelSpec,
     bandwidth_interface,

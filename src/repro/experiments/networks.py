@@ -31,7 +31,7 @@ class NetworkCase:
 
     def lan_link_vars(self) -> set[str]:
         """Ground variables of the LAN links' bandwidth (for Table 2 col. 4)."""
-        return {f"lbw@{l.a}~{l.b}" for l in self.network.links_with_label("LAN")}
+        return {f"lbw@{lk.a}~{lk.b}" for lk in self.network.links_with_label("LAN")}
 
 
 def tiny_case(cpu: float = DEFAULT_NODE_CPU) -> NetworkCase:

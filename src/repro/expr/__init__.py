@@ -29,11 +29,13 @@ from .functions import (
 from .analysis import (
     Direction,
     assigned_variables,
+    condition_monotonicity,
     constant_value,
     infer_degradable,
     is_constant,
     is_monotone_nondecreasing,
     monotonicity,
+    monotonicity_all,
     variables,
 )
 
@@ -70,6 +72,8 @@ __all__ = [
     "variables",
     "assigned_variables",
     "monotonicity",
+    "monotonicity_all",
+    "condition_monotonicity",
     "is_monotone_nondecreasing",
     "infer_degradable",
     "is_constant",

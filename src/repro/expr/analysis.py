@@ -12,7 +12,12 @@ Provides the automatic analyses the paper relies on:
   ... can be obtained automatically by syntactic analysis": a property is
   degradable w.r.t. a set of effect formulas when every output is
   nondecreasing in it, so throttling the input can only lower downstream
-  demands.
+  demands;
+* :func:`monotonicity_all` / :func:`condition_monotonicity` — the bulk
+  forms used by the spec linter (:mod:`repro.lint`): per-variable
+  direction of an expression, and the direction of a *condition's
+  satisfaction* (growing a variable can make a predicate easier, harder,
+  or unclassifiable to satisfy).
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ __all__ = [
     "variables",
     "assigned_variables",
     "monotonicity",
+    "monotonicity_all",
+    "condition_monotonicity",
     "is_monotone_nondecreasing",
     "infer_degradable",
     "is_constant",
@@ -147,6 +154,45 @@ def monotonicity(node: Node, var: str) -> Direction:
                 # sign of f is unknown syntactically.
                 return Direction.UNKNOWN
             return Direction.UNKNOWN
+    return Direction.UNKNOWN
+
+
+def monotonicity_all(node: Node) -> dict[str, Direction]:
+    """Monotonicity direction per variable the expression mentions.
+
+    An :class:`Assign` is classified by its right-hand side (the target
+    is written, not read).
+    """
+    if isinstance(node, Assign):
+        node = node.expr
+    return {v: monotonicity(node, v) for v in sorted(variables(node))}
+
+
+def condition_monotonicity(node: Node, var: str) -> Direction:
+    """Direction of a condition's *satisfaction* in ``var``.
+
+    :data:`Direction.NONDECREASING` means growing ``var`` can only make
+    the condition easier to satisfy (once true it stays true), and dually
+    for :data:`Direction.NONINCREASING`.  Equality and inequality tests
+    over non-constant operands are :data:`Direction.UNKNOWN` — their truth
+    is not monotone in any operand.
+    """
+    if isinstance(node, And):
+        acc = Direction.CONSTANT
+        for p in node.parts:
+            acc = _combine(acc, condition_monotonicity(p, var))
+        return acc
+    if isinstance(node, Compare):
+        dl = monotonicity(node.left, var)
+        dr = monotonicity(node.right, var)
+        if node.op in ("==", "!="):
+            if dl is Direction.CONSTANT and dr is Direction.CONSTANT:
+                return Direction.CONSTANT
+            return Direction.UNKNOWN
+        if node.op in (">=", ">"):
+            return _combine(dl, dr.flip())
+        if node.op in ("<=", "<"):
+            return _combine(dl.flip(), dr)
     return Direction.UNKNOWN
 
 

@@ -1,0 +1,21 @@
+"""Static analysis of CPP specifications (`repro lint`).
+
+Verifies, before any planning, that a ``(AppSpec, Network)`` pair keeps
+the promises the leveled planner relies on: monotone formulas with total
+domains, sound level cutpoints, a live goal, and sane cost functions.
+Findings are structured :class:`Diagnostic` records with stable codes —
+see ``docs/LINTING.md`` for the full catalogue.
+"""
+
+from .diagnostics import Diagnostic, LintReport, Severity, SourceLocation
+from .linter import LintOptions, lint_app, require_lint_clean
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SourceLocation",
+    "LintOptions",
+    "lint_app",
+    "require_lint_clean",
+]

@@ -1,0 +1,149 @@
+"""Shared state for one lint run.
+
+All passes look at the same derived facts: the static per-property upper
+bounds (``compile/bounds.py``'s fixed point), the maximum node/link
+resource capacities, and interval environments assigning every variable
+its full reachable range ``[0, bound]``.  Building them once here keeps
+the passes cheap and consistent with the compiler's own view of the spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..compile.bounds import compute_property_bounds
+from ..intervals import Interval
+from ..model import AppSpec, Leveling, SpecError
+from ..model.component import ComponentSpec
+from ..model.interface import InterfaceType
+from ..network import Network
+from .diagnostics import SourceLocation
+
+__all__ = ["LintContext", "comp_loc", "iface_loc"]
+
+
+def comp_loc(
+    comp: ComponentSpec,
+    section: str | None = None,
+    index: int | None = None,
+    formula=None,
+) -> SourceLocation:
+    text = formula.unparse() if formula is not None else None
+    return SourceLocation("component", comp.name, section, index, text)
+
+
+def iface_loc(
+    iface: InterfaceType,
+    section: str | None = None,
+    index: int | None = None,
+    formula=None,
+) -> SourceLocation:
+    text = formula.unparse() if formula is not None else None
+    return SourceLocation("interface", iface.name, section, index, text)
+
+
+@dataclass
+class LintContext:
+    """Derived facts shared by every lint pass."""
+
+    app: AppSpec
+    network: Network
+    leveling: Leveling
+    bounds: dict[str, float] | None = None
+    bound_failure: str | None = None
+    node_caps: dict[str, float] = field(default_factory=dict)
+    link_caps: dict[str, float] = field(default_factory=dict)
+
+    @staticmethod
+    def build(app: AppSpec, network: Network, leveling: Leveling | None) -> "LintContext":
+        if leveling is None:
+            leveling = app.default_leveling()
+        ctx = LintContext(app=app, network=network, leveling=leveling)
+        ctx.node_caps = {
+            r.name: max((n.capacity(r.name) for n in network.nodes.values()), default=0.0)
+            for r in app.node_resources()
+        }
+        ctx.link_caps = {
+            r.name: max((lk.capacity(r.name) for lk in network.links.values()), default=0.0)
+            for r in app.link_resources()
+        }
+        try:
+            ctx.bounds = compute_property_bounds(app, network)
+        except SpecError as exc:
+            # A spec the bounds fixed point cannot handle still deserves the
+            # syntactic passes; range-based checks fall back to [0, inf).
+            ctx.bound_failure = str(exc)
+        return ctx
+
+    # -- variable ranges ---------------------------------------------------
+
+    def bound(self, var: str) -> float:
+        """Static upper bound of an interface-property spec variable."""
+        if self.bounds is None:
+            return math.inf
+        return self.bounds.get(var, math.inf)
+
+    def var_range(self, var: str) -> Interval:
+        """Full reachable range of any spec variable, ``[0, bound]``."""
+        if var.startswith("Node."):
+            cap = self.node_caps.get(var.split(".", 1)[1], 0.0)
+            return Interval.closed(0.0, cap)
+        if var.startswith("Link."):
+            cap = self.link_caps.get(var.split(".", 1)[1], 0.0)
+            return Interval.closed(0.0, cap)
+        hi = self.bound(var)
+        if math.isinf(hi):
+            return Interval.nonnegative()
+        return Interval.closed(0.0, hi)
+
+    # -- interval environments --------------------------------------------
+
+    def component_env(self, comp: ComponentSpec) -> dict[str, Interval]:
+        """Ranges for every variable in scope of a component's formulas.
+
+        A pinned component sees its own node's capacities; a floating one
+        sees the network-wide maximum (the optimistic choice — lint must
+        not reject a spec some node could satisfy).
+        """
+        env: dict[str, Interval] = {}
+        for iface_name in comp.requires + comp.implements:
+            iface = self.app.interface(iface_name)
+            for prop in iface.properties:
+                var = iface.spec_var(prop.name)
+                env[var] = self.var_range(var)
+        pin = self.app.pinned.get(comp.name)
+        pinned_node = self.network.nodes.get(pin) if pin is not None else None
+        for decl in self.app.node_resources():
+            if pinned_node is not None:
+                cap = pinned_node.capacity(decl.name)
+            else:
+                cap = self.node_caps.get(decl.name, 0.0)
+            env[f"Node.{decl.name}"] = Interval.closed(0.0, cap)
+        return env
+
+    def interface_env(self, iface: InterfaceType) -> dict[str, Interval]:
+        """Ranges in scope of an interface's cross formulas."""
+        env: dict[str, Interval] = {}
+        for prop in iface.properties:
+            var = iface.spec_var(prop.name)
+            env[var] = self.var_range(var)
+        for decl in self.app.link_resources():
+            env[f"Link.{decl.name}"] = Interval.closed(
+                0.0, self.link_caps.get(decl.name, 0.0)
+            )
+        return env
+
+    # -- spec vocabulary ---------------------------------------------------
+
+    def known_spec_vars(self) -> set[str]:
+        """Every variable a leveling may legitimately map."""
+        out: set[str] = set()
+        for iface in self.app.interfaces.values():
+            for prop in iface.properties:
+                out.add(iface.spec_var(prop.name))
+        for decl in self.app.node_resources():
+            out.add(f"Node.{decl.name}")
+        for decl in self.app.link_resources():
+            out.add(f"Link.{decl.name}")
+        return out

@@ -1,0 +1,191 @@
+"""Structured lint findings.
+
+Every check in :mod:`repro.lint` reports a :class:`Diagnostic`: a stable
+error code (``MONO001``, ``LVL002``, ...), a severity, a human-readable
+message, and a :class:`SourceLocation` naming the spec element the finding
+is anchored to (component / interface / section / formula index).  A
+:class:`LintReport` collects diagnostics and renders them as text or JSON.
+
+Codes are append-only: a code, once released, keeps its meaning forever so
+CI suppressions and documentation stay valid (see ``docs/LINTING.md``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Severity", "SourceLocation", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings make the spec unsound or unplannable; WARNING findings
+    are very likely mistakes but have well-defined (if surprising)
+    semantics; INFO findings are observations.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """Where in a specification a finding is anchored.
+
+    Specs are built programmatically or parsed from text, so locations are
+    structural rather than line-based: the owning element (a component,
+    interface, the leveling, the network pairing, or the app itself), the
+    section within it, the formula index inside the section, and the
+    formula's text when one is implicated.
+    """
+
+    kind: str  # "component" | "interface" | "leveling" | "network" | "app"
+    name: str  # element name (component/interface name, resource, ...)
+    section: str | None = None  # "conditions" | "effects" | "cost" | ...
+    index: int | None = None  # formula index within the section
+    formula: str | None = None  # unparsed formula text
+
+    def __str__(self) -> str:
+        out = f"{self.kind} {self.name}"
+        if self.section is not None:
+            out += f", {self.section}"
+            if self.index is not None:
+                out += f"[{self.index}]"
+        if self.formula is not None:
+            out += f" `{self.formula}`"
+        return out
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "name": self.name}
+        if self.section is not None:
+            out["section"] = self.section
+        if self.index is not None:
+            out["index"] = self.index
+        if self.formula is not None:
+            out["formula"] = self.formula
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: SourceLocation
+
+    def __str__(self) -> str:
+        return f"{self.severity}[{self.code}] {self.location}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run over an (app, network, leveling)."""
+
+    app_name: str = ""
+    network_name: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        location: SourceLocation,
+    ) -> Diagnostic:
+        diag = Diagnostic(code, severity, message, location)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    # -- queries -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def is_clean(self) -> bool:
+        return not self.diagnostics
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics ordered by severity, then code, then location."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.code, str(d.location)),
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary(self) -> str:
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.diagnostics) - n_err - n_warn
+        parts = [f"{n_err} error(s)", f"{n_warn} warning(s)"]
+        if n_info:
+            parts.append(f"{n_info} info(s)")
+        return ", ".join(parts)
+
+    def render_text(self) -> str:
+        target = f"{self.app_name!r} on {self.network_name!r}"
+        if self.is_clean():
+            return f"lint {target}: clean"
+        lines = [f"lint {target}: {self.summary()}"]
+        lines += [f"  {d}" for d in self.sorted()]
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        return {
+            "app": self.app_name,
+            "network": self.network_name,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "total": len(self.diagnostics),
+            },
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent)

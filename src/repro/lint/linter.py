@@ -1,0 +1,92 @@
+"""The spec linter: static verification of a CPP instance before planning.
+
+:func:`lint_app` runs every pass over an ``(AppSpec, Network[, Leveling])``
+triple and returns a :class:`~repro.lint.diagnostics.LintReport`; a bad
+spec thus surfaces as a handful of located findings instead of a mystery
+planner failure or a silently wrong plan.  :func:`require_lint_clean` is
+the strict-mode gate used by :class:`repro.planner.Planner` and
+:func:`repro.compile.compile_problem` when ``strict=True``.
+
+Pass order: app/network pairing (``NET``), monotonicity and formula
+domains (``MONO``), level soundness (``LVL``), cost sanity (``COST``),
+dead-spec reachability (``REACH``) — plus a ground best-value reachability
+check (``REACH006``) compiled on the concrete network when everything else
+is clean.  ``docs/LINTING.md`` catalogues every code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import AppSpec, Leveling, SpecError
+from ..network import Network
+from . import cost, levels, monotone, pairing, reach
+from .context import LintContext
+from .diagnostics import LintReport, Severity, SourceLocation
+
+__all__ = ["LintOptions", "lint_app", "require_lint_clean"]
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Knobs for one lint run.
+
+    Attributes
+    ----------
+    deep:
+        When true (default) and the spec-level passes report no errors,
+        compile the problem against the concrete network and verify the
+        goal survives ground best-value reachability (``REACH006``).
+        Strict pre-checks inside the compiler disable this to avoid
+        recursing into compilation.
+    """
+
+    deep: bool = True
+
+
+def lint_app(
+    app: AppSpec,
+    network: Network,
+    leveling: Leveling | None = None,
+    options: LintOptions | None = None,
+) -> LintReport:
+    """Statically verify a CPP instance; returns all findings."""
+    options = options or LintOptions()
+    report = LintReport(app_name=app.name, network_name=network.name)
+    ctx = LintContext.build(app, network, leveling)
+    if ctx.bound_failure is not None:
+        report.add(
+            "BND001",
+            Severity.ERROR,
+            f"static property bounds could not be computed "
+            f"({ctx.bound_failure}); range-dependent checks assume [0, ∞)",
+            SourceLocation("app", app.name),
+        )
+
+    pairing.run(ctx, report)
+    monotone.run(ctx, report)
+    levels.run(ctx, report)
+    cost.run(ctx, report)
+    reach.run(ctx, report)
+
+    if options.deep and not report.has_errors():
+        reach.run_deep(ctx, report)
+    return report
+
+
+def require_lint_clean(
+    app: AppSpec,
+    network: Network,
+    leveling: Leveling | None = None,
+    options: LintOptions | None = None,
+) -> LintReport:
+    """Lint and raise :class:`SpecError` when any error-severity finding
+    exists; returns the (possibly warning-bearing) report otherwise."""
+    report = lint_app(app, network, leveling, options)
+    if report.has_errors():
+        details = "\n  ".join(str(d) for d in report.errors)
+        raise SpecError(
+            f"spec {app.name!r} failed lint against network "
+            f"{network.name!r}:\n  {details}"
+        )
+    return report

@@ -1,0 +1,107 @@
+"""App/network pairing checks, as structured diagnostics.
+
+The same consistency rules :mod:`repro.model.validation` enforces before
+compilation, re-reported with stable codes and locations so they surface
+through ``repro lint`` alongside the deeper analyses:
+
+* ``NET001`` — a placement references a node the network does not have;
+* ``NET002`` — a pin (outside the placements) references an unknown node;
+* ``NET003`` / ``NET004`` — a node/link carries resources the app never
+  declared (the planner would silently ignore them);
+* ``NET005`` — a declared resource that no node (or no link) provides —
+  including the degenerate single-node network with link-scoped
+  resources declared;
+* ``NET006`` — the network is not connected.
+"""
+
+from __future__ import annotations
+
+from ..network import ResourceScope
+from .context import LintContext
+from .diagnostics import LintReport, Severity, SourceLocation
+
+__all__ = ["run"]
+
+
+def run(ctx: LintContext, report: LintReport) -> None:
+    app, network = ctx.app, ctx.network
+
+    placed = set()
+    for placement in app.initial_placements + app.goal_placements:
+        placed.add(placement.component)
+        if placement.node not in network:
+            report.add(
+                "NET001",
+                Severity.ERROR,
+                f"placement of {placement.component} references unknown "
+                f"node {placement.node!r}",
+                SourceLocation("network", network.name, "placements"),
+            )
+    for comp, node in sorted(app.pinned.items()):
+        if comp not in placed and node not in network:
+            report.add(
+                "NET002",
+                Severity.ERROR,
+                f"component {comp} is pinned to unknown node {node!r}",
+                SourceLocation("network", network.name, "pins"),
+            )
+
+    node_res = {r.name for r in app.node_resources()}
+    link_res = {r.name for r in app.link_resources()}
+    for node in network.nodes.values():
+        unknown = set(node.resources) - node_res
+        if unknown:
+            report.add(
+                "NET003",
+                Severity.ERROR,
+                f"node {node.id} carries undeclared resources "
+                f"{sorted(unknown)}; declare them in the app or drop them",
+                SourceLocation("network", network.name, "nodes"),
+            )
+    for link in network.links.values():
+        unknown = set(link.resources) - link_res
+        if unknown:
+            report.add(
+                "NET004",
+                Severity.ERROR,
+                f"link {link.key} carries undeclared resources "
+                f"{sorted(unknown)}; declare them in the app or drop them",
+                SourceLocation("network", network.name, "links"),
+            )
+
+    for r in app.resources:
+        if r.scope is ResourceScope.NODE:
+            missing = [n.id for n in network.nodes.values() if r.name not in n.resources]
+            if missing and len(missing) == len(network.nodes):
+                report.add(
+                    "NET005",
+                    Severity.ERROR,
+                    f"no node provides declared resource {r.name!r}",
+                    SourceLocation("network", network.name, "resources"),
+                )
+        else:
+            if not network.links:
+                report.add(
+                    "NET005",
+                    Severity.ERROR,
+                    f"link resource {r.name!r} is declared but the network "
+                    "has no links at all",
+                    SourceLocation("network", network.name, "resources"),
+                )
+                continue
+            missing = [lk.key for lk in network.links.values() if r.name not in lk.resources]
+            if missing and len(missing) == len(network.links):
+                report.add(
+                    "NET005",
+                    Severity.ERROR,
+                    f"no link provides declared resource {r.name!r}",
+                    SourceLocation("network", network.name, "resources"),
+                )
+
+    if not network.is_connected():
+        report.add(
+            "NET006",
+            Severity.ERROR,
+            "network is not connected; streams cannot reach isolated parts",
+            SourceLocation("network", network.name),
+        )

@@ -1,0 +1,202 @@
+"""Dead-spec detection: unsatisfiable conditions, unplaceable components,
+and interfaces no goal can use.
+
+The pass runs a type-level analogue of the compiler's best-value
+reachability (``compile/reachability.py``): starting from the interfaces
+the pre-placed sources produce, a component is placeable-in-principle when
+all its required interfaces are reachable and its conditions are
+satisfiable at the *best achievable* values (the static bounds — resource
+sharing and consumption only lower values, so this is an optimistic and
+therefore sound filter).  When the spec is otherwise clean, a *deep* check
+compiles the full problem and reuses the compiler's ground best-value
+propagation to verify the goal survives on the concrete network.
+
+* ``REACH001`` — a required interface that no component implements;
+* ``REACH002`` — a condition (or cross condition) unsatisfiable even at
+  best-case values;
+* ``REACH003`` — a component that can never be placed because a required
+  interface is unreachable from the pre-placed sources;
+* ``REACH004`` — a goal placement whose component can never be placed;
+* ``REACH005`` — an interface that is produced but that no goal can use;
+* ``REACH006`` — (deep) the compiled goal has no achieving ground action
+  on the concrete network.
+"""
+
+from __future__ import annotations
+
+from ..expr import variables
+from ..expr.errors import EvalError
+from ..expr.evaluator import condition_satisfiable
+from .context import LintContext, comp_loc, iface_loc
+from .diagnostics import LintReport, Severity, SourceLocation
+
+__all__ = ["run", "run_deep"]
+
+
+def run(ctx: LintContext, report: LintReport) -> None:
+    app = ctx.app
+    producers: dict[str, list[str]] = {name: [] for name in app.interfaces}
+    for comp in app.components.values():
+        for iface in comp.implements:
+            producers.setdefault(iface, []).append(comp.name)
+
+    goal_comps = {p.component for p in app.goal_placements}
+    initial_comps = {p.component for p in app.initial_placements}
+
+    # REACH001 — requirements nobody can satisfy.
+    for comp in app.components.values():
+        for i, iface in enumerate(comp.requires):
+            if not producers.get(iface):
+                report.add(
+                    "REACH001",
+                    Severity.ERROR,
+                    f"required interface {iface!r} is implemented by no "
+                    "component; nothing can ever feed this requirement",
+                    comp_loc(comp, "requires", i),
+                )
+
+    # REACH002 — conditions unsatisfiable at best-case values.
+    condition_blocked: set[str] = set()
+    for comp in app.components.values():
+        env = ctx.component_env(comp)
+        for i, cond in enumerate(comp.conditions):
+            try:
+                sat = condition_satisfiable(cond, env)
+            except EvalError:
+                continue  # domain problem; the monotonicity pass reports it
+            if not sat:
+                condition_blocked.add(comp.name)
+                severity = (
+                    Severity.ERROR if comp.name in goal_comps else Severity.WARNING
+                )
+                best = ", ".join(
+                    f"{v} <= {env[v].hi:g}"
+                    for v in sorted(variables(cond))
+                    if v in env
+                )
+                report.add(
+                    "REACH002",
+                    severity,
+                    "condition is unsatisfiable even at the best achievable "
+                    f"values ({best}); the component can never be placed",
+                    comp_loc(comp, "conditions", i, cond),
+                )
+    for iface in app.interfaces.values():
+        env = ctx.interface_env(iface)
+        for i, cond in enumerate(iface.cross_conditions):
+            try:
+                sat = condition_satisfiable(cond, env)
+            except EvalError:
+                continue
+            if not sat:
+                report.add(
+                    "REACH002",
+                    Severity.WARNING,
+                    "cross condition is unsatisfiable on every link of this "
+                    "network; the stream can never cross a link",
+                    iface_loc(iface, "cross_conditions", i, cond),
+                )
+
+    # Type-level placeability fixed point.
+    reachable: set[str] = set()
+    placeable: set[str] = set()
+    for name in initial_comps:
+        comp = app.components[name]
+        placeable.add(name)
+        reachable.update(comp.implements)
+    changed = True
+    while changed:
+        changed = False
+        for comp in app.components.values():
+            if comp.name in placeable or comp.name in condition_blocked:
+                continue
+            if all(req in reachable for req in comp.requires):
+                placeable.add(comp.name)
+                if not set(comp.implements) <= reachable:
+                    reachable.update(comp.implements)
+                changed = True
+
+    # REACH003 — blocked by unreachable inputs.
+    for comp in app.components.values():
+        if comp.name in placeable or comp.name in condition_blocked:
+            continue
+        missing = sorted(set(comp.requires) - reachable)
+        severity = Severity.ERROR if comp.name in goal_comps else Severity.WARNING
+        report.add(
+            "REACH003",
+            severity,
+            f"component can never be placed: required interface(s) "
+            f"{missing} are unreachable from the pre-placed sources",
+            comp_loc(comp),
+        )
+
+    # REACH004 — goals that can never be deployed.
+    for placement in app.goal_placements:
+        if placement.component not in placeable:
+            report.add(
+                "REACH004",
+                Severity.ERROR,
+                f"goal placement of {placement.component} on "
+                f"{placement.node} is unreachable: the component can never "
+                "be placed (see the REACH002/REACH003 findings above)",
+                SourceLocation("app", app.name, "goal_placements"),
+            )
+
+    # REACH005 — interfaces no goal can use (backward demand closure).
+    demanded: set[str] = set()
+    frontier = [
+        iface for name in goal_comps for iface in app.components[name].requires
+    ]
+    while frontier:
+        iface = frontier.pop()
+        if iface in demanded:
+            continue
+        demanded.add(iface)
+        for producer in producers.get(iface, ()):
+            frontier.extend(app.components[producer].requires)
+    for iface in app.interfaces.values():
+        if iface.name not in demanded:
+            report.add(
+                "REACH005",
+                Severity.WARNING,
+                f"interface {iface.name!r} is declared but no goal component "
+                "can (transitively) consume it; it is dead weight in this "
+                "deployment problem",
+                iface_loc(iface),
+            )
+
+
+def run_deep(ctx: LintContext, report: LintReport) -> None:
+    """Ground best-value reachability on the concrete network.
+
+    Only meaningful when the spec-level passes found no errors: compiles
+    the problem (which reruns ``compile/reachability.py``'s pruning) and
+    reports goals whose placements did not survive.
+    """
+    from ..compile import compile_problem, diagnose
+
+    try:
+        problem = compile_problem(ctx.app, ctx.network, ctx.leveling)
+    except Exception as exc:
+        report.add(
+            "REACH006",
+            Severity.ERROR,
+            f"the spec does not compile against this network: {exc}",
+            SourceLocation("app", ctx.app.name),
+        )
+        return
+    unreachable = [
+        pid
+        for pid in problem.goal_prop_ids
+        if pid not in problem.initial_prop_ids and not problem.achievers.get(pid)
+    ]
+    if unreachable or not problem.logically_solvable:
+        detail = str(diagnose(problem)).strip()
+        report.add(
+            "REACH006",
+            Severity.ERROR,
+            "no ground action achieves the goal on this network "
+            f"({problem.reachability_pruned} actions pruned by best-value "
+            f"propagation); {detail}",
+            SourceLocation("app", ctx.app.name, "goal_placements"),
+        )

@@ -9,7 +9,7 @@ the stream to cross, and effects on the post-crossing property values
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from ..expr import (

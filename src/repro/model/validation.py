@@ -48,8 +48,14 @@ def validate_against_network(app: AppSpec, network: Network) -> list[str]:
             if missing and len(missing) == len(network.nodes):
                 problems.append(f"no node provides resource {r.name!r}")
         else:
-            missing = [l.key for l in network.links.values() if r.name not in l.resources]
-            if missing and network.links and len(missing) == len(network.links):
+            if not network.links:
+                problems.append(
+                    f"link resource {r.name!r} is declared but the network "
+                    "has no links"
+                )
+                continue
+            missing = [lk.key for lk in network.links.values() if r.name not in lk.resources]
+            if missing and len(missing) == len(network.links):
                 problems.append(f"no link provides resource {r.name!r}")
 
     if not network.is_connected():

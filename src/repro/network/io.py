@@ -34,12 +34,12 @@ def network_to_dict(net: Network) -> dict[str, Any]:
         ],
         "links": [
             {
-                "a": l.a,
-                "b": l.b,
-                "resources": dict(l.resources),
-                "labels": sorted(l.labels),
+                "a": lk.a,
+                "b": lk.b,
+                "resources": dict(lk.resources),
+                "labels": sorted(lk.labels),
             }
-            for l in net.links.values()
+            for lk in net.links.values()
         ],
     }
 

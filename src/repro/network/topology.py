@@ -230,7 +230,7 @@ class Network:
         return None
 
     def links_with_label(self, label: str) -> list[Link]:
-        return [l for l in self._links.values() if label in l.labels]
+        return [lk for lk in self._links.values() if label in lk.labels]
 
     def nodes_with_label(self, label: str) -> list[Node]:
         return [n for n in self._nodes.values() if label in n.labels]

@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..compile import CompiledProblem, GroundAction, compile_problem
-from ..compile.propositions import AvailProp, PlacedProp, dominated_level_tuples
 from ..model import AppSpec, Leveling
 from ..network import Network
 from .errors import ExecutionError

@@ -14,7 +14,7 @@ from enum import Enum
 from ..compile import CompiledProblem, compile_problem
 from ..model import AppSpec, Leveling
 from ..network import Network
-from .errors import ExecutionError, PlanningError, ResourceInfeasible, Unsolvable
+from .errors import ExecutionError, ResourceInfeasible, Unsolvable
 from .executor import execute_plan
 from .plan import Plan
 from .plrg import build_plrg
@@ -55,6 +55,10 @@ class PlannerConfig:
         an invalid plan.
     bound_overrides:
         Optional static property-bound overrides for non-converging apps.
+    strict:
+        Run the spec linter (:mod:`repro.lint`) before compiling and
+        refuse — with a :class:`~repro.model.SpecError` listing every
+        finding — when it reports errors.
     """
 
     leveling: Leveling | None = None
@@ -62,6 +66,7 @@ class PlannerConfig:
     slrg_node_budget: int = 50_000
     rg_node_budget: int = 500_000
     validate: bool = True
+    strict: bool = False
     bound_overrides: dict[str, float] = field(default_factory=dict)
     trace: bool = False
     """Record a bounded RG search trace on the returned plan
@@ -88,6 +93,7 @@ class Planner:
             network,
             self.config.leveling,
             self.config.bound_overrides or None,
+            strict=self.config.strict,
         )
 
     def solve(

@@ -19,7 +19,7 @@ shrink from below.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..compile import CompiledProblem, GroundAction
 from ..intervals import Interval

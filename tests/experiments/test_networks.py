@@ -47,8 +47,8 @@ class TestLarge:
 
     def test_resource_distribution(self):
         net = large_case().network
-        assert all(l.capacity("lbw") == 150.0 for l in net.links_with_label("LAN"))
-        assert all(l.capacity("lbw") == 70.0 for l in net.links_with_label("WAN"))
+        assert all(lk.capacity("lbw") == 150.0 for lk in net.links_with_label("LAN"))
+        assert all(lk.capacity("lbw") == 70.0 for lk in net.links_with_label("WAN"))
 
 
 class TestLookup:

@@ -1,6 +1,5 @@
 """Unit tests for the network-size scaling sweep."""
 
-import pytest
 
 from repro.experiments import scaling_network, scaling_sweep
 

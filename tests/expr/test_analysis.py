@@ -3,11 +3,13 @@
 from repro.expr import (
     Direction,
     assigned_variables,
+    condition_monotonicity,
     constant_value,
     infer_degradable,
     is_constant,
     is_monotone_nondecreasing,
     monotonicity,
+    monotonicity_all,
     parse_assign,
     parse_condition,
     parse_expr,
@@ -80,6 +82,87 @@ class TestMonotonicity:
             ("M.ibw*0.7", "M.ibw"),
         ]:
             assert is_monotone_nondecreasing(parse_expr(text), var), text
+
+
+class TestMonotonicityEdgeCases:
+    def test_double_subtraction_restores_direction(self):
+        # x is subtracted twice: -(−x) is nondecreasing again.
+        assert monotonicity(parse_expr("10 - (5 - x)"), "x") is Direction.NONDECREASING
+
+    def test_subtrahend_division_flips(self):
+        assert monotonicity(parse_expr("10 - x/4"), "x") is Direction.NONINCREASING
+
+    def test_division_by_negative_difference_flips(self):
+        # Divisor folds to the constant -3, so x/(2-5) is nonincreasing.
+        assert monotonicity(parse_expr("x / (2 - 5)"), "x") is Direction.NONINCREASING
+
+    def test_constant_folded_negative_coefficient(self):
+        # (2-5) folds to -3; multiplying by it flips the direction.
+        assert monotonicity(parse_expr("(2 - 5) * x"), "x") is Direction.NONINCREASING
+
+    def test_constant_folded_positive_coefficient(self):
+        assert monotonicity(parse_expr("x / (4 - 2)"), "x") is Direction.NONDECREASING
+
+    def test_product_of_constant_subexpressions_is_constant(self):
+        assert monotonicity(parse_expr("(2 - 5) * (1 + 1)"), "x") is Direction.CONSTANT
+
+    def test_max_nondecreasing(self):
+        assert monotonicity(parse_expr("max(x, 10)"), "x") is Direction.NONDECREASING
+
+    def test_min_of_flipped_argument(self):
+        assert monotonicity(parse_expr("min(10 - x, 5)"), "x") is Direction.NONINCREASING
+
+    def test_min_of_conflicting_directions_unknown(self):
+        assert monotonicity(parse_expr("min(x, 10 - x)"), "x") is Direction.UNKNOWN
+
+    def test_sum_of_conflicting_directions_unknown(self):
+        assert monotonicity(parse_expr("x + (10 - x)"), "x") is Direction.UNKNOWN
+
+    def test_nested_division_double_flip(self):
+        # x in the divisor of a divisor: two flips cancel... but 5/x is
+        # UNKNOWN (x may cross zero), and UNKNOWN is absorbing.
+        assert monotonicity(parse_expr("1 / (5 / x)"), "x") is Direction.UNKNOWN
+
+
+class TestMonotonicityAll:
+    def test_every_variable_classified(self):
+        dirs = monotonicity_all(parse_expr("T.ibw - I.ibw/2 + 7"))
+        assert dirs == {
+            "T.ibw": Direction.NONDECREASING,
+            "I.ibw": Direction.NONINCREASING,
+        }
+
+    def test_assign_classifies_rhs_only(self):
+        dirs = monotonicity_all(parse_assign("M.ibw := T.ibw * 2"))
+        assert dirs == {"T.ibw": Direction.NONDECREASING}
+
+
+class TestConditionMonotonicity:
+    def test_ge_follows_left_side(self):
+        cond = parse_condition("M.ibw >= 90")
+        assert condition_monotonicity(cond, "M.ibw") is Direction.NONDECREASING
+
+    def test_ge_flips_right_side(self):
+        cond = parse_condition("Node.cpu >= M.ibw/5")
+        assert condition_monotonicity(cond, "M.ibw") is Direction.NONINCREASING
+        assert condition_monotonicity(cond, "Node.cpu") is Direction.NONDECREASING
+
+    def test_le_flips_left_side(self):
+        cond = parse_condition("M.ibw <= 90")
+        assert condition_monotonicity(cond, "M.ibw") is Direction.NONINCREASING
+
+    def test_equality_is_unknown_in_its_variables(self):
+        cond = parse_condition("T.ibw*3 == I.ibw*7")
+        assert condition_monotonicity(cond, "T.ibw") is Direction.UNKNOWN
+
+    def test_unrelated_variable_constant(self):
+        cond = parse_condition("M.ibw >= 90")
+        assert condition_monotonicity(cond, "Z.ibw") is Direction.CONSTANT
+
+    def test_conjunction_combines(self):
+        cond = parse_condition("M.ibw >= 90 and Node.cpu >= M.ibw/5")
+        assert condition_monotonicity(cond, "M.ibw") is Direction.UNKNOWN
+        assert condition_monotonicity(cond, "Node.cpu") is Direction.NONDECREASING
 
 
 class TestDegradableInference:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.expr import LexError
-from repro.expr.tokens import Token, TokenKind, tokenize
+from repro.expr.tokens import TokenKind, tokenize
 
 
 def kinds(text):

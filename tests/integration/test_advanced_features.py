@@ -4,7 +4,7 @@ goal components, software placement constraints, and failure injection."""
 import pytest
 
 from repro.domains import media
-from repro.model import AppSpec, ComponentSpec, bandwidth_interface
+from repro.model import AppSpec, ComponentSpec
 from repro.network import Network, chain_network, star_network
 from repro.planner import Planner, PlannerConfig, PlanningError, solve
 

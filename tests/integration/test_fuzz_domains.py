@@ -9,7 +9,6 @@ ratios, CPU profiles, demands, levelings, and networks.  Invariants:
   the planner's exact cost matches the optimum.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines import exhaustive_optimal

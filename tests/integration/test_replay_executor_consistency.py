@@ -8,7 +8,6 @@ replay interval.  This ties the two semantics — planning-time intervals
 and execution-time floats — together across randomized instances.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.domains.media import build_app, proportional_leveling

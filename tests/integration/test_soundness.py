@@ -6,13 +6,11 @@ level choices.  Infeasibility is an acceptable outcome; an invalid plan is
 never acceptable.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.domains.media import build_app, proportional_leveling
 from repro.network import Network
 from repro.planner import (
-    ExecutionError,
     Planner,
     PlannerConfig,
     PlanningError,

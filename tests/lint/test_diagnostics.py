@@ -1,0 +1,92 @@
+"""Unit tests for the diagnostic record types and report rendering."""
+
+import json
+
+from repro.lint import Diagnostic, LintReport, Severity, SourceLocation
+
+
+class TestSourceLocation:
+    def test_component_with_formula(self):
+        loc = SourceLocation("component", "Splitter", "effects", 2, "T.ibw := M.ibw*0.7")
+        assert str(loc) == "component Splitter, effects[2] `T.ibw := M.ibw*0.7`"
+
+    def test_section_without_index(self):
+        loc = SourceLocation("component", "Client", "cost")
+        assert str(loc) == "component Client, cost"
+
+    def test_bare_element(self):
+        assert str(SourceLocation("interface", "M")) == "interface M"
+
+    def test_to_dict_omits_missing_fields(self):
+        loc = SourceLocation("app", "demo")
+        assert loc.to_dict() == {"kind": "app", "name": "demo"}
+        full = SourceLocation("component", "C", "conditions", 0, "x >= 1")
+        assert full.to_dict() == {
+            "kind": "component",
+            "name": "C",
+            "section": "conditions",
+            "index": 0,
+            "formula": "x >= 1",
+        }
+
+
+class TestSeverity:
+    def test_rank_orders_error_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_str(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_str_format(self):
+        d = Diagnostic(
+            "MONO001",
+            Severity.ERROR,
+            "not monotone",
+            SourceLocation("component", "C", "effects", 0),
+        )
+        assert str(d) == "error[MONO001] component C, effects[0]: not monotone"
+
+
+class TestLintReport:
+    def _report(self):
+        r = LintReport(app_name="demo", network_name="tiny")
+        r.add("LVL002", Severity.WARNING, "dead gap", SourceLocation("leveling", "M.ibw"))
+        r.add("MONO001", Severity.ERROR, "bad", SourceLocation("component", "C"))
+        return r
+
+    def test_queries(self):
+        r = self._report()
+        assert len(r) == 2
+        assert r.has_errors()
+        assert not r.is_clean()
+        assert r.codes() == {"MONO001", "LVL002"}
+        assert [d.code for d in r.errors] == ["MONO001"]
+        assert [d.code for d in r.warnings] == ["LVL002"]
+        assert len(r.by_code("LVL002")) == 1
+
+    def test_sorted_puts_errors_first(self):
+        r = self._report()
+        assert [d.code for d in r.sorted()] == ["MONO001", "LVL002"]
+
+    def test_render_text(self):
+        r = self._report()
+        text = r.render_text()
+        assert text.startswith("lint 'demo' on 'tiny': 1 error(s), 1 warning(s)")
+        assert "error[MONO001]" in text
+        assert "warning[LVL002]" in text
+
+    def test_render_text_clean(self):
+        r = LintReport(app_name="demo", network_name="tiny")
+        assert r.render_text() == "lint 'demo' on 'tiny': clean"
+        assert r.is_clean()
+
+    def test_json_roundtrip(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["app"] == "demo"
+        assert payload["network"] == "tiny"
+        assert payload["summary"] == {"errors": 1, "warnings": 1, "total": 2}
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert codes == ["MONO001", "LVL002"]
+        assert payload["diagnostics"][0]["location"]["kind"] == "component"

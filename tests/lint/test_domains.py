@@ -1,0 +1,54 @@
+"""Every built-in domain must lint clean with its canonical pairing.
+
+These are the linter's regression anchors: a new check that fires on a
+shipped domain is either a false positive or a real defect to fix — either
+way the suite must say so.
+"""
+
+import pytest
+
+from repro.domains import grid, media, variants, webservice
+from repro.lint import lint_app
+from repro.network import pair_network
+
+
+def _media():
+    net = pair_network(cpu=30.0, link_bw=70.0)
+    app = media.build_app("n0", "n1")
+    return app, net, media.proportional_leveling((90.0, 100.0))
+
+
+def _grid():
+    net = grid.build_network()
+    app = grid.build_app("site0_worker", "site3_worker")
+    return app, net, grid.grid_leveling()
+
+
+def _webservice():
+    net = webservice.build_network()
+    app = webservice.build_app("server", "client")
+    return app, net, webservice.ws_leveling()
+
+
+def _variants():
+    net = variants.build_network(60.0, 100.0)
+    app = variants.build_app("src", "dst")
+    return app, net, variants.variants_leveling()
+
+
+@pytest.mark.parametrize(
+    "build", [_media, _grid, _webservice, _variants], ids=lambda f: f.__name__[1:]
+)
+def test_domain_lints_clean(build):
+    app, net, leveling = build()
+    report = lint_app(app, net, leveling)
+    assert report.is_clean(), report.render_text()
+
+
+def test_media_without_leveling_reports_scenario_a_infeasibility():
+    # Without levels the Tiny network cannot deliver 90 over the 70-bw
+    # link (Table 2 Scenario A): the deep reachability pass catches this
+    # statically instead of leaving it to a planner failure.
+    net = pair_network(cpu=30.0, link_bw=70.0)
+    report = lint_app(media.build_app("n0", "n1"), net)
+    assert report.codes() == {"REACH006"}, report.render_text()

@@ -1,0 +1,100 @@
+"""Tests for lint_app orchestration and the strict planner/compiler hooks."""
+
+import pytest
+
+from repro import Planner, PlannerConfig, SpecError, compile_problem
+from repro.lint import LintOptions, lint_app, require_lint_clean
+from repro.model import AppSpec, ComponentSpec, InterfaceType
+from repro.network import pair_network
+
+
+def _app(goal_node="n1", demand=50):
+    return AppSpec.build(
+        name="strict-demo",
+        interfaces=[
+            InterfaceType.parse(
+                "M",
+                cross_conditions=["Link.lbw >= M.ibw"],
+                cross_effects=["M.ibw' := M.ibw", "Link.lbw' -= M.ibw"],
+            )
+        ],
+        components=[
+            ComponentSpec.parse(
+                "Server", implements=["M"], effects=["M.ibw := 60"]
+            ),
+            ComponentSpec.parse(
+                "Client", requires=["M"], conditions=[f"M.ibw >= {demand}"]
+            ),
+        ],
+        initial=[("Server", "n0")],
+        goals=[("Client", goal_node)],
+    )
+
+
+def _net():
+    return pair_network(cpu=30.0, link_bw=70.0)
+
+
+class TestLintApp:
+    def test_clean_instance(self):
+        report = lint_app(_app(), _net())
+        assert report.is_clean(), report.render_text()
+
+    def test_broken_instance_collects_multiple_codes(self):
+        report = lint_app(_app(goal_node="nowhere", demand=1000), _net())
+        assert {"NET001", "REACH002"} <= report.codes()
+        assert report.has_errors()
+
+    def test_require_lint_clean_raises_with_all_errors(self):
+        with pytest.raises(SpecError) as exc:
+            require_lint_clean(_app(goal_node="nowhere", demand=1000), _net())
+        msg = str(exc.value)
+        assert "NET001" in msg and "REACH002" in msg
+
+    def test_require_lint_clean_returns_report(self):
+        report = require_lint_clean(_app(), _net())
+        assert report.is_clean()
+
+
+class TestStrictHooks:
+    def test_compile_problem_strict_rejects(self):
+        with pytest.raises(SpecError, match="failed lint"):
+            compile_problem(_app(demand=1000), _net(), strict=True)
+
+    def test_compile_problem_strict_accepts_clean(self):
+        problem = compile_problem(_app(), _net(), strict=True)
+        assert problem.actions
+
+    def test_compile_problem_default_is_lenient(self):
+        # Without strict, a spec-level-dead instance still compiles (and
+        # the planner reports Unsolvable later); lint is opt-in.
+        problem = compile_problem(_app(demand=1000), _net())
+        assert problem is not None
+
+    def test_planner_strict_config(self):
+        planner = Planner(PlannerConfig(strict=True))
+        with pytest.raises(SpecError, match="failed lint"):
+            planner.solve(_app(demand=1000), _net())
+        plan = planner.solve(_app(), _net())
+        assert plan.actions
+
+    def test_deep_disabled_option(self):
+        # deep=False must skip REACH006 even for a network-dead instance.
+        app = AppSpec.build(
+            name="no-cross",
+            interfaces=[InterfaceType.parse("M")],  # no cross effects
+            components=[
+                ComponentSpec.parse(
+                    "Server", implements=["M"], effects=["M.ibw := 60"]
+                ),
+                ComponentSpec.parse(
+                    "Client", requires=["M"], conditions=["M.ibw >= 50"]
+                ),
+            ],
+            initial=[("Server", "n0")],
+            goals=[("Client", "n1")],
+        )
+        shallow = lint_app(app, _net(), options=LintOptions(deep=False))
+        assert not shallow.by_code("REACH006")
+        deep = lint_app(app, _net(), options=LintOptions(deep=True))
+        assert deep.by_code("REACH006")

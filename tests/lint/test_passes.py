@@ -1,0 +1,250 @@
+"""Unit tests for the individual lint passes, one broken spec per code."""
+
+from repro.lint import LintOptions, Severity, lint_app
+from repro.model import (
+    AppSpec,
+    ComponentSpec,
+    InterfaceType,
+    Leveling,
+    LevelSpec,
+    bandwidth_interface,
+)
+from repro.network import Network, pair_network
+
+
+def _app(components, interfaces=None, initial=None, goals=None, name="t"):
+    return AppSpec.build(
+        name=name,
+        interfaces=interfaces
+        or [bandwidth_interface("M", cross_cost="1 + M.ibw/10")],
+        components=components,
+        initial=initial or [("Server", "n0")],
+        goals=goals or [("Client", "n1")],
+    )
+
+
+def _server(bw=100):
+    return ComponentSpec.parse(
+        "Server", implements=["M"], effects=[f"M.ibw := {bw}"]
+    )
+
+
+def _client(demand=50, **kw):
+    return ComponentSpec.parse(
+        "Client", requires=["M"], conditions=[f"M.ibw >= {demand}"], **kw
+    )
+
+
+def _net(cpu=30.0, link_bw=70.0):
+    return pair_network(cpu=cpu, link_bw=link_bw)
+
+
+def _lint(app, net=None, leveling=None, deep=False):
+    return lint_app(
+        app, net or _net(), leveling, options=LintOptions(deep=deep)
+    )
+
+
+class TestMonotone:
+    def test_mono001_product_of_variables(self):
+        squarer = ComponentSpec.parse(
+            "Server", implements=["M"], effects=["M.ibw := Node.cpu * Node.cpu"]
+        )
+        report = _lint(_app([squarer, _client()]))
+        diags = report.by_code("MONO001")
+        assert diags and diags[0].severity is Severity.ERROR
+        assert diags[0].location.name == "Server"
+        assert diags[0].location.section == "effects"
+
+    def test_mono002_divisor_spans_zero(self):
+        comp = ComponentSpec.parse(
+            "Server", implements=["M"], effects=["M.ibw := 100 / Node.cpu"]
+        )
+        report = _lint(_app([comp, _client()]))
+        assert report.by_code("MONO002")
+
+    def test_mono004_nonincreasing_in_degradable(self):
+        # M.ibw is degradable (bandwidth_interface default); consuming more
+        # cpu for *less* input stream breaks degradable matching.
+        comp = ComponentSpec.parse(
+            "Sink",
+            requires=["M"],
+            effects=["Node.cpu -= 50 - M.ibw/10"],
+        )
+        app = _app(
+            [_server(), comp, _client()],
+            goals=[("Client", "n1"), ("Sink", "n1")],
+        )
+        report = _lint(app)
+        assert report.by_code("MONO004")
+
+    def test_clean_spec_has_no_mono_findings(self):
+        report = _lint(_app([_server(), _client()]))
+        assert not [d for d in report if d.code.startswith("MONO")]
+
+
+class TestLevels:
+    def test_lvl001_unknown_leveling_var(self):
+        leveling = Leveling({"Bogus.var": LevelSpec((10.0,))}, name="t")
+        report = _lint(_app([_server(), _client()]), leveling=leveling)
+        diags = report.by_code("LVL001")
+        assert diags and diags[0].severity is Severity.WARNING
+        assert diags[0].location.kind == "leveling"
+
+    def test_lvl002_cutpoint_above_static_bound(self):
+        # Server emits at most 100, so a 400 cutpoint is a dead gap.
+        leveling = Leveling({"M.ibw": LevelSpec((50.0, 400.0))}, name="t")
+        report = _lint(_app([_server(100), _client()]), leveling=leveling)
+        diags = report.by_code("LVL002")
+        assert diags and "400" in diags[0].message
+
+    def test_lvl004_misaligned_downstream_cutpoints(self):
+        interfaces = [
+            bandwidth_interface("M", cross_cost="1"),
+            bandwidth_interface("Z", cross_cost="1"),
+        ]
+        zipc = ComponentSpec.parse(
+            "Zip", requires=["M"], implements=["Z"], effects=["Z.ibw := M.ibw/2"]
+        )
+        client = ComponentSpec.parse(
+            "Client", requires=["Z"], conditions=["Z.ibw >= 10"]
+        )
+        app = _app([_server(100), zipc, client], interfaces=interfaces)
+        # M cut at 80 maps to Z=40, but Z's only cutpoint is 30: misaligned.
+        leveling = Leveling(
+            {"M.ibw": LevelSpec((80.0,)), "Z.ibw": LevelSpec((30.0,))}, name="t"
+        )
+        report = _lint(app, leveling=leveling)
+        diags = report.by_code("LVL004")
+        assert diags and diags[0].location.name == "Zip"
+
+    def test_aligned_cutpoints_are_clean(self):
+        interfaces = [
+            bandwidth_interface("M", cross_cost="1"),
+            bandwidth_interface("Z", cross_cost="1"),
+        ]
+        zipc = ComponentSpec.parse(
+            "Zip", requires=["M"], implements=["Z"], effects=["Z.ibw := M.ibw/2"]
+        )
+        client = ComponentSpec.parse(
+            "Client", requires=["Z"], conditions=["Z.ibw >= 10"]
+        )
+        app = _app([_server(100), zipc, client], interfaces=interfaces)
+        leveling = Leveling(
+            {"M.ibw": LevelSpec((80.0,)), "Z.ibw": LevelSpec((40.0,))}, name="t"
+        )
+        assert not _lint(app, leveling=leveling).by_code("LVL004")
+
+
+class TestReach:
+    def test_reach001_no_producer(self):
+        interfaces = [
+            bandwidth_interface("M", cross_cost="1"),
+            bandwidth_interface("X", cross_cost="1"),
+        ]
+        client = ComponentSpec.parse(
+            "Client", requires=["M", "X"], conditions=["M.ibw >= 1"]
+        )
+        report = _lint(_app([_server(), client], interfaces=interfaces))
+        diags = report.by_code("REACH001")
+        assert diags and "'X'" in diags[0].message
+
+    def test_reach002_condition_beyond_best_values(self):
+        report = _lint(_app([_server(100), _client(demand=1000)]))
+        diags = report.by_code("REACH002")
+        assert diags and diags[0].severity is Severity.ERROR
+        assert "best achievable" in diags[0].message
+
+    def test_reach003_unplaceable_chain(self):
+        interfaces = [
+            bandwidth_interface("M", cross_cost="1"),
+            bandwidth_interface("X", cross_cost="1"),
+            bandwidth_interface("Y", cross_cost="1"),
+        ]
+        # Nothing produces X, so Mid is unplaceable (warning: not a goal),
+        # and Client (a goal) requiring Y is unplaceable too (error).
+        mid = ComponentSpec.parse(
+            "Mid", requires=["X"], implements=["Y"], effects=["Y.ibw := X.ibw"]
+        )
+        client = ComponentSpec.parse("Client", requires=["Y"])
+        report = _lint(_app([_server(), mid, client], interfaces=interfaces))
+        severities = {d.location.name: d.severity for d in report.by_code("REACH003")}
+        assert severities["Mid"] is Severity.WARNING
+        assert severities["Client"] is Severity.ERROR
+        assert report.by_code("REACH004")
+
+    def test_reach005_interface_no_goal_consumes(self):
+        interfaces = [
+            bandwidth_interface("M", cross_cost="1"),
+            bandwidth_interface("Dead", cross_cost="1"),
+        ]
+        producer = ComponentSpec.parse(
+            "DeadEnd", requires=["M"], implements=["Dead"], effects=["Dead.ibw := M.ibw"]
+        )
+        report = _lint(_app([_server(), producer, _client()], interfaces=interfaces))
+        diags = report.by_code("REACH005")
+        assert diags and diags[0].location.name == "Dead"
+        assert diags[0].severity is Severity.WARNING
+
+    def test_reach006_deep_goal_unreachable_on_network(self):
+        # Spec-level clean, but M has no cross effects: the stream cannot
+        # leave n0, so the goal placement on n1 dies in ground reachability.
+        iface = InterfaceType.parse("M")
+        report = _lint(
+            _app([_server(), _client()], interfaces=[iface]), deep=True
+        )
+        diags = report.by_code("REACH006")
+        assert diags and diags[0].severity is Severity.ERROR
+
+    def test_deep_skipped_when_spec_errors_exist(self):
+        report = lint_app(
+            _app([_server(100), _client(demand=1000)]),
+            _net(),
+            options=LintOptions(deep=True),
+        )
+        assert report.by_code("REACH002")
+        assert not report.by_code("REACH006")
+
+
+class TestCost:
+    def test_cost002_decreasing_cost(self):
+        client = _client(cost="100 - M.ibw")
+        report = _lint(_app([_server(), client]))
+        diags = report.by_code("COST002")
+        assert diags and diags[0].severity is Severity.WARNING
+
+    def test_cost001_negative_cost_image(self):
+        client = _client(cost="M.ibw/10 - 100")
+        report = _lint(_app([_server(), client]))
+        assert report.by_code("COST001")
+
+    def test_cost003_cost_undefined(self):
+        client = _client(cost="1/Node.cpu")
+        report = _lint(_app([_server(), client]))
+        assert report.by_code("COST003")
+
+
+class TestPairing:
+    def test_net001_unknown_placement_node(self):
+        app = _app([_server(), _client()], goals=[("Client", "nowhere")])
+        report = _lint(app)
+        assert report.by_code("NET001")
+
+    def test_net005_link_resource_but_no_links(self):
+        net = Network("island")
+        net.add_node("n0", {"cpu": 30.0})
+        app = _app(
+            [_server(), _client()],
+            initial=[("Server", "n0")],
+            goals=[("Client", "n0")],
+        )
+        report = _lint(app, net=net)
+        diags = report.by_code("NET005")
+        assert diags and "no links" in diags[0].message
+
+    def test_net006_disconnected(self):
+        net = Network("split")
+        net.add_node("n0", {"cpu": 30.0})
+        net.add_node("n1", {"cpu": 30.0})
+        report = _lint(_app([_server(), _client()]), net=net)
+        assert report.by_code("NET006")

@@ -37,6 +37,16 @@ class TestValidate:
         problems = validate_against_network(app, net)
         assert any("cpu" in p for p in problems)
 
+    def test_link_resource_with_no_links_is_reported(self):
+        # Regression: an empty links map used to skip the "no link
+        # provides resource" check entirely, silently passing a network
+        # that cannot carry any stream.
+        app = build_app("n0", "n0")
+        net = Network()
+        net.add_node("n0", {"cpu": 30})
+        problems = validate_against_network(app, net)
+        assert any("lbw" in p and "no links" in p for p in problems)
+
     def test_disconnected_network(self):
         app = build_app("n0", "n1")
         net = Network()

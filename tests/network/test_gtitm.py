@@ -79,8 +79,8 @@ class TestTransitStubModel:
     def test_custom_bandwidths(self):
         p = TransitStubParams(lan_bandwidth=999.0, wan_bandwidth=11.0, stub_size=2)
         net = transit_stub_network(p)
-        assert all(l.capacity("lbw") == 999.0 for l in net.links_with_label("LAN"))
-        assert all(l.capacity("lbw") == 11.0 for l in net.links_with_label("WAN"))
+        assert all(lk.capacity("lbw") == 999.0 for lk in net.links_with_label("LAN"))
+        assert all(lk.capacity("lbw") == 11.0 for lk in net.links_with_label("WAN"))
 
     def test_intra_stub_links_are_lan(self):
         net = transit_stub_network(TransitStubParams())

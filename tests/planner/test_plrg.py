@@ -4,9 +4,9 @@ import math
 
 import pytest
 
-from repro.compile import AvailProp, PlacedProp, compile_problem
+from repro.compile import AvailProp, compile_problem
 from repro.domains.media import build_app, proportional_leveling
-from repro.network import Network, pair_network
+from repro.network import pair_network
 from repro.planner import Unsolvable, build_plrg
 
 

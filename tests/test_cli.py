@@ -33,10 +33,43 @@ M.ibw >= 90
 """
 
 
+BROKEN_SPEC = """
+<interface name=M>
+<cross_effects>
+M.ibw' := min(M.ibw, Link.lbw)
+Link.lbw' -= min(M.ibw, Link.lbw)
+
+<interface name=Dead>
+
+<component name=Server>
+<linkages>
+<implements>
+<interface name=M>
+<effects>
+M.ibw := 100
+Node.cpu -= Node.cpu * Node.cpu / 1000
+
+<component name=Greedy>
+<linkages>
+<requires>
+<interface name=M>
+<conditions>
+M.ibw >= 100000
+
+<component name=Client>
+<linkages>
+<requires>
+<interface name=M>
+<conditions>
+M.ibw >= 90
+"""
+
+
 @pytest.fixture
 def workdir(tmp_path):
     save_network(pair_network(cpu=100.0, link_bw=120.0), tmp_path / "net.json")
     (tmp_path / "app.spec").write_text(SPEC)
+    (tmp_path / "broken.spec").write_text(BROKEN_SPEC)
     return tmp_path
 
 
@@ -100,6 +133,74 @@ class TestPlan:
                     "--goal", "Client=n1",
                 ]
             )
+
+
+class TestLint:
+    def _broken_args(self, workdir):
+        return [
+            "lint",
+            "--network", str(workdir / "net.json"),
+            "--spec", str(workdir / "broken.spec"),
+            "--initial", "Server=n0",
+            "--goal", "Client=nowhere",
+            "--levels", "M.ibw=90,400", "Bogus.var=10",
+        ]
+
+    def test_clean_spec_exits_zero(self, workdir, capsys):
+        rc = main(
+            [
+                "lint",
+                "--network", str(workdir / "net.json"),
+                "--spec", str(workdir / "app.spec"),
+                "--initial", "Server=n0",
+                "--goal", "Client=n1",
+                "--levels", "M.ibw=90,100",
+            ]
+        )
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_broken_spec_text_output(self, workdir, capsys):
+        rc = main(self._broken_args(workdir))
+        out = capsys.readouterr().out
+        assert rc == 1
+        # The deliberately broken spec: a non-monotone effect, a level
+        # gap, an unplaceable component, and an unknown placement node.
+        assert "MONO001" in out and "component Server, effects[1]" in out
+        assert "LVL002" in out and "leveling M.ibw" in out
+        assert "REACH002" in out and "component Greedy" in out
+        assert "NET001" in out and "nowhere" in out
+
+    def test_broken_spec_json_output(self, workdir, capsys):
+        rc = main(self._broken_args(workdir) + ["--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"MONO001", "LVL002", "REACH002", "NET001"} <= codes
+        assert len(codes) >= 4
+        by_code = {d["code"]: d["location"] for d in payload["diagnostics"]}
+        assert by_code["MONO001"]["name"] == "Server"
+        assert by_code["LVL002"] == {"kind": "leveling", "name": "M.ibw"}
+        assert payload["summary"]["errors"] >= 1
+
+    def test_werror_fails_on_warnings(self, workdir, capsys):
+        args = [
+            "lint",
+            "--network", str(workdir / "net.json"),
+            "--spec", str(workdir / "app.spec"),
+            "--initial", "Server=n0",
+            "--goal", "Client=n1",
+            "--levels", "M.ibw=90,100", "Bogus.var=10",
+        ]
+        assert main(args) == 0  # LVL001 is a warning
+        assert main(args + ["--werror"]) == 1
+
+    def test_plan_strict_refuses_broken_spec(self, workdir, capsys):
+        args = self._broken_args(workdir)
+        args[0] = "plan"
+        rc = main(args + ["--strict"])
+        assert rc == 1
+        assert "strict lint" in capsys.readouterr().err
 
 
 class TestGenNetwork:
