@@ -1,0 +1,141 @@
+"""Replay-engine benchmark: compiled closures vs the interpreted reference.
+
+Times the RG phase of every Table 2 cell under both replay backends
+(interleaved, min-of-N to shave scheduler noise), asserting along the way
+that both backends produce the *identical* plan — same actions, costs,
+and search-graph sizes.  The paper's fig. 10 large-network cell
+(Large/B) is the headline number.
+
+Not collected by pytest (no ``test_`` prefix); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_replay.py [--quick] [--rounds N] [--out FILE]
+
+``--quick`` restricts the grid to the Tiny and Small networks (the CI
+smoke configuration).  Results are written as JSON — see
+``docs/PERFORMANCE.md`` for the schema and committed numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compile.actions import use_replay_backend  # noqa: E402
+from repro.experiments.harness import run_cell  # noqa: E402
+
+BACKENDS = ("interpreted", "compiled")
+FULL_GRID = [
+    (net, scen)
+    for net in ("tiny", "small", "large")
+    for scen in ("B", "C", "D", "E")
+]
+QUICK_GRID = [(net, scen) for net, scen in FULL_GRID if net != "large"]
+
+
+def _signature(row):
+    plan, s = row.plan, row.plan.stats
+    return {
+        "actions": tuple(a.name for a in plan.actions),
+        "cost_lb": plan.cost_lb,
+        "exact_cost": row.exact_cost,
+        "plrg": (s.plrg_prop_nodes, s.plrg_action_nodes),
+        "slrg": s.slrg_set_nodes,
+        "rg_nodes": s.rg_nodes,
+        "replays": (s.rg_replays, s.rg_actions_replayed, s.rg_conditions_checked),
+    }
+
+
+def time_cell(network: str, scenario: str, rounds: int) -> dict:
+    """Min-of-N RG-phase wall clock per backend, with parity asserted."""
+    rg_ms = {b: float("inf") for b in BACKENDS}
+    signatures: dict[str, dict] = {}
+    for _ in range(rounds):
+        for backend in BACKENDS:
+            with use_replay_backend(backend):
+                row = run_cell(network, scenario)
+            if not row.solved:
+                raise SystemExit(f"{network}/{scenario} unsolved ({row.failure})")
+            rg_ms[backend] = min(rg_ms[backend], row.plan.stats.rg_ms)
+            sig = _signature(row)
+            if backend in signatures and signatures[backend] != sig:
+                raise SystemExit(f"{network}/{scenario}: non-deterministic plan")
+            signatures[backend] = sig
+    if signatures["interpreted"] != signatures["compiled"]:
+        raise SystemExit(
+            f"{network}/{scenario}: backends disagree\n"
+            f"  interpreted: {signatures['interpreted']}\n"
+            f"  compiled   : {signatures['compiled']}"
+        )
+    sig = signatures["compiled"]
+    return {
+        "network": network,
+        "scenario": scenario,
+        "interpreted_rg_ms": round(rg_ms["interpreted"], 3),
+        "compiled_rg_ms": round(rg_ms["compiled"], 3),
+        "speedup": round(rg_ms["interpreted"] / max(rg_ms["compiled"], 1e-9), 2),
+        "rg_nodes": sig["rg_nodes"],
+        "replays": sig["replays"][0],
+        "actions_replayed": sig["replays"][1],
+        "plan_len": len(sig["actions"]),
+        "cost_lb": sig["cost_lb"],
+        "exact_cost": sig["exact_cost"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="Tiny and Small networks only (CI smoke)")
+    ap.add_argument("--cells", default=None,
+                    help="explicit comma-separated cells, e.g. tiny/B,small/B")
+    ap.add_argument("--rounds", type=int, default=3,
+                    help="timing rounds per cell; the minimum is reported")
+    ap.add_argument("--out", default="BENCH_pr2.json", help="output JSON path")
+    args = ap.parse_args(argv)
+
+    if args.cells:
+        grid = [tuple(c.split("/", 1)) for c in args.cells.split(",")]
+    else:
+        grid = QUICK_GRID if args.quick else FULL_GRID
+    cells = []
+    for network, scenario in grid:
+        cell = time_cell(network, scenario, args.rounds)
+        cells.append(cell)
+        print(
+            f"{network:>5}/{scenario}  interpreted {cell['interpreted_rg_ms']:>8.1f} ms"
+            f"  compiled {cell['compiled_rg_ms']:>8.1f} ms"
+            f"  speedup {cell['speedup']:.2f}x"
+            f"  (rg_nodes={cell['rg_nodes']}, replays={cell['replays']})",
+            flush=True,
+        )
+
+    fig10 = next(
+        (c for c in cells if (c["network"], c["scenario"]) == ("large", "B")), None
+    )
+    result = {
+        "bench": "replay-engine",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "rounds": args.rounds,
+        "quick": args.quick,
+        "fig10_large_network": fig10,
+        "cells": cells,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if fig10:
+        print(
+            f"fig10 large-network cell: {fig10['speedup']:.2f}x "
+            f"({fig10['interpreted_rg_ms']:.0f} ms -> {fig10['compiled_rg_ms']:.0f} ms)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

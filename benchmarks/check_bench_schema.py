@@ -1,0 +1,84 @@
+"""Validate the shape of committed / freshly produced ``BENCH_*.json`` files.
+
+Usage: ``python benchmarks/check_bench_schema.py [FILE ...]`` — with no
+arguments, validates every ``BENCH_*.json`` in the repository root.  The
+checks are structural (required keys, types, internal consistency), not a
+timing gate: CI machines are too noisy to assert speedups.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_CELL_KEYS = {
+    "network": str,
+    "scenario": str,
+    "interpreted_rg_ms": (int, float),
+    "compiled_rg_ms": (int, float),
+    "speedup": (int, float),
+    "rg_nodes": int,
+    "replays": int,
+    "actions_replayed": int,
+    "plan_len": int,
+    "cost_lb": (int, float),
+    "exact_cost": (int, float),
+}
+_TOP_KEYS = {
+    "bench": str,
+    "timestamp": str,
+    "python": str,
+    "rounds": int,
+    "quick": bool,
+    "cells": list,
+}
+
+
+def check(path: Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    for key, typ in _TOP_KEYS.items():
+        if key not in data:
+            errors.append(f"{path}: missing top-level key {key!r}")
+        elif not isinstance(data[key], typ):
+            errors.append(f"{path}: {key!r} should be {typ}")
+    for i, cell in enumerate(data.get("cells", [])):
+        for key, typ in _CELL_KEYS.items():
+            if key not in cell:
+                errors.append(f"{path}: cells[{i}] missing {key!r}")
+            elif not isinstance(cell[key], typ):
+                errors.append(f"{path}: cells[{i}].{key} should be {typ}")
+        if not errors and cell["compiled_rg_ms"] > 0:
+            ratio = cell["interpreted_rg_ms"] / cell["compiled_rg_ms"]
+            if abs(ratio - cell["speedup"]) > 0.05 * max(1.0, ratio):
+                errors.append(
+                    f"{path}: cells[{i}] speedup {cell['speedup']} inconsistent "
+                    f"with timings ({ratio:.2f})"
+                )
+    if not data.get("cells"):
+        errors.append(f"{path}: no cells recorded")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    paths = [Path(a) for a in argv] or sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    for path in paths:
+        errs = check(path)
+        failures.extend(errs)
+        print(f"{path}: {'OK' if not errs else 'FAIL'}")
+    for err in failures:
+        print(f"  {err}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -86,8 +86,15 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     print(plan.describe())
     report = plan.execute()
+    s = plan.stats
     print(f"\ncost lower bound : {plan.cost_lb:g}")
     print(f"exact cost       : {report.total_cost:g}")
+    print(
+        f"phase times (ms) : compile {s.compile_ms:.1f}, plrg {s.plrg_ms:.1f}, "
+        f"slrg {s.slrg_ms:.1f}, rg {s.rg_ms:.1f} (search total {s.total_ms:.1f})"
+    )
+    print(f"rg nodes         : {s.rg_nodes} created, {s.rg_expanded} expanded")
+    print(f"replay work      : {s.replay_summary()}")
     if args.json:
         payload = {
             "actions": plan.action_names(),

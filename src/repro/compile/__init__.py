@@ -3,10 +3,14 @@
 from .actions import (
     EffectKind,
     GroundAction,
+    ReplayCounters,
     ReplayFailure,
     iface_prop_var,
     link_res_var,
     node_res_var,
+    replay_backend,
+    set_replay_backend,
+    use_replay_backend,
 )
 from .bounds import compute_property_bounds, resource_capacity_bounds
 from .grounding import Grounder, PropTable
@@ -18,7 +22,11 @@ from .reachability import logically_reachable, prune_unreachable_actions
 __all__ = [
     "EffectKind",
     "GroundAction",
+    "ReplayCounters",
     "ReplayFailure",
+    "replay_backend",
+    "set_replay_backend",
+    "use_replay_backend",
     "iface_prop_var",
     "node_res_var",
     "link_res_var",

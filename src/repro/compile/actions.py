@@ -12,15 +12,86 @@ assignments needed to re-execute a plan tail inside a resource map
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
-from ..expr import Assign, Node, apply_assign_interval, condition_satisfiable
+from ..expr import (
+    Assign,
+    Node,
+    apply_assign_interval,
+    compile_assign_interval,
+    compile_condition_satisfiable,
+    condition_satisfiable,
+    substitute,
+    variables,
+)
 from ..intervals import Interval, MapContradiction, ResourceMap
 
-__all__ = ["EffectKind", "GroundAction", "ReplayFailure", "iface_prop_var", "node_res_var", "link_res_var"]
+__all__ = [
+    "EffectKind",
+    "GroundAction",
+    "ReplayFailure",
+    "ReplayCounters",
+    "replay_backend",
+    "set_replay_backend",
+    "use_replay_backend",
+    "iface_prop_var",
+    "node_res_var",
+    "link_res_var",
+]
 
 _EPS = 1e-9
+
+_BACKENDS = ("compiled", "interpreted")
+_backend = "compiled"
+
+
+def replay_backend() -> str:
+    """The active replay evaluation backend (``compiled`` | ``interpreted``)."""
+    return _backend
+
+
+def set_replay_backend(mode: str) -> str:
+    """Select how replay and execution evaluate formulas; returns the
+    previous mode.
+
+    ``compiled`` (the default) uses the closures built at grounding time;
+    ``interpreted`` walks the ASTs through :mod:`repro.expr.evaluator` —
+    the reference semantics, kept selectable for differential testing and
+    benchmarking.
+    """
+    global _backend
+    if mode not in _BACKENDS:
+        raise ValueError(f"unknown replay backend {mode!r}; choose from {_BACKENDS}")
+    previous = _backend
+    _backend = mode
+    return previous
+
+
+@contextmanager
+def use_replay_backend(mode: str):
+    """Context manager form of :func:`set_replay_backend`."""
+    previous = set_replay_backend(mode)
+    try:
+        yield
+    finally:
+        set_replay_backend(previous)
+
+
+@dataclass(slots=True)
+class ReplayCounters:
+    """Replay work accounting for one search (surfaced in PlannerStats).
+
+    ``replays`` counts whole-tail replays (one per candidate RG node),
+    ``actions_replayed`` counts individual action executions inside them,
+    and ``conditions_checked`` counts condition satisfiability tests.
+    """
+
+    replays: int = 0
+    actions_replayed: int = 0
+    conditions_checked: int = 0
 
 
 def iface_prop_var(prop: str, iface: str, node: str) -> str:
@@ -83,13 +154,53 @@ class GroundAction:
     effects: tuple[Assign, ...] = ()
     effect_targets: tuple[tuple[str, EffectKind], ...] = ()
     committed: dict[str, Interval] = field(default_factory=dict)  # spec var -> level interval
+    # Replay program precomputed at grounding time: closures compiled once
+    # (expr.compile memoizes per distinct formula, so structurally equal
+    # actions share them) and zipped with their AST/target so the replay
+    # loop iterates one flat tuple instead of re-zipping per call.
+    _cond_prog: tuple[tuple[Node, Callable], ...] = field(default=(), repr=False)
+    _effect_prog: tuple[tuple[Callable, str, "EffectKind"], ...] = field(
+        default=(), repr=False
+    )
+    _var_items: tuple[tuple[str, str], ...] = field(default=(), repr=False)
+
+    def __post_init__(self) -> None:
+        # Compiled closures are built over *ground*-substituted copies of
+        # the formulas, so replay can hand them the resource map's backing
+        # dict as the environment directly — no per-action spec-var env to
+        # assemble.  The original ASTs are kept alongside for failure
+        # messages (spec-var text) and the interpreted reference backend.
+        # expr.compile memoizes per distinct AST, so actions sharing a
+        # formula *and* a variable mapping share one closure.
+        sub = self.var_map
+        self._cond_prog = tuple(
+            (c, compile_condition_satisfiable(substitute(c, sub)))
+            for c in self.conditions
+        )
+        self._effect_prog = tuple(
+            (compile_assign_interval(substitute(a, sub)), gvar, ekind)
+            for a, (gvar, ekind) in zip(self.effects, self.effect_targets)
+        )
+        # The interpreted backend still evaluates spec-named ASTs; only
+        # variables some replay formula actually *reads* need to enter its
+        # environment (``var_map`` also carries output-only mappings).
+        read_vars: set[str] = set()
+        for c in self.conditions:
+            read_vars |= variables(c)
+        for a in self.effects:
+            read_vars |= variables(a.expr)
+            if a.op != ":=":
+                read_vars.add(a.target.name)
+        self._var_items = tuple(
+            (sv, gv) for sv, gv in self.var_map.items() if sv in read_vars
+        )
 
     def __str__(self) -> str:
         return self.name
 
     # -- replay ---------------------------------------------------------------
 
-    def replay(self, rmap: ResourceMap) -> None:
+    def replay(self, rmap: ResourceMap, counters: ReplayCounters | None = None) -> None:
         """Execute this action inside ``rmap`` (mutating it).
 
         Raises :class:`ReplayFailure` when an optimistic-interval
@@ -102,34 +213,62 @@ class GroundAction:
         except MapContradiction as exc:
             raise ReplayFailure(self, str(exc)) from None
 
-        env: dict[str, Interval] = {}
-        for spec_var, ground_var in self.var_map.items():
-            got = rmap.get(ground_var)
-            if got is not None:
-                env[spec_var] = got
-
-        for cond in self.conditions:
-            if not condition_satisfiable(cond, env):
-                raise ReplayFailure(self, f"condition {cond.unparse()} unsatisfiable")
+        if counters is not None:
+            counters.actions_replayed += 1
+            counters.conditions_checked += len(self.conditions)
 
         # Simultaneous effect semantics: all right-hand sides read the
-        # pre-state env, then targets are written.
-        staged: list[tuple[str, EffectKind, Interval]] = []
-        for assign, (gvar, ekind) in zip(self.effects, self.effect_targets):
-            iv = apply_assign_interval(assign, env)
-            staged.append((gvar, ekind, iv))
+        # pre-state, then targets are written.
+        staged: list[tuple[str, EffectKind, Interval]]
+        if _backend == "compiled":
+            # Ground-substituted closures read the map's backing dict
+            # directly; staging keeps every read ahead of the write-back.
+            env = rmap._vars
+            for cond, cond_fn in self._cond_prog:
+                if not cond_fn(env):
+                    raise ReplayFailure(self, f"condition {cond.unparse()} unsatisfiable")
+            staged = [
+                (gvar, ekind, effect_fn(env))
+                for effect_fn, gvar, ekind in self._effect_prog
+            ]
+        else:
+            env = {}
+            rmap_get = rmap._vars.get
+            for spec_var, ground_var in self._var_items:
+                got = rmap_get(ground_var)
+                if got is not None:
+                    env[spec_var] = got
+            for cond in self.conditions:
+                if not condition_satisfiable(cond, env):
+                    raise ReplayFailure(self, f"condition {cond.unparse()} unsatisfiable")
+            staged = [
+                (gvar, ekind, apply_assign_interval(assign, env))
+                for assign, (gvar, ekind) in zip(self.effects, self.effect_targets)
+            ]
 
         for gvar, ekind, iv in staged:
+            # Each closure/consume branch rebuilds the interval only when a
+            # bound actually changes; reusing ``iv`` is exact (Interval is
+            # immutable) and skips the dominant allocation of the replay loop.
             if ekind is EffectKind.CONSUME:
                 if iv.lo < -_EPS:
                     raise ReplayFailure(
                         self, f"worst-case overdraw of {gvar}: remaining {iv}"
                     )
-                rmap.set(gvar, Interval(max(iv.lo, 0.0), iv.hi, False, iv.hi_open))
+                if iv.lo >= 0.0 and not iv.lo_open:
+                    rmap.set(gvar, iv)
+                else:
+                    rmap.set(gvar, Interval(max(iv.lo, 0.0), iv.hi, False, iv.hi_open))
             elif ekind is EffectKind.PRODUCE_DEGRADABLE:
-                rmap.set(gvar, Interval(0.0, iv.hi, False, iv.hi_open))
+                if iv.lo == 0.0 and not iv.lo_open:
+                    rmap.set(gvar, iv)
+                else:
+                    rmap.set(gvar, Interval(0.0, iv.hi, False, iv.hi_open))
             elif ekind is EffectKind.PRODUCE_UPGRADABLE:
-                rmap.set(gvar, Interval(iv.lo, math.inf, iv.lo_open, True))
+                if iv.hi == math.inf:
+                    rmap.set(gvar, iv)
+                else:
+                    rmap.set(gvar, Interval(iv.lo, math.inf, iv.lo_open, True))
             else:
                 if iv.is_empty():
                     raise ReplayFailure(self, f"effect on {gvar} produced empty interval")

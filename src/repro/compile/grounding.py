@@ -26,7 +26,12 @@ from itertools import product
 from typing import Iterator
 
 from ..expr import Node as ExprNode
-from ..expr import EvalError, eval_interval, condition_satisfiable, variables
+from ..expr import (
+    EvalError,
+    compile_condition_satisfiable,
+    compile_interval,
+    variables,
+)
 from ..intervals import Interval
 from ..model import AppSpec, ComponentSpec, InterfaceType, Leveling, LevelSpec, SpecError
 from ..network import Network, ResourceScope
@@ -317,7 +322,7 @@ class Grounder:
 
         try:
             for cond in comp.conditions:
-                if not condition_satisfiable(cond, env):
+                if not compile_condition_satisfiable(cond)(env):
                     return None
         except EvalError as exc:
             raise SpecError(f"component {comp.name}: {exc}") from exc
@@ -326,7 +331,7 @@ class Grounder:
         out_intervals: dict[str, Interval] = {}
         for assign in comp.effects:
             tgt = assign.target.name
-            rhs_iv = eval_interval(assign.expr, env)
+            rhs_iv = compile_interval(assign.expr)(env)
             if tgt.startswith("Node."):
                 res_name = tgt.split(".", 1)[1]
                 decl = self.app.resource(res_name)
@@ -347,7 +352,7 @@ class Grounder:
                     return None
                 derived_levels[iface_name][prop_name] = spec.classify_interval(clipped)
 
-        cost_iv = eval_interval(comp.cost_expr(), env)
+        cost_iv = compile_interval(comp.cost_expr())(env)
         cost_lb = max(cost_iv.lo, 0.0)
         committed = dict(env)
         return derived_levels, cost_lb, committed
@@ -501,7 +506,7 @@ class Grounder:
 
         try:
             for cond in iface.cross_conditions:
-                if not condition_satisfiable(cond, env):
+                if not compile_condition_satisfiable(cond)(env):
                     return None
         except EvalError as exc:
             raise SpecError(f"interface {iface.name}: {exc}") from exc
@@ -510,7 +515,7 @@ class Grounder:
         out_intervals: dict[str, Interval] = {}
         for assign in iface.cross_effects:
             tgt = assign.target.name
-            rhs_iv = eval_interval(assign.expr, env)
+            rhs_iv = compile_interval(assign.expr)(env)
             if tgt.startswith("Link."):
                 res_name = tgt.split(".", 1)[1]
                 decl = self.app.resource(res_name)
@@ -520,9 +525,7 @@ class Grounder:
                         return None  # even best-case consumption overdraws the link
             else:
                 # Primed own-property target: the post-crossing value.
-                out_intervals[tgt] = (
-                    rhs_iv if assign.op == ":=" else eval_interval(assign.expr, env)
-                )
+                out_intervals[tgt] = rhs_iv
 
         derived: dict[str, int] = {}
         for prop_name, var, spec in zip(info.leveled_props, info.spec_vars, info.level_specs):
@@ -554,7 +557,7 @@ class Grounder:
                     return None
 
         cost_expr = iface.cross_cost if iface.cross_cost is not None else _UNIT_COST
-        cost_iv = eval_interval(cost_expr, env)
+        cost_iv = compile_interval(cost_expr)(env)
         cost_lb = max(cost_iv.lo, 0.0)
         return derived, cost_lb, dict(env)
 

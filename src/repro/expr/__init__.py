@@ -18,6 +18,17 @@ from .evaluator import (
     eval_float,
     eval_interval,
 )
+from .compile import (
+    clear_compile_cache,
+    compile_assign_float,
+    compile_assign_interval,
+    compile_cache_size,
+    compile_condition_certain,
+    compile_condition_float,
+    compile_condition_satisfiable,
+    compile_float,
+    compile_interval,
+)
 from .functions import (
     DEFAULT_REGISTRY,
     FunctionRegistry,
@@ -36,6 +47,7 @@ from .analysis import (
     is_monotone_nondecreasing,
     monotonicity,
     monotonicity_all,
+    substitute,
     variables,
 )
 
@@ -67,9 +79,20 @@ __all__ = [
     "condition_certain",
     "apply_assign_float",
     "apply_assign_interval",
+    # compiled closures
+    "compile_float",
+    "compile_interval",
+    "compile_condition_float",
+    "compile_condition_satisfiable",
+    "compile_condition_certain",
+    "compile_assign_float",
+    "compile_assign_interval",
+    "clear_compile_cache",
+    "compile_cache_size",
     # analysis
     "Direction",
     "variables",
+    "substitute",
     "assigned_variables",
     "monotonicity",
     "monotonicity_all",

@@ -30,6 +30,7 @@ from .ast_nodes import And, Assign, BinOp, Call, Compare, Node, Num, Var
 __all__ = [
     "Direction",
     "variables",
+    "substitute",
     "assigned_variables",
     "monotonicity",
     "monotonicity_all",
@@ -87,6 +88,49 @@ def _collect(node: Node, out: set[str]) -> None:
 def assigned_variables(assigns: Iterable[Assign]) -> set[str]:
     """Targets written by a sequence of effect assignments."""
     return {a.target.name for a in assigns}
+
+
+def substitute(node: Node, mapping) -> Node:
+    """Copy of a formula with variable names rewritten through ``mapping``.
+
+    Names absent from the mapping are left untouched; ``primed`` markers
+    are preserved.  Unchanged subtrees are returned as-is (nodes are
+    immutable), so substituting with an irrelevant mapping is free.
+    """
+    if isinstance(node, Var):
+        new = mapping.get(node.name)
+        if new is None or new == node.name:
+            return node
+        return Var(new, node.primed)
+    if isinstance(node, BinOp):
+        left = substitute(node.left, mapping)
+        right = substitute(node.right, mapping)
+        if left is node.left and right is node.right:
+            return node
+        return BinOp(node.op, left, right)
+    if isinstance(node, Call):
+        args = tuple(substitute(a, mapping) for a in node.args)
+        if all(a is b for a, b in zip(args, node.args)):
+            return node
+        return Call(node.fn, args)
+    if isinstance(node, Compare):
+        left = substitute(node.left, mapping)
+        right = substitute(node.right, mapping)
+        if left is node.left and right is node.right:
+            return node
+        return Compare(node.op, left, right)
+    if isinstance(node, And):
+        parts = tuple(substitute(p, mapping) for p in node.parts)
+        if all(a is b for a, b in zip(parts, node.parts)):
+            return node
+        return And(parts)
+    if isinstance(node, Assign):
+        target = substitute(node.target, mapping)
+        expr = substitute(node.expr, mapping)
+        if target is node.target and expr is node.expr:
+            return node
+        return Assign(target, node.op, expr)
+    return node  # Num (and any other leaf) mentions no variables
 
 
 def _combine(a: Direction, b: Direction) -> Direction:

@@ -42,6 +42,22 @@ def _lookup(env: Mapping, node: Var, kind: str):
         raise EvalError(f"unbound {kind} variable {node.unparse()!r}") from None
 
 
+def _check_call_arity(node: Call) -> None:
+    """Validate call arity before evaluating any argument.
+
+    ``min()``/``max()`` of nothing would otherwise escape as a bare
+    ``ValueError``/``IndexError``, and a unary table function invoked with
+    extra arguments would silently evaluate only its first one.
+    """
+    if node.fn in ("min", "max"):
+        if not node.args:
+            raise EvalError(f"{node.fn}() needs at least one argument in {node.unparse()!r}")
+    elif len(node.args) != 1:
+        raise EvalError(
+            f"table function {node.fn}() takes exactly one argument in {node.unparse()!r}"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Exact semantics
 # ---------------------------------------------------------------------------
@@ -68,6 +84,7 @@ def eval_float(node: Node, env: FloatEnv) -> float:
             return left / right
         raise EvalError(f"unknown operator {node.op!r}")
     if isinstance(node, Call):
+        _check_call_arity(node)
         args = [eval_float(a, env) for a in node.args]
         if node.fn == "min":
             return min(args)
@@ -134,6 +151,7 @@ def eval_interval(node: Node, env: IntervalEnv) -> Interval:
         except ZeroDivisionError as exc:
             raise EvalError(str(exc)) from None
     if isinstance(node, Call):
+        _check_call_arity(node)
         args = [eval_interval(a, env) for a in node.args]
         if node.fn in ("min", "max"):
             fold = imin if node.fn == "min" else imax

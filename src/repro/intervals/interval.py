@@ -6,20 +6,24 @@ intervals; whether a bound is attainable matters for condition checks
 (``[0, 90)`` does not satisfy ``>= 90`` while ``[90, 100)`` does), so the
 interval type tracks openness of each endpoint explicitly.
 
-Intervals are immutable; all operations return new instances.
+Intervals are immutable by contract; all operations return new instances.
+(Construction sits on the replay hot path — millions of instances per
+search — so the class is a hand-rolled ``__slots__`` class rather than a
+frozen dataclass: frozen-init ``object.__setattr__`` dispatch roughly
+triples construction cost.  Nothing in the codebase mutates an interval
+after construction.)
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 __all__ = ["Interval", "EMPTY"]
 
 _INF = math.inf
+_NINF = -math.inf
 
 
-@dataclass(frozen=True, slots=True)
 class Interval:
     """A (possibly empty, possibly unbounded) real interval.
 
@@ -29,22 +33,37 @@ class Interval:
         Endpoint values.  ``hi`` may be ``math.inf``; ``lo`` may be
         ``-math.inf``.
     lo_open, hi_open:
-        Whether each endpoint is excluded.  Infinite endpoints are always
-        treated as open regardless of the stored flag.
+        Whether each endpoint is excluded.  Infinite endpoints are never
+        attainable and are normalized to open at construction, so openness
+        logic needs no special-casing downstream.
     """
 
-    lo: float
-    hi: float
-    lo_open: bool = False
-    hi_open: bool = False
+    __slots__ = ("lo", "hi", "lo_open", "hi_open")
 
-    def __post_init__(self) -> None:
-        # Infinite endpoints are never attainable; normalize them to open
-        # so openness logic needs no special-casing downstream.
-        if math.isinf(self.hi) and self.hi > 0 and not self.hi_open:
-            object.__setattr__(self, "hi_open", True)
-        if math.isinf(self.lo) and self.lo < 0 and not self.lo_open:
-            object.__setattr__(self, "lo_open", True)
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.lo_open = lo_open or lo == _NINF
+        self.hi_open = hi_open or hi == _INF
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Interval:
+            return (
+                self.lo == other.lo
+                and self.hi == other.hi
+                and self.lo_open == other.lo_open
+                and self.hi_open == other.hi_open
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi, self.lo_open, self.hi_open))
 
     # -- constructors ------------------------------------------------------
 

@@ -97,6 +97,11 @@ class ResourceMap:
                 raise MapContradiction(var, interval, interval)
             self._vars[var] = interval
             return interval
+        if interval.contains_interval(have):
+            # No-op constraint (e.g. a loose seed over an already-tight
+            # binding): the intersection is exactly ``have``, so skip the
+            # allocation.  Bindings are never empty, so no contradiction.
+            return have
         merged = have.intersect(interval)
         if merged.is_empty():
             raise MapContradiction(var, have, interval)

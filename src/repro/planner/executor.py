@@ -14,8 +14,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..expr import EvalError, check_condition_float, eval_float
-from ..compile import CompiledProblem, EffectKind, GroundAction
+from ..expr import (
+    EvalError,
+    check_condition_float,
+    compile_condition_float,
+    compile_float,
+    eval_float,
+)
+from ..compile import CompiledProblem, EffectKind, GroundAction, replay_backend
 from .errors import ExecutionError
 
 __all__ = ["ExecutionStep", "ExecutionReport", "execute_plan"]
@@ -73,6 +79,7 @@ def execute_plan(problem: CompiledProblem, actions: list[GroundAction]) -> Execu
 
     report = ExecutionReport()
     baseline = dict(values)
+    compiled = replay_backend() == "compiled"
 
     for action in actions:
         env: dict[str, float] = {}
@@ -107,7 +114,12 @@ def execute_plan(problem: CompiledProblem, actions: list[GroundAction]) -> Execu
 
         try:
             for cond in action.conditions:
-                if not check_condition_float(cond, env):
+                holds = (
+                    compile_condition_float(cond)(env)
+                    if compiled
+                    else check_condition_float(cond, env)
+                )
+                if not holds:
                     raise ExecutionError(
                         f"{action.name}: condition {cond.unparse()} fails with "
                         + ", ".join(f"{k}={v:g}" for k, v in sorted(env.items()))
@@ -119,7 +131,11 @@ def execute_plan(problem: CompiledProblem, actions: list[GroundAction]) -> Execu
         staged: list[tuple[str, EffectKind, float, str]] = []
         for assign, (gvar, kind) in zip(action.effects, action.effect_targets):
             try:
-                rhs = eval_float(assign.expr, env)
+                rhs = (
+                    compile_float(assign.expr)(env)
+                    if compiled
+                    else eval_float(assign.expr, env)
+                )
             except EvalError as exc:
                 raise ExecutionError(f"{action.name}: {exc}") from exc
             staged.append((gvar, kind, rhs, assign.op))
@@ -146,7 +162,12 @@ def execute_plan(problem: CompiledProblem, actions: list[GroundAction]) -> Execu
             outputs[gvar] = values[gvar]
 
         try:
-            cost = eval_float(action.cost_ast, env) if action.cost_ast is not None else 1.0
+            if action.cost_ast is None:
+                cost = 1.0
+            elif compiled:
+                cost = compile_float(action.cost_ast)(env)
+            else:
+                cost = eval_float(action.cost_ast, env)
         except EvalError as exc:
             raise ExecutionError(f"{action.name}: cost formula: {exc}") from exc
         report.steps.append(ExecutionStep(action, inputs, outputs, cost))

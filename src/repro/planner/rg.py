@@ -21,10 +21,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
-from ..compile import CompiledProblem, GroundAction, ReplayFailure
+from ..compile import CompiledProblem, GroundAction, ReplayCounters, ReplayFailure
 from .errors import ResourceInfeasible, SearchBudgetExceeded
 from .trace import SearchTrace
 
@@ -35,11 +35,20 @@ _INF = math.inf
 
 @dataclass(slots=True)
 class _Node:
+    """One RG search node.
+
+    ``tail_ids`` (the indices of the actions on the path back to the
+    root) and ``depth`` (the tail length) are computed incrementally at
+    construction — O(1) amortized bookkeeping per node instead of
+    re-walking the parent chain for every candidate child.
+    """
+
     props: frozenset[int]
     g: float
     action: GroundAction | None
     parent: "_Node | None"
     depth: int
+    tail_ids: frozenset[int] = frozenset()
 
     def tail(self) -> list[GroundAction]:
         """Plan tail in execution order (this node's action first)."""
@@ -47,14 +56,6 @@ class _Node:
         node: _Node | None = self
         while node is not None and node.action is not None:
             out.append(node.action)
-            node = node.parent
-        return out
-
-    def tail_ids(self) -> frozenset[int]:
-        out = set()
-        node: _Node | None = self
-        while node is not None and node.action is not None:
-            out.add(node.action.index)
             node = node.parent
         return out
 
@@ -68,6 +69,7 @@ class RGResult:
     nodes_created: int  # Table 2, column 8 (first number)
     nodes_left_in_queue: int  # Table 2, column 8 (second number)
     nodes_expanded: int
+    replay: ReplayCounters = field(default_factory=ReplayCounters)
 
 
 def regression_search(
@@ -116,6 +118,7 @@ def regression_search(
         prop_rank = lambda pid: heuristic(frozenset((pid,)))  # noqa: E731
 
     root = _Node(props=frozenset(problem.goal_prop_ids), g=0.0, action=None, parent=None, depth=0)
+    counters = ReplayCounters()
 
     counter = itertools.count()
     h0 = heuristic(root.props)
@@ -145,6 +148,7 @@ def regression_search(
                 nodes_created=nodes_created,
                 nodes_left_in_queue=len(heap),
                 nodes_expanded=nodes_expanded,
+                replay=counters,
             )
 
         nodes_expanded += 1
@@ -163,28 +167,39 @@ def regression_search(
             target = max(open_props, key=prop_rank)
             candidate_actions.update(achievers.get(target, ()))
 
-        tail_ids = node.tail_ids()
+        tail_ids = node.tail_ids
         for a_idx in candidate_actions:
             if a_idx in tail_ids:
                 continue  # add-only logic never needs a repeated action
             action = actions[a_idx]
             new_props = frozenset((node.props - action.add_props) | action.pre_props)
             ng = node.g + action.cost_lb
-            key = (new_props, frozenset(tail_ids | {a_idx}))
+            child_tail_ids = tail_ids | {a_idx}
+            key = (new_props, child_tail_ids)
             prev = seen.get(key)
             if prev is not None and prev <= ng:
                 if trace is not None:
                     trace.pruned(action.name, "transposition: duplicate tail set", node.depth + 1)
                 continue
 
-            child = _Node(props=new_props, g=ng, action=action, parent=node, depth=node.depth + 1)
+            child = _Node(
+                props=new_props,
+                g=ng,
+                action=action,
+                parent=node,
+                depth=node.depth + 1,
+                tail_ids=child_tail_ids,
+            )
 
-            # Replay the tail (child's action first) in the optimistic map
-            # seeded from the initial state.
+            # Replay the tail (child's action first, walking up the parent
+            # chain) in the optimistic map seeded from the initial state.
             rmap = problem.initial_map()
+            counters.replays += 1
             try:
-                for act in child.tail():
-                    act.replay(rmap)
+                step: _Node | None = child
+                while step is not None and step.action is not None:
+                    step.action.replay(rmap, counters)
+                    step = step.parent
             except ReplayFailure as exc:
                 if trace is not None:
                     trace.pruned(action.name, f"replay: {exc.reason}", child.depth)

@@ -25,16 +25,35 @@ class PlannerStats:
     rg_nodes: int = 0
     rg_queue_left: int = 0
     rg_expanded: int = 0
+    rg_replays: int = 0
+    """Whole-tail replays run by the RG (one per candidate child node)."""
+    rg_actions_replayed: int = 0
+    """Individual action executions performed inside those replays."""
+    rg_conditions_checked: int = 0
+    """Condition satisfiability checks evaluated during replay."""
     compile_ms: float = 0.0
     plrg_ms: float = 0.0
     slrg_ms: float = 0.0
     rg_ms: float = 0.0
     total_ms: float = 0.0
+    """Search-phase wall clock: PLRG + SLRG + RG plus negligible glue.
+
+    Compilation time is *never* included — it is reported separately as
+    ``compile_ms`` regardless of whether :meth:`Planner.solve` compiled
+    internally or was handed a pre-compiled problem.
+    """
 
     @property
     def search_ms(self) -> float:
         """Search-and-graph-construction time (the second number of col. 9)."""
         return self.plrg_ms + self.slrg_ms + self.rg_ms
+
+    def replay_summary(self) -> str:
+        """One-line account of RG replay work (shown by ``repro plan``)."""
+        return (
+            f"{self.rg_replays} replays, {self.rg_actions_replayed} actions "
+            f"replayed, {self.rg_conditions_checked} conditions checked"
+        )
 
     def row(self) -> dict[str, float | int | str]:
         """A flat dict suitable for table rendering."""

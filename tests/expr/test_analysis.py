@@ -13,6 +13,7 @@ from repro.expr import (
     parse_assign,
     parse_condition,
     parse_expr,
+    substitute,
     variables,
 )
 
@@ -195,3 +196,32 @@ class TestDegradableInference:
     def test_unmentioned_var_trivially_degradable(self):
         effects = [parse_assign("out := y")]
         assert infer_degradable("x", effects)
+
+
+class TestSubstitute:
+    def test_renames_through_nested_formula(self):
+        cond = parse_condition("Node.cpu >= min(M.ibw, Link.lbw)/5 and M.ibw > 0")
+        out = substitute(cond, {"Node.cpu": "cpu@n0", "M.ibw": "ibw:M@n0"})
+        assert out.unparse() == cond.unparse().replace("Node.cpu", "cpu@n0").replace(
+            "M.ibw", "ibw:M@n0"
+        )
+        assert variables(out) == {"cpu@n0", "ibw:M@n0", "Link.lbw"}
+
+    def test_unchanged_subtrees_returned_as_is(self):
+        expr = parse_expr("(T.ibw + I.ibw) * 2")
+        assert substitute(expr, {}) is expr
+        assert substitute(expr, {"Node.cpu": "cpu@n0"}) is expr
+        partial = substitute(expr, {"T.ibw": "ibw:T@n0"})
+        assert partial is not expr
+        assert partial.right is expr.right  # untouched Num subtree shared
+
+    def test_identity_mapping_is_free(self):
+        expr = parse_expr("T.ibw / 10")
+        assert substitute(expr, {"T.ibw": "T.ibw"}) is expr
+
+    def test_assign_target_and_primes_preserved(self):
+        assign = parse_assign("M.ibw' := M.ibw * 0.7")
+        out = substitute(assign, {"M.ibw": "ibw:M@n0"})
+        assert out.target.name == "ibw:M@n0"
+        assert out.target.primed
+        assert not out.expr.left.primed

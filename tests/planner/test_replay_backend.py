@@ -1,0 +1,137 @@
+"""Replay-backend equivalence and timing-accounting regression tests.
+
+The compiled replay engine must be observationally identical to the
+interpreted reference: same plan, same costs, same search-graph sizes on
+every built-in domain.  The timing tests pin the ``total_ms`` contract —
+search-only on *both* solve call paths, never including compile time
+(the pre-PR accounting started the clock before the internal compile, so
+``solve(app, net)`` double-counted compilation).
+"""
+
+import time
+
+import pytest
+
+from repro.compile.actions import replay_backend, set_replay_backend, use_replay_backend
+from repro.domains import grid, media, variants, webservice
+from repro.experiments.harness import run_cell
+from repro.network import pair_network
+from repro.planner import Planner, PlannerConfig
+
+
+def _media():
+    net = pair_network(cpu=30.0, link_bw=70.0)
+    app = media.build_app("n0", "n1")
+    return app, net, media.proportional_leveling((90.0, 100.0))
+
+
+def _grid():
+    net = grid.build_network()
+    app = grid.build_app("site0_worker", "site3_worker")
+    return app, net, grid.grid_leveling()
+
+
+def _webservice():
+    net = webservice.build_network()
+    app = webservice.build_app("server", "client")
+    return app, net, webservice.ws_leveling()
+
+
+def _variants():
+    net = variants.build_network(60.0, 100.0)
+    app = variants.build_app("src", "dst")
+    return app, net, variants.variants_leveling()
+
+
+def _signature(plan):
+    """Everything the compiled engine must reproduce exactly."""
+    s = plan.stats
+    report = plan.execute()
+    return {
+        "actions": tuple(a.name for a in plan.actions),
+        "cost_lb": plan.cost_lb,
+        "exact_cost": report.total_cost,
+        "plrg": (s.plrg_prop_nodes, s.plrg_action_nodes),
+        "slrg": s.slrg_set_nodes,
+        "rg": (s.rg_nodes, s.rg_expanded, s.rg_queue_left),
+        "replay": (s.rg_replays, s.rg_actions_replayed, s.rg_conditions_checked),
+    }
+
+
+class TestBackendToggle:
+    def test_default_is_compiled(self):
+        assert replay_backend() == "compiled"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown replay backend"):
+            set_replay_backend("jit")
+
+    def test_context_manager_restores(self):
+        with use_replay_backend("interpreted"):
+            assert replay_backend() == "interpreted"
+        assert replay_backend() == "compiled"
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize(
+        "build", [_media, _grid, _webservice, _variants], ids=lambda f: f.__name__[1:]
+    )
+    def test_domain_plans_identical(self, build):
+        app, net, leveling = build()
+        sigs = {}
+        for backend in ("compiled", "interpreted"):
+            with use_replay_backend(backend):
+                plan = Planner(PlannerConfig(leveling=leveling)).solve(app, net)
+                sigs[backend] = _signature(plan)
+        assert sigs["compiled"] == sigs["interpreted"]
+
+    @pytest.mark.parametrize("network", ["tiny", "small"])
+    @pytest.mark.parametrize("scenario", ["B", "C", "D", "E"])
+    def test_table2_cells_identical(self, network, scenario):
+        rows = {}
+        for backend in ("compiled", "interpreted"):
+            with use_replay_backend(backend):
+                rows[backend] = run_cell(network, scenario)
+        a, b = rows["compiled"], rows["interpreted"]
+        assert a.solved == b.solved
+        assert _signature(a.plan) == _signature(b.plan)
+        assert a.exact_cost == b.exact_cost
+        assert a.reserved_lan_bw == b.reserved_lan_bw
+        assert a.delivered_bw == b.delivered_bw
+
+
+class TestTotalMsAccounting:
+    """``total_ms`` is search-only and compile time is reported once."""
+
+    SLEEP_S = 0.15
+
+    @pytest.fixture()
+    def slow_compile(self, monkeypatch):
+        """Pad compilation so a double-count would be unmissable."""
+        import repro.planner.planner as planner_mod
+
+        real = planner_mod.compile_problem
+
+        def padded(*args, **kwargs):
+            time.sleep(self.SLEEP_S)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(planner_mod, "compile_problem", padded)
+
+    def _assert_search_only(self, stats):
+        assert stats.total_ms == pytest.approx(stats.search_ms, abs=25.0)
+        # The padded compile alone exceeds this bound, so any inclusion of
+        # compile time in the clock fails here.
+        assert stats.total_ms < self.SLEEP_S * 1e3
+
+    def test_solve_from_app_and_network(self, slow_compile):
+        app, net, leveling = _media()
+        plan = Planner(PlannerConfig(leveling=leveling)).solve(app, net)
+        self._assert_search_only(plan.stats)
+
+    def test_solve_from_precompiled_problem(self, slow_compile):
+        app, net, leveling = _media()
+        planner = Planner(PlannerConfig(leveling=leveling))
+        problem = planner.compile(app, net)
+        plan = planner.solve(problem=problem)
+        self._assert_search_only(plan.stats)
