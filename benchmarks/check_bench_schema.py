@@ -1,9 +1,13 @@
-"""Validate the shape of committed / freshly produced ``BENCH_*.json`` files.
+"""Validate ``BENCH_*.json`` benchmark files and exported trace files.
 
 Usage: ``python benchmarks/check_bench_schema.py [FILE ...]`` — with no
 arguments, validates every ``BENCH_*.json`` in the repository root.  The
-checks are structural (required keys, types, internal consistency), not a
-timing gate: CI machines are too noisy to assert speedups.
+file kind is auto-detected: Chrome trace-event JSON (a ``traceEvents``
+object), JSONL trace streams (one typed record per line), and benchmark
+result files.  Trace files are checked against the committed schemas in
+``benchmarks/schemas/``; the checks are structural (required keys, types,
+internal consistency), not a timing gate: CI machines are too noisy to
+assert speedups.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+
+_SCHEMA_DIR = Path(__file__).resolve().parent / "schemas"
 
 _CELL_KEYS = {
     "network": str,
@@ -34,13 +40,123 @@ _TOP_KEYS = {
     "cells": list,
 }
 
+# Type tags used by the trace schemas (a trailing '?' allows null).
+_TYPE_TAGS = {
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "object": dict,
+    "array": list,
+}
 
-def check(path: Path) -> list[str]:
+
+def _check_fields(record: dict, spec: dict, where: str) -> list[str]:
+    """Check one record against a ``{required, optional}`` field spec."""
+    errors = []
+    for name in spec.get("required", {}):
+        if name not in record:
+            errors.append(f"{where}: missing required field {name!r}")
+    for source in ("required", "optional"):
+        for name, tag in spec.get(source, {}).items():
+            if name not in record:
+                continue
+            value = record[name]
+            nullable = tag.endswith("?")
+            expected = _TYPE_TAGS[tag.rstrip("?")]
+            if value is None:
+                if not nullable:
+                    errors.append(f"{where}: field {name!r} must not be null")
+            elif not isinstance(value, expected) or (
+                expected is int and isinstance(value, bool)
+            ):
+                errors.append(
+                    f"{where}: field {name!r} should be {tag}, "
+                    f"got {type(value).__name__}"
+                )
+    return errors
+
+
+def _load_schema(name: str) -> dict:
+    return json.loads((_SCHEMA_DIR / name).read_text())
+
+
+def check_trace_jsonl(path: Path, text: str) -> list[str]:
+    """Validate a JSONL trace export against the committed schema."""
+    schema = _load_schema("trace_jsonl.schema.json")
+    records = schema["records"]
     errors: list[str] = []
-    try:
-        data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"{path}: unreadable ({exc})"]
+    first_type: str | None = None
+    seen_types: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: not JSON ({exc})")
+            continue
+        if not isinstance(record, dict) or "type" not in record:
+            errors.append(f"{where}: record without a 'type' field")
+            continue
+        rtype = record["type"]
+        if first_type is None:
+            first_type = rtype
+        seen_types.add(rtype)
+        spec = records.get(rtype)
+        if spec is None:
+            errors.append(f"{where}: unknown record type {rtype!r}")
+            continue
+        errors.extend(_check_fields(record, spec, where))
+        if rtype == "header" and record.get("format") != schema["format"]:
+            errors.append(
+                f"{where}: header format {record.get('format')!r} != "
+                f"{schema['format']!r}"
+            )
+    if first_type != schema["first_record"]:
+        errors.append(
+            f"{path}: first record must be {schema['first_record']!r}, "
+            f"got {first_type!r}"
+        )
+    if "span" not in seen_types:
+        errors.append(f"{path}: no span records (empty telemetry?)")
+    return errors
+
+
+def check_trace_chrome(path: Path, payload: dict) -> list[str]:
+    """Validate a Chrome trace-event export against the committed schema."""
+    schema = _load_schema("trace_chrome.schema.json")
+    errors = _check_fields(payload, schema["top"], str(path))
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return errors
+    if not events:
+        errors.append(f"{path}: traceEvents is empty")
+    allowed = set(schema["phases"])
+    need_dur = set(schema["duration_phases"])
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        errors.extend(_check_fields(event, schema["event"], where))
+        ph = event.get("ph")
+        if ph is not None and ph not in allowed:
+            errors.append(f"{where}: phase {ph!r} not in {sorted(allowed)}")
+        if ph in need_dur and "dur" not in event:
+            errors.append(f"{where}: phase {ph!r} requires 'dur'")
+    other = payload.get("otherData", {})
+    if isinstance(other, dict) and other.get("format") not in (None, schema["format"]):
+        errors.append(
+            f"{path}: otherData.format {other.get('format')!r} != {schema['format']!r}"
+        )
+    return errors
+
+
+def check_bench(path: Path, data: dict) -> list[str]:
+    """Validate a BENCH_*.json benchmark result file."""
+    errors: list[str] = []
     for key, typ in _TOP_KEYS.items():
         if key not in data:
             errors.append(f"{path}: missing top-level key {key!r}")
@@ -62,6 +178,28 @@ def check(path: Path) -> list[str]:
     if not data.get("cells"):
         errors.append(f"{path}: no cells recorded")
     return errors
+
+
+def check(path: Path) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict):
+            if "traceEvents" in payload:
+                return check_trace_chrome(path, payload)
+            if "cells" in payload or "bench" in payload:
+                return check_bench(path, payload)
+    # Line-delimited records (or a malformed single object: the JSONL
+    # checker produces a precise per-line diagnosis either way).
+    return check_trace_jsonl(path, text)
 
 
 def main(argv: list[str]) -> int:

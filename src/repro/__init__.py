@@ -52,6 +52,7 @@ from .planner import (
 )
 from .baselines import DirectConnection, GreedySekitei, exhaustive_optimal
 from .lint import Diagnostic, LintOptions, LintReport, Severity, lint_app, require_lint_clean
+from .obs import MetricsRegistry, SearchTrace, Telemetry, export_trace, load_trace
 
 __version__ = "1.0.0"
 
@@ -104,4 +105,10 @@ __all__ = [
     "Severity",
     "lint_app",
     "require_lint_clean",
+    # observability
+    "Telemetry",
+    "MetricsRegistry",
+    "SearchTrace",
+    "export_trace",
+    "load_trace",
 ]

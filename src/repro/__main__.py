@@ -4,7 +4,13 @@ Subcommands
 -----------
 ``plan``
     Plan a deployment for a spec file (the paper's pseudo-XML syntax)
-    over a network JSON file.
+    over a network JSON file.  Observability flags
+    (docs/OBSERVABILITY.md): ``--trace-out FILE`` exports the run's
+    telemetry (phase spans, metrics, RG search trace) to a file,
+    ``--trace-format {jsonl,chrome}`` selects the JSONL event stream
+    (default) or Chrome trace-event JSON loadable in Perfetto, and
+    ``--metrics`` prints the Figs. 7–8 style search-progress account
+    (phase wall-clock bars, prune reasons, work histograms) to stdout.
 ``lint``
     Statically verify a spec/network pair before planning: monotonicity,
     level soundness, reachability, cost sanity (see docs/LINTING.md).
@@ -12,6 +18,10 @@ Subcommands
     Reproduce (a subset of) the paper's Table 2.
 ``gen-network``
     Generate a GT-ITM-style transit-stub network as JSON.
+``trace summarize FILE``
+    Load a trace file previously exported via ``plan --trace-out`` (either
+    format, auto-detected) and print its span tree, Table-2 stat gauges,
+    metric distributions, and search-event account.
 
 Examples
 --------
@@ -23,6 +33,10 @@ Examples
     python -m repro plan --network large.json --spec app.spec \\
         --initial Server=t0_0_s0_0 --goal Client=t0_2_s2_5 \\
         --levels M.ibw=90,100
+    python -m repro plan --network examples/net.json --spec examples/app.spec \\
+        --initial Server=n0 --goal Client=n1 --levels M.ibw=90,100 \\
+        --trace-out trace.jsonl --metrics
+    python -m repro trace summarize trace.jsonl
     python -m repro table2 --networks Tiny Small --scenarios B C
 """
 
@@ -74,7 +88,14 @@ def _load_instance(args: argparse.Namespace) -> tuple[AppSpec, object, Leveling]
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     app, network, leveling = _load_instance(args)
-    planner = Planner(PlannerConfig(leveling=leveling, strict=args.strict))
+    telemetry = None
+    if args.trace_out or args.metrics:
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
+    planner = Planner(
+        PlannerConfig(leveling=leveling, strict=args.strict, telemetry=telemetry)
+    )
     try:
         plan = planner.solve(app, network)
     except PlanningError as exc:
@@ -95,6 +116,16 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     )
     print(f"rg nodes         : {s.rg_nodes} created, {s.rg_expanded} expanded")
     print(f"replay work      : {s.replay_summary()}")
+    if args.metrics:
+        from .obs import render_phase_report
+
+        print()
+        print(render_phase_report(telemetry))
+    if args.trace_out:
+        from .obs import export_trace
+
+        records = export_trace(telemetry, args.trace_out, args.trace_format)
+        print(f"wrote {args.trace_out} ({args.trace_format}, {records} records)")
     if args.json:
         payload = {
             "actions": plan.action_names(),
@@ -104,6 +135,18 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         }
         open(args.json, "w").write(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .obs import TraceFileError, load_trace, summarize_trace
+
+    try:
+        trace = load_trace(args.file)
+    except TraceFileError as exc:
+        print(f"invalid trace file: {exc}", file=sys.stderr)
+        return 1
+    print(summarize_trace(trace))
     return 0
 
 
@@ -178,6 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="lint the spec first and refuse to plan on lint errors",
     )
+    p_plan.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="export the run's telemetry (spans, metrics, search trace)",
+    )
+    p_plan.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: JSONL event stream or Chrome trace-event JSON",
+    )
+    p_plan.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the search-progress account (spans, histograms, prune reasons)",
+    )
     p_plan.set_defaults(fn=_cmd_plan)
 
     p_lint = sub.add_parser(
@@ -201,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2.add_argument("--networks", nargs="+", default=["Tiny", "Small", "Large"])
     p_t2.add_argument("--scenarios", nargs="+", default=["A", "B", "C", "D", "E"])
     p_t2.set_defaults(fn=_cmd_table2)
+
+    p_trace = sub.add_parser("trace", help="inspect exported planner traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="summarize a trace file exported via plan --trace-out"
+    )
+    p_summarize.add_argument("file", help="trace file (JSONL or Chrome, auto-detected)")
+    p_summarize.set_defaults(fn=_cmd_trace_summarize)
 
     p_gen = sub.add_parser("gen-network", help="generate a transit-stub network")
     p_gen.add_argument("--transit-nodes", type=int, default=3)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..model import AppSpec, Leveling
 from ..network import Network
+from ..obs import Telemetry
 from ..planner import Plan, Planner, PlannerConfig
 
 __all__ = ["GreedySekitei"]
@@ -31,11 +32,16 @@ class GreedySekitei:
     the number of actions.
     """
 
-    def __init__(self, rg_node_budget: int = 500_000):
+    def __init__(
+        self,
+        rg_node_budget: int = 500_000,
+        telemetry: Telemetry | None = None,
+    ):
         self._planner = Planner(
             PlannerConfig(
                 leveling=Leveling({}, name="greedy-trivial"),
                 rg_node_budget=rg_node_budget,
+                telemetry=telemetry,
             )
         )
 

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..domains.media import DEFAULT_DEMAND, DEFAULT_SOURCE_BW, build_app
+from ..obs import Telemetry, maybe_span
 from ..planner import (
     Plan,
     Planner,
@@ -81,8 +82,14 @@ def run_cell(
     source_bw: float = DEFAULT_SOURCE_BW,
     demand: float = DEFAULT_DEMAND,
     rg_node_budget: int = 500_000,
+    telemetry: Telemetry | None = None,
 ) -> Table2Row:
-    """Solve one (network, scenario) cell of the paper's evaluation."""
+    """Solve one (network, scenario) cell of the paper's evaluation.
+
+    With ``telemetry``, the whole cell is wrapped in a ``scenario`` span
+    (the planner's phase spans nest inside it), so a full ``run_table2``
+    export shows every cell on one timeline.
+    """
     if isinstance(case, str):
         case = network_case(case)
     if isinstance(scen, str):
@@ -90,36 +97,47 @@ def run_cell(
 
     app = build_app(case.server, case.client, source_bw=source_bw, demand=demand)
     planner = Planner(
-        PlannerConfig(leveling=scen.leveling(), rg_node_budget=rg_node_budget)
+        PlannerConfig(
+            leveling=scen.leveling(),
+            rg_node_budget=rg_node_budget,
+            telemetry=telemetry,
+        )
     )
     row = Table2Row(network=case.key, scenario=scen.key, solved=False)
-    t0 = time.perf_counter()
-    try:
-        problem = planner.compile(app, case.network)
-        row.total_actions = len(problem.actions)
-        plan = planner.solve(problem=problem)
-    except (Unsolvable, ResourceInfeasible, PlanningError) as exc:
-        row.failure = type(exc).__name__
-        row.total_ms = (time.perf_counter() - t0) * 1e3
-        return row
+    with maybe_span(
+        telemetry, "scenario", network=case.key, scenario=scen.key
+    ) as span:
+        t0 = time.perf_counter()
+        try:
+            problem = planner.compile(app, case.network)
+            row.total_actions = len(problem.actions)
+            plan = planner.solve(problem=problem)
+        except (Unsolvable, ResourceInfeasible, PlanningError) as exc:
+            row.failure = type(exc).__name__
+            row.total_ms = (time.perf_counter() - t0) * 1e3
+            if span is not None:
+                span.attrs["failure"] = row.failure
+            return row
 
-    report = plan.execute()
-    lan_vars = case.lan_link_vars()
-    row.solved = True
-    row.plan = plan
-    row.cost_lower_bound = plan.cost_lb
-    row.actions_in_plan = len(plan)
-    row.reserved_lan_bw = report.max_consumed(lan_vars) if lan_vars else None
-    row.exact_cost = report.total_cost
-    row.delivered_bw = report.value(f"ibw:M@{case.client}")
-    row.plrg_props = plan.stats.plrg_prop_nodes
-    row.plrg_actions = plan.stats.plrg_action_nodes
-    row.slrg_nodes = plan.stats.slrg_set_nodes
-    row.rg_nodes = plan.stats.rg_nodes
-    row.rg_queue_left = plan.stats.rg_queue_left
-    row.total_ms = plan.stats.total_ms + plan.stats.compile_ms
-    row.search_ms = plan.stats.search_ms
-    return row
+        report = plan.execute()
+        lan_vars = case.lan_link_vars()
+        row.solved = True
+        row.plan = plan
+        row.cost_lower_bound = plan.cost_lb
+        row.actions_in_plan = len(plan)
+        row.reserved_lan_bw = report.max_consumed(lan_vars) if lan_vars else None
+        row.exact_cost = report.total_cost
+        row.delivered_bw = report.value(f"ibw:M@{case.client}")
+        row.plrg_props = plan.stats.plrg_prop_nodes
+        row.plrg_actions = plan.stats.plrg_action_nodes
+        row.slrg_nodes = plan.stats.slrg_set_nodes
+        row.rg_nodes = plan.stats.rg_nodes
+        row.rg_queue_left = plan.stats.rg_queue_left
+        row.total_ms = plan.stats.total_ms + plan.stats.compile_ms
+        row.search_ms = plan.stats.search_ms
+        if span is not None:
+            span.attrs.update(cost_lb=plan.cost_lb, plan_actions=len(plan))
+        return row
 
 
 def run_table2(

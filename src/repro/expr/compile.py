@@ -92,10 +92,13 @@ def _build_float(node: Node) -> FloatFn:
             text = node.unparse()
 
             def div_fn(env: Mapping[str, float]) -> float:
+                # Operand order matches the interpreter (left, then right)
+                # so error precedence is identical on malformed envs.
+                left = lf(env)
                 right = rf(env)
                 if right == 0.0:
                     raise EvalError(f"division by zero in {text!r}")
-                return lf(env) / right
+                return left / right
 
             return div_fn
         raise EvalError(f"unknown operator {op!r}")

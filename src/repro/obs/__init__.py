@@ -1,0 +1,53 @@
+"""Unified planner observability: spans, metrics, and search traces.
+
+Zero-dependency, off-by-default telemetry for the three planner phases
+and the experiment harness (see docs/OBSERVABILITY.md):
+
+* :class:`Telemetry` — the facade threaded through the planner via
+  ``PlannerConfig(telemetry=...)``: hierarchical :class:`Span` timings, a
+  :class:`MetricsRegistry` of counters/gauges/histograms, and the per-run
+  bounded :class:`SearchTrace`.
+* :func:`export_trace` / :func:`export_jsonl` / :func:`export_chrome` —
+  file exporters (JSONL event stream; Chrome trace-event JSON for
+  Perfetto), surfaced as ``repro plan --trace-out``.
+* :func:`load_trace` / :func:`summarize_trace` — read an exported file
+  back and render the Figs. 7–8 style account (``repro trace summarize``).
+"""
+
+from .export import (
+    CHROME_FORMAT,
+    JSONL_FORMAT,
+    export_chrome,
+    export_jsonl,
+    export_trace,
+    render_phase_report,
+)
+from .metrics import DEFAULT_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from .span import Span, SpanRecorder
+from .summarize import TraceFile, TraceFileError, load_trace, summarize_trace
+from .telemetry import Telemetry, maybe_span
+from .trace import SearchTrace, TraceEvent
+
+__all__ = [
+    "Telemetry",
+    "maybe_span",
+    "Span",
+    "SpanRecorder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BOUNDS",
+    "SearchTrace",
+    "TraceEvent",
+    "JSONL_FORMAT",
+    "CHROME_FORMAT",
+    "export_jsonl",
+    "export_chrome",
+    "export_trace",
+    "render_phase_report",
+    "TraceFile",
+    "TraceFileError",
+    "load_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,243 @@
+"""Trace exporters: JSONL event stream, Chrome trace-event JSON, terminal.
+
+Two file formats, one committed schema each (``benchmarks/schemas/``):
+
+* **JSONL** (``repro plan --trace-out t.jsonl``) — one JSON object per
+  line.  The first line is a header record; subsequent records are
+  ``span``, ``metric``, and ``event`` (RG search trace) objects.  Stream-
+  friendly and trivially greppable.
+* **Chrome trace-event JSON** (``--trace-format chrome``) — the
+  ``{"traceEvents": [...]}`` object format understood by Perfetto and
+  ``chrome://tracing``: spans become complete (``"ph": "X"``) events,
+  search-trace events become instants (``"ph": "i"``), and the metrics
+  snapshot rides along under ``otherData``.
+
+Timestamps are re-based so the earliest span starts at 0 µs; both
+formats use microseconds, matching the trace-event convention.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .telemetry import Telemetry
+
+__all__ = [
+    "JSONL_FORMAT",
+    "CHROME_FORMAT",
+    "export_jsonl",
+    "export_chrome",
+    "export_trace",
+    "render_phase_report",
+]
+
+JSONL_FORMAT = "repro-trace-jsonl"
+CHROME_FORMAT = "repro-trace-chrome"
+FORMAT_VERSION = 1
+
+
+def _time_base(telemetry: Telemetry) -> float:
+    starts = [sp.start_s for sp in telemetry.spans.spans]
+    if telemetry.trace is not None:
+        starts.extend(e.ts for e in telemetry.trace.events if e.ts)
+    return min(starts, default=0.0)
+
+
+def _span_records(telemetry: Telemetry, base_s: float) -> list[dict]:
+    out = []
+    for sp in telemetry.spans.spans:
+        out.append(
+            {
+                "type": "span",
+                "id": sp.id,
+                "name": sp.name,
+                "parent": sp.parent,
+                "start_us": (sp.start_s - base_s) * 1e6,
+                "dur_us": sp.duration_s * 1e6,
+                "attrs": sp.attrs,
+            }
+        )
+    return out
+
+
+def _event_records(telemetry: Telemetry, base_s: float) -> list[dict]:
+    if telemetry.trace is None:
+        return []
+    out = []
+    for seq, ev in enumerate(telemetry.trace.events):
+        out.append(
+            {
+                "type": "event",
+                "seq": seq,
+                "kind": ev.kind,
+                "action": ev.action,
+                "detail": ev.detail,
+                "depth": ev.depth,
+                "reason": ev.reason,
+                "ts_us": (ev.ts - base_s) * 1e6 if ev.ts else 0.0,
+            }
+        )
+    return out
+
+
+def export_jsonl(telemetry: Telemetry, fp: IO[str]) -> int:
+    """Write the JSONL event stream; returns the number of records."""
+    base_s = _time_base(telemetry)
+    records: list[dict] = [
+        {
+            "type": "header",
+            "format": JSONL_FORMAT,
+            "version": FORMAT_VERSION,
+            "generator": "repro",
+            "runs": telemetry.runs,
+        }
+    ]
+    records.extend(_span_records(telemetry, base_s))
+    for snap in telemetry.metrics.snapshot():
+        snap = dict(snap)
+        snap["type"] = "metric"
+        records.append(snap)
+    records.extend(_event_records(telemetry, base_s))
+    if telemetry.trace is not None:
+        records.append(
+            {
+                "type": "trace-summary",
+                "counters": dict(telemetry.trace.counters),
+                "prune_reasons": dict(telemetry.trace.prune_reasons),
+                "max_events": telemetry.trace.max_events,
+            }
+        )
+    for record in records:
+        fp.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def export_chrome(telemetry: Telemetry, fp: IO[str]) -> int:
+    """Write Chrome trace-event JSON; returns the number of trace events."""
+    base_s = _time_base(telemetry)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "repro planner"},
+        }
+    ]
+    for sp in telemetry.spans.spans:
+        events.append(
+            {
+                "name": sp.name,
+                "cat": "planner",
+                "ph": "X",
+                "ts": (sp.start_s - base_s) * 1e6,
+                "dur": sp.duration_s * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": sp.attrs,
+            }
+        )
+    if telemetry.trace is not None:
+        for ev in telemetry.trace.events:
+            args = {"detail": ev.detail, "depth": ev.depth}
+            if ev.action is not None:
+                args["action"] = ev.action
+            if ev.reason is not None:
+                args["reason"] = ev.reason
+            events.append(
+                {
+                    "name": f"rg.{ev.kind}",
+                    "cat": "search",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (ev.ts - base_s) * 1e6 if ev.ts else 0.0,
+                    "pid": 1,
+                    "tid": 2,
+                    "args": args,
+                }
+            )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": CHROME_FORMAT,
+            "version": FORMAT_VERSION,
+            "generator": "repro",
+            "metrics": telemetry.metrics.snapshot(),
+        },
+    }
+    json.dump(payload, fp, sort_keys=True)
+    fp.write("\n")
+    return len(events)
+
+
+def export_trace(telemetry: Telemetry, path: str, fmt: str = "jsonl") -> int:
+    """Export to ``path`` in ``'jsonl'`` or ``'chrome'`` format."""
+    if fmt not in ("jsonl", "chrome"):
+        raise ValueError(f"unknown trace format {fmt!r} (expected jsonl or chrome)")
+    with open(path, "w") as fp:
+        if fmt == "jsonl":
+            return export_jsonl(telemetry, fp)
+        return export_chrome(telemetry, fp)
+
+
+# ---------------------------------------------------------------------------
+# Terminal renderer — the Figs. 7–8 style search-progress account
+# ---------------------------------------------------------------------------
+
+_BAR_WIDTH = 40
+
+
+def _bar(value: float, peak: float, width: int = _BAR_WIDTH) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1, round(width * value / peak)) if value > 0 else ""
+
+
+def render_phase_report(telemetry: Telemetry) -> str:
+    """Figs. 7–8 style terminal account of one (or more) planner runs.
+
+    Three sections: the span tree with phase wall-clock bars, the RG
+    search-progress counters with prune reasons, and histogram sketches
+    of the recorded work distributions.
+    """
+    lines: list[str] = ["phase spans:"]
+    phase_spans = [sp for sp in telemetry.spans.spans if sp.end_s is not None]
+    peak_ms = max((sp.duration_ms for sp in phase_spans), default=0.0)
+    for line in telemetry.spans.render_tree().splitlines():
+        lines.append("  " + line)
+    if phase_spans and peak_ms > 0:
+        lines.append("")
+        lines.append("phase wall-clock:")
+        for sp in phase_spans:
+            if sp.parent is None and len(telemetry.spans.children(sp.id)) > 0:
+                continue  # bars for leaf phases only; parents just sum them
+            lines.append(
+                f"  {sp.name:<16s} {sp.duration_ms:9.2f} ms  |{_bar(sp.duration_ms, peak_ms)}"
+            )
+
+    if telemetry.trace is not None:
+        lines.append("")
+        lines.append(telemetry.trace.summary())
+
+    from .metrics import Histogram
+
+    for hist in telemetry.metrics:
+        if not isinstance(hist, Histogram) or hist.count == 0:
+            continue
+        lines.append("")
+        lines.append(
+            f"{hist.name}: n={hist.count} mean={hist.mean:g} "
+            f"min={hist.min:g} max={hist.max:g}"
+        )
+        peak = max(c for _b, c in hist.buckets()) or 1
+        for bound, count in hist.buckets():
+            if count:
+                label = (
+                    f"<= {bound:g}" if bound != float("inf")
+                    else f"> {hist.bounds[-1]:g}"
+                )
+                lines.append(f"  {label:>10s}: {count:8d} |{_bar(count, peak)}")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Named metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the planner's single source of named numbers: phase
+timings and Table-2 counts are published as gauges (``planner.*``), the
+RG records work distributions (replay tail lengths, branching factors,
+f-values, per-action replay microseconds) as histograms, and prune
+decisions as counters.  :class:`~repro.planner.PlannerStats` is a thin
+view over the ``planner.*`` gauges — see ``PlannerStats.publish`` /
+``PlannerStats.from_metrics``.
+
+Everything is plain in-process Python — no dependencies, no locks (the
+planner is single-threaded), no sampling.  Histograms use fixed upper
+bounds chosen at first registration; values beyond the last bound land in
+an overflow bucket, so recording is O(len(bounds)) worst case and
+allocation-free.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BOUNDS"]
+
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+@dataclass(slots=True)
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": "counter", "value": self.value}
+
+
+@dataclass(slots=True)
+class Gauge:
+    """Last-written value (phase timings, graph sizes, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": "gauge", "value": self.value}
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max."""
+
+    name: str
+    bounds: tuple[float, ...] = DEFAULT_BOUNDS
+    bucket_counts: list[int] = field(default_factory=list)  # len(bounds) + 1
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if self.count == 0 or value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, count)`` pairs; the overflow bound is ``inf``."""
+        out = [(float(b), c) for b, c in zip(self.bounds, self.bucket_counts)]
+        out.append((float("inf"), self.bucket_counts[-1]))
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [[b if b != float("inf") else None, c] for b, c in self.buckets()],
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use store of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def _register(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._register(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: tuple[float, ...] | None = None) -> Histogram:
+        return self._register(
+            name, Histogram, lambda: Histogram(name, bounds or DEFAULT_BOUNDS)
+        )
+
+    # -- convenience one-liners ------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- reporting -------------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready list of all metrics, sorted by name."""
+        return [self._metrics[k].snapshot() for k in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations (and histogram bounds)."""
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                metric.value = 0
+            elif isinstance(metric, Gauge):
+                metric.value = 0.0
+            else:
+                metric.bucket_counts = [0] * (len(metric.bounds) + 1)
+                metric.count = 0
+                metric.total = 0.0
+                metric.min = 0.0
+                metric.max = 0.0
+
+    def render_text(self) -> str:
+        """Plain-text metric listing (``repro plan --metrics``)."""
+        lines = []
+        for snap in self.snapshot():
+            if snap["kind"] == "histogram":
+                lines.append(
+                    f"{snap['name']}: count={snap['count']} mean="
+                    f"{(snap['sum'] / snap['count']) if snap['count'] else 0.0:g} "
+                    f"min={snap['min']:g} max={snap['max']:g}"
+                )
+            else:
+                value = snap["value"]
+                shown = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"{snap['name']}: {shown}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,91 @@
+"""Hierarchical wall-clock spans.
+
+A span is one timed region of planner work — a phase (compile, PLRG,
+SLRG, RG, post-opt), a validation pass, or a whole experiment-harness
+scenario run.  Spans nest: the recorder keeps a stack, so a span opened
+while another is active becomes its child, and the resulting forest maps
+directly onto the Chrome trace-event timeline.
+
+Timestamps are ``time.perf_counter`` seconds; they are monotonic and
+comparable only within one process, which is all a trace file needs
+(exporters re-base them to zero).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed, attributed region of work."""
+
+    id: int
+    name: str
+    start_s: float
+    end_s: float | None = None
+    parent: int | None = None  # id of the enclosing span, None for roots
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds (0.0 while still open)."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1e3
+
+
+class SpanRecorder:
+    """Append-only span store with an active-span stack."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child of the currently active span; closes on exit."""
+        sp = Span(
+            id=len(self.spans),
+            name=name,
+            start_s=time.perf_counter(),
+            parent=self._stack[-1] if self._stack else None,
+            attrs=dict(attrs),
+        )
+        self.spans.append(sp)
+        self._stack.append(sp.id)
+        try:
+            yield sp
+        finally:
+            sp.end_s = time.perf_counter()
+            self._stack.pop()
+
+    def children(self, span_id: int | None) -> list[Span]:
+        return [s for s in self.spans if s.parent == span_id]
+
+    def render_tree(self) -> str:
+        """Indented span forest with millisecond durations."""
+        lines: list[str] = []
+
+        def walk(parent: int | None, indent: int) -> None:
+            for sp in self.children(parent):
+                attrs = ""
+                if sp.attrs:
+                    attrs = "  [" + ", ".join(
+                        f"{k}={v}" for k, v in sorted(sp.attrs.items())
+                    ) + "]"
+                lines.append(f"{'  ' * indent}{sp.name:<24s} {sp.duration_ms:9.2f} ms{attrs}")
+                walk(sp.id, indent + 1)
+
+        walk(None, 0)
+        return "\n".join(lines) if lines else "(no spans recorded)"

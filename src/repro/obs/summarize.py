@@ -1,0 +1,226 @@
+"""Load exported trace files back and summarize them in the terminal.
+
+``repro trace summarize FILE`` sniffs the format (JSONL event stream or
+Chrome trace-event JSON), normalizes both into one :class:`TraceFile`
+shape, and renders the same search-progress account the live
+``--metrics`` flag prints — so a trace captured on one machine can be
+read on another without the planner objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .export import CHROME_FORMAT, JSONL_FORMAT
+
+__all__ = ["TraceFile", "TraceFileError", "load_trace", "summarize_trace"]
+
+
+class TraceFileError(ValueError):
+    """The file is not a readable exported trace."""
+
+
+@dataclass
+class TraceFile:
+    """Format-independent view of an exported trace."""
+
+    format: str  # 'jsonl' | 'chrome'
+    spans: list[dict] = field(default_factory=list)  # name/parent/start_us/dur_us/attrs
+    metrics: list[dict] = field(default_factory=list)  # registry snapshots
+    events: list[dict] = field(default_factory=list)  # kind/action/detail/depth/reason
+    header: dict = field(default_factory=dict)
+    trace_summary: dict = field(default_factory=dict)
+
+
+def load_trace(path: str) -> TraceFile:
+    """Parse an exported trace file of either format."""
+    try:
+        text = open(path).read()
+    except OSError as exc:
+        raise TraceFileError(f"cannot read {path}: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped:
+        raise TraceFileError(f"{path}: empty file")
+    if stripped.startswith("{"):
+        # A Chrome export is one JSON object with a traceEvents array; a
+        # JSONL export is one object *per line*.  Try the whole-file parse
+        # first so a single-line JSONL header is not mistaken for Chrome.
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            return _load_chrome(path, text)
+    return _load_jsonl(path, text)
+
+
+def _load_jsonl(path: str, text: str) -> TraceFile:
+    out = TraceFile(format="jsonl")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFileError(f"{path}:{lineno}: not JSON ({exc})") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise TraceFileError(f"{path}:{lineno}: record without a 'type' field")
+        rtype = record["type"]
+        if rtype == "header":
+            if record.get("format") != JSONL_FORMAT:
+                raise TraceFileError(
+                    f"{path}: unexpected format {record.get('format')!r}"
+                )
+            out.header = record
+        elif rtype == "span":
+            out.spans.append(record)
+        elif rtype == "metric":
+            out.metrics.append(record)
+        elif rtype == "event":
+            out.events.append(record)
+        elif rtype == "trace-summary":
+            out.trace_summary = record
+        else:
+            raise TraceFileError(f"{path}:{lineno}: unknown record type {rtype!r}")
+    if not out.header:
+        raise TraceFileError(f"{path}: missing header record")
+    return out
+
+
+def _load_chrome(path: str, text: str) -> TraceFile:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceFileError(f"{path}: not JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise TraceFileError(f"{path}: no traceEvents array")
+    other = payload.get("otherData", {})
+    if other.get("format") not in (None, CHROME_FORMAT):
+        raise TraceFileError(f"{path}: unexpected format {other.get('format')!r}")
+    out = TraceFile(format="chrome", header=other, metrics=list(other.get("metrics", [])))
+    next_id = 0
+    for ev in payload["traceEvents"]:
+        ph = ev.get("ph")
+        if ph == "X":
+            out.spans.append(
+                {
+                    "id": next_id,
+                    "name": ev.get("name", "?"),
+                    "parent": None,  # nesting is implied by timestamps in this format
+                    "start_us": ev.get("ts", 0.0),
+                    "dur_us": ev.get("dur", 0.0),
+                    "attrs": ev.get("args", {}),
+                }
+            )
+            next_id += 1
+        elif ph == "i":
+            args = ev.get("args", {})
+            name = ev.get("name", "")
+            out.events.append(
+                {
+                    "kind": name.split(".", 1)[1] if "." in name else name,
+                    "action": args.get("action"),
+                    "detail": args.get("detail", ""),
+                    "depth": args.get("depth", 0),
+                    "reason": args.get("reason"),
+                    "ts_us": ev.get("ts", 0.0),
+                }
+            )
+    return out
+
+
+def summarize_trace(trace: TraceFile) -> str:
+    """Human-readable account of a loaded trace file."""
+    lines = [f"trace file: {trace.format} format"]
+    if trace.header.get("runs"):
+        lines.append(f"planner runs recorded: {trace.header['runs']}")
+
+    if trace.spans:
+        lines.append("")
+        lines.append("spans:")
+        by_id = {sp["id"]: sp for sp in trace.spans}
+        depth_cache: dict[int, int] = {}
+
+        def depth_of(sp: dict) -> int:
+            sid = sp["id"]
+            if sid in depth_cache:
+                return depth_cache[sid]
+            parent = sp.get("parent")
+            d = 0 if parent is None or parent not in by_id else depth_of(by_id[parent]) + 1
+            depth_cache[sid] = d
+            return d
+
+        for sp in trace.spans:
+            indent = "  " * depth_of(sp)
+            attrs = sp.get("attrs") or {}
+            shown = (
+                "  [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+                if attrs
+                else ""
+            )
+            lines.append(
+                f"  {indent}{sp['name']:<24s} {sp.get('dur_us', 0.0) / 1e3:9.2f} ms{shown}"
+            )
+
+    stats_gauges = {
+        m["name"]: m.get("value")
+        for m in trace.metrics
+        if m.get("kind") == "gauge" and m.get("name", "").startswith("planner.")
+    }
+    if stats_gauges:
+        lines.append("")
+        lines.append("planner stats (Table 2 view):")
+        for name in sorted(stats_gauges):
+            value = stats_gauges[name]
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name.removeprefix('planner.'):<22s} {shown}")
+
+    histograms = [m for m in trace.metrics if m.get("kind") == "histogram"]
+    counters = [
+        m for m in trace.metrics
+        if m.get("kind") == "counter" and m.get("value", 0)
+    ]
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for m in sorted(counters, key=lambda m: m["name"]):
+            lines.append(f"  {m['name']:<28s} {m['value']}")
+    for hist in histograms:
+        if not hist.get("count"):
+            continue
+        lines.append("")
+        mean = hist["sum"] / hist["count"]
+        lines.append(
+            f"{hist['name']}: n={hist['count']} mean={mean:g} "
+            f"min={hist['min']:g} max={hist['max']:g}"
+        )
+        buckets = [(b, c) for b, c in hist.get("buckets", []) if c]
+        peak = max((c for _b, c in buckets), default=1)
+        width = 40
+        for bound, count in buckets:
+            label = f"<= {bound:g}" if bound is not None else "overflow"
+            bar = "#" * max(1, round(width * count / peak))
+            lines.append(f"  {label:>10s}: {count:8d} |{bar}")
+
+    if trace.events or trace.trace_summary:
+        lines.append("")
+        lines.append("search events:")
+        counts = trace.trace_summary.get("counters")
+        if counts is None:
+            counts = {}
+            for ev in trace.events:
+                counts[ev["kind"]] = counts.get(ev["kind"], 0) + 1
+        for kind in ("create", "expand", "prune", "terminal"):
+            lines.append(f"  {kind:9s}: {counts.get(kind, 0)}")
+        reasons = trace.trace_summary.get("prune_reasons")
+        if reasons is None:
+            reasons = {}
+            for ev in trace.events:
+                if ev["kind"] == "prune" and ev.get("reason"):
+                    reasons[ev["reason"]] = reasons.get(ev["reason"], 0) + 1
+        if reasons:
+            lines.append("  prune reasons:")
+            for reason in sorted(reasons, key=reasons.get, reverse=True):
+                lines.append(f"    {reason}: {reasons[reason]}")
+    return "\n".join(lines)

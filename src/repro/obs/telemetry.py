@@ -1,0 +1,71 @@
+"""The telemetry facade threaded through the planner.
+
+One :class:`Telemetry` object bundles the three observability channels:
+
+* **spans** — hierarchical wall-clock regions (phases, scenario runs);
+* **metrics** — the named counter/gauge/histogram registry;
+* **trace** — the per-run bounded RG :class:`~repro.obs.SearchTrace`.
+
+Instrumentation is *off by default*: every hook in the planner takes
+``telemetry=None`` and the hot paths guard on a single ``is not None``
+check, so a planner without telemetry runs the same instructions it ran
+before this subsystem existed (guarded by the overhead test in
+``tests/obs/test_overhead_guard.py``).
+
+Spans and metrics accumulate across runs (an experiment harness records
+many scenario spans into one timeline); the search trace and the
+``planner.*`` stat gauges are per-run — :meth:`Telemetry.begin_run`
+starts a fresh trace, and :meth:`PlannerStats.publish
+<repro.planner.PlannerStats.publish>` overwrites the gauges.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+
+from .metrics import MetricsRegistry
+from .span import SpanRecorder
+from .trace import SearchTrace
+
+__all__ = ["Telemetry", "maybe_span"]
+
+
+class Telemetry:
+    """Spans + metrics + per-run search trace for one planner/harness."""
+
+    def __init__(self, trace: bool = True, trace_max_events: int = 2000):
+        self.spans = SpanRecorder()
+        self.metrics = MetricsRegistry()
+        self.trace_enabled = trace
+        self.trace_max_events = trace_max_events
+        self.trace: SearchTrace | None = None
+        self.runs = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        with self.spans.span(name, **attrs) as sp:
+            yield sp
+
+    def begin_run(self) -> SearchTrace | None:
+        """Start one planner run: fresh search trace, run counter bumped.
+
+        Called by :meth:`Planner.solve`, so a single planner (or a single
+        ``Telemetry``) reused across ``solve()`` calls never leaks trace
+        events from one run into the next.
+        """
+        self.runs += 1
+        self.trace = (
+            SearchTrace(max_events=self.trace_max_events) if self.trace_enabled else None
+        )
+        return self.trace
+
+
+def maybe_span(telemetry: Telemetry | None, name: str, **attrs):
+    """``telemetry.span(...)`` or a no-op context when telemetry is off.
+
+    The ``with maybe_span(...) as sp`` target is the :class:`Span` (for
+    attaching result attributes) or ``None`` when disabled.
+    """
+    if telemetry is None:
+        return nullcontext(None)
+    return telemetry.span(name, **attrs)

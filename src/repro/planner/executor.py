@@ -22,6 +22,7 @@ from ..expr import (
     eval_float,
 )
 from ..compile import CompiledProblem, EffectKind, GroundAction, replay_backend
+from ..obs import Telemetry, maybe_span
 from .errors import ExecutionError
 
 __all__ = ["ExecutionStep", "ExecutionReport", "execute_plan"]
@@ -65,12 +66,26 @@ class ExecutionReport:
         return self.final_values.get(gvar, 0.0)
 
 
-def execute_plan(problem: CompiledProblem, actions: list[GroundAction]) -> ExecutionReport:
+def execute_plan(
+    problem: CompiledProblem,
+    actions: list[GroundAction],
+    telemetry: Telemetry | None = None,
+) -> ExecutionReport:
     """Execute ``actions`` in order from the initial state.
 
     Raises :class:`ExecutionError` with a precise reason on any violation:
-    missing input stream, failed condition, or resource overdraw.
+    missing input stream, failed condition, or resource overdraw.  With
+    ``telemetry``, the execution is wrapped in an ``execute`` span and
+    counted under ``executor.plans`` / ``executor.actions``.
     """
+    with maybe_span(telemetry, "execute", actions=len(actions)):
+        if telemetry is not None:
+            telemetry.metrics.inc("executor.plans")
+            telemetry.metrics.inc("executor.actions", len(actions))
+        return _execute(problem, actions)
+
+
+def _execute(problem: CompiledProblem, actions: list[GroundAction]) -> ExecutionReport:
     values: dict[str, float] = dict(problem.initial_values)
     for iface, node, value, _deg, _upg, prop in problem._initial_streams:
         from ..compile import iface_prop_var

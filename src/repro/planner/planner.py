@@ -14,6 +14,7 @@ from enum import Enum
 from ..compile import CompiledProblem, compile_problem
 from ..model import AppSpec, Leveling
 from ..network import Network
+from ..obs import Telemetry, maybe_span
 from .errors import ExecutionError, ResourceInfeasible, Unsolvable
 from .executor import execute_plan
 from .plan import Plan
@@ -71,6 +72,11 @@ class PlannerConfig:
     trace: bool = False
     """Record a bounded RG search trace on the returned plan
     (``plan.trace``): node creations, expansions, prunes with reasons."""
+    telemetry: Telemetry | None = None
+    """Full observability (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
+    phase spans, the metrics registry, and a per-run search trace.  ``None``
+    (the default) disables every hook; the guarded hot paths then cost
+    nothing beyond a handful of ``is not None`` checks."""
     branch_all_props: bool = True
     """RG branching rule: True (default) regresses achievers of every open
     proposition — the paper's rule, required for optimality when one action
@@ -119,86 +125,128 @@ class Planner:
             Validation of the found plan failed (indicates a planner bug;
             never expected).
         """
+        tele = self.config.telemetry
+        # Per-run observability state is reset up front, so reusing one
+        # Planner (or one Telemetry) across solve() calls never leaks a
+        # previous run's trace events or stat gauges into this one.
+        if tele is not None:
+            search_trace = tele.begin_run()
+            if search_trace is None and self.config.trace:
+                search_trace = SearchTrace()
+        else:
+            search_trace = SearchTrace() if self.config.trace else None
+
         if problem is None:
             if app is None or network is None:
                 raise ValueError("pass either problem= or both app= and network=")
-            problem = self.compile(app, network)
-        # The clock starts *after* compilation so total_ms is search-only on
-        # both call paths; compile time is reported once, as compile_ms.
-        t_start = time.perf_counter()
-        stats = PlannerStats(
-            total_actions=len(problem.actions),
-            compile_ms=problem.compile_seconds * 1e3,
-        )
+            with maybe_span(tele, "compile", app=app.name, network=network.name) as sp:
+                problem = self.compile(app, network)
+                if sp is not None:
+                    sp.attrs["actions"] = len(problem.actions)
 
-        t0 = time.perf_counter()
-        try:
-            plrg = build_plrg(problem)
-        except Unsolvable:
-            if problem.logically_solvable:
-                # The goal has logical support, but best-value reachability
-                # pruning removed it: a resource conflict, not a modelling
-                # gap (the greedy Scenario 1 failure, detected statically).
-                from ..compile import diagnose
+        with maybe_span(
+            tele,
+            "plan.solve",
+            app=problem.app.name,
+            network=problem.network.name,
+            leveling=problem.leveling.name,
+        ) as solve_span:
+            # The clock starts *after* compilation so total_ms is search-only
+            # on both call paths; compile time is reported once, as compile_ms.
+            t_start = time.perf_counter()
+            stats = PlannerStats(
+                total_actions=len(problem.actions),
+                compile_ms=problem.compile_seconds * 1e3,
+            )
 
-                detail = str(diagnose(problem))
-                raise ResourceInfeasible(
-                    "goal unreachable under best-case resource propagation "
-                    f"({problem.reachability_pruned} actions pruned)\n{detail}"
-                ) from None
-            raise
-        stats.plrg_ms = (time.perf_counter() - t0) * 1e3
-        stats.plrg_prop_nodes = plrg.prop_nodes
-        stats.plrg_action_nodes = plrg.action_nodes
-
-        slrg = SLRG(problem, plrg, node_budget=self.config.slrg_node_budget)
-        t0 = time.perf_counter()
-        if self.config.heuristic is Heuristic.SLRG:
-            # Phase 2 proper: price the goal set, warming the set-cost cache.
-            slrg.query(frozenset(problem.goal_prop_ids))
-            heuristic = slrg.query
-        elif self.config.heuristic is Heuristic.PLRG_MAX:
-            heuristic = plrg.set_cost
-        else:
-            heuristic = lambda props: 0.0  # noqa: E731 - blind search
-        stats.slrg_ms = (time.perf_counter() - t0) * 1e3
-
-        search_trace = SearchTrace() if self.config.trace else None
-        t0 = time.perf_counter()
-        result = regression_search(
-            problem,
-            heuristic,
-            plrg.usable_actions,
-            node_budget=self.config.rg_node_budget,
-            branch_all_props=self.config.branch_all_props,
-            prop_rank=plrg.cost,
-            trace=search_trace,
-        )
-        stats.rg_ms = (time.perf_counter() - t0) * 1e3
-        stats.slrg_set_nodes = slrg.nodes_created
-        stats.rg_nodes = result.nodes_created
-        stats.rg_queue_left = result.nodes_left_in_queue
-        stats.rg_expanded = result.nodes_expanded
-        stats.rg_replays = result.replay.replays
-        stats.rg_actions_replayed = result.replay.actions_replayed
-        stats.rg_conditions_checked = result.replay.conditions_checked
-        stats.total_ms = (time.perf_counter() - t_start) * 1e3
-
-        plan = Plan(
-            problem=problem,
-            actions=result.plan_actions,
-            cost_lb=result.cost_lb,
-            stats=stats,
-            trace=search_trace,
-        )
-        if self.config.validate:
+            t0 = time.perf_counter()
             try:
-                execute_plan(problem, plan.actions)
-            except ExecutionError as exc:
-                raise ExecutionError(
-                    f"planner produced an invalid plan ({exc}); this is a bug"
-                ) from exc
-        return plan
+                plrg = build_plrg(problem, telemetry=tele)
+            except Unsolvable:
+                if problem.logically_solvable:
+                    # The goal has logical support, but best-value reachability
+                    # pruning removed it: a resource conflict, not a modelling
+                    # gap (the greedy Scenario 1 failure, detected statically).
+                    from ..compile import diagnose
+
+                    detail = str(diagnose(problem))
+                    raise ResourceInfeasible(
+                        "goal unreachable under best-case resource propagation "
+                        f"({problem.reachability_pruned} actions pruned)\n{detail}"
+                    ) from None
+                raise
+            stats.plrg_ms = (time.perf_counter() - t0) * 1e3
+            stats.plrg_prop_nodes = plrg.prop_nodes
+            stats.plrg_action_nodes = plrg.action_nodes
+
+            slrg = SLRG(
+                problem,
+                plrg,
+                node_budget=self.config.slrg_node_budget,
+                telemetry=tele,
+            )
+            t0 = time.perf_counter()
+            with maybe_span(tele, "slrg", heuristic=self.config.heuristic.value):
+                if self.config.heuristic is Heuristic.SLRG:
+                    # Phase 2 proper: price the goal set, warming the cache.
+                    slrg.query(frozenset(problem.goal_prop_ids))
+                    heuristic = slrg.query
+                elif self.config.heuristic is Heuristic.PLRG_MAX:
+                    heuristic = plrg.set_cost
+                else:
+                    heuristic = lambda props: 0.0  # noqa: E731 - blind search
+            stats.slrg_ms = (time.perf_counter() - t0) * 1e3
+
+            t0 = time.perf_counter()
+            with maybe_span(tele, "rg", node_budget=self.config.rg_node_budget) as rg_span:
+                result = regression_search(
+                    problem,
+                    heuristic,
+                    plrg.usable_actions,
+                    node_budget=self.config.rg_node_budget,
+                    branch_all_props=self.config.branch_all_props,
+                    prop_rank=plrg.cost,
+                    trace=search_trace,
+                    metrics=tele.metrics if tele is not None else None,
+                )
+                if rg_span is not None:
+                    rg_span.attrs.update(
+                        nodes_created=result.nodes_created,
+                        nodes_expanded=result.nodes_expanded,
+                        queue_left=result.nodes_left_in_queue,
+                    )
+            stats.rg_ms = (time.perf_counter() - t0) * 1e3
+            stats.slrg_set_nodes = slrg.nodes_created
+            stats.rg_nodes = result.nodes_created
+            stats.rg_queue_left = result.nodes_left_in_queue
+            stats.rg_expanded = result.nodes_expanded
+            stats.rg_replays = result.replay.replays
+            stats.rg_actions_replayed = result.replay.actions_replayed
+            stats.rg_conditions_checked = result.replay.conditions_checked
+            stats.total_ms = (time.perf_counter() - t_start) * 1e3
+
+            plan = Plan(
+                problem=problem,
+                actions=result.plan_actions,
+                cost_lb=result.cost_lb,
+                stats=stats,
+                trace=search_trace,
+            )
+            if tele is not None:
+                stats.publish(tele.metrics)
+                tele.metrics.set_gauge("slrg.nodes_created", slrg.nodes_created)
+                if solve_span is not None:
+                    solve_span.attrs.update(
+                        cost_lb=result.cost_lb, plan_actions=len(plan.actions)
+                    )
+            if self.config.validate:
+                try:
+                    execute_plan(problem, plan.actions, telemetry=tele)
+                except ExecutionError as exc:
+                    raise ExecutionError(
+                        f"planner produced an invalid plan ({exc}); this is a bug"
+                    ) from exc
+            return plan
 
 
 def solve(

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 
 from ..compile import CompiledProblem
+from ..obs import Telemetry, maybe_span
 from .errors import Unsolvable
 
 __all__ = ["PLRG", "build_plrg"]
@@ -58,30 +59,40 @@ class PLRG:
         return best
 
 
-def build_plrg(problem: CompiledProblem) -> PLRG:
+def build_plrg(problem: CompiledProblem, telemetry: Telemetry | None = None) -> PLRG:
     """Build the PLRG; raises :class:`Unsolvable` if the goal is logically
-    unreachable from the initial state."""
-    relevant_props, relevant_actions = _relevance(problem)
-    prop_cost = _forward_costs(problem, relevant_actions)
+    unreachable from the initial state.  With ``telemetry``, the build is
+    wrapped in a ``plrg`` span and the graph sizes become gauges."""
+    with maybe_span(telemetry, "plrg") as span:
+        relevant_props, relevant_actions = _relevance(problem)
+        prop_cost = _forward_costs(problem, relevant_actions)
 
-    unreachable = [pid for pid in problem.goal_prop_ids if prop_cost.get(pid, _INF) == _INF]
-    if unreachable:
-        names = ", ".join(problem.prop_str(p) for p in unreachable)
-        raise Unsolvable(f"goal propositions logically unreachable: {names}")
+        unreachable = [pid for pid in problem.goal_prop_ids if prop_cost.get(pid, _INF) == _INF]
+        if unreachable:
+            names = ", ".join(problem.prop_str(p) for p in unreachable)
+            raise Unsolvable(f"goal propositions logically unreachable: {names}")
 
-    usable = tuple(
-        a_idx
-        for a_idx in sorted(relevant_actions)
-        if all(prop_cost.get(p, _INF) < _INF for p in problem.actions[a_idx].pre_props)
-    )
-    return PLRG(
-        prop_cost=prop_cost,
-        relevant_props=frozenset(relevant_props),
-        relevant_actions=frozenset(relevant_actions),
-        usable_actions=usable,
-        prop_nodes=len(relevant_props),
-        action_nodes=len(relevant_actions),
-    )
+        usable = tuple(
+            a_idx
+            for a_idx in sorted(relevant_actions)
+            if all(prop_cost.get(p, _INF) < _INF for p in problem.actions[a_idx].pre_props)
+        )
+        if span is not None:
+            span.attrs.update(
+                prop_nodes=len(relevant_props),
+                action_nodes=len(relevant_actions),
+                usable_actions=len(usable),
+            )
+            telemetry.metrics.set_gauge("plrg.prop_nodes", len(relevant_props))
+            telemetry.metrics.set_gauge("plrg.action_nodes", len(relevant_actions))
+        return PLRG(
+            prop_cost=prop_cost,
+            relevant_props=frozenset(relevant_props),
+            relevant_actions=frozenset(relevant_actions),
+            usable_actions=usable,
+            prop_nodes=len(relevant_props),
+            action_nodes=len(relevant_actions),
+        )
 
 
 def _relevance(problem: CompiledProblem) -> tuple[set[int], set[int]]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from ..compile import CompiledProblem, GroundAction
 from ..intervals import Interval
+from ..obs import Telemetry, maybe_span
 from .errors import ExecutionError
 from .executor import ExecutionReport, execute_plan
 
@@ -95,13 +96,16 @@ def post_optimize(
     actions: list[GroundAction],
     tolerance: float = 1e-3,
     max_iterations: int = 40,
+    telemetry: Telemetry | None = None,
 ) -> PostOptResult:
     """Shrink a plan's utilization to the cheapest feasible throttle.
 
     Bisects the throttle factor in ``(0, 1]``: a factor is feasible when
     the throttled plan still executes exactly (all goal conditions hold).
     Costs are monotone in pushed bandwidth, so the minimal feasible factor
-    is the cheapest.
+    is the cheapest.  With ``telemetry``, the bisection is wrapped in a
+    ``postopt`` span and each re-execution counts under
+    ``postopt.attempts``.
 
     Raises
     ------
@@ -109,35 +113,44 @@ def post_optimize(
         If the *unthrottled* plan does not execute — post-optimization
         only makes sense for feasible plans.
     """
-    original_report = execute_plan(problem, actions)
+    with maybe_span(telemetry, "postopt", actions=len(actions)) as span:
+        original_report = execute_plan(problem, actions)
 
-    def attempt(factor: float):
-        try:
-            throttled = _throttled_actions(actions, factor)
-            return throttled, execute_plan(problem, throttled)
-        except ExecutionError:
-            return None
+        def attempt(factor: float):
+            if telemetry is not None:
+                telemetry.metrics.inc("postopt.attempts")
+            try:
+                throttled = _throttled_actions(actions, factor)
+                return throttled, execute_plan(problem, throttled)
+            except ExecutionError:
+                return None
 
-    lo, hi = 0.0, 1.0
-    best_actions, best_report = actions, original_report
-    best_factor = 1.0
-    for _ in range(max_iterations):
-        if hi - lo <= tolerance:
-            break
-        mid = (lo + hi) / 2
-        result = attempt(mid)
-        if result is None:
-            lo = mid
-        else:
-            hi = mid
-            best_actions, best_report = result
-            best_factor = mid
+        lo, hi = 0.0, 1.0
+        best_actions, best_report = actions, original_report
+        best_factor = 1.0
+        for _ in range(max_iterations):
+            if hi - lo <= tolerance:
+                break
+            mid = (lo + hi) / 2
+            result = attempt(mid)
+            if result is None:
+                lo = mid
+            else:
+                hi = mid
+                best_actions, best_report = result
+                best_factor = mid
 
-    return PostOptResult(
-        throttle=best_factor,
-        original_cost=original_report.total_cost,
-        optimized_cost=best_report.total_cost,
-        original_report=original_report,
-        optimized_report=best_report,
-        optimized_actions=list(best_actions),
-    )
+        if span is not None:
+            span.attrs.update(
+                throttle=round(best_factor, 6),
+                original_cost=original_report.total_cost,
+                optimized_cost=best_report.total_cost,
+            )
+        return PostOptResult(
+            throttle=best_factor,
+            original_cost=original_report.total_cost,
+            optimized_cost=best_report.total_cost,
+            original_report=original_report,
+            optimized_report=best_report,
+            optimized_actions=list(best_actions),
+        )

@@ -21,16 +21,23 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..compile import CompiledProblem, GroundAction, ReplayCounters, ReplayFailure
+from ..obs import MetricsRegistry
 from .errors import ResourceInfeasible, SearchBudgetExceeded
 from .trace import SearchTrace
 
 __all__ = ["RGResult", "regression_search"]
 
 _INF = math.inf
+
+# Fixed histogram bounds for the RG work distributions (docs/OBSERVABILITY.md).
+_TAIL_BOUNDS = (1, 2, 4, 8, 16, 32, 64)
+_BRANCH_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+_US_BOUNDS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 
 
 @dataclass(slots=True)
@@ -80,6 +87,7 @@ def regression_search(
     branch_all_props: bool = True,
     prop_rank: Callable[[int], float] | None = None,
     trace: SearchTrace | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RGResult:
     """A* regression with plan-tail replay.
 
@@ -99,6 +107,12 @@ def regression_search(
     prop_rank:
         Ranking used to pick the hardest proposition (defaults to the
         heuristic of singleton sets; the planner passes PLRG costs).
+    trace / metrics:
+        Optional observability channels (see :mod:`repro.obs`): a bounded
+        event trace, and a registry receiving the RG work distributions
+        (branching factors, replay tail lengths, f-values, per-action
+        replay microseconds) plus per-reason prune counters.  Both default
+        to off; the hot loop then runs exactly as before.
 
     Raises
     ------
@@ -119,6 +133,18 @@ def regression_search(
 
     root = _Node(props=frozenset(problem.goal_prop_ids), g=0.0, action=None, parent=None, depth=0)
     counters = ReplayCounters()
+
+    # Metric instruments are resolved once, outside the loop; when metrics
+    # are off the per-iteration cost is a single None check per site.
+    if metrics is not None:
+        branch_hist = metrics.histogram("rg.branching_factor", _BRANCH_BOUNDS)
+        tail_hist = metrics.histogram("rg.replay.tail_length", _TAIL_BOUNDS)
+        f_hist = metrics.histogram("rg.f_value")
+        us_hist = metrics.histogram("rg.replay.us_per_action", _US_BOUNDS)
+        prune_counters = {
+            reason: metrics.counter(f"rg.prune.{reason}")
+            for reason in ("replay", "transposition", "heuristic")
+        }
 
     counter = itertools.count()
     h0 = heuristic(root.props)
@@ -166,6 +192,8 @@ def regression_search(
         else:
             target = max(open_props, key=prop_rank)
             candidate_actions.update(achievers.get(target, ()))
+        if metrics is not None:
+            branch_hist.observe(len(candidate_actions))
 
         tail_ids = node.tail_ids
         for a_idx in candidate_actions:
@@ -179,7 +207,9 @@ def regression_search(
             prev = seen.get(key)
             if prev is not None and prev <= ng:
                 if trace is not None:
-                    trace.pruned(action.name, "transposition: duplicate tail set", node.depth + 1)
+                    trace.pruned(action.name, "transposition", node.depth + 1, "duplicate tail set")
+                if metrics is not None:
+                    prune_counters["transposition"].inc()
                 continue
 
             child = _Node(
@@ -195,6 +225,7 @@ def regression_search(
             # chain) in the optimistic map seeded from the initial state.
             rmap = problem.initial_map()
             counters.replays += 1
+            t_replay = time.perf_counter() if metrics is not None else 0.0
             try:
                 step: _Node | None = child
                 while step is not None and step.action is not None:
@@ -202,13 +233,20 @@ def regression_search(
                     step = step.parent
             except ReplayFailure as exc:
                 if trace is not None:
-                    trace.pruned(action.name, f"replay: {exc.reason}", child.depth)
+                    trace.pruned(action.name, "replay", child.depth, exc.reason)
+                if metrics is not None:
+                    prune_counters["replay"].inc()
                 continue
+            if metrics is not None:
+                tail_hist.observe(child.depth)
+                us_hist.observe((time.perf_counter() - t_replay) * 1e6 / child.depth)
 
             nh = heuristic(new_props)
             if nh == _INF:
                 if trace is not None:
-                    trace.pruned(action.name, "heuristic: infinite cost-to-go", child.depth)
+                    trace.pruned(action.name, "heuristic", child.depth, "infinite cost-to-go")
+                if metrics is not None:
+                    prune_counters["heuristic"].inc()
                 continue
             seen[key] = ng
             nodes_created += 1
@@ -218,6 +256,8 @@ def regression_search(
                 )
             if trace is not None:
                 trace.created(action.name, ng + nh, child.depth)
+            if metrics is not None:
+                f_hist.observe(ng + nh)
             heapq.heappush(heap, (ng + nh, nh, next(counter), child))
 
     raise ResourceInfeasible(

@@ -1,8 +1,18 @@
-"""Planner statistics — the "work done by the planner" half of Table 2."""
+"""Planner statistics — the "work done by the planner" half of Table 2.
+
+:class:`PlannerStats` is a thin, typed view over the observability
+subsystem's metric names: every field maps 1:1 onto a ``planner.<field>``
+gauge in a :class:`~repro.obs.MetricsRegistry` (:meth:`PlannerStats.publish`
+writes them, :meth:`PlannerStats.from_metrics` reads them back), so an
+exported trace file carries the full Table 2 row without a parallel
+serialization path.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+
+from ..obs import MetricsRegistry
 
 __all__ = ["PlannerStats"]
 
@@ -42,6 +52,33 @@ class PlannerStats:
     ``compile_ms`` regardless of whether :meth:`Planner.solve` compiled
     internally or was handed a pre-compiled problem.
     """
+
+    # -- the metrics-registry view (docs/OBSERVABILITY.md) ---------------------
+
+    def publish(self, metrics: MetricsRegistry) -> None:
+        """Write every field as a ``planner.<field>`` gauge.
+
+        Gauges are last-write-wins, so re-running a planner against the
+        same :class:`~repro.obs.Telemetry` leaves the registry describing
+        the most recent run (spans and counters keep accumulating).
+        """
+        for f in fields(self):
+            metrics.set_gauge(f"planner.{f.name}", getattr(self, f.name))
+
+    @classmethod
+    def from_metrics(cls, metrics: MetricsRegistry) -> "PlannerStats":
+        """Rebuild a stats row from the ``planner.*`` gauges.
+
+        Missing gauges keep their field defaults, so a registry from an
+        older export still loads.
+        """
+        kwargs = {}
+        for f in fields(cls):
+            gauge = metrics.get(f"planner.{f.name}")
+            if gauge is not None:
+                cast = int if isinstance(f.default, int) else float
+                kwargs[f.name] = cast(gauge.value)
+        return cls(**kwargs)
 
     @property
     def search_ms(self) -> float:

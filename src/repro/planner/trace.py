@@ -1,74 +1,14 @@
-"""Structured search traces.
+"""Compatibility shim: the search trace moved to :mod:`repro.obs`.
 
-Optional instrumentation of the RG phase: every node creation, pruning
-decision (with its reason), expansion, and the terminal event are
-recorded, giving the observability the paper's Figs. 7–8 sketch by hand.
-Traces are bounded (a ring of the most recent events plus total counters)
-so tracing a large search cannot exhaust memory.
+The bounded RG :class:`SearchTrace` is now part of the unified
+observability subsystem (spans + metrics + traces) in ``repro.obs``;
+import it from there.  This module remains so existing imports of
+``repro.planner.trace`` (and the ``repro.planner`` re-exports) keep
+working.
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
-from dataclasses import dataclass, field
+from ..obs.trace import SearchTrace, TraceEvent
 
 __all__ = ["TraceEvent", "SearchTrace"]
-
-
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
-    """One search event."""
-
-    kind: str  # 'create' | 'expand' | 'prune' | 'terminal'
-    action: str | None  # action name (None for the root / expansions)
-    detail: str  # human-readable specifics (prune reason, f-values, ...)
-    depth: int
-
-
-@dataclass
-class SearchTrace:
-    """Bounded event recorder with aggregate counters."""
-
-    max_events: int = 2000
-    events: deque = field(default_factory=deque)
-    counters: Counter = field(default_factory=Counter)
-    prune_reasons: Counter = field(default_factory=Counter)
-
-    def record(self, kind: str, action: str | None, detail: str, depth: int) -> None:
-        self.counters[kind] += 1
-        if kind == "prune":
-            # First word of the detail is the reason tag.
-            reason = detail.split(":", 1)[0]
-            self.prune_reasons[reason] += 1
-        if len(self.events) >= self.max_events:
-            self.events.popleft()
-        self.events.append(TraceEvent(kind, action, detail, depth))
-
-    # -- convenience recorders (keep call sites terse) -----------------------
-
-    def created(self, action: str, f: float, depth: int) -> None:
-        self.record("create", action, f"f={f:g}", depth)
-
-    def expanded(self, props: int, f: float, depth: int) -> None:
-        self.record("expand", None, f"open={props} f={f:g}", depth)
-
-    def pruned(self, action: str, reason: str, depth: int) -> None:
-        self.record("prune", action, reason, depth)
-
-    def terminal(self, cost: float, depth: int) -> None:
-        self.record("terminal", None, f"cost={cost:g}", depth)
-
-    # -- reporting -------------------------------------------------------------
-
-    def summary(self) -> str:
-        lines = ["search trace summary:"]
-        for kind in ("create", "expand", "prune", "terminal"):
-            lines.append(f"  {kind:9s}: {self.counters.get(kind, 0)}")
-        if self.prune_reasons:
-            lines.append("  prune reasons:")
-            for reason, count in self.prune_reasons.most_common():
-                lines.append(f"    {reason}: {count}")
-        return "\n".join(lines)
-
-    def tail(self, n: int = 20) -> list[TraceEvent]:
-        return list(self.events)[-n:]

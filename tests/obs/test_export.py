@@ -1,0 +1,221 @@
+"""Exporter round-trips: JSONL and Chrome files, loaders, and schemas."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.domains import media
+from repro.network import pair_network
+from repro.obs import (
+    Telemetry,
+    TraceFileError,
+    export_trace,
+    load_trace,
+    render_phase_report,
+    summarize_trace,
+)
+from repro.planner import Planner, PlannerConfig, PlannerStats
+
+
+@pytest.fixture(scope="module")
+def telemetry():
+    tele = Telemetry()
+    net = pair_network(cpu=30.0, link_bw=70.0)
+    app = media.build_app("n0", "n1")
+    config = PlannerConfig(
+        leveling=media.proportional_leveling((90, 100)), telemetry=tele
+    )
+    plan = Planner(config).solve(app, net)
+    tele._plan = plan  # stash for assertions
+    return tele
+
+
+@pytest.fixture()
+def checker():
+    """The benchmarks/check_bench_schema.py module, loaded from its path."""
+    path = Path(__file__).parents[2] / "benchmarks" / "check_bench_schema.py"
+    spec = importlib.util.spec_from_file_location("check_bench_schema", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_reload(self, telemetry, tmp_path):
+        out = tmp_path / "t.jsonl"
+        records = export_trace(telemetry, str(out), "jsonl")
+        assert records == len(out.read_text().splitlines())
+        trace = load_trace(str(out))
+        assert trace.format == "jsonl"
+        assert trace.header["format"] == "repro-trace-jsonl"
+        assert trace.header["runs"] == 1
+        names = {sp["name"] for sp in trace.spans}
+        assert {"compile", "plan.solve", "plrg", "slrg", "rg", "execute"} <= names
+        assert trace.trace_summary["counters"]["terminal"] == 1
+
+    def test_span_parents_preserved(self, telemetry, tmp_path):
+        out = tmp_path / "t.jsonl"
+        export_trace(telemetry, str(out), "jsonl")
+        trace = load_trace(str(out))
+        by_id = {sp["id"]: sp for sp in trace.spans}
+        rg = next(sp for sp in trace.spans if sp["name"] == "rg")
+        assert by_id[rg["parent"]]["name"] == "plan.solve"
+
+    def test_stats_travel_as_gauges(self, telemetry, tmp_path):
+        out = tmp_path / "t.jsonl"
+        export_trace(telemetry, str(out), "jsonl")
+        trace = load_trace(str(out))
+        gauges = {
+            m["name"]: m["value"] for m in trace.metrics if m["kind"] == "gauge"
+        }
+        plan = telemetry._plan
+        assert gauges["planner.rg_nodes"] == plan.stats.rg_nodes
+        assert gauges["planner.rg_expanded"] == plan.stats.rg_expanded
+
+    def test_events_carry_explicit_reason(self, telemetry, tmp_path):
+        out = tmp_path / "t.jsonl"
+        export_trace(telemetry, str(out), "jsonl")
+        trace = load_trace(str(out))
+        prunes = [e for e in trace.events if e["kind"] == "prune"]
+        assert prunes
+        assert all(
+            e["reason"] in ("replay", "transposition", "heuristic") for e in prunes
+        )
+
+    def test_summarize_renders(self, telemetry, tmp_path):
+        out = tmp_path / "t.jsonl"
+        export_trace(telemetry, str(out), "jsonl")
+        text = summarize_trace(load_trace(str(out)))
+        assert "planner stats (Table 2 view)" in text
+        assert "prune reasons" in text
+        assert "rg.f_value" in text
+
+    def test_timestamps_rebased(self, telemetry, tmp_path):
+        out = tmp_path / "t.jsonl"
+        export_trace(telemetry, str(out), "jsonl")
+        trace = load_trace(str(out))
+        starts = [sp["start_us"] for sp in trace.spans]
+        assert min(starts) == pytest.approx(0.0, abs=1.0)
+        assert all(s >= 0.0 for s in starts)
+
+
+class TestChromeRoundTrip:
+    def test_export_and_reload(self, telemetry, tmp_path):
+        out = tmp_path / "t.json"
+        export_trace(telemetry, str(out), "chrome")
+        payload = json.loads(out.read_text())
+        phases = {ev["ph"] for ev in payload["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+        trace = load_trace(str(out))
+        assert trace.format == "chrome"
+        assert {sp["name"] for sp in trace.spans} >= {"rg", "plrg", "slrg"}
+        assert any(e["kind"] == "terminal" for e in trace.events)
+
+    def test_stats_recoverable_from_chrome_metrics(self, telemetry, tmp_path):
+        out = tmp_path / "t.json"
+        export_trace(telemetry, str(out), "chrome")
+        trace = load_trace(str(out))
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for m in trace.metrics:
+            if m["kind"] == "gauge":
+                reg.set_gauge(m["name"], m["value"])
+        restored = PlannerStats.from_metrics(reg)
+        assert restored.rg_nodes == telemetry._plan.stats.rg_nodes
+
+    def test_summarize_matches_search_counts(self, telemetry, tmp_path):
+        out = tmp_path / "t.json"
+        export_trace(telemetry, str(out), "chrome")
+        text = summarize_trace(load_trace(str(out)))
+        assert "search events:" in text
+        assert "terminal : 1" in text
+
+
+class TestLoaderErrors:
+    def test_unknown_format_rejected(self, telemetry, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            export_trace(telemetry, str(tmp_path / "t.x"), "xml")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFileError, match="cannot read"):
+            load_trace(str(tmp_path / "absent.jsonl"))
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(TraceFileError, match="empty"):
+            load_trace(str(p))
+
+    def test_garbage_file(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("not json at all\n")
+        with pytest.raises(TraceFileError, match="not JSON"):
+            load_trace(str(p))
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "nohdr.jsonl"
+        p.write_text(json.dumps({"type": "span", "id": 0}) + "\n")
+        with pytest.raises(TraceFileError, match="missing header"):
+            load_trace(str(p))
+
+    def test_single_line_object_is_not_mistaken_for_chrome(self, tmp_path):
+        p = tmp_path / "one.jsonl"
+        p.write_text(
+            json.dumps({"type": "header", "format": "repro-trace-jsonl", "version": 1})
+        )
+        assert load_trace(str(p)).format == "jsonl"
+
+
+class TestSchemaChecker:
+    def test_jsonl_export_passes_schema(self, telemetry, tmp_path, checker):
+        out = tmp_path / "t.jsonl"
+        export_trace(telemetry, str(out), "jsonl")
+        assert checker.check(out) == []
+
+    def test_chrome_export_passes_schema(self, telemetry, tmp_path, checker):
+        out = tmp_path / "t.json"
+        export_trace(telemetry, str(out), "chrome")
+        assert checker.check(out) == []
+
+    def test_corrupt_jsonl_caught(self, telemetry, tmp_path, checker):
+        out = tmp_path / "t.jsonl"
+        export_trace(telemetry, str(out), "jsonl")
+        lines = out.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["name"]
+        lines[1] = json.dumps(record)
+        out.write_text("\n".join(lines) + "\n")
+        errors = checker.check(out)
+        assert any("missing required field 'name'" in e for e in errors)
+
+    def test_corrupt_chrome_caught(self, telemetry, tmp_path, checker):
+        out = tmp_path / "t.json"
+        export_trace(telemetry, str(out), "chrome")
+        payload = json.loads(out.read_text())
+        payload["traceEvents"][1]["ph"] = "Z"
+        del payload["traceEvents"][2]["ts"]
+        out.write_text(json.dumps(payload))
+        errors = checker.check(out)
+        assert any("phase 'Z'" in e for e in errors)
+        assert any("'ts'" in e for e in errors)
+
+    def test_bench_files_still_validate(self, checker):
+        bench = Path(__file__).parents[2] / "BENCH_pr2.json"
+        assert checker.check(bench) == []
+
+
+class TestPhaseReport:
+    def test_live_report_sections(self, telemetry):
+        text = render_phase_report(telemetry)
+        assert "phase spans:" in text
+        assert "phase wall-clock:" in text
+        assert "search trace summary:" in text
+        assert "rg.f_value" in text
+        assert "|#" in text  # at least one bar rendered
+
+    def test_report_without_any_data(self):
+        text = render_phase_report(Telemetry())
+        assert "no spans" in text

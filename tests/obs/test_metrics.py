@@ -1,0 +1,141 @@
+"""Unit tests for the metrics registry and PlannerStats' thin-view mapping."""
+
+import pytest
+
+from repro.obs import DEFAULT_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.planner import PlannerStats
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.snapshot() == {"name": "x", "kind": "counter", "value": 6}
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+        assert g.snapshot()["kind"] == "gauge"
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram("h", bounds=(1, 2, 5))
+        for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+            h.observe(v)
+        # bisect_left: value <= bound lands at that bound's bucket.
+        assert h.bucket_counts == [2, 1, 1, 1]  # <=1, <=2, <=5, overflow
+        assert h.count == 5
+        assert h.total == pytest.approx(107.0)
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(107.0 / 5)
+
+    def test_buckets_expose_inf_overflow(self):
+        h = Histogram("h", bounds=(1, 2))
+        h.observe(10.0)
+        bounds = [b for b, _c in h.buckets()]
+        assert bounds == [1.0, 2.0, float("inf")]
+        assert h.buckets()[-1][1] == 1
+
+    def test_snapshot_serializes_inf_as_null(self):
+        h = Histogram("h", bounds=(1,))
+        h.observe(5.0)
+        snap = h.snapshot()
+        assert snap["buckets"][-1] == [None, 1]
+
+    def test_default_bounds(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_BOUNDS
+        assert len(h.bucket_counts) == len(DEFAULT_BOUNDS) + 1
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_histogram_bounds_fixed_at_registration(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1, 2))
+        assert reg.histogram("h", bounds=(9, 99)) is h
+        assert h.bounds == (1, 2)
+
+    def test_one_liners(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 7.0)
+        reg.observe("h", 3.0)
+        assert reg.get("c").value == 2
+        assert reg.get("g").value == 7.0
+        assert reg.get("h").count == 1
+        assert reg.get("missing") is None
+
+    def test_snapshot_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        assert [s["name"] for s in reg.snapshot()] == ["a", "z"]
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.set_gauge("g", 1.0)
+        h = reg.histogram("h", bounds=(1, 2))
+        h.observe(10.0)
+        reg.reset()
+        assert reg.get("c").value == 0
+        assert reg.get("g").value == 0.0
+        assert reg.get("h") is h
+        assert h.count == 0 and h.total == 0.0
+        assert h.bucket_counts == [0, 0, 0]
+        assert h.bounds == (1, 2)
+
+    def test_render_text(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.observe("h", 2.0)
+        text = reg.render_text()
+        assert "c: 1" in text
+        assert "h: count=1" in text
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"
+
+
+class TestPlannerStatsView:
+    """PlannerStats is a thin view over the ``planner.*`` gauges."""
+
+    def test_publish_then_from_metrics_round_trips(self):
+        stats = PlannerStats(
+            total_actions=12, rg_nodes=345, rg_expanded=67, plrg_ms=1.25
+        )
+        reg = MetricsRegistry()
+        stats.publish(reg)
+        assert reg.get("planner.rg_nodes").value == 345
+        restored = PlannerStats.from_metrics(reg)
+        assert restored == stats
+
+    def test_int_fields_restored_as_ints(self):
+        reg = MetricsRegistry()
+        PlannerStats(rg_nodes=3).publish(reg)
+        restored = PlannerStats.from_metrics(reg)
+        assert isinstance(restored.rg_nodes, int)
+        assert isinstance(restored.plrg_ms, float)
+
+    def test_publish_overwrites_previous_run(self):
+        reg = MetricsRegistry()
+        PlannerStats(rg_nodes=100).publish(reg)
+        PlannerStats(rg_nodes=7).publish(reg)
+        assert PlannerStats.from_metrics(reg).rg_nodes == 7
+
+    def test_from_metrics_on_empty_registry_is_defaults(self):
+        assert PlannerStats.from_metrics(MetricsRegistry()) == PlannerStats()

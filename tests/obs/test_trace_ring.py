@@ -1,0 +1,87 @@
+"""Ring-buffer semantics and explicit prune-reason tags of SearchTrace."""
+
+from repro.obs import SearchTrace
+
+
+class TestRingBuffer:
+    def test_counters_exact_after_overflow(self):
+        trace = SearchTrace(max_events=8)
+        for i in range(50):
+            trace.created(f"a{i}", float(i), i)
+        for i in range(30):
+            trace.pruned(f"p{i}", "replay", i)
+        trace.terminal(9.0, 5)
+        assert len(trace.events) == 8
+        assert trace.counters["create"] == 50
+        assert trace.counters["prune"] == 30
+        assert trace.counters["terminal"] == 1
+        assert trace.prune_reasons["replay"] == 30
+
+    def test_events_hold_the_tail(self):
+        trace = SearchTrace(max_events=5)
+        for i in range(20):
+            trace.created(f"a{i}", float(i), i)
+        kept = [e.action for e in trace.events]
+        assert kept == [f"a{i}" for i in range(15, 20)]
+
+    def test_tail_ordering_stable(self):
+        trace = SearchTrace(max_events=10)
+        for i in range(25):
+            trace.created(f"a{i}", float(i), i)
+        tail = trace.tail(4)
+        assert [e.action for e in tail] == ["a21", "a22", "a23", "a24"]
+        # tail(n) for n > len(events) returns everything, oldest first.
+        assert [e.action for e in trace.tail(999)] == [f"a{i}" for i in range(15, 25)]
+        # Timestamps are monotone within the tail.
+        ts = [e.ts for e in trace.tail(10)]
+        assert ts == sorted(ts)
+
+    def test_prune_reasons_survive_overflow(self):
+        trace = SearchTrace(max_events=3)
+        for i in range(10):
+            trace.pruned(f"a{i}", "transposition", i, "duplicate tail set")
+        for i in range(7):
+            trace.pruned(f"b{i}", "heuristic", i, "infinite cost-to-go")
+        assert len(trace.events) == 3
+        assert dict(trace.prune_reasons) == {"transposition": 10, "heuristic": 7}
+
+
+class TestExplicitReason:
+    def test_reason_is_a_first_class_field(self):
+        trace = SearchTrace()
+        trace.pruned("act", "replay", 3, "Link.lbw exhausted on n0->n1")
+        (ev,) = trace.events
+        assert ev.kind == "prune"
+        assert ev.reason == "replay"
+        assert ev.detail == "Link.lbw exhausted on n0->n1"
+        assert trace.prune_reasons == {"replay": 1}
+
+    def test_reason_with_colon_not_mangled(self):
+        # The aggregation must never re-parse the detail string, so a
+        # reason (or detail) containing ':' survives intact.
+        trace = SearchTrace()
+        trace.pruned("act", "replay:deep", 2, "cond: M.ibw >= 90: unsat")
+        assert dict(trace.prune_reasons) == {"replay:deep": 1}
+        assert trace.events[-1].detail == "cond: M.ibw >= 90: unsat"
+
+    def test_detail_with_colon_counted_verbatim_when_reason_missing(self):
+        trace = SearchTrace()
+        trace.record("prune", "act", "budget: rg: exhausted", 1)
+        assert dict(trace.prune_reasons) == {"budget: rg: exhausted": 1}
+
+    def test_non_prune_events_have_no_reason(self):
+        trace = SearchTrace()
+        trace.created("a", 1.0, 1)
+        trace.expanded(2, 1.0, 1)
+        trace.terminal(3.0, 2)
+        assert all(e.reason is None for e in trace.events)
+        assert not trace.prune_reasons
+
+    def test_summary_shows_reasons(self):
+        trace = SearchTrace()
+        trace.pruned("a", "replay", 1)
+        trace.pruned("b", "replay", 2)
+        trace.pruned("c", "heuristic", 1)
+        text = trace.summary()
+        assert "replay: 2" in text
+        assert "heuristic: 1" in text

@@ -1,0 +1,107 @@
+"""Regression tests: one Planner reused across solve() calls starts clean.
+
+A Planner (and a shared Telemetry) must not leak per-run state — stats,
+replay counters, or trace events — from one ``solve()`` into the next:
+the second run of an identical problem must report exactly the numbers a
+fresh planner reports.
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.domains import media
+from repro.network import pair_network
+from repro.obs import Telemetry
+from repro.planner import Planner, PlannerConfig, PlannerStats
+
+def _instance():
+    return media.build_app("n0", "n1"), pair_network(cpu=30.0, link_bw=70.0)
+
+
+def _counts(stats: PlannerStats) -> dict:
+    """The deterministic (non-timing) fields of a stats row."""
+    return {
+        f.name: getattr(stats, f.name)
+        for f in fields(PlannerStats)
+        if isinstance(f.default, int)
+    }
+
+
+class TestPlannerReuse:
+    def test_second_solve_matches_a_fresh_planner(self):
+        app, net = _instance()
+        config = PlannerConfig(leveling=media.proportional_leveling((90, 100)))
+        reused = Planner(config)
+        first = reused.solve(app, net)
+        second = reused.solve(app, net)
+        fresh = Planner(config).solve(app, net)
+        assert _counts(second.stats) == _counts(first.stats) == _counts(fresh.stats)
+        assert second.cost_lb == pytest.approx(fresh.cost_lb)
+        assert second.action_names() == fresh.action_names()
+
+    def test_trace_counters_do_not_accumulate(self):
+        app, net = _instance()
+        config = PlannerConfig(
+            leveling=media.proportional_leveling((90, 100)), trace=True
+        )
+        planner = Planner(config)
+        first = planner.solve(app, net)
+        second = planner.solve(app, net)
+        assert second.trace is not first.trace
+        assert dict(second.trace.counters) == dict(first.trace.counters)
+        assert dict(second.trace.prune_reasons) == dict(first.trace.prune_reasons)
+        assert len(second.trace.events) == len(first.trace.events)
+
+    def test_replay_counters_are_per_run(self):
+        app, net = _instance()
+        config = PlannerConfig(leveling=media.proportional_leveling((90, 100)))
+        planner = Planner(config)
+        first = planner.solve(app, net)
+        second = planner.solve(app, net)
+        assert second.stats.rg_replays == first.stats.rg_replays
+        assert second.stats.rg_actions_replayed == first.stats.rg_actions_replayed
+        assert second.stats.rg_conditions_checked == first.stats.rg_conditions_checked
+
+
+class TestSharedTelemetry:
+    def test_trace_is_fresh_each_run(self):
+        app, net = _instance()
+        tele = Telemetry()
+        config = PlannerConfig(
+            leveling=media.proportional_leveling((90, 100)), telemetry=tele
+        )
+        planner = Planner(config)
+        first = planner.solve(app, net)
+        first_counters = dict(first.trace.counters)
+        second = planner.solve(app, net)
+        assert tele.runs == 2
+        assert second.trace is not first.trace
+        assert dict(second.trace.counters) == first_counters
+        assert tele.trace is second.trace  # telemetry points at the latest run
+
+    def test_stat_gauges_describe_the_last_run_only(self):
+        app, net = _instance()
+        tele = Telemetry()
+        config = PlannerConfig(
+            leveling=media.proportional_leveling((90, 100)), telemetry=tele
+        )
+        planner = Planner(config)
+        planner.solve(app, net)
+        second = planner.solve(app, net)
+        restored = _counts(PlannerStats.from_metrics(tele.metrics))
+        assert restored == _counts(second.stats)  # not doubled
+
+    def test_spans_and_counters_accumulate_across_runs(self):
+        app, net = _instance()
+        tele = Telemetry()
+        config = PlannerConfig(
+            leveling=media.proportional_leveling((90, 100)), telemetry=tele
+        )
+        planner = Planner(config)
+        planner.solve(app, net)
+        plans = tele.metrics.get("executor.plans").value
+        spans = len(tele.spans)
+        planner.solve(app, net)
+        assert tele.metrics.get("executor.plans").value == plans * 2
+        assert len(tele.spans) == spans * 2
