@@ -11,6 +11,17 @@ Subcommands
     (default) or Chrome trace-event JSON loadable in Perfetto, and
     ``--metrics`` prints the Figs. 7–8 style search-progress account
     (phase wall-clock bars, prune reasons, work histograms) to stdout.
+    Robustness flags (docs/ROBUSTNESS.md): ``--time-limit SECONDS``
+    bounds the solve by wall clock (an expiring deadline returns the
+    anytime incumbent when one exists), and ``--fallback`` walks the
+    graceful-degradation ladder (full -> anytime -> coarsened levels ->
+    greedy) instead of failing outright.
+``simulate``
+    Run a churn/fault campaign: generate a seeded fault timeline (or
+    replay an explicit one from a JSON campaign spec), deploy, and repair
+    after every event, with optional transient-fault injection and
+    retry/backoff.  ``--json -`` emits a deterministic record — two runs
+    with the same seeds serialize identically.
 ``lint``
     Statically verify a spec/network pair before planning: monotonicity,
     level soundness, reachability, cost sanity (see docs/LINTING.md).
@@ -36,6 +47,12 @@ Examples
     python -m repro plan --network examples/net.json --spec examples/app.spec \\
         --initial Server=n0 --goal Client=n1 --levels M.ibw=90,100 \\
         --trace-out trace.jsonl --metrics
+    python -m repro plan --network large.json --spec app.spec \\
+        --initial Server=t0_0_s0_0 --goal Client=t0_2_s2_5 \\
+        --levels M.ibw=100 --time-limit 1.5 --fallback
+    python -m repro simulate --network examples/net.json --spec examples/app.spec \\
+        --initial Server=n0 --goal Client=n1 --levels M.ibw=90,100 \\
+        --campaign examples/campaign.json --json -
     python -m repro trace summarize trace.jsonl
     python -m repro table2 --networks Tiny Small --scenarios B C
 """
@@ -93,11 +110,24 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         from .obs import Telemetry
 
         telemetry = Telemetry()
-    planner = Planner(
-        PlannerConfig(leveling=leveling, strict=args.strict, telemetry=telemetry)
+    config = PlannerConfig(
+        leveling=leveling,
+        strict=args.strict,
+        telemetry=telemetry,
+        time_limit_s=args.time_limit,
     )
     try:
-        plan = planner.solve(app, network)
+        if args.fallback:
+            from .planner import solve_robust
+
+            outcome = solve_robust(app, network, config=config)
+            print(outcome.describe())
+            if outcome.plan is None:
+                print("no plan: every ladder rung failed", file=sys.stderr)
+                return 1
+            plan = outcome.plan
+        else:
+            plan = Planner(config).solve(app, network)
     except PlanningError as exc:
         print(f"no plan: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
@@ -136,6 +166,78 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         open(args.json, "w").write(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from .simulate import (
+        FaultInjector,
+        FaultModel,
+        RetryPolicy,
+        Simulation,
+        event_from_dict,
+        generate_timeline,
+    )
+
+    app, network, leveling = _load_instance(args)
+    spec = json.load(open(args.campaign)) if args.campaign else {}
+
+    try:
+        faults = FaultModel.from_dict(spec.get("faults", {}))
+    except TypeError as exc:
+        print(f"invalid campaign fault model: {exc}", file=sys.stderr)
+        return 1
+    if args.seed is not None:
+        faults = dc_replace(faults, seed=args.seed)
+    if args.events is not None:
+        faults = dc_replace(faults, events=args.events)
+
+    if "events" in spec:
+        try:
+            timeline = [event_from_dict(d) for d in spec["events"]]
+        except ValueError as exc:
+            print(f"invalid campaign event: {exc}", file=sys.stderr)
+            return 1
+    else:
+        timeline = generate_timeline(network, faults)
+
+    injector = None
+    if "injector" in spec:
+        injector = FaultInjector(**spec["injector"])
+    retry = RetryPolicy(**spec["retry"]) if "retry" in spec else None
+    # Bound repair searches: proving a degraded step infeasible under the
+    # default 500k-node budget can take minutes per step.
+    config = PlannerConfig(
+        rg_node_budget=int(spec.get("rg_node_budget", 20_000)),
+        time_limit_s=spec.get("time_limit_s", args.time_limit),
+    )
+    sim = Simulation(
+        app,
+        network,
+        leveling,
+        migration_cost_factor=float(spec.get("migration_cost_factor", 0.5)),
+        replan_from_scratch_on_outage=bool(
+            spec.get("replan_from_scratch_on_outage", True)
+        ),
+        fault_injector=injector,
+        retry_policy=retry,
+        planner_config=config,
+    )
+    result = sim.run(timeline)
+    print(result.describe())
+    if args.json:
+        payload = json.dumps(
+            result.to_dict(include_timings=args.timings), indent=2, sort_keys=True
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            open(args.json, "w").write(payload + "\n")
+            # stderr: stdout must stay byte-identical across same-seed runs
+            # regardless of the output path (the fault-smoke CI job diffs it).
+            print(f"wrote {args.json}", file=sys.stderr)
+    return 0 if result.initial_plan is not None else 1
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -237,7 +339,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the search-progress account (spans, histograms, prune reasons)",
     )
+    p_plan.add_argument(
+        "--time-limit",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; an expiring deadline returns the anytime "
+        "incumbent plan when one exists (docs/ROBUSTNESS.md)",
+    )
+    p_plan.add_argument(
+        "--fallback",
+        action="store_true",
+        help="walk the graceful-degradation ladder (full -> anytime -> "
+        "coarsened levels -> greedy) instead of failing outright",
+    )
     p_plan.set_defaults(fn=_cmd_plan)
+
+    p_sim = sub.add_parser("simulate", help="run a churn/fault campaign")
+    add_instance_args(p_sim)
+    p_sim.add_argument(
+        "--campaign",
+        metavar="FILE",
+        help="JSON campaign spec: fault model, explicit events, injector, "
+        "retry policy, planner bounds (see docs/ROBUSTNESS.md)",
+    )
+    p_sim.add_argument(
+        "--seed", type=int, help="override the fault model's timeline seed"
+    )
+    p_sim.add_argument(
+        "--events", type=int, help="override the fault model's timeline length"
+    )
+    p_sim.add_argument(
+        "--time-limit",
+        type=float,
+        metavar="SECONDS",
+        help="per-repair wall-clock budget (campaign spec takes precedence)",
+    )
+    p_sim.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the campaign record as JSON ('-' for stdout); "
+        "deterministic for fixed seeds unless --timings is given",
+    )
+    p_sim.add_argument(
+        "--timings",
+        action="store_true",
+        help="include wall-clock timings in the JSON record",
+    )
+    p_sim.set_defaults(fn=_cmd_simulate)
 
     p_lint = sub.add_parser(
         "lint", help="statically verify a spec against a network"

@@ -1,7 +1,9 @@
 """The leveled Sekitei planner: PLRG, SLRG, RG phases and the facade."""
 
 from .adaptation import Deployment, RepairResult, repair_deployment, surviving_prefix
+from .deadline import Deadline
 from .errors import (
+    DeadlineExceeded,
     ExecutionError,
     PlanningError,
     ResourceInfeasible,
@@ -14,6 +16,7 @@ from .planner import Heuristic, Planner, PlannerConfig, solve
 from .plrg import PLRG, build_plrg
 from .postopt import PostOptResult, post_optimize
 from .rg import RGResult, regression_search
+from .robust import RUNGS, RungAttempt, SolveOutcome, coarsen_leveling, solve_robust
 from .slrg import SLRG
 from .stats import PlannerStats
 from .trace import SearchTrace, TraceEvent
@@ -23,6 +26,8 @@ __all__ = [
     "Unsolvable",
     "ResourceInfeasible",
     "SearchBudgetExceeded",
+    "DeadlineExceeded",
+    "Deadline",
     "ExecutionError",
     "ExecutionReport",
     "ExecutionStep",
@@ -44,6 +49,11 @@ __all__ = [
     "surviving_prefix",
     "PostOptResult",
     "post_optimize",
+    "RUNGS",
+    "RungAttempt",
+    "SolveOutcome",
+    "coarsen_leveling",
+    "solve_robust",
     "SearchTrace",
     "TraceEvent",
 ]

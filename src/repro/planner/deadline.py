@@ -1,0 +1,68 @@
+"""Wall-clock deadlines for the search phases.
+
+A :class:`Deadline` is an absolute ``time.perf_counter`` target plus the
+limit it was derived from (for error messages).  The search loops poll it
+with a stride — :meth:`Deadline.poll` only reads the clock every
+``stride`` calls — so a deadline-enabled run costs one integer decrement
+per loop iteration and one clock read per stride.
+
+Deadlines compose with :meth:`Deadline.tightest`: the planner combines a
+total ``time_limit_s`` with a per-phase ``phase_time_limit_s`` by handing
+each phase whichever target comes first.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An absolute wall-clock target with strided polling."""
+
+    __slots__ = ("at", "time_limit_s", "started", "_countdown", "_stride")
+
+    def __init__(self, at: float, time_limit_s: float, started: float | None = None,
+                 stride: int = 64):
+        self.at = at
+        self.time_limit_s = time_limit_s
+        self.started = time.perf_counter() if started is None else started
+        self._stride = stride
+        self._countdown = stride
+
+    @staticmethod
+    def after(seconds: float, stride: int = 64) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        now = time.perf_counter()
+        return Deadline(now + seconds, seconds, started=now, stride=stride)
+
+    def expired(self) -> bool:
+        """Exact check (one clock read)."""
+        return time.perf_counter() >= self.at
+
+    def poll(self) -> bool:
+        """Strided check: reads the clock only every ``stride`` calls.
+
+        Returns ``True`` at most once per stride when the deadline has
+        passed; hot loops call this once per iteration.
+        """
+        self._countdown -= 1
+        if self._countdown > 0:
+            return False
+        self._countdown = self._stride
+        return time.perf_counter() >= self.at
+
+    def elapsed_s(self) -> float:
+        """Seconds since this deadline was created."""
+        return time.perf_counter() - self.started
+
+    def remaining_s(self) -> float:
+        """Seconds left before the target (negative when expired)."""
+        return self.at - time.perf_counter()
+
+    def tightest(self, other: "Deadline | None") -> "Deadline":
+        """Whichever of the two deadlines fires first (``None`` = this one)."""
+        if other is None or self.at <= other.at:
+            return self
+        return other

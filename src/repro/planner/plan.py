@@ -30,6 +30,13 @@ class Plan:
     cost_lb: float
     stats: PlannerStats = field(default_factory=PlannerStats)
     trace: SearchTrace | None = field(default=None, repr=False)
+    incumbent: bool = False
+    """Anytime result: the search was cut short (deadline or node budget)
+    and this is the best complete plan found, not the proven optimum.
+    ``cost_lb`` is then an upper bound on the optimal lower bound."""
+    stop_reason: str = "optimal"
+    """Why the search ended: ``"optimal"``, ``"deadline"``, or
+    ``"node_budget"``."""
     _report: ExecutionReport | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
@@ -70,6 +77,8 @@ class Plan:
             "leveling": self.problem.leveling.name,
             "actions": self.action_names(),
             "cost_lower_bound": self.cost_lb,
+            "incumbent": self.incumbent,
+            "stop_reason": self.stop_reason,
         }
 
     @staticmethod
@@ -96,11 +105,14 @@ class Plan:
             problem=problem,
             actions=actions,
             cost_lb=float(data.get("cost_lower_bound", 0.0)),
+            incumbent=bool(data.get("incumbent", False)),
+            stop_reason=str(data.get("stop_reason", "optimal")),
         )
 
     def describe(self) -> str:
         """Human-readable multi-line description (Fig. 4 style)."""
-        lines = [f"plan ({len(self.actions)} actions, cost lower bound {self.cost_lb:g}):"]
+        tag = " [incumbent]" if self.incumbent else ""
+        lines = [f"plan ({len(self.actions)} actions, cost lower bound {self.cost_lb:g}){tag}:"]
         for a in self.actions:
             if a.kind == "place":
                 lines.append(f"  place {a.subject} on node {a.node}")

@@ -15,7 +15,8 @@ from ..compile import CompiledProblem, compile_problem
 from ..model import AppSpec, Leveling
 from ..network import Network
 from ..obs import Telemetry, maybe_span
-from .errors import ExecutionError, ResourceInfeasible, Unsolvable
+from .deadline import Deadline
+from .errors import DeadlineExceeded, ExecutionError, ResourceInfeasible, Unsolvable
 from .executor import execute_plan
 from .plan import Plan
 from .plrg import build_plrg
@@ -50,6 +51,20 @@ class PlannerConfig:
         (uniform-cost) search.
     slrg_node_budget / rg_node_budget:
         Safety bounds on the search phases.
+    time_limit_s / phase_time_limit_s:
+        Wall-clock deadlines (docs/ROBUSTNESS.md).  ``time_limit_s``
+        bounds the whole :meth:`Planner.solve` call (measured from entry,
+        so internal compilation counts against it); ``phase_time_limit_s``
+        additionally bounds each search phase.  The PLRG/SLRG/RG loops
+        poll the deadline with strided clock reads; on expiry the planner
+        returns the anytime incumbent (see ``anytime``) or raises
+        :class:`DeadlineExceeded`.
+    anytime:
+        Whether exhaustion (deadline or RG node budget) may return the
+        best-so-far *incumbent* complete plan — flagged via
+        ``Plan.incumbent`` — instead of raising.  ``None`` (default)
+        enables anytime mode exactly when a time limit is set, keeping
+        budget-only runs strict; ``True``/``False`` force it.
     validate:
         When true (default), the returned plan has been executed exactly
         and a failure raises :class:`ExecutionError` instead of returning
@@ -66,6 +81,9 @@ class PlannerConfig:
     heuristic: Heuristic = Heuristic.SLRG
     slrg_node_budget: int = 50_000
     rg_node_budget: int = 500_000
+    time_limit_s: float | None = None
+    phase_time_limit_s: float | None = None
+    anytime: bool | None = None
     validate: bool = True
     strict: bool = False
     bound_overrides: dict[str, float] = field(default_factory=dict)
@@ -120,12 +138,36 @@ class Planner:
             Logically reachable but no plan survives resource constraints
             (the greedy planner's Scenario 1 failure).
         SearchBudgetExceeded
-            A phase exceeded its node budget.
+            A phase exceeded its node budget (and anytime mode had no
+            incumbent to return).
+        DeadlineExceeded
+            A wall-clock limit expired (and anytime mode had no incumbent
+            to return); carries the phase, elapsed time, and node counts.
         ExecutionError
             Validation of the found plan failed (indicates a planner bug;
             never expected).
         """
         tele = self.config.telemetry
+        # The total deadline is anchored at entry, so internal compilation
+        # counts against time_limit_s even though only the search loops
+        # poll the clock (docs/ROBUSTNESS.md).
+        total_deadline = (
+            Deadline.after(self.config.time_limit_s)
+            if self.config.time_limit_s is not None
+            else None
+        )
+        allow_incumbent = (
+            self.config.anytime
+            if self.config.anytime is not None
+            else total_deadline is not None or self.config.phase_time_limit_s is not None
+        )
+
+        def phase_deadline() -> Deadline | None:
+            """Tightest of the total and a fresh per-phase deadline."""
+            if self.config.phase_time_limit_s is None:
+                return total_deadline
+            return Deadline.after(self.config.phase_time_limit_s).tightest(total_deadline)
+
         # Per-run observability state is reset up front, so reusing one
         # Planner (or one Telemetry) across solve() calls never leaks a
         # previous run's trace events or stat gauges into this one.
@@ -159,62 +201,75 @@ class Planner:
                 compile_ms=problem.compile_seconds * 1e3,
             )
 
-            t0 = time.perf_counter()
             try:
-                plrg = build_plrg(problem, telemetry=tele)
-            except Unsolvable:
-                if problem.logically_solvable:
-                    # The goal has logical support, but best-value reachability
-                    # pruning removed it: a resource conflict, not a modelling
-                    # gap (the greedy Scenario 1 failure, detected statically).
-                    from ..compile import diagnose
+                t0 = time.perf_counter()
+                try:
+                    plrg = build_plrg(problem, telemetry=tele, deadline=phase_deadline())
+                except Unsolvable:
+                    if problem.logically_solvable:
+                        # The goal has logical support, but best-value reachability
+                        # pruning removed it: a resource conflict, not a modelling
+                        # gap (the greedy Scenario 1 failure, detected statically).
+                        from ..compile import diagnose
 
-                    detail = str(diagnose(problem))
-                    raise ResourceInfeasible(
-                        "goal unreachable under best-case resource propagation "
-                        f"({problem.reachability_pruned} actions pruned)\n{detail}"
-                    ) from None
-                raise
-            stats.plrg_ms = (time.perf_counter() - t0) * 1e3
-            stats.plrg_prop_nodes = plrg.prop_nodes
-            stats.plrg_action_nodes = plrg.action_nodes
+                        detail = str(diagnose(problem))
+                        raise ResourceInfeasible(
+                            "goal unreachable under best-case resource propagation "
+                            f"({problem.reachability_pruned} actions pruned)\n{detail}"
+                        ) from None
+                    raise
+                stats.plrg_ms = (time.perf_counter() - t0) * 1e3
+                stats.plrg_prop_nodes = plrg.prop_nodes
+                stats.plrg_action_nodes = plrg.action_nodes
 
-            slrg = SLRG(
-                problem,
-                plrg,
-                node_budget=self.config.slrg_node_budget,
-                telemetry=tele,
-            )
-            t0 = time.perf_counter()
-            with maybe_span(tele, "slrg", heuristic=self.config.heuristic.value):
-                if self.config.heuristic is Heuristic.SLRG:
-                    # Phase 2 proper: price the goal set, warming the cache.
-                    slrg.query(frozenset(problem.goal_prop_ids))
-                    heuristic = slrg.query
-                elif self.config.heuristic is Heuristic.PLRG_MAX:
-                    heuristic = plrg.set_cost
-                else:
-                    heuristic = lambda props: 0.0  # noqa: E731 - blind search
-            stats.slrg_ms = (time.perf_counter() - t0) * 1e3
-
-            t0 = time.perf_counter()
-            with maybe_span(tele, "rg", node_budget=self.config.rg_node_budget) as rg_span:
-                result = regression_search(
+                slrg = SLRG(
                     problem,
-                    heuristic,
-                    plrg.usable_actions,
-                    node_budget=self.config.rg_node_budget,
-                    branch_all_props=self.config.branch_all_props,
-                    prop_rank=plrg.cost,
-                    trace=search_trace,
-                    metrics=tele.metrics if tele is not None else None,
+                    plrg,
+                    node_budget=self.config.slrg_node_budget,
+                    telemetry=tele,
+                    deadline=phase_deadline(),
                 )
-                if rg_span is not None:
-                    rg_span.attrs.update(
-                        nodes_created=result.nodes_created,
-                        nodes_expanded=result.nodes_expanded,
-                        queue_left=result.nodes_left_in_queue,
+                t0 = time.perf_counter()
+                with maybe_span(tele, "slrg", heuristic=self.config.heuristic.value):
+                    if self.config.heuristic is Heuristic.SLRG:
+                        # Phase 2 proper: price the goal set, warming the cache.
+                        slrg.query(frozenset(problem.goal_prop_ids))
+                        heuristic = slrg.query
+                    elif self.config.heuristic is Heuristic.PLRG_MAX:
+                        heuristic = plrg.set_cost
+                    else:
+                        heuristic = lambda props: 0.0  # noqa: E731 - blind search
+                stats.slrg_ms = (time.perf_counter() - t0) * 1e3
+
+                t0 = time.perf_counter()
+                # SLRG queries issued from inside the RG loop observe the
+                # RG phase's deadline, not the (already spent) SLRG one.
+                rg_deadline = phase_deadline()
+                slrg.deadline = rg_deadline
+                with maybe_span(tele, "rg", node_budget=self.config.rg_node_budget) as rg_span:
+                    result = regression_search(
+                        problem,
+                        heuristic,
+                        plrg.usable_actions,
+                        node_budget=self.config.rg_node_budget,
+                        branch_all_props=self.config.branch_all_props,
+                        prop_rank=plrg.cost,
+                        trace=search_trace,
+                        metrics=tele.metrics if tele is not None else None,
+                        deadline=rg_deadline,
+                        allow_incumbent=allow_incumbent,
                     )
+                    if rg_span is not None:
+                        rg_span.attrs.update(
+                            nodes_created=result.nodes_created,
+                            nodes_expanded=result.nodes_expanded,
+                            queue_left=result.nodes_left_in_queue,
+                        )
+            except DeadlineExceeded as exc:
+                if tele is not None:
+                    tele.metrics.inc("planner.deadline.hit")
+                    tele.metrics.inc(f"planner.deadline.{exc.phase}")
+                raise
             stats.rg_ms = (time.perf_counter() - t0) * 1e3
             stats.slrg_set_nodes = slrg.nodes_created
             stats.rg_nodes = result.nodes_created
@@ -223,7 +278,14 @@ class Planner:
             stats.rg_replays = result.replay.replays
             stats.rg_actions_replayed = result.replay.actions_replayed
             stats.rg_conditions_checked = result.replay.conditions_checked
+            stats.incumbent = 1 if result.incumbent else 0
+            stats.deadline_hits = 1 if result.stop_reason == "deadline" else 0
             stats.total_ms = (time.perf_counter() - t_start) * 1e3
+            if result.incumbent and tele is not None:
+                tele.metrics.inc("planner.incumbent.returned")
+                if result.stop_reason == "deadline":
+                    tele.metrics.inc("planner.deadline.hit")
+                    tele.metrics.inc("planner.deadline.rg")
 
             plan = Plan(
                 problem=problem,
@@ -231,6 +293,8 @@ class Planner:
                 cost_lb=result.cost_lb,
                 stats=stats,
                 trace=search_trace,
+                incumbent=result.incumbent,
+                stop_reason=result.stop_reason,
             )
             if tele is not None:
                 stats.publish(tele.metrics)

@@ -26,7 +26,8 @@ from dataclasses import dataclass
 
 from ..compile import CompiledProblem
 from ..obs import Telemetry, maybe_span
-from .errors import Unsolvable
+from .deadline import Deadline
+from .errors import DeadlineExceeded, Unsolvable
 
 __all__ = ["PLRG", "build_plrg"]
 
@@ -59,13 +60,20 @@ class PLRG:
         return best
 
 
-def build_plrg(problem: CompiledProblem, telemetry: Telemetry | None = None) -> PLRG:
+def build_plrg(
+    problem: CompiledProblem,
+    telemetry: Telemetry | None = None,
+    deadline: Deadline | None = None,
+) -> PLRG:
     """Build the PLRG; raises :class:`Unsolvable` if the goal is logically
     unreachable from the initial state.  With ``telemetry``, the build is
-    wrapped in a ``plrg`` span and the graph sizes become gauges."""
+    wrapped in a ``plrg`` span and the graph sizes become gauges.  With a
+    ``deadline``, both passes poll it and raise :class:`DeadlineExceeded`
+    (phase ``"plrg"``) on expiry — the PLRG has no meaningful partial
+    result, so there is no anytime mode here."""
     with maybe_span(telemetry, "plrg") as span:
-        relevant_props, relevant_actions = _relevance(problem)
-        prop_cost = _forward_costs(problem, relevant_actions)
+        relevant_props, relevant_actions = _relevance(problem, deadline)
+        prop_cost = _forward_costs(problem, relevant_actions, deadline)
 
         unreachable = [pid for pid in problem.goal_prop_ids if prop_cost.get(pid, _INF) == _INF]
         if unreachable:
@@ -95,12 +103,25 @@ def build_plrg(problem: CompiledProblem, telemetry: Telemetry | None = None) -> 
         )
 
 
-def _relevance(problem: CompiledProblem) -> tuple[set[int], set[int]]:
+def _check(deadline: Deadline | None, expanded: int) -> None:
+    if deadline is not None and deadline.poll():
+        raise DeadlineExceeded(
+            phase="plrg",
+            time_limit_s=deadline.time_limit_s,
+            nodes_expanded=expanded,
+            elapsed_s=deadline.elapsed_s(),
+        )
+
+
+def _relevance(
+    problem: CompiledProblem, deadline: Deadline | None = None
+) -> tuple[set[int], set[int]]:
     """Backward pass: props/actions reachable (in regression) from the goal."""
     relevant_props: set[int] = set()
     relevant_actions: set[int] = set()
     stack = list(problem.goal_prop_ids)
     while stack:
+        _check(deadline, len(relevant_props))
         pid = stack.pop()
         if pid in relevant_props:
             continue
@@ -117,7 +138,11 @@ def _relevance(problem: CompiledProblem) -> tuple[set[int], set[int]]:
     return relevant_props, relevant_actions
 
 
-def _forward_costs(problem: CompiledProblem, relevant_actions: set[int]) -> dict[int, float]:
+def _forward_costs(
+    problem: CompiledProblem,
+    relevant_actions: set[int],
+    deadline: Deadline | None = None,
+) -> dict[int, float]:
     """Dijkstra over propositions with hmax action aggregation."""
     prop_cost: dict[int, float] = {pid: 0.0 for pid in problem.initial_prop_ids}
 
@@ -157,6 +182,7 @@ def _forward_costs(problem: CompiledProblem, relevant_actions: set[int]) -> dict
             fire(a_idx)
 
     while heap:
+        _check(deadline, len(settled))
         cost, pid = heapq.heappop(heap)
         if pid in settled or cost > prop_cost.get(pid, _INF):
             continue

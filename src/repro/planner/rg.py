@@ -27,7 +27,8 @@ from typing import Callable
 
 from ..compile import CompiledProblem, GroundAction, ReplayCounters, ReplayFailure
 from ..obs import MetricsRegistry
-from .errors import ResourceInfeasible, SearchBudgetExceeded
+from .deadline import Deadline
+from .errors import DeadlineExceeded, ResourceInfeasible, SearchBudgetExceeded
 from .trace import SearchTrace
 
 __all__ = ["RGResult", "regression_search"]
@@ -69,7 +70,13 @@ class _Node:
 
 @dataclass
 class RGResult:
-    """Outcome of the RG search."""
+    """Outcome of the RG search.
+
+    ``incumbent`` marks an *anytime* result: the search was cut short (by
+    deadline or node budget) and returned its best complete plan found so
+    far instead of the proven optimum.  ``stop_reason`` says why the
+    search ended: ``"optimal"``, ``"deadline"``, or ``"node_budget"``.
+    """
 
     plan_actions: list[GroundAction]
     cost_lb: float
@@ -77,6 +84,8 @@ class RGResult:
     nodes_left_in_queue: int  # Table 2, column 8 (second number)
     nodes_expanded: int
     replay: ReplayCounters = field(default_factory=ReplayCounters)
+    incumbent: bool = False
+    stop_reason: str = "optimal"
 
 
 def regression_search(
@@ -88,6 +97,9 @@ def regression_search(
     prop_rank: Callable[[int], float] | None = None,
     trace: SearchTrace | None = None,
     metrics: MetricsRegistry | None = None,
+    deadline: Deadline | None = None,
+    allow_incumbent: bool = False,
+    probe_budget: int = 4096,
 ) -> RGResult:
     """A* regression with plan-tail replay.
 
@@ -113,6 +125,24 @@ def regression_search(
         (branching factors, replay tail lengths, f-values, per-action
         replay microseconds) plus per-reason prune counters.  Both default
         to off; the hot loop then runs exactly as before.
+    deadline:
+        Optional wall-clock deadline, polled once per expansion with a
+        strided clock read (docs/ROBUSTNESS.md).
+    allow_incumbent:
+        Anytime mode.  Every complete node created during the search (its
+        propositions all hold initially and its tail replayed cleanly) is
+        remembered as the *incumbent*; when the deadline or node budget
+        trips, the best incumbent is returned — flagged via
+        ``RGResult.incumbent`` — instead of raising.  With no incumbent
+        yet, exhaustion still raises.  Because an accurate heuristic makes
+        A* create its first terminal node only near the optimum, anytime
+        mode first runs a bounded *greedy probe* (best-first on ``h``
+        alone, up to ``probe_budget`` nodes) to establish an initial
+        incumbent quickly; the probe's plan is feasible (replay-checked)
+        but usually suboptimal.
+    probe_budget:
+        Node cap for the greedy incumbent probe (anytime mode only;
+        ``0`` disables the probe).
 
     Raises
     ------
@@ -120,7 +150,11 @@ def regression_search(
         When the search space empties without a terminal node — the
         greedy failure mode of Scenario 1.
     SearchBudgetExceeded
-        When ``node_budget`` nodes have been created without a solution.
+        When ``node_budget`` nodes have been created without a solution
+        (and no incumbent was available to return).
+    DeadlineExceeded
+        When ``deadline`` expired without a solution (and no incumbent
+        was available to return).
     """
     initial = problem.initial_prop_ids
     actions = problem.actions
@@ -157,8 +191,125 @@ def regression_search(
     nodes_expanded = 0
     # Transposition pruning: (props, tail action multiset) -> best g.
     seen: dict[tuple[frozenset[int], frozenset[int]], float] = {}
+    # Anytime state: cheapest complete node created so far.  A node whose
+    # propositions all hold initially is a valid plan the moment it is
+    # created (its replay base *is* the initial map), so it can stand in
+    # for the optimum when the search is cut short.
+    incumbent: _Node | None = None
+    t_phase = time.perf_counter()
+
+    def _weighted_probe(cap: int, weight: float = 2.0) -> tuple[_Node | None, int]:
+        """Weighted A* (``f' = g + weight·h``): find *some* complete plan fast.
+
+        Returns ``(terminal_node_or_None, nodes_created)``.  Children are
+        generated and replay-validated exactly like the main loop, so a
+        returned node is a feasible plan; its cost is within ``weight``
+        times the optimum.  Pure h-greedy descent drowns in this space —
+        feasible complete tails are rare off the cost-ordered frontier —
+        but inflating h by 2 keeps enough g-ordering to reach a terminal
+        in a few thousand nodes on the Fig. 10 instances.
+        """
+        pheap: list[tuple[tuple[float, float], int, _Node]] = [
+            ((weight * h0, h0), next(counter), root)
+        ]
+        pseen: dict[tuple[frozenset[int], frozenset[int]], float] = {}
+        created = 0
+        while pheap:
+            if deadline is not None and deadline.poll():
+                return None, created
+            _pf, _pt, pnode = heapq.heappop(pheap)
+            p_open = pnode.props - initial
+            if not p_open:
+                return pnode, created
+            cands: set[int] = set()
+            if branch_all_props:
+                for pid in p_open:
+                    cands.update(achievers.get(pid, ()))
+            else:
+                cands.update(achievers.get(max(p_open, key=prop_rank), ()))
+            for a_idx in cands:
+                if a_idx in pnode.tail_ids:
+                    continue
+                action = actions[a_idx]
+                new_props = frozenset((pnode.props - action.add_props) | action.pre_props)
+                child_tail_ids = pnode.tail_ids | {a_idx}
+                key = (new_props, child_tail_ids)
+                ng = pnode.g + action.cost_lb
+                prev = pseen.get(key)
+                if prev is not None and prev <= ng:
+                    continue
+                child = _Node(
+                    props=new_props,
+                    g=ng,
+                    action=action,
+                    parent=pnode,
+                    depth=pnode.depth + 1,
+                    tail_ids=child_tail_ids,
+                )
+                rmap = problem.initial_map()
+                counters.replays += 1
+                try:
+                    step: _Node | None = child
+                    while step is not None and step.action is not None:
+                        step.action.replay(rmap, counters)
+                        step = step.parent
+                except ReplayFailure:
+                    continue
+                if not (new_props - initial):
+                    return child, created + 1
+                nh = heuristic(new_props)
+                if nh == _INF:
+                    continue
+                pseen[key] = ng
+                created += 1
+                if created > cap:
+                    return None, created
+                heapq.heappush(pheap, ((ng + weight * nh, nh), next(counter), child))
+        return None, created
+
+    if allow_incumbent and probe_budget > 0:
+        incumbent, probe_created = _weighted_probe(probe_budget)
+        nodes_created += probe_created
+        if metrics is not None and incumbent is not None:
+            metrics.inc("rg.incumbent.improved")
+
+    def _interrupted(reason: str) -> RGResult:
+        """Return the incumbent on early stop, or raise the structured error."""
+        if allow_incumbent and incumbent is not None:
+            if trace is not None:
+                trace.terminal(incumbent.g, incumbent.depth)
+            if metrics is not None:
+                metrics.inc("rg.incumbent.returned")
+            return RGResult(
+                plan_actions=incumbent.tail(),
+                cost_lb=incumbent.g,
+                nodes_created=nodes_created,
+                nodes_left_in_queue=len(heap),
+                nodes_expanded=nodes_expanded,
+                replay=counters,
+                incumbent=True,
+                stop_reason=reason,
+            )
+        elapsed = time.perf_counter() - t_phase
+        if reason == "deadline":
+            raise DeadlineExceeded(
+                phase="rg",
+                time_limit_s=deadline.time_limit_s if deadline is not None else 0.0,
+                nodes_expanded=nodes_expanded,
+                nodes_created=nodes_created,
+                elapsed_s=elapsed,
+            )
+        raise SearchBudgetExceeded(
+            phase="rg",
+            nodes_expanded=nodes_expanded,
+            nodes_created=nodes_created,
+            budget=node_budget,
+            elapsed_s=elapsed,
+        )
 
     while heap:
+        if deadline is not None and deadline.poll():
+            return _interrupted("deadline")
         f, _h, _tie, node = heapq.heappop(heap)
         open_props = node.props - initial
 
@@ -248,12 +399,16 @@ def regression_search(
                 if metrics is not None:
                     prune_counters["heuristic"].inc()
                 continue
+            if allow_incumbent and not (new_props - initial):
+                # Complete plan: remember the cheapest one seen so far.
+                if incumbent is None or ng < incumbent.g:
+                    incumbent = child
+                    if metrics is not None:
+                        metrics.inc("rg.incumbent.improved")
             seen[key] = ng
             nodes_created += 1
             if nodes_created > node_budget:
-                raise SearchBudgetExceeded(
-                    f"RG exceeded {node_budget} nodes (created {nodes_created})"
-                )
+                return _interrupted("node_budget")
             if trace is not None:
                 trace.created(action.name, ng + nh, child.depth)
             if metrics is not None:

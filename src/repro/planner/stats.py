@@ -41,6 +41,11 @@ class PlannerStats:
     """Individual action executions performed inside those replays."""
     rg_conditions_checked: int = 0
     """Condition satisfiability checks evaluated during replay."""
+    incumbent: int = 0
+    """1 when the returned plan is an anytime incumbent (the search was
+    cut short by a deadline or node budget), 0 for a proven optimum."""
+    deadline_hits: int = 0
+    """1 when a wall-clock deadline ended the run (docs/ROBUSTNESS.md)."""
     compile_ms: float = 0.0
     plrg_ms: float = 0.0
     slrg_ms: float = 0.0

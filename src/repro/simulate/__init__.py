@@ -1,6 +1,17 @@
 """Network-churn simulation driving deployment repair over time."""
 
-from .events import Event, LinkChange, LinkFailure, NodeChange, apply_event, copy_network
+from .events import (
+    Event,
+    LinkChange,
+    LinkFailure,
+    LinkRecovery,
+    NodeChange,
+    apply_event,
+    copy_network,
+    event_from_dict,
+    event_to_dict,
+)
+from .faults import FaultInjector, FaultModel, RetryPolicy, TransientFault, generate_timeline
 from .runner import Simulation, SimulationResult, SimulationStep
 
 __all__ = [
@@ -8,8 +19,16 @@ __all__ = [
     "LinkChange",
     "NodeChange",
     "LinkFailure",
+    "LinkRecovery",
     "apply_event",
     "copy_network",
+    "event_to_dict",
+    "event_from_dict",
+    "FaultModel",
+    "FaultInjector",
+    "RetryPolicy",
+    "TransientFault",
+    "generate_timeline",
     "Simulation",
     "SimulationResult",
     "SimulationStep",

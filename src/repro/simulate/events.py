@@ -12,7 +12,17 @@ from dataclasses import dataclass
 
 from ..network import Network, NetworkError, network_from_dict, network_to_dict
 
-__all__ = ["LinkChange", "NodeChange", "LinkFailure", "Event", "apply_event", "copy_network"]
+__all__ = [
+    "LinkChange",
+    "NodeChange",
+    "LinkFailure",
+    "LinkRecovery",
+    "Event",
+    "apply_event",
+    "copy_network",
+    "event_to_dict",
+    "event_from_dict",
+]
 
 
 def copy_network(net: Network) -> Network:
@@ -56,7 +66,35 @@ class LinkFailure:
         return f"link {self.a}~{self.b}: failed"
 
 
-Event = LinkChange | NodeChange | LinkFailure
+@dataclass(frozen=True, slots=True)
+class LinkRecovery:
+    """Re-add a previously failed link with its original resources.
+
+    ``resources`` is a sorted tuple of ``(name, value)`` pairs and
+    ``labels`` a tuple of strings, keeping the event hashable; use
+    :meth:`restoring` to build one from a live link before removing it.
+    """
+
+    a: str
+    b: str
+    resources: tuple[tuple[str, float], ...] = ()
+    labels: tuple[str, ...] = ()
+
+    @classmethod
+    def restoring(cls, net: Network, a: str, b: str) -> "LinkRecovery":
+        link = net.link(a, b)
+        return cls(
+            a,
+            b,
+            tuple(sorted(link.resources.items())),
+            tuple(sorted(link.labels)),
+        )
+
+    def describe(self) -> str:
+        return f"link {self.a}~{self.b}: recovered"
+
+
+Event = LinkChange | NodeChange | LinkFailure | LinkRecovery
 
 
 def apply_event(net: Network, event: Event) -> Network:
@@ -71,6 +109,69 @@ def apply_event(net: Network, event: Event) -> Network:
         out.node(event.node).resources[event.resource] = event.value
     elif isinstance(event, LinkFailure):
         out.remove_link(event.a, event.b)
+    elif isinstance(event, LinkRecovery):
+        if out.has_link(event.a, event.b):
+            raise NetworkError(f"link {event.a}~{event.b} is already up")
+        out.add_link(event.a, event.b, dict(event.resources), event.labels)
     else:  # pragma: no cover - exhaustive match
         raise TypeError(f"unknown event type {type(event).__name__}")
     return out
+
+
+# -- JSON round trip (the `repro simulate` campaign format) -----------------
+
+
+def event_to_dict(event: Event) -> dict:
+    """A JSON-ready description of one event (inverse of
+    :func:`event_from_dict`)."""
+    if isinstance(event, LinkChange):
+        return {
+            "kind": "link-change",
+            "a": event.a,
+            "b": event.b,
+            "resource": event.resource,
+            "value": event.value,
+        }
+    if isinstance(event, NodeChange):
+        return {
+            "kind": "node-change",
+            "node": event.node,
+            "resource": event.resource,
+            "value": event.value,
+        }
+    if isinstance(event, LinkFailure):
+        return {"kind": "link-failure", "a": event.a, "b": event.b}
+    if isinstance(event, LinkRecovery):
+        return {
+            "kind": "link-recovery",
+            "a": event.a,
+            "b": event.b,
+            "resources": dict(event.resources),
+            "labels": list(event.labels),
+        }
+    raise TypeError(f"unknown event type {type(event).__name__}")
+
+
+def event_from_dict(data: dict) -> Event:
+    """Rebuild an event from :func:`event_to_dict` output.
+
+    Raises ``ValueError`` on an unknown or malformed ``kind``.
+    """
+    kind = data.get("kind")
+    try:
+        if kind == "link-change":
+            return LinkChange(data["a"], data["b"], data["resource"], float(data["value"]))
+        if kind == "node-change":
+            return NodeChange(data["node"], data["resource"], float(data["value"]))
+        if kind == "link-failure":
+            return LinkFailure(data["a"], data["b"])
+        if kind == "link-recovery":
+            return LinkRecovery(
+                data["a"],
+                data["b"],
+                tuple(sorted((k, float(v)) for k, v in data.get("resources", {}).items())),
+                tuple(data.get("labels", ())),
+            )
+    except KeyError as exc:
+        raise ValueError(f"event {data!r} is missing field {exc}") from None
+    raise ValueError(f"unknown event kind {kind!r}")

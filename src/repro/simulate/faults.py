@@ -1,0 +1,227 @@
+"""Stochastic fault injection for the churn simulator (docs/ROBUSTNESS.md).
+
+Two independent pieces, both seeded and fully deterministic:
+
+* :func:`generate_timeline` draws a replayable :class:`~repro.simulate.Event`
+  timeline from a :class:`FaultModel` — transient and permanent link
+  failures (transient ones come with a *scheduled recovery* a few steps
+  later), and resource jitter on links and nodes that likewise recovers.
+  The generator tracks what it has broken, so no event ever references a
+  removed link and no element is touched twice while a recovery for it is
+  still pending — every timeline replays cleanly through
+  :func:`~repro.simulate.apply_event`.
+
+* :class:`FaultInjector` models a flaky *repair path*: during a
+  simulation step it makes the first ``k`` repair attempts raise
+  :class:`TransientFault` (``k`` drawn once per step from a seeded RNG),
+  after which the attempt goes through.  :class:`Simulation` retries
+  under a :class:`RetryPolicy` with exponential backoff; the backoff is
+  accounted, not slept, so campaigns stay fast and replayable.
+
+Same seeds, same network, same model ⇒ byte-identical campaign results
+(the ``fault-smoke`` CI job runs one twice and diffs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..network import Network
+from .events import Event, LinkChange, LinkFailure, LinkRecovery, NodeChange
+
+__all__ = [
+    "FaultModel",
+    "FaultInjector",
+    "RetryPolicy",
+    "TransientFault",
+    "generate_timeline",
+]
+
+
+class TransientFault(RuntimeError):
+    """An injected, retryable failure of one repair attempt."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient repair failures.
+
+    Backoff seconds are *simulated* — added to the step's accounting, not
+    slept — so retried campaigns remain deterministic and fast.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.1
+    multiplier: float = 2.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay charged after failed attempt ``attempt`` (1-based)."""
+        return self.base_backoff_s * self.multiplier ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Knobs for one fault campaign (all draws come from ``seed``)."""
+
+    seed: int = 0
+    events: int = 20
+    """Timeline length."""
+    p_link_fail: float = 0.25
+    p_link_jitter: float = 0.5
+    p_node_jitter: float = 0.25
+    """Relative weights of the three fault kinds."""
+    p_transient: float = 0.7
+    """Probability a fault is transient, i.e. gets a scheduled recovery."""
+    jitter_range: tuple[float, float] = (0.4, 0.9)
+    """A jittered resource is scaled by a factor drawn from this range."""
+    recovery_delay: tuple[int, int] = (1, 4)
+    """Steps until a transient fault's scheduled recovery fires."""
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "events": self.events,
+            "p_link_fail": self.p_link_fail,
+            "p_link_jitter": self.p_link_jitter,
+            "p_node_jitter": self.p_node_jitter,
+            "p_transient": self.p_transient,
+            "jitter_range": list(self.jitter_range),
+            "recovery_delay": list(self.recovery_delay),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultModel":
+        kwargs = dict(data)
+        for name in ("jitter_range", "recovery_delay"):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
+
+
+def generate_timeline(network: Network, model: FaultModel) -> list[Event]:
+    """Draw a deterministic, replayable fault/recovery timeline.
+
+    The returned list is ``model.events`` long (shorter only when the
+    network runs out of targets).  Invariants the generator maintains:
+
+    * a failed link is never degraded, re-failed, or referenced again
+      until (unless) its scheduled :class:`LinkRecovery` has fired;
+    * an element with a pending recovery is left alone, so recoveries
+      always restore the *original* value;
+    * iteration orders are sorted and all randomness comes from
+      ``model.seed`` — the same inputs always yield the same timeline.
+    """
+    rng = random.Random(model.seed)
+    live = sorted(network.links)
+    link_state = {
+        key: (dict(network.links[key].resources), tuple(sorted(network.links[key].labels)))
+        for key in live
+    }
+    node_ids = sorted(n for n in network.nodes if network.nodes[n].resources)
+    busy_links: set[tuple[str, str]] = set()
+    busy_nodes: set[str] = set()
+    # (due step, event, link key to revive or node to release)
+    pending: list[tuple[int, Event, tuple[str, str] | str]] = []
+    kinds = ("link-fail", "link-jitter", "node-jitter")
+    weights = (model.p_link_fail, model.p_link_jitter, model.p_node_jitter)
+    events: list[Event] = []
+
+    def schedule(event: Event, token: tuple[str, str] | str) -> None:
+        delay = rng.randint(*model.recovery_delay)
+        pending.append((len(events) + delay, event, token))
+
+    for _ in range(10 * model.events):
+        if len(events) >= model.events:
+            break
+        due = next((p for p in pending if p[0] <= len(events)), None)
+        if due is not None:
+            pending.remove(due)
+            _, event, token = due
+            events.append(event)
+            if isinstance(token, tuple):
+                busy_links.discard(token)
+                if isinstance(event, LinkRecovery):
+                    live.append(token)
+                    live.sort()
+            else:
+                busy_nodes.discard(token)
+            continue
+
+        kind = rng.choices(kinds, weights=weights)[0]
+        free_links = [k for k in live if k not in busy_links]
+        if kind in ("link-fail", "link-jitter") and not free_links:
+            kind = "node-jitter"
+
+        if kind == "link-fail" and free_links:
+            key = free_links[rng.randrange(len(free_links))]
+            live.remove(key)
+            events.append(LinkFailure(*key))
+            if rng.random() < model.p_transient:
+                resources, labels = link_state[key]
+                busy_links.add(key)
+                schedule(
+                    LinkRecovery(key[0], key[1], tuple(sorted(resources.items())), labels),
+                    key,
+                )
+        elif kind == "link-jitter" and free_links:
+            key = free_links[rng.randrange(len(free_links))]
+            resources = link_state[key][0]
+            name = rng.choice(sorted(resources))
+            factor = rng.uniform(*model.jitter_range)
+            events.append(
+                LinkChange(key[0], key[1], name, round(resources[name] * factor, 3))
+            )
+            if rng.random() < model.p_transient:
+                busy_links.add(key)
+                schedule(LinkChange(key[0], key[1], name, resources[name]), key)
+        else:
+            free_nodes = [n for n in node_ids if n not in busy_nodes]
+            if not free_nodes:
+                continue
+            node = free_nodes[rng.randrange(len(free_nodes))]
+            resources = network.nodes[node].resources
+            name = rng.choice(sorted(resources))
+            factor = rng.uniform(*model.jitter_range)
+            events.append(NodeChange(node, name, round(resources[name] * factor, 3)))
+            if rng.random() < model.p_transient:
+                busy_nodes.add(node)
+                schedule(NodeChange(node, name, resources[name]), node)
+    return events
+
+
+class FaultInjector:
+    """Deterministic transient failures on the repair path.
+
+    For each simulation step, the first :meth:`attempt` calls draw — once,
+    from the seeded RNG — how many leading repair attempts fail
+    (``0`` with probability ``1 - rate``, else uniform in
+    ``[1, max_failures]``); those attempts raise :class:`TransientFault`
+    and every later attempt succeeds.  Because the draw happens once per
+    step regardless of how many retries the policy actually runs, two
+    campaigns with the same seed see identical injections.
+    """
+
+    def __init__(self, rate: float = 0.3, max_failures: int = 2, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {rate}")
+        self.rate = rate
+        self.max_failures = max_failures
+        self._rng = random.Random(seed)
+        self._plan: dict[int, int] = {}
+
+    def failures_for(self, step: int) -> int:
+        """How many leading attempts of ``step`` fail (memoized draw)."""
+        if step not in self._plan:
+            k = 0
+            if self.max_failures > 0 and self._rng.random() < self.rate:
+                k = self._rng.randint(1, self.max_failures)
+            self._plan[step] = k
+        return self._plan[step]
+
+    def attempt(self, step: int, attempt: int) -> None:
+        """Raise :class:`TransientFault` if this attempt is doomed."""
+        if attempt <= self.failures_for(step):
+            raise TransientFault(
+                f"injected transient repair failure (step {step}, attempt {attempt})"
+            )

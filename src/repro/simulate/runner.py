@@ -3,13 +3,17 @@
 Drives the §6 adaptation machinery through a timeline of network events:
 after each event the current deployment is re-validated, the surviving
 prefix kept, and a repair delta planned.  The simulation records, per
-step, what broke, what was kept, what was redeployed, and the repair
-cost — the data one needs to evaluate adaptive deployment policies.
+step, what broke, what was kept, what was redeployed, the repair cost,
+and — when a :class:`~repro.simulate.faults.FaultInjector` is attached —
+how many retries and how much (simulated) backoff the repair path burned.
+The per-run record is enough to compute availability-style numbers for
+evaluating adaptive deployment policies (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 
 from ..model import AppSpec, Leveling
 from ..network import Network
@@ -21,7 +25,8 @@ from ..planner import (
     PlanningError,
     repair_deployment,
 )
-from .events import Event, apply_event
+from .events import Event, apply_event, event_to_dict
+from .faults import FaultInjector, RetryPolicy, TransientFault
 
 __all__ = ["SimulationStep", "SimulationResult", "Simulation"]
 
@@ -38,22 +43,56 @@ class SimulationStep:
     total_plan_cost: float
     failed: bool = False
     failure: str = ""
+    attempts: int = 1
+    """Repair attempts run (1 when the first try went through)."""
+    transient_failures: int = 0
+    """Attempts lost to injected :class:`TransientFault`."""
+    backoff_s: float = 0.0
+    """Simulated backoff charged by the retry policy (not slept)."""
+    wall_ms: float = 0.0
+    """Real wall-clock spent handling this step (planning included)."""
 
     def describe(self) -> str:
+        retry = f", {self.transient_failures} transient retries" if self.transient_failures else ""
         if self.failed:
-            return f"[{self.index}] {self.event.describe()} -> UNREPAIRABLE ({self.failure})"
+            return (
+                f"[{self.index}] {self.event.describe()} -> "
+                f"UNREPAIRABLE ({self.failure}){retry}"
+            )
         return (
             f"[{self.index}] {self.event.describe()} -> kept {self.survived_actions}, "
-            f"replanned {self.repair_actions} (repair cost {self.repair_cost:g})"
+            f"replanned {self.repair_actions} (repair cost {self.repair_cost:g}){retry}"
         )
+
+    def to_dict(self, include_timings: bool = False) -> dict:
+        data = {
+            "index": self.index,
+            "event": event_to_dict(self.event),
+            "survived_actions": self.survived_actions,
+            "repair_actions": self.repair_actions,
+            "repair_cost": self.repair_cost,
+            "total_plan_cost": self.total_plan_cost,
+            "failed": self.failed,
+            "failure": self.failure,
+            "attempts": self.attempts,
+            "transient_failures": self.transient_failures,
+            "backoff_s": round(self.backoff_s, 6),
+        }
+        if include_timings:
+            data["wall_ms"] = self.wall_ms
+        return data
 
 
 @dataclass
 class SimulationResult:
     """Full simulation record."""
 
-    initial_plan: Plan
+    initial_plan: Plan | None
+    initial_failure: str = ""
+    """Why the very first deployment failed (empty on success); a failed
+    initial solve yields an empty-steps result instead of an exception."""
     steps: list[SimulationStep] = field(default_factory=list)
+    wall_ms: float = 0.0
 
     @property
     def total_repair_cost(self) -> float:
@@ -63,15 +102,73 @@ class SimulationResult:
     def outage_steps(self) -> int:
         return sum(1 for s in self.steps if s.failed)
 
+    @property
+    def availability(self) -> float:
+        """Fraction of steps the deployment was up (1.0 for no steps)."""
+        if not self.steps:
+            return 0.0 if self.initial_failure else 1.0
+        return 1.0 - self.outage_steps / len(self.steps)
+
+    @property
+    def transient_failures(self) -> int:
+        return sum(s.transient_failures for s in self.steps)
+
+    @property
+    def backoff_retries(self) -> int:
+        """Retries that eventually went through (the availability win)."""
+        return sum(s.transient_failures for s in self.steps if not s.failed)
+
+    @property
+    def total_backoff_s(self) -> float:
+        return sum(s.backoff_s for s in self.steps)
+
     def describe(self) -> str:
+        if self.initial_plan is None:
+            return f"initial deployment FAILED: {self.initial_failure}"
         lines = [f"initial deployment: {len(self.initial_plan)} actions, "
                  f"exact cost {self.initial_plan.exact_cost:g}"]
         lines += [s.describe() for s in self.steps]
         lines.append(
             f"total repair cost {self.total_repair_cost:g}, "
-            f"outages {self.outage_steps}/{len(self.steps)}"
+            f"outages {self.outage_steps}/{len(self.steps)}, "
+            f"availability {self.availability:.3f}"
         )
+        if self.transient_failures:
+            lines.append(
+                f"transient faults {self.transient_failures} "
+                f"({self.backoff_retries} retried through), "
+                f"simulated backoff {self.total_backoff_s:g}s"
+            )
         return "\n".join(lines)
+
+    def to_dict(self, include_timings: bool = False) -> dict:
+        """A JSON-ready campaign record.
+
+        Timings are excluded by default so two runs with the same seed
+        serialize byte-identically (the ``fault-smoke`` CI check).
+        """
+        data: dict = {
+            "initial": (
+                {
+                    "actions": len(self.initial_plan),
+                    "exact_cost": self.initial_plan.exact_cost,
+                }
+                if self.initial_plan is not None
+                else {"failure": self.initial_failure}
+            ),
+            "steps": [s.to_dict(include_timings) for s in self.steps],
+            "summary": {
+                "total_repair_cost": self.total_repair_cost,
+                "outage_steps": self.outage_steps,
+                "availability": round(self.availability, 6),
+                "transient_failures": self.transient_failures,
+                "backoff_retries": self.backoff_retries,
+                "total_backoff_s": round(self.total_backoff_s, 6),
+            },
+        }
+        if include_timings:
+            data["wall_ms"] = self.wall_ms
+        return data
 
 
 class Simulation:
@@ -86,6 +183,20 @@ class Simulation:
         partitioned), later events may restore connectivity; with this
         flag (default) the simulator attempts a full re-deployment at each
         subsequent step until one succeeds.
+    fault_injector:
+        Optional seeded :class:`FaultInjector` making some repair attempts
+        raise :class:`TransientFault`; the simulator then retries under
+        ``retry_policy``, charging (simulated) backoff to the step.
+    retry_policy:
+        Attempt/backoff schedule for transient failures (defaulted when a
+        fault injector is attached).
+    planner_config:
+        Base config for the initial solve and every repair (its
+        ``leveling`` is overridden by ``leveling``).  Fault campaigns
+        should bound it — proving a degraded step *infeasible* with the
+        default 500k-node RG budget can take minutes, while a tight
+        ``rg_node_budget`` or ``time_limit_s`` turns that proof into a
+        fast, honestly-reported outage.
     """
 
     def __init__(
@@ -95,17 +206,36 @@ class Simulation:
         leveling: Leveling,
         migration_cost_factor: float = 0.5,
         replan_from_scratch_on_outage: bool = True,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        planner_config: PlannerConfig | None = None,
     ):
         self.app = app
         self.network = network
         self.leveling = leveling
         self.migration_cost_factor = migration_cost_factor
         self.replan_from_scratch_on_outage = replan_from_scratch_on_outage
-        self._planner = Planner(PlannerConfig(leveling=leveling))
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.planner_config = replace(planner_config or PlannerConfig(), leveling=leveling)
+        self._planner = Planner(self.planner_config)
 
     def run(self, events: list[Event]) -> SimulationResult:
-        """Deploy, then apply every event in order, repairing after each."""
-        plan = self._planner.solve(self.app, self.network)
+        """Deploy, then apply every event in order, repairing after each.
+
+        An infeasible *initial* deployment is part of the campaign record
+        (``result.initial_failure``), not an exception — a fault campaign
+        over many seeds must survive instances that start out unsolvable.
+        """
+        t_run = time.perf_counter()
+        try:
+            plan = self._planner.solve(self.app, self.network)
+        except PlanningError as exc:
+            return SimulationResult(
+                initial_plan=None,
+                initial_failure=f"{type(exc).__name__}: {exc}",
+                wall_ms=(time.perf_counter() - t_run) * 1e3,
+            )
         result = SimulationResult(initial_plan=plan)
         network = self.network
         deployment: Deployment | None = Deployment.from_plan(plan)
@@ -120,36 +250,59 @@ class Simulation:
                 repair_cost=0.0,
                 total_plan_cost=0.0,
             )
-            try:
-                if deployment is None:
-                    if not self.replan_from_scratch_on_outage:
-                        raise PlanningError("deployment lost and replanning disabled")
-                    fresh = self._planner.solve(self.app, network)
-                    step.repair_actions = len(fresh)
-                    step.repair_cost = fresh.exact_cost
-                    step.total_plan_cost = fresh.exact_cost
-                    deployment = Deployment.from_plan(fresh)
-                else:
-                    repair = repair_deployment(
-                        self.app,
-                        network,
-                        deployment,
-                        leveling=self.leveling,
-                        migration_cost_factor=self.migration_cost_factor,
-                    )
-                    step.survived_actions = len(repair.surviving_actions)
-                    step.repair_actions = len(repair.repair_plan)
-                    step.repair_cost = (
-                        repair.repair_plan.exact_cost if repair.repair_plan.actions else 0.0
-                    )
-                    combined = repair.combined_actions()
-                    deployment = Deployment(
-                        problem=repair.repair_plan.problem, actions=combined
-                    )
-                    step.total_plan_cost = step.repair_cost
-            except PlanningError as exc:
-                step.failed = True
-                step.failure = type(exc).__name__
-                deployment = None
+            t_step = time.perf_counter()
+            while True:
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.attempt(i, step.attempts)
+                    deployment = self._step(step, network, deployment)
+                except TransientFault as exc:
+                    step.transient_failures += 1
+                    if step.attempts >= self.retry_policy.max_attempts:
+                        step.failed = True
+                        step.failure = f"{type(exc).__name__}: {exc}"
+                        deployment = None
+                        break
+                    step.backoff_s += self.retry_policy.backoff_s(step.attempts)
+                    step.attempts += 1
+                    continue
+                except (PlanningError, ValueError) as exc:
+                    # ValueError: app/network consistency validation rejects
+                    # e.g. a partitioned network before planning even starts
+                    # — an outage, not a campaign crash.
+                    step.failed = True
+                    step.failure = f"{type(exc).__name__}: {exc}"
+                    deployment = None
+                break
+            step.wall_ms = (time.perf_counter() - t_step) * 1e3
             result.steps.append(step)
+        result.wall_ms = (time.perf_counter() - t_run) * 1e3
         return result
+
+    def _step(
+        self, step: SimulationStep, network: Network, deployment: Deployment | None
+    ) -> Deployment:
+        """One repair attempt; returns the post-step deployment."""
+        if deployment is None:
+            if not self.replan_from_scratch_on_outage:
+                raise PlanningError("deployment lost and replanning disabled")
+            fresh = self._planner.solve(self.app, network)
+            step.repair_actions = len(fresh)
+            step.repair_cost = fresh.exact_cost
+            step.total_plan_cost = fresh.exact_cost
+            return Deployment.from_plan(fresh)
+        repair = repair_deployment(
+            self.app,
+            network,
+            deployment,
+            leveling=self.leveling,
+            migration_cost_factor=self.migration_cost_factor,
+            planner_config=replace(self.planner_config),
+        )
+        step.survived_actions = len(repair.surviving_actions)
+        step.repair_actions = len(repair.repair_plan)
+        step.repair_cost = (
+            repair.repair_plan.exact_cost if repair.repair_plan.actions else 0.0
+        )
+        step.total_plan_cost = step.repair_cost
+        return Deployment(problem=repair.repair_plan.problem, actions=repair.combined_actions())

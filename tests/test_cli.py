@@ -232,3 +232,107 @@ class TestTable2:
         assert "Scenario" in out  # Table 1 header
         assert "ResourceInfeasible" in out  # the A row
         assert "Tiny" in out
+
+
+class TestPlanRobustness:
+    def test_fallback_reports_winning_rung(self, workdir, capsys):
+        rc = main(
+            [
+                "plan",
+                "--network", str(workdir / "net.json"),
+                "--spec", str(workdir / "app.spec"),
+                "--initial", "Server=n0",
+                "--goal", "Client=n1",
+                "--levels", "M.ibw=90,100",
+                "--time-limit", "30",
+                "--fallback",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rung 'full'" in out
+        assert "place Client on node n1" in out
+
+    def test_fallback_failure_exits_nonzero(self, workdir, tmp_path, capsys):
+        save_network(pair_network(cpu=1.0, link_bw=10.0), tmp_path / "weak.json")
+        rc = main(
+            [
+                "plan",
+                "--network", str(tmp_path / "weak.json"),
+                "--spec", str(workdir / "app.spec"),
+                "--initial", "Server=n0",
+                "--goal", "Client=n1",
+                "--fallback",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "every ladder rung failed" in captured.err
+        assert "failed" in captured.out  # the attempt history is shown
+
+
+class TestSimulate:
+    def _args(self, workdir, *extra):
+        return [
+            "simulate",
+            "--network", str(workdir / "net.json"),
+            "--spec", str(workdir / "app.spec"),
+            "--initial", "Server=n0",
+            "--goal", "Client=n1",
+            "--levels", "M.ibw=90,100",
+            *extra,
+        ]
+
+    def test_generated_campaign_runs(self, workdir, capsys):
+        rc = main(self._args(workdir, "--seed", "3", "--events", "8"))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "initial deployment" in out
+        assert "availability" in out
+
+    def test_json_record_is_deterministic(self, workdir, capsys):
+        args = self._args(workdir, "--seed", "3", "--events", "8", "--json", "-")
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_campaign_spec_file(self, workdir, capsys):
+        campaign = workdir / "campaign.json"
+        campaign.write_text(
+            json.dumps(
+                {
+                    "faults": {"seed": 2, "events": 6},
+                    "injector": {"rate": 1.0, "max_failures": 1, "seed": 0},
+                    "retry": {"max_attempts": 3, "base_backoff_s": 0.05},
+                }
+            )
+        )
+        out_file = workdir / "record.json"
+        rc = main(self._args(workdir, "--campaign", str(campaign), "--json", str(out_file)))
+        assert rc == 0
+        record = json.loads(out_file.read_text())
+        assert len(record["steps"]) <= 6
+        assert record["summary"]["transient_failures"] >= 1
+
+    def test_explicit_event_timeline(self, workdir, capsys):
+        campaign = workdir / "campaign.json"
+        campaign.write_text(
+            json.dumps(
+                {
+                    "events": [
+                        {"kind": "link-change", "a": "n0", "b": "n1",
+                         "resource": "lbw", "value": 100.0},
+                        {"kind": "node-change", "node": "n1",
+                         "resource": "cpu", "value": 50.0},
+                    ]
+                }
+            )
+        )
+        out_file = workdir / "record.json"
+        rc = main(self._args(workdir, "--campaign", str(campaign), "--json", str(out_file)))
+        assert rc == 0
+        record = json.loads(out_file.read_text())
+        assert [s["event"]["kind"] for s in record["steps"]] == [
+            "link-change", "node-change"
+        ]

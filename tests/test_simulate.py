@@ -95,3 +95,54 @@ class TestSimulation:
         text = result.describe()
         assert "initial deployment" in text
         assert "total repair cost" in text
+
+
+class TestOutagePaths:
+    """Recovery semantics around unrepairable steps."""
+
+    OUTAGE = LinkChange("n1", "n2", "lbw", 10.0)  # below any useful stream
+    RESTORE = LinkChange("n1", "n2", "lbw", 150.0)
+    QUIET = NodeChange("n0", "cpu", 29.0)  # harmless churn during the outage
+
+    def _sim(self, **kwargs):
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        return Simulation(media.build_app("n0", "n2"), net, LEV, **kwargs)
+
+    def test_replan_from_scratch_recovers_after_restoration(self):
+        sim = self._sim(replan_from_scratch_on_outage=True)
+        result = sim.run([self.OUTAGE, self.QUIET, self.RESTORE, self.QUIET])
+        assert [s.failed for s in result.steps] == [True, True, False, False]
+        recovery = result.steps[2]
+        assert recovery.repair_actions > 0  # a full redeployment, not a delta
+        assert recovery.survived_actions == 0
+        assert result.steps[3].repair_actions == 0  # steady again afterwards
+        assert result.availability == pytest.approx(0.5)
+
+    def test_no_replan_marks_every_subsequent_step_failed(self):
+        sim = self._sim(replan_from_scratch_on_outage=False)
+        result = sim.run([self.OUTAGE, self.QUIET, self.RESTORE, self.QUIET])
+        assert all(s.failed for s in result.steps)
+        assert result.outage_steps == 4
+        # Steps after the first fail because replanning is disabled, and
+        # the recorded reason says so.
+        assert "replanning disabled" in result.steps[2].failure
+
+    def test_failure_records_message_not_just_type(self):
+        sim = self._sim()
+        result = sim.run([self.OUTAGE])
+        step = result.steps[0]
+        assert step.failed
+        head, _, detail = step.failure.partition(":")
+        assert head in ("Unsolvable", "ResourceInfeasible", "ValueError")
+        assert detail.strip()  # str(exc) travels with the type name
+
+    def test_infeasible_initial_deployment_is_recorded_not_raised(self):
+        net = chain_network([(10, "LAN"), (10, "LAN")], cpu=30.0)  # starved
+        sim = Simulation(media.build_app("n0", "n2"), net, LEV)
+        result = sim.run([self.QUIET])
+        assert result.initial_plan is None
+        assert result.initial_failure
+        assert ":" in result.initial_failure
+        assert result.steps == []
+        assert result.availability == 0.0
+        assert "FAILED" in result.describe()
