@@ -154,8 +154,87 @@ def check_trace_chrome(path: Path, payload: dict) -> list[str]:
     return errors
 
 
+_PARALLEL_TOP_KEYS = {
+    "bench": str,
+    "timestamp": str,
+    "python": str,
+    "host_cpus": int,
+    "rounds": int,
+    "workers": int,
+    "quick": bool,
+    "sweep": dict,
+    "campaign": dict,
+}
+_PARALLEL_CELL_KEYS = {
+    "network": str,
+    "scenario": str,
+    "solved": bool,
+    "cost_lower_bound": (int, float),
+    "actions_in_plan": int,
+    "total_actions": int,
+    "rg_nodes": int,
+    "plan": list,
+}
+
+
+def check_bench_parallel(path: Path, data: dict) -> list[str]:
+    """Validate a parallel-warmstart benchmark file (BENCH_pr5)."""
+    errors: list[str] = []
+    for key, typ in _PARALLEL_TOP_KEYS.items():
+        if key not in data:
+            errors.append(f"{path}: missing top-level key {key!r}")
+        elif not isinstance(data[key], typ):
+            errors.append(f"{path}: {key!r} should be {typ}")
+    sweep = data.get("sweep", {})
+    for mode in ("serial_cold", "serial_warm", "parallel_warm"):
+        entry = sweep.get(mode)
+        if not isinstance(entry, dict):
+            errors.append(f"{path}: sweep.{mode} missing or not an object")
+            continue
+        if not isinstance(entry.get("rounds_s"), list) or not entry["rounds_s"]:
+            errors.append(f"{path}: sweep.{mode}.rounds_s must be a non-empty list")
+        if not isinstance(entry.get("best_s"), (int, float)):
+            errors.append(f"{path}: sweep.{mode}.best_s must be a number")
+        elif isinstance(entry.get("rounds_s"), list) and entry["rounds_s"]:
+            if abs(entry["best_s"] - min(entry["rounds_s"])) > 1e-3:
+                errors.append(
+                    f"{path}: sweep.{mode}.best_s inconsistent with rounds_s"
+                )
+    for key in ("speedup_parallel_warm", "speedup_serial_warm"):
+        if not isinstance(sweep.get(key), (int, float)):
+            errors.append(f"{path}: sweep.{key} must be a number")
+    cells = sweep.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append(f"{path}: sweep.cells must be a non-empty list")
+    else:
+        for i, cell in enumerate(cells):
+            for key, typ in _PARALLEL_CELL_KEYS.items():
+                if key not in cell:
+                    errors.append(f"{path}: sweep.cells[{i}] missing {key!r}")
+                elif not isinstance(cell[key], typ) or (
+                    typ is int and isinstance(cell[key], bool)
+                ):
+                    errors.append(f"{path}: sweep.cells[{i}].{key} should be {typ}")
+    campaign = data.get("campaign", {})
+    cache = campaign.get("cache")
+    if not isinstance(cache, dict):
+        errors.append(f"{path}: campaign.cache missing or not an object")
+    else:
+        for key in ("hits", "misses", "hit_rate"):
+            if not isinstance(cache.get(key), (int, float)):
+                errors.append(f"{path}: campaign.cache.{key} must be a number")
+        if isinstance(cache.get("hits"), int) and cache["hits"] <= 0:
+            errors.append(
+                f"{path}: campaign.cache.hits must be > 0 "
+                "(the repair loop must hit the warm-start cache)"
+            )
+    return errors
+
+
 def check_bench(path: Path, data: dict) -> list[str]:
     """Validate a BENCH_*.json benchmark result file."""
+    if data.get("bench") == "parallel-warmstart":
+        return check_bench_parallel(path, data)
     errors: list[str] = []
     for key, typ in _TOP_KEYS.items():
         if key not in data:

@@ -15,13 +15,20 @@ Subcommands
     bounds the solve by wall clock (an expiring deadline returns the
     anytime incumbent when one exists), and ``--fallback`` walks the
     graceful-degradation ladder (full -> anytime -> coarsened levels ->
-    greedy) instead of failing outright.
+    greedy) instead of failing outright; ``--fallback --workers N``
+    races the rungs in N processes instead of walking them.
 ``simulate``
     Run a churn/fault campaign: generate a seeded fault timeline (or
     replay an explicit one from a JSON campaign spec), deploy, and repair
     after every event, with optional transient-fault injection and
     retry/backoff.  ``--json -`` emits a deterministic record — two runs
-    with the same seeds serialize identically.
+    with the same seeds serialize identically.  ``--seeds S1 S2 ...``
+    runs the campaign once per seed, and ``--workers N`` fans those runs
+    out over processes — same records, less wall clock
+    (docs/PERFORMANCE.md).
+``bench``
+    Time the Table-2 sweep, optionally across ``--workers N`` processes
+    and over repeated ``--rounds`` against warm compile caches.
 ``lint``
     Statically verify a spec/network pair before planning: monotonicity,
     level soundness, reachability, cost sanity (see docs/LINTING.md).
@@ -120,7 +127,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         if args.fallback:
             from .planner import solve_robust
 
-            outcome = solve_robust(app, network, config=config)
+            outcome = solve_robust(app, network, config=config, workers=args.workers)
             print(outcome.describe())
             if outcome.plan is None:
                 print("no plan: every ladder rung failed", file=sys.stderr)
@@ -169,67 +176,72 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from dataclasses import replace as dc_replace
-
-    from .simulate import (
-        FaultInjector,
-        FaultModel,
-        RetryPolicy,
-        Simulation,
-        event_from_dict,
-        generate_timeline,
-    )
+    from .simulate.campaign import run_campaign, run_campaign_run
 
     app, network, leveling = _load_instance(args)
     spec = json.load(open(args.campaign)) if args.campaign else {}
+    telemetry = None
+    if args.metrics:
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
 
     try:
-        faults = FaultModel.from_dict(spec.get("faults", {}))
+        if args.seeds:
+            # Multi-seed campaign: one run per seed, optionally fanned out
+            # over worker processes; the document is byte-identical at any
+            # worker count for fixed seeds.
+            doc = run_campaign(
+                app,
+                network,
+                leveling,
+                spec,
+                seeds=args.seeds,
+                events=args.events,
+                time_limit_s=args.time_limit,
+                include_timings=args.timings,
+                telemetry=telemetry,
+                workers=args.workers,
+            )
+            failed = 0
+            for run in doc["runs"]:
+                print(f"--- seed {run['seed']} ---")
+                print(run["description"])
+                if "failure" in run["record"]["initial"]:
+                    failed += 1
+            payload_doc = {
+                "format": doc["format"],
+                "runs": [
+                    {"seed": r["seed"], "record": r["record"]} for r in doc["runs"]
+                ],
+            }
+            ok = failed == 0
+        else:
+            result = run_campaign_run(
+                app,
+                network,
+                leveling,
+                spec,
+                seed=args.seed,
+                events=args.events,
+                time_limit_s=args.time_limit,
+                telemetry=telemetry,
+            )
+            print(result.describe())
+            payload_doc = result.to_dict(include_timings=args.timings)
+            ok = result.initial_plan is not None
     except TypeError as exc:
         print(f"invalid campaign fault model: {exc}", file=sys.stderr)
         return 1
-    if args.seed is not None:
-        faults = dc_replace(faults, seed=args.seed)
-    if args.events is not None:
-        faults = dc_replace(faults, events=args.events)
+    except ValueError as exc:
+        print(f"invalid campaign event: {exc}", file=sys.stderr)
+        return 1
 
-    if "events" in spec:
-        try:
-            timeline = [event_from_dict(d) for d in spec["events"]]
-        except ValueError as exc:
-            print(f"invalid campaign event: {exc}", file=sys.stderr)
-            return 1
-    else:
-        timeline = generate_timeline(network, faults)
-
-    injector = None
-    if "injector" in spec:
-        injector = FaultInjector(**spec["injector"])
-    retry = RetryPolicy(**spec["retry"]) if "retry" in spec else None
-    # Bound repair searches: proving a degraded step infeasible under the
-    # default 500k-node budget can take minutes per step.
-    config = PlannerConfig(
-        rg_node_budget=int(spec.get("rg_node_budget", 20_000)),
-        time_limit_s=spec.get("time_limit_s", args.time_limit),
-    )
-    sim = Simulation(
-        app,
-        network,
-        leveling,
-        migration_cost_factor=float(spec.get("migration_cost_factor", 0.5)),
-        replan_from_scratch_on_outage=bool(
-            spec.get("replan_from_scratch_on_outage", True)
-        ),
-        fault_injector=injector,
-        retry_policy=retry,
-        planner_config=config,
-    )
-    result = sim.run(timeline)
-    print(result.describe())
+    if args.metrics:
+        print()
+        print(telemetry.metrics.render_text())
     if args.json:
-        payload = json.dumps(
-            result.to_dict(include_timings=args.timings), indent=2, sort_keys=True
-        )
+        payload = json.dumps(payload_doc, indent=2, sort_keys=True)
         if args.json == "-":
             print(payload)
         else:
@@ -237,7 +249,65 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             # stderr: stdout must stay byte-identical across same-seed runs
             # regardless of the output path (the fault-smoke CI job diffs it).
             print(f"wrote {args.json}", file=sys.stderr)
-    return 0 if result.initial_plan is not None else 1
+    return 0 if ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time the Table-2 sweep, serially or across worker processes."""
+    import time as _time
+
+    from .experiments import render_table2
+    from .experiments.harness import _run_table2_parallel, run_table2
+    from .parallel import WorkerPool, default_compile_cache, resolve_workers
+
+    networks = tuple(args.networks)
+    scenarios = tuple(args.scenarios)
+    workers = resolve_workers(args.workers, len(networks) * len(scenarios))
+    cache = None if args.no_cache else default_compile_cache()
+    round_s: list[float] = []
+    rows = []
+    pool = WorkerPool(workers) if workers > 1 else None
+    try:
+        for _ in range(args.rounds):
+            t0 = _time.perf_counter()
+            if pool is not None:
+                # A persistent pool keeps per-worker compile caches warm
+                # across rounds (deterministic sharding pins each cell to
+                # one worker), so repeat rounds skip compilation.
+                rows = _run_table2_parallel(
+                    networks, scenarios, workers, compile_cache=cache, pool=pool
+                )
+            else:
+                rows = run_table2(networks, scenarios, compile_cache=cache)
+            round_s.append(_time.perf_counter() - t0)
+    finally:
+        if pool is not None:
+            pool.close()
+
+    print(render_table2(rows))
+    print()
+    print(f"workers {workers}, rounds {args.rounds}, cache {'off' if args.no_cache else 'on'}")
+    for i, s in enumerate(round_s):
+        print(f"  round {i}: {s * 1e3:.0f} ms")
+    print(f"  best: {min(round_s) * 1e3:.0f} ms")
+    if cache is not None and workers == 1:
+        print(f"  cache: {cache.stats()}")
+    if args.json:
+        payload = {
+            "format": 1,
+            "workers": workers,
+            "rounds_s": [round(s, 6) for s in round_s],
+            "cache": cache.stats() if cache is not None and workers == 1 else None,
+            "cells": [row.to_record() for row in rows],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json}")
+    return 0
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -352,6 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="walk the graceful-degradation ladder (full -> anytime -> "
         "coarsened levels -> greedy) instead of failing outright",
     )
+    p_plan.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --fallback: race the ladder rungs in N processes, each "
+        "with the whole time budget; the best rung that succeeds wins "
+        "(docs/PERFORMANCE.md). No effect on a plain solve.",
+    )
     p_plan.set_defaults(fn=_cmd_plan)
 
     p_sim = sub.add_parser("simulate", help="run a churn/fault campaign")
@@ -385,7 +464,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include wall-clock timings in the JSON record",
     )
+    p_sim.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        metavar="SEED",
+        help="run the campaign once per seed (multi-run document); "
+        "combine with --workers to fan the runs out over processes",
+    )
+    p_sim.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --seeds: run campaigns in N worker processes (one run "
+        "per task); records are identical to --workers 1 for fixed seeds",
+    )
+    p_sim.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged metrics registry after the run(s), "
+        "including cache.hit / cache.miss compile-cache counters",
+    )
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the Table-2 sweep (serial or parallel)"
+    )
+    p_bench.add_argument("--networks", nargs="+", default=["Tiny", "Small", "Large"])
+    p_bench.add_argument("--scenarios", nargs="+", default=["B", "C", "D", "E"])
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan cells out over N worker processes (deterministic sharding)",
+    )
+    p_bench.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        metavar="R",
+        help="repeat the sweep R times against persistent workers; warm "
+        "compile caches make repeat rounds cheap",
+    )
+    p_bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the warm-start compile cache",
+    )
+    p_bench.add_argument(
+        "--json", metavar="FILE", help="write timings and cell records ('-' for stdout)"
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_lint = sub.add_parser(
         "lint", help="statically verify a spec against a network"

@@ -198,6 +198,48 @@ class GroundAction:
     def __str__(self) -> str:
         return self.name
 
+    # -- pickling / cloning ---------------------------------------------------
+
+    _DERIVED_SLOTS = ("_cond_prog", "_effect_prog", "_var_items")
+
+    def __getstate__(self):
+        """Pickle without the compiled closures (they are rebuilt on load).
+
+        The replay program's closures close over ground-substituted ASTs
+        and are not picklable; everything needed to rebuild them travels in
+        the declarative fields, so a worker process can receive a compiled
+        problem and :meth:`__setstate__` restores full replay capability.
+        """
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in self._DERIVED_SLOTS
+        }
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        self.__post_init__()
+
+    def clone(self) -> "GroundAction":
+        """A mutable copy sharing the (immutable) replay program.
+
+        Unlike ``copy.copy`` — which round-trips through
+        :meth:`__getstate__` and re-derives the compiled closures — this
+        copies every slot directly, so forking a compiled problem with
+        thousands of actions costs microseconds per action, not a formula
+        recompilation.  The closure tuples are immutable and safely shared;
+        mutable containers that callers overwrite in place (``var_map``,
+        ``committed``) are copied.
+        """
+        dup = object.__new__(GroundAction)
+        for slot in self.__slots__:
+            object.__setattr__(dup, slot, getattr(self, slot))
+        dup.var_map = dict(self.var_map)
+        dup.committed = dict(self.committed)
+        return dup
+
     # -- replay ---------------------------------------------------------------
 
     def replay(self, rmap: ResourceMap, counters: ReplayCounters | None = None) -> None:

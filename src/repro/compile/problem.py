@@ -69,6 +69,28 @@ class CompiledProblem:
             self._initial_map_cache = rmap
         return self._initial_map_cache.copy()
 
+    def fork(self) -> "CompiledProblem":
+        """A copy safe to hand to mutating consumers (repair, caching).
+
+        Deployment repair rewrites the initial state and discounts action
+        costs in place; a warm-start compile cache therefore never hands
+        out its pristine instance directly.  Actions are cloned cheaply
+        (sharing the immutable replay closures — see
+        :meth:`~repro.compile.GroundAction.clone`), everything else that
+        repair mutates is shallow-copied, and the expensive immutable
+        structure (interned propositions, ASTs) is shared.
+        """
+        import copy as _copy
+
+        dup = _copy.copy(self)
+        dup.actions = [a.clone() for a in self.actions]
+        dup.achievers = {pid: list(idxs) for pid, idxs in self.achievers.items()}
+        dup.initial_values = dict(self.initial_values)
+        dup._initial_streams = list(self._initial_streams)
+        dup.pruned_actions = list(self.pruned_actions)
+        dup._initial_map_cache = None
+        return dup
+
     def prop_str(self, pid: int) -> str:
         return str(self.props[pid])
 

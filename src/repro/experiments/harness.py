@@ -55,6 +55,41 @@ class Table2Row:
     total_ms: float = 0.0
     search_ms: float = 0.0
     plan: Plan | None = field(default=None, repr=False)
+    plan_names: tuple[str, ...] = ()
+    """Action names of the plan — survives the trip back from a worker
+    process, where ``plan`` (which drags the compiled problem along) is
+    deliberately stripped.  Filled on every solved cell."""
+
+    def to_record(self, include_timings: bool = False) -> dict:
+        """Deterministic JSON-ready record of this cell.
+
+        Timings are excluded by default so records are byte-identical
+        across runs and worker counts (the determinism suite relies on
+        this); pass ``include_timings=True`` for human-facing exports.
+        """
+        record = {
+            "network": self.network,
+            "scenario": self.scenario,
+            "solved": self.solved,
+            "failure": self.failure,
+            "cost_lower_bound": self.cost_lower_bound,
+            "actions_in_plan": self.actions_in_plan,
+            "reserved_lan_bw": self.reserved_lan_bw,
+            "exact_cost": self.exact_cost,
+            "delivered_bw": self.delivered_bw,
+            "total_actions": self.total_actions,
+            "plrg_props": self.plrg_props,
+            "plrg_actions": self.plrg_actions,
+            "slrg_nodes": self.slrg_nodes,
+            "rg_nodes": self.rg_nodes,
+            "rg_queue_left": self.rg_queue_left,
+            "plan": list(self.plan.action_names()) if self.plan is not None
+            else list(self.plan_names),
+        }
+        if include_timings:
+            record["total_ms"] = self.total_ms
+            record["search_ms"] = self.search_ms
+        return record
 
     def cells(self) -> list[str]:
         """Formatted cells in the paper's column order."""
@@ -83,12 +118,16 @@ def run_cell(
     demand: float = DEFAULT_DEMAND,
     rg_node_budget: int = 500_000,
     telemetry: Telemetry | None = None,
+    compile_cache=None,
 ) -> Table2Row:
     """Solve one (network, scenario) cell of the paper's evaluation.
 
     With ``telemetry``, the whole cell is wrapped in a ``scenario`` span
     (the planner's phase spans nest inside it), so a full ``run_table2``
-    export shows every cell on one timeline.
+    export shows every cell on one timeline.  With ``compile_cache`` (a
+    :class:`repro.parallel.CompileCache`), compilation of repeated cells
+    is served from the cache — identical results, near-zero compile time
+    on a hit.
     """
     if isinstance(case, str):
         case = network_case(case)
@@ -96,9 +135,10 @@ def run_cell(
         scen = scenario(scen)
 
     app = build_app(case.server, case.client, source_bw=source_bw, demand=demand)
+    leveling = scen.leveling()
     planner = Planner(
         PlannerConfig(
-            leveling=scen.leveling(),
+            leveling=leveling,
             rg_node_budget=rg_node_budget,
             telemetry=telemetry,
         )
@@ -109,7 +149,15 @@ def run_cell(
     ) as span:
         t0 = time.perf_counter()
         try:
-            problem = planner.compile(app, case.network)
+            if compile_cache is not None:
+                problem = compile_cache.compile(
+                    app,
+                    case.network,
+                    leveling,
+                    metrics=telemetry.metrics if telemetry is not None else None,
+                )
+            else:
+                problem = planner.compile(app, case.network)
             row.total_actions = len(problem.actions)
             plan = planner.solve(problem=problem)
         except (Unsolvable, ResourceInfeasible, PlanningError) as exc:
@@ -123,6 +171,7 @@ def run_cell(
         lan_vars = case.lan_link_vars()
         row.solved = True
         row.plan = plan
+        row.plan_names = tuple(plan.action_names())
         row.cost_lower_bound = plan.cost_lb
         row.actions_in_plan = len(plan)
         row.reserved_lan_bw = report.max_consumed(lan_vars) if lan_vars else None
@@ -143,12 +192,74 @@ def run_cell(
 def run_table2(
     networks: tuple[str, ...] = TABLE2_NETWORKS,
     scenarios: tuple[str, ...] = TABLE2_SCENARIOS,
+    workers: int = 1,
     **kwargs,
 ) -> list[Table2Row]:
-    """Reproduce Table 2: every (network, scenario) pair."""
+    """Reproduce Table 2: every (network, scenario) pair.
+
+    With ``workers > 1`` the cells fan out over a spawn-started process
+    pool (:mod:`repro.parallel`), one cell per task, sharded
+    deterministically.  Rows come back in the same (network, scenario)
+    order as the serial walk, worker metrics are merged into the caller's
+    telemetry in task order, and every row's ``plan`` field is ``None``
+    (``plan_names`` carries the actions — compiled problems stay in the
+    workers).  Per-cell *spans* are not collected from workers; only the
+    metrics registry crosses the process boundary.
+    """
+    if workers > 1:
+        return _run_table2_parallel(networks, scenarios, workers, **kwargs)
     rows = []
     for net_key in networks:
         case = network_case(net_key)
         for scen_key in scenarios:
             rows.append(run_cell(case, scen_key, **kwargs))
     return rows
+
+
+def _run_table2_parallel(
+    networks: tuple[str, ...],
+    scenarios: tuple[str, ...],
+    workers: int,
+    source_bw: float = DEFAULT_SOURCE_BW,
+    demand: float = DEFAULT_DEMAND,
+    rg_node_budget: int = 500_000,
+    telemetry: Telemetry | None = None,
+    compile_cache=None,
+    pool=None,
+) -> list[Table2Row]:
+    """One Table-2 cell per pool task; results reassembled in cell order.
+
+    ``pool`` lets a caller (the benchmark harness) keep one warm
+    :class:`~repro.parallel.WorkerPool` across repeated sweeps so the
+    per-worker compile caches persist; by default a pool is created and
+    torn down around this one sweep.  ``compile_cache`` only gates
+    whether workers use *their own* process-global cache (it cannot cross
+    the process boundary).
+    """
+    from ..parallel import CellTask, WorkerPool, resolve_workers, run_cell_task
+
+    tasks = [
+        CellTask(
+            network=net_key,
+            scenario=scen_key,
+            source_bw=source_bw,
+            demand=demand,
+            rg_node_budget=rg_node_budget,
+            with_metrics=telemetry is not None,
+            use_cache=compile_cache is not None,
+        )
+        for net_key in networks
+        for scen_key in scenarios
+    ]
+    workers = resolve_workers(workers, len(tasks))
+    if pool is not None:
+        results = pool.map(run_cell_task, tasks)
+    else:
+        with WorkerPool(workers) as fresh:
+            results = fresh.map(run_cell_task, tasks)
+    # Merge metrics in task order (deterministic regardless of completion
+    # interleaving), then hand rows back in the serial walk's order.
+    if telemetry is not None:
+        for result in results:
+            result.metrics.merge_into(telemetry.metrics)
+    return [result.row for result in results]

@@ -81,8 +81,15 @@ def _mul_pair(a: tuple[float, bool], b: tuple[float, bool]) -> tuple[float, bool
     # 0 * inf: the finite-zero factor dominates (the product of attainable
     # values near the bound tends to 0).
     if (va == 0.0 and math.isinf(vb)) or (vb == 0.0 and math.isinf(va)):
-        return (0.0, oa or ob)
-    return (va * vb, oa or ob)
+        value = 0.0
+    else:
+        value = va * vb
+    # A *closed* zero factor attains the zero product against every
+    # attainable value of the other operand, so the bound stays closed
+    # even when the other bound is open ([0,0] * (1,2) is exactly {0}).
+    if (va == 0.0 and not oa) or (vb == 0.0 and not ob):
+        return (value, False)
+    return (value, oa or ob)
 
 
 def imul(a: Interval, b: Interval) -> Interval:

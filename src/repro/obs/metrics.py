@@ -150,6 +150,56 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
 
+    # -- cross-process merging -------------------------------------------------
+
+    def merge_snapshot(self, snapshot: list[dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Used by the parallel executor (:mod:`repro.parallel`) to merge
+        each worker's metrics back into the parent: counters and
+        histograms *accumulate* (every worker's work is counted exactly
+        once, because workers snapshot a registry that is fresh per
+        task), while gauges are last-write-wins — callers merge worker
+        snapshots in deterministic task order, so the surviving gauge
+        value is the last task's, independent of completion order.
+
+        Raises
+        ------
+        TypeError
+            When a name is already registered under a different metric
+            kind, or a histogram arrives with mismatched bucket bounds.
+        """
+        for record in snapshot:
+            kind, name = record["kind"], record["name"]
+            if kind == "counter":
+                self.counter(name).inc(int(record["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(record["value"])
+            elif kind == "histogram":
+                bounds = tuple(
+                    float(b) for b, _ in record["buckets"] if b is not None
+                )
+                hist = self.histogram(name, bounds)
+                if hist.bounds != bounds:
+                    raise TypeError(
+                        f"histogram {name!r} bucket bounds differ: "
+                        f"{hist.bounds} vs {bounds}"
+                    )
+                counts = [int(c) for _, c in record["buckets"]]
+                for i, c in enumerate(counts):
+                    hist.bucket_counts[i] += c
+                if record["count"]:
+                    if hist.count == 0:
+                        hist.min = record["min"]
+                        hist.max = record["max"]
+                    else:
+                        hist.min = min(hist.min, record["min"])
+                        hist.max = max(hist.max, record["max"])
+                hist.count += int(record["count"])
+                hist.total += record["sum"]
+            else:
+                raise TypeError(f"unknown metric kind {kind!r} for {name!r}")
+
     # -- reporting -------------------------------------------------------------
 
     def snapshot(self) -> list[dict]:

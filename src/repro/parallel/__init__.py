@@ -1,0 +1,78 @@
+"""Process-parallel execution (docs/PERFORMANCE.md, "Parallel execution").
+
+Spawn-safe building blocks for running planner work across processes:
+
+* :class:`WorkerPool` — persistent spawn-started workers with
+  deterministic task→worker sharding and loud failures
+  (:class:`TaskFailed`, :class:`WorkerCrashed`).
+* Envelopes (:mod:`repro.parallel.envelope`) — the pickleable contract
+  between parent and workers; :func:`check_picklable` names the exact
+  offending field when something unpicklable sneaks in.
+* :class:`CompileCache` (:mod:`repro.parallel.cache`) — warm-start
+  compile cache keyed by content fingerprints
+  (:mod:`repro.parallel.fingerprint`), one per worker process.
+* Worker task functions (:mod:`repro.parallel.workers`) — the
+  module-level entry points the pool actually runs (Table-2 cells,
+  fault-campaign runs).
+* Portfolio racing (:mod:`repro.parallel.race`) — the process-parallel
+  mode of :func:`repro.planner.solve_robust`.
+
+Consumers: ``run_table2(workers=N)``, ``run_campaign(workers=N)``,
+``solve_robust(workers=N)``, and the ``--workers`` CLI flags on
+``repro bench`` / ``repro simulate`` / ``repro plan --fallback``.
+"""
+
+from .cache import CompileCache, default_compile_cache
+from .envelope import (
+    ENVELOPE_TYPES,
+    EnvelopeError,
+    MetricsSnapshot,
+    PlanEnvelope,
+    ProblemEnvelope,
+    check_picklable,
+)
+from .fingerprint import (
+    app_fingerprint,
+    digest,
+    leveling_fingerprint,
+    network_fingerprint,
+)
+from .pool import START_METHOD, TaskFailed, WorkerCrashed, WorkerPool, resolve_workers
+from .race import RungJob, RungOutcome, race_rungs
+from .workers import (
+    CampaignResult,
+    CampaignTask,
+    CellResult,
+    CellTask,
+    run_campaign_task,
+    run_cell_task,
+)
+
+__all__ = [
+    "START_METHOD",
+    "WorkerPool",
+    "WorkerCrashed",
+    "TaskFailed",
+    "resolve_workers",
+    "CompileCache",
+    "default_compile_cache",
+    "EnvelopeError",
+    "check_picklable",
+    "ProblemEnvelope",
+    "PlanEnvelope",
+    "MetricsSnapshot",
+    "ENVELOPE_TYPES",
+    "digest",
+    "app_fingerprint",
+    "network_fingerprint",
+    "leveling_fingerprint",
+    "RungJob",
+    "RungOutcome",
+    "race_rungs",
+    "CellTask",
+    "CellResult",
+    "run_cell_task",
+    "CampaignTask",
+    "CampaignResult",
+    "run_campaign_task",
+]

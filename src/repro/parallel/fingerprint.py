@@ -1,0 +1,117 @@
+"""Stable content fingerprints for planning inputs.
+
+The warm-start compile cache (:mod:`repro.parallel.cache`) keys compiled
+problems by *what they were compiled from*: the network topology, the
+application specification, and the leveling.  Fingerprints are
+blake2b digests of a canonical JSON rendering — formulas are serialized
+through their :meth:`~repro.expr.Node.unparse` text, dict iteration is
+sorted — so two structurally identical inputs built through different
+code paths (or in different worker processes) hash identically, while
+any semantic change (a cutpoint, a resource capacity, a cost formula)
+changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..model import AppSpec, Leveling
+from ..network import Network, network_to_dict
+
+__all__ = [
+    "app_fingerprint",
+    "network_fingerprint",
+    "leveling_fingerprint",
+    "digest",
+]
+
+_DIGEST_SIZE = 16  # 128-bit digests: collision-safe for cache keys
+
+
+def digest(payload: Any) -> str:
+    """blake2b hexdigest of a JSON-canonicalized payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def network_fingerprint(network: Network) -> str:
+    """Fingerprint of the full topology (nodes, links, resources, labels)."""
+    return digest(network_to_dict(network))
+
+
+def _formulas(nodes) -> list[str]:
+    return [n.unparse() for n in nodes]
+
+
+def app_fingerprint(app: AppSpec) -> str:
+    """Fingerprint of everything compilation reads from the app spec."""
+    payload = {
+        "name": app.name,
+        "resources": [
+            {
+                "name": r.name,
+                "scope": r.scope.value,
+                "degradable": r.degradable,
+                "upgradable": r.upgradable,
+                "consumable": r.consumable,
+            }
+            for r in app.resources
+        ],
+        "interfaces": {
+            name: {
+                "properties": [
+                    {
+                        "name": p.name,
+                        "degradable": p.degradable,
+                        "upgradable": p.upgradable,
+                        "default_levels": list(p.default_levels.cutpoints)
+                        if p.default_levels is not None
+                        else None,
+                    }
+                    for p in iface.properties
+                ],
+                "cross_conditions": _formulas(iface.cross_conditions),
+                "cross_effects": _formulas(iface.cross_effects),
+                "cross_cost": iface.cross_cost.unparse()
+                if iface.cross_cost is not None
+                else None,
+            }
+            for name, iface in sorted(app.interfaces.items())
+        },
+        "components": {
+            name: {
+                "requires": list(comp.requires),
+                "implements": list(comp.implements),
+                "conditions": _formulas(comp.conditions),
+                "effects": _formulas(comp.effects),
+                "cost": comp.cost.unparse() if comp.cost is not None else None,
+            }
+            for name, comp in sorted(app.components.items())
+        },
+        "initial": [[p.component, p.node] for p in app.initial_placements],
+        "goals": [[p.component, p.node] for p in app.goal_placements],
+        "pinned": dict(sorted(app.pinned.items())),
+    }
+    return digest(payload)
+
+
+def leveling_fingerprint(leveling: Leveling | None) -> str:
+    """Fingerprint of a leveling (``None`` hashes distinctly).
+
+    The name participates: it is carried through to compiled problems and
+    plan records, so two levelings with equal cutpoints but different
+    names must not share a cache entry (records would then name the wrong
+    scenario).
+    """
+    if leveling is None:
+        return digest(None)
+    payload = {
+        "name": leveling.name,
+        "specs": {
+            var: list(spec.cutpoints)
+            for var, spec in sorted(leveling.specs.items())
+        },
+    }
+    return digest(payload)

@@ -1,0 +1,188 @@
+"""A spawn-safe process pool with deterministic sharding.
+
+Why not :class:`concurrent.futures.ProcessPoolExecutor`?  Two reasons,
+both load-bearing for this codebase:
+
+* **Deterministic task→worker affinity.**  Tasks are sharded statically
+  (task ``i`` goes to worker ``i % workers``), so a task set replayed
+  against a persistent pool lands on the *same* workers every time.
+  That makes results reproducible metric-for-metric and lets each
+  worker's warm-start compile cache (:mod:`repro.parallel.cache`) hit
+  reliably on repeated workloads — a shared work queue would scatter
+  repeat cells across workers at the scheduler's whim.
+* **Loud failures.**  A worker that dies (OOM, segfault, unpicklable
+  result) surfaces as :class:`WorkerCrashed` naming the worker and its
+  shard; a task that raises surfaces as :class:`TaskFailed` carrying the
+  remote traceback text, re-raised in deterministic task order.
+
+Workers are started with the ``spawn`` method unconditionally — no
+inherited state, no fork-only assumptions — so behavior is identical on
+Linux, macOS, and Windows, and pickling bugs in task payloads show up
+everywhere instead of only off-Linux.  Task functions must therefore be
+module-level importables and payloads must survive pickling
+(:func:`repro.parallel.check_picklable` diagnoses violations).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from typing import Callable, Sequence
+
+__all__ = ["WorkerPool", "WorkerCrashed", "TaskFailed", "resolve_workers"]
+
+START_METHOD = "spawn"
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died before returning its shard's results."""
+
+
+class TaskFailed(RuntimeError):
+    """A task raised in a worker; carries the remote traceback text."""
+
+    def __init__(self, index: int, message: str, remote_traceback: str):
+        super().__init__(
+            f"task {index} failed in worker: {message}\n"
+            f"--- remote traceback ---\n{remote_traceback}"
+        )
+        self.index = index
+        self.remote_traceback = remote_traceback
+
+
+def resolve_workers(workers: int | None, tasks: int) -> int:
+    """Clamp a worker-count request to something sensible."""
+    if workers is None or workers <= 1:
+        return 1
+    return max(1, min(workers, tasks))
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive (fn, shard), run, reply; repeat until 'stop'."""
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, fn, shard = message
+            results = []
+            for index, payload in shard:
+                try:
+                    value = fn(payload)
+                    results.append((index, True, value, None))
+                except BaseException as exc:  # noqa: BLE001 - report, don't die
+                    results.append(
+                        (
+                            index,
+                            False,
+                            f"{type(exc).__name__}: {exc}",
+                            traceback.format_exc(),
+                        )
+                    )
+            conn.send(results)
+    except (EOFError, KeyboardInterrupt):  # parent went away / interrupt
+        pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Persistent spawn-started workers with per-worker command pipes.
+
+    Use as a context manager::
+
+        with WorkerPool(4) as pool:
+            rows = pool.map(run_cell_task, tasks)
+
+    ``map`` may be called repeatedly; workers persist between calls, so
+    per-process state (module import cost, compile caches) is paid once.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        ctx = mp.get_context(START_METHOD)
+        self._procs = []
+        self._conns = []
+        for i in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name=f"repro-worker-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        """Run ``fn`` over ``payloads``; results in payload order.
+
+        ``fn`` must be a module-level callable (pickled by reference).
+        Task ``i`` always runs on worker ``i % workers``; within one
+        worker, its shard runs in ascending task order.  The first
+        failing task (lowest index) is re-raised as :class:`TaskFailed`.
+        """
+        if not self._procs:
+            raise RuntimeError("pool is closed")
+        shards: list[list[tuple[int, object]]] = [[] for _ in self._procs]
+        for index, payload in enumerate(payloads):
+            shards[index % len(self._procs)].append((index, payload))
+
+        busy = []
+        for worker_id, shard in enumerate(shards):
+            if shard:
+                self._conns[worker_id].send(("run", fn, shard))
+                busy.append(worker_id)
+
+        results: dict[int, object] = {}
+        failures: dict[int, tuple[str, str]] = {}
+        for worker_id in busy:
+            try:
+                replies = self._conns[worker_id].recv()
+            except (EOFError, ConnectionResetError) as exc:
+                shard_ids = [i for i, _ in shards[worker_id]]
+                raise WorkerCrashed(
+                    f"worker {worker_id} died while running tasks {shard_ids} "
+                    f"({type(exc).__name__}); its results are lost"
+                ) from exc
+            for index, ok, value, remote_tb in replies:
+                if ok:
+                    results[index] = value
+                else:
+                    failures[index] = (value, remote_tb)
+
+        if failures:
+            first = min(failures)
+            message, remote_tb = failures[first]
+            raise TaskFailed(first, message, remote_tb)
+        return [results[i] for i in range(len(payloads))]
+
+    def close(self) -> None:
+        """Stop all workers (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []

@@ -1,0 +1,140 @@
+"""Module-level worker task functions for the process pool.
+
+Spawn-started workers pickle task functions *by reference*, so
+everything a :class:`~repro.parallel.WorkerPool` runs lives here as a
+plain module-level function taking one pickleable payload dataclass and
+returning one pickleable result dataclass.  Each task builds its own
+:class:`~repro.obs.Telemetry` (when asked) and returns a
+:class:`~repro.parallel.MetricsSnapshot`; the parent merges snapshots in
+task order, so parallel runs report the same counters a serial run
+would.
+
+Compilation inside a worker goes through the worker's process-global
+warm-start cache (:func:`~repro.parallel.default_compile_cache`):
+repeated cells or recurring fault-campaign network states stop paying
+grounding costs after first sight, and the ``cache.hit`` / ``cache.miss``
+counters ride home in the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model import AppSpec, Leveling
+from ..network import Network
+from .envelope import MetricsSnapshot, PlanEnvelope
+
+__all__ = [
+    "CellTask",
+    "CellResult",
+    "run_cell_task",
+    "CampaignTask",
+    "CampaignResult",
+    "run_campaign_task",
+]
+
+
+# -- Table 2 cells (experiments.harness fan-out) -------------------------------
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One (network, scenario) cell of the paper's evaluation."""
+
+    network: str
+    scenario: str
+    source_bw: float
+    demand: float
+    rg_node_budget: int
+    with_metrics: bool = False
+    use_cache: bool = True
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """A solved cell: the row (plan stripped), its plan, worker metrics."""
+
+    row: object  # Table2Row with plan=None and plan_names filled
+    plan: PlanEnvelope | None
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+
+def run_cell_task(task: CellTask) -> CellResult:
+    """Solve one Table 2 cell in this worker."""
+    from ..experiments.harness import run_cell
+    from ..obs import Telemetry
+    from .cache import default_compile_cache
+
+    telemetry = Telemetry() if task.with_metrics else None
+    row = run_cell(
+        task.network,
+        task.scenario,
+        source_bw=task.source_bw,
+        demand=task.demand,
+        rg_node_budget=task.rg_node_budget,
+        telemetry=telemetry,
+        compile_cache=default_compile_cache() if task.use_cache else None,
+    )
+    envelope = PlanEnvelope.from_plan(row.plan) if row.plan is not None else None
+    row.plan_names = tuple(envelope.actions) if envelope is not None else ()
+    row.plan = None  # the full Plan holds the compiled problem; too big to ship
+    return CellResult(
+        row=row,
+        plan=envelope,
+        metrics=MetricsSnapshot.from_telemetry(telemetry),
+    )
+
+
+# -- fault-campaign runs (simulate fan-out) ------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One seeded campaign run: instance + campaign spec + seed override."""
+
+    app: AppSpec
+    network: Network
+    leveling: Leveling
+    spec: dict
+    seed: int | None = None
+    events: int | None = None
+    time_limit_s: float | None = None
+    include_timings: bool = False
+    with_metrics: bool = False
+    use_cache: bool = True
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """One campaign run's deterministic record plus worker metrics."""
+
+    seed: int | None
+    record: dict
+    description: str
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+
+def run_campaign_task(task: CampaignTask) -> CampaignResult:
+    """Run one fault campaign in this worker."""
+    from ..obs import Telemetry
+    from ..simulate.campaign import run_campaign_run
+    from .cache import default_compile_cache
+
+    telemetry = Telemetry() if task.with_metrics else None
+    result = run_campaign_run(
+        task.app,
+        task.network,
+        task.leveling,
+        task.spec,
+        seed=task.seed,
+        events=task.events,
+        time_limit_s=task.time_limit_s,
+        telemetry=telemetry,
+        compile_cache=default_compile_cache() if task.use_cache else None,
+    )
+    return CampaignResult(
+        seed=task.seed,
+        record=result.to_dict(include_timings=task.include_timings),
+        description=result.describe(),
+        metrics=MetricsSnapshot.from_telemetry(telemetry),
+    )

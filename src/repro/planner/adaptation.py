@@ -102,6 +102,7 @@ def repair_deployment(
     leveling: Leveling | None = None,
     migration_cost_factor: float = 0.5,
     planner_config: PlannerConfig | None = None,
+    compile_cache=None,
 ) -> RepairResult:
     """Repair ``deployment`` against a changed network.
 
@@ -114,6 +115,13 @@ def repair_deployment(
         deployment).  ``1.0`` disables the discount; ``0.0`` makes
         migrations logically free (their cost formula still applies at
         execution time).
+    compile_cache:
+        Optional :class:`repro.parallel.CompileCache`.  A repair compiles
+        the same (app, network, leveling) key *twice* — the repair
+        problem (then mutated with the surviving prefix) and the fresh
+        problem validating the stitched deployment — so even a cold cache
+        saves one full compilation per call, and repeated repairs against
+        a recurring network state save both.
 
     Returns
     -------
@@ -127,7 +135,20 @@ def repair_deployment(
     config = planner_config or PlannerConfig(leveling=leveling)
     if leveling is not None:
         config.leveling = leveling
-    new_problem = compile_problem(app, new_network, config.leveling)
+
+    def _compile() -> CompiledProblem:
+        if compile_cache is None:
+            return compile_problem(app, new_network, config.leveling)
+        return compile_cache.compile(
+            app,
+            new_network,
+            config.leveling,
+            metrics=(
+                config.telemetry.metrics if config.telemetry is not None else None
+            ),
+        )
+
+    new_problem = _compile()
 
     prefix = surviving_prefix(deployment, new_problem)
 
@@ -179,8 +200,9 @@ def repair_deployment(
     planner = Planner(config)
     repair_plan = planner.solve(problem=new_problem)
 
-    # Final validation of the stitched deployment on a fresh compilation.
-    fresh = compile_problem(app, new_network, config.leveling)
+    # Final validation of the stitched deployment on a fresh compilation
+    # (a cache hit here — the repair problem above has the same key).
+    fresh = _compile()
     by_name = {a.name: a for a in fresh.actions}
     stitched = [by_name[a.name] for a in prefix + list(repair_plan.actions)]
     execute_plan(fresh, stitched)

@@ -138,6 +138,7 @@ def solve_robust(
     config: PlannerConfig | None = None,
     time_limit_s: float | None = None,
     telemetry: Telemetry | None = None,
+    workers: int = 1,
 ) -> SolveOutcome:
     """Walk the degradation ladder until some rung produces a valid plan.
 
@@ -157,6 +158,15 @@ def solve_robust(
     telemetry:
         Metrics sink for the ``robust.*`` counters (overrides
         ``config.telemetry``).
+    workers:
+        ``1`` (the default) walks the ladder sequentially exactly as
+        before.  ``> 1`` races the rungs in that many processes instead
+        (:mod:`repro.parallel.race`): every rung gets the *whole* time
+        budget, the best rung that succeeds wins, and the losers are
+        cancelled.  Same acceptance semantics — a lower rung's plan is
+        only taken once every higher rung has failed — so the two modes
+        differ only in wall clock and, under deadline pressure, in which
+        rung wins (always recorded in ``SolveOutcome.rung``).
 
     Never raises :class:`~repro.planner.PlanningError` — an unsolvable
     walk is reported via ``SolveOutcome.plan is None``.  Configuration
@@ -168,6 +178,10 @@ def solve_robust(
     telemetry = telemetry if telemetry is not None else base.telemetry
     if time_limit_s is None:
         time_limit_s = base.time_limit_s
+    if workers > 1:
+        return _solve_robust_racing(
+            app, network, leveling, base, time_limit_s, telemetry, workers
+        )
     t_walk = time.perf_counter()
     walk_end = t_walk + time_limit_s if time_limit_s is not None else None
     metrics = telemetry.metrics if telemetry is not None else None
@@ -259,3 +273,117 @@ def solve_robust(
 
 class _LadderStop(Exception):
     """Internal: a rung failed in a way no lower rung can fix."""
+
+
+def _solve_robust_racing(
+    app: AppSpec,
+    network: Network,
+    leveling: Leveling | None,
+    base: PlannerConfig,
+    time_limit_s: float | None,
+    telemetry: Telemetry | None,
+    workers: int,
+) -> SolveOutcome:
+    """Race the ladder rungs across processes (``solve_robust(workers>1)``).
+
+    Each rung runs in its own process with the whole time budget; the
+    race accepts the best rung that succeeds (see
+    :func:`repro.parallel.race.race_rungs` for the acceptance policy).
+    The winner's plan travels home as a :class:`~repro.parallel.PlanEnvelope`
+    and is rebound to a problem compiled in the parent through the
+    warm-start cache; only the winner's worker metrics are merged (the
+    losers' work was cancelled, so counting it would misstate the cost
+    of the returned plan).
+    """
+    from ..parallel.cache import default_compile_cache
+    from ..parallel.race import RungJob, race_rungs
+
+    metrics = telemetry.metrics if telemetry is not None else None
+    # Each racing rung gets the whole budget and runs in anytime mode, so
+    # the full rung degrades to its own incumbent exactly as rung 2 does.
+    child_config = replace(
+        base, time_limit_s=time_limit_s, anytime=True, telemetry=None
+    )
+    jobs = [
+        RungJob(
+            rung="full",
+            app=app,
+            network=network,
+            leveling=leveling,
+            config=child_config,
+            with_metrics=metrics is not None,
+        )
+    ]
+    coarse = coarsen_leveling(leveling) if leveling is not None else None
+    if coarse is not None:
+        jobs.append(
+            RungJob(
+                rung="coarsened",
+                app=app,
+                network=network,
+                leveling=coarse,
+                config=child_config,
+                with_metrics=metrics is not None,
+            )
+        )
+    jobs.append(
+        RungJob(
+            rung="greedy",
+            app=app,
+            network=network,
+            leveling=Leveling({}, name="greedy-trivial"),
+            config=child_config,
+            with_metrics=metrics is not None,
+        )
+    )
+    leveling_of = {job.rung: job.leveling for job in jobs}
+
+    winner, raced = race_rungs(jobs, workers=workers, time_limit_s=time_limit_s)
+
+    outcome = SolveOutcome(plan=None)
+    for res in raced:
+        if res.status == "ok":
+            attempt = RungAttempt(
+                rung=res.rung, succeeded=True, detail=res.detail,
+                elapsed_s=res.elapsed_s,
+            )
+        elif res.status == "error":
+            attempt = RungAttempt(
+                rung=res.rung, succeeded=False, detail=res.detail,
+                error_type=res.error_type, elapsed_s=res.elapsed_s,
+            )
+        elif res.status == "crashed":
+            attempt = RungAttempt(
+                rung=res.rung, succeeded=False, detail=res.detail,
+                error_type="WorkerCrashed", elapsed_s=res.elapsed_s,
+            )
+        else:  # cancelled (race lost / aborted / never started)
+            attempt = RungAttempt(
+                rung=res.rung, succeeded=False, detail=res.detail,
+                error_type="Cancelled", elapsed_s=res.elapsed_s,
+            )
+        outcome.attempts.append(attempt)
+        if metrics is not None:
+            if res.status in ("ok", "error"):
+                metrics.inc(f"robust.attempt.{res.rung}")
+            elif res.status == "cancelled":
+                metrics.inc(f"robust.cancelled.{res.rung}")
+
+    if winner is None or winner.plan is None:
+        if metrics is not None:
+            metrics.inc("robust.failed")
+        return outcome
+
+    problem = default_compile_cache().compile(
+        app, network, leveling_of[winner.rung], metrics=metrics
+    )
+    plan = winner.plan.restore(problem)
+    outcome.plan = plan
+    outcome.rung = (
+        "anytime" if winner.rung == "full" and plan.incumbent else winner.rung
+    )
+    if metrics is not None:
+        metrics.inc(f"robust.fallback.{outcome.rung}")
+        if winner.metrics is not None:
+            winner.metrics.merge_into(metrics)
+    return outcome

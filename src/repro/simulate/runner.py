@@ -197,7 +197,21 @@ class Simulation:
         default 500k-node RG budget can take minutes, while a tight
         ``rg_node_budget`` or ``time_limit_s`` turns that proof into a
         fast, honestly-reported outage.
+    compile_cache:
+        Warm-start compile cache (:class:`repro.parallel.CompileCache`)
+        serving every compilation in the run: the initial solve, both
+        compilations of every repair step, and from-scratch replans.  A
+        repair step compiles its (app, network, leveling) key twice (the
+        repair problem and the stitched validation), and fault recoveries
+        revisit earlier network states, so repeated steps stop re-parsing
+        and re-validating the unchanged app spec entirely.  Defaults to
+        the process-global cache; pass ``None`` to compile fresh every
+        time (the pre-cache behavior).  Results are identical either way
+        — only wall clock changes, and timings are excluded from campaign
+        records by default.
     """
+
+    _DEFAULT_CACHE = object()  # sentinel: "use the process-global cache"
 
     def __init__(
         self,
@@ -209,6 +223,7 @@ class Simulation:
         fault_injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         planner_config: PlannerConfig | None = None,
+        compile_cache=_DEFAULT_CACHE,
     ):
         self.app = app
         self.network = network
@@ -219,6 +234,29 @@ class Simulation:
         self.retry_policy = retry_policy or RetryPolicy()
         self.planner_config = replace(planner_config or PlannerConfig(), leveling=leveling)
         self._planner = Planner(self.planner_config)
+        if compile_cache is Simulation._DEFAULT_CACHE:
+            from ..parallel import default_compile_cache
+
+            compile_cache = default_compile_cache()
+        self.compile_cache = compile_cache
+
+    def _solve(self, network: Network) -> Plan:
+        """Full solve against ``network``, through the cache when present."""
+        if self.compile_cache is None:
+            return self._planner.solve(self.app, network)
+        problem = self.compile_cache.compile(
+            self.app,
+            network,
+            self.planner_config.leveling,
+            self.planner_config.bound_overrides or None,
+            self.planner_config.strict,
+            metrics=(
+                self.planner_config.telemetry.metrics
+                if self.planner_config.telemetry is not None
+                else None
+            ),
+        )
+        return self._planner.solve(problem=problem)
 
     def run(self, events: list[Event]) -> SimulationResult:
         """Deploy, then apply every event in order, repairing after each.
@@ -229,7 +267,7 @@ class Simulation:
         """
         t_run = time.perf_counter()
         try:
-            plan = self._planner.solve(self.app, self.network)
+            plan = self._solve(self.network)
         except PlanningError as exc:
             return SimulationResult(
                 initial_plan=None,
@@ -286,7 +324,7 @@ class Simulation:
         if deployment is None:
             if not self.replan_from_scratch_on_outage:
                 raise PlanningError("deployment lost and replanning disabled")
-            fresh = self._planner.solve(self.app, network)
+            fresh = self._solve(network)
             step.repair_actions = len(fresh)
             step.repair_cost = fresh.exact_cost
             step.total_plan_cost = fresh.exact_cost
@@ -298,6 +336,7 @@ class Simulation:
             leveling=self.leveling,
             migration_cost_factor=self.migration_cost_factor,
             planner_config=replace(self.planner_config),
+            compile_cache=self.compile_cache,
         )
         step.survived_actions = len(repair.surviving_actions)
         step.repair_actions = len(repair.repair_plan)

@@ -66,6 +66,14 @@ class TestMul:
         r = imul(Interval.point(0), Interval.nonnegative())
         assert r.lo == 0 and r.hi == 0
 
+    def test_closed_zero_times_open_interval_attains_zero(self):
+        # Regression: a closed zero factor attains the zero product for
+        # every attainable value of the other operand — the result is
+        # exactly {0}, not the empty (0, 0) the corner-openness OR gave.
+        assert imul(Interval.point(0), Interval.open(1, 2)) == Interval.point(0)
+        r = imul(Interval.closed(0, 1), Interval.open(2, 3))
+        assert r.lo == 0 and not r.lo_open and r.hi == 3 and r.hi_open
+
     def test_scale(self):
         assert iscale(Interval.half_open(90, 100), 0.7).lo == pytest.approx(63.0)
 
@@ -85,6 +93,10 @@ class TestDiv:
     def test_negative_divisor(self):
         r = idiv(Interval.closed(10, 20), Interval.closed(-4, -2))
         assert r.lo == -10 and r.hi == -2.5
+
+    def test_zero_numerator_by_open_divisor(self):
+        # Regression: hypothesis counterexample idiv([0,0], (1,2)) == {0}.
+        assert idiv(Interval.point(0), Interval.open(1, 2)) == Interval.point(0)
 
 
 class TestMinMax:

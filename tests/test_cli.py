@@ -336,3 +336,38 @@ class TestSimulate:
         assert [s["event"]["kind"] for s in record["steps"]] == [
             "link-change", "node-change"
         ]
+
+    def test_multi_seed_document(self, workdir, capsys):
+        campaign = workdir / "campaign.json"
+        campaign.write_text(json.dumps({"faults": {"events": 4}}))
+        out_file = workdir / "runs.json"
+        rc = main(self._args(
+            workdir, "--campaign", str(campaign),
+            "--seeds", "3", "7", "--json", str(out_file),
+        ))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "--- seed 3 ---" in out and "--- seed 7 ---" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["format"] == 1
+        assert [r["seed"] for r in doc["runs"]] == [3, 7]
+        for run in doc["runs"]:
+            assert "steps" in run["record"]
+
+
+class TestBench:
+    def test_serial_quick_cells_with_cache(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--networks", "Tiny", "--scenarios", "B", "C",
+            "--rounds", "2", "--json", str(out_file),
+        ])
+        assert rc == 0
+        assert "best:" in capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        assert payload["workers"] == 1
+        assert len(payload["rounds_s"]) == 2
+        # round 1 re-solves the same cells through the warm cache
+        assert payload["cache"]["hits"] >= 2
+        assert [c["scenario"] for c in payload["cells"]] == ["B", "C"]
+        assert all(c["solved"] for c in payload["cells"])
