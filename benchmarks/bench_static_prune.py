@@ -1,0 +1,182 @@
+"""Static-pruning benchmark: certified dead-action + symmetry pruning.
+
+Plans every Table-2 cell and a set of fig-10 *symmetric-route*
+configurations twice — ``static_prune`` off vs. ``full`` — and records
+what the certified static analysis (docs/ANALYSIS.md) buys: ground
+actions eliminated, regression-graph nodes and expansions saved, and the
+analysis overhead itself.  Plan cost parity between the two modes is
+asserted on every cell (the same invariant the ``analyze --audit``
+differential audit enforces); a cost mismatch aborts the benchmark.
+
+The Table-2 cells use the paper's fixed endpoints, where the A* corridor
+is short and the network's symmetric node pairs sit off-route: the
+analysis proves them interchangeable, but goal-directed search never
+visits them, so the deltas there are expected to be ~zero.  The fig-10
+section places the media endpoints *around* the 93-node network's
+verified twin nodes (``t0_0_s1_1 ~ t0_0_s1_3`` and
+``t0_0_s0_2 ~ t0_0_s0_8``), creating equal-cost route families that the
+planner must otherwise enumerate — this is where symmetry pruning pays,
+and the headline number is the largest expansion reduction across those
+cells.
+
+Not collected by pytest (no ``test_`` prefix); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_static_prune.py [--quick] [--out FILE]
+
+``--quick`` restricts Table 2 to Tiny/Small and the fig-10 section to
+the headline configuration (the CI smoke configuration).  See
+``docs/ANALYSIS.md`` for the committed numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.domains import media  # noqa: E402
+from repro.experiments import network_case, scenario  # noqa: E402
+from repro.planner import Planner, PlannerConfig, PlanningError  # noqa: E402
+
+TABLE2_FULL = (("Tiny", "Small", "Large"), ("B", "C", "D", "E"))
+TABLE2_QUICK = (("Tiny", "Small"), ("B", "C", "D", "E"))
+
+# (server, client, scenario) triples on the fig-10 Large network whose
+# cheapest routes pass the verified twin pairs; first is the headline.
+FIG10_SYMMETRIC_ROUTES = (
+    ("t0_0_s0_0", "t0_0_s1_7", "B"),
+    ("t0_0_s0_0", "t0_0_s1_7", "E"),
+    ("t0_0_s1_2", "t0_0_s0_1", "B"),
+    ("t0_0_s1_2", "t0_0_s0_1", "E"),
+    ("t0_0_s0_0", "t0_0_s0_1", "B"),
+)
+FIG10_QUICK = FIG10_SYMMETRIC_ROUTES[:1]
+
+
+def _solve(app, network, leveling, mode):
+    planner = Planner(
+        PlannerConfig(leveling=leveling, rg_node_budget=500_000, static_prune=mode)
+    )
+    try:
+        return "solved", planner.solve(app, network)
+    except PlanningError as exc:
+        return type(exc).__name__, None
+
+
+def _pct(off: int, on: int) -> float:
+    return round(100.0 * (off - on) / off, 2) if off else 0.0
+
+
+def bench_pair(name: str, app, network, leveling) -> dict:
+    """One instance, planned with static pruning off vs. full."""
+    status_off, plan_off = _solve(app, network, leveling, None)
+    status_on, plan_on = _solve(app, network, leveling, "full")
+    cell: dict = {"case": name, "status": status_on, "identical_cost": True}
+    if status_off != status_on:
+        raise SystemExit(
+            f"{name}: static pruning changed the outcome "
+            f"({status_off} -> {status_on})"
+        )
+    if plan_off is None:
+        cell.update(solved=False)
+        return cell
+    if abs(plan_off.cost_lb - plan_on.cost_lb) > 1e-9:
+        raise SystemExit(
+            f"{name}: static pruning changed the plan cost "
+            f"({plan_off.cost_lb} -> {plan_on.cost_lb})"
+        )
+    s_off, s_on = plan_off.stats, plan_on.stats
+    cell.update(
+        solved=True,
+        cost=plan_on.cost_lb,
+        total_actions=s_on.total_actions,
+        dead_actions=s_on.static_pruned,
+        rg_nodes_off=s_off.rg_nodes,
+        rg_nodes_on=s_on.rg_nodes,
+        rg_expanded_off=s_off.rg_expanded,
+        rg_expanded_on=s_on.rg_expanded,
+        sym_pruned=s_on.rg_sym_pruned,
+        nodes_reduction_pct=_pct(s_off.rg_nodes, s_on.rg_nodes),
+        expansions_reduction_pct=_pct(s_off.rg_expanded, s_on.rg_expanded),
+        analysis_ms=round(s_on.analysis_ms, 2),
+    )
+    return cell
+
+
+def bench_table2(networks, scenarios) -> list[dict]:
+    cells = []
+    for net_key in networks:
+        case = network_case(net_key)
+        app = media.build_app(case.server, case.client)
+        for scen_key in scenarios:
+            name = f"{net_key}/{scen_key}"
+            print(f"table2 {name} ...", flush=True)
+            cells.append(
+                bench_pair(name, app, case.network, scenario(scen_key).leveling())
+            )
+    return cells
+
+
+def bench_fig10(routes) -> list[dict]:
+    case = network_case("Large")
+    cells = []
+    for server, client, scen_key in routes:
+        name = f"{server}->{client}/{scen_key}"
+        print(f"fig10 {name} ...", flush=True)
+        app = media.build_app(server, client)
+        cells.append(
+            bench_pair(name, app, case.network, scenario(scen_key).leveling())
+        )
+    return cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="Tiny/Small Table 2 + headline fig-10 cell only (CI smoke)")
+    ap.add_argument("--out", default="BENCH_pr6.json", help="output JSON path")
+    args = ap.parse_args(argv)
+
+    networks, scenarios = TABLE2_QUICK if args.quick else TABLE2_FULL
+    routes = FIG10_QUICK if args.quick else FIG10_SYMMETRIC_ROUTES
+    table2 = bench_table2(networks, scenarios)
+    fig10 = bench_fig10(routes)
+
+    solved = [c for c in fig10 if c.get("solved")]
+    headline = max(solved, key=lambda c: c["expansions_reduction_pct"])
+    result = {
+        "bench": "static-prune",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "mode": "full",
+        "table2": table2,
+        "fig10_symmetric_routes": fig10,
+        "headline": {
+            "case": headline["case"],
+            "rg_expanded_off": headline["rg_expanded_off"],
+            "rg_expanded_on": headline["rg_expanded_on"],
+            "expansions_reduction_pct": headline["expansions_reduction_pct"],
+            "nodes_reduction_pct": headline["nodes_reduction_pct"],
+            "sym_pruned": headline["sym_pruned"],
+        },
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    print(
+        f"headline {headline['case']}: RG expansions "
+        f"{headline['rg_expanded_off']} -> {headline['rg_expanded_on']} "
+        f"(-{headline['expansions_reduction_pct']:g}%), "
+        f"nodes -{headline['nodes_reduction_pct']:g}%, "
+        f"{headline['sym_pruned']} symmetry prunes, identical plan costs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -231,10 +231,100 @@ def check_bench_parallel(path: Path, data: dict) -> list[str]:
     return errors
 
 
+_STATIC_PRUNE_TOP_KEYS = {
+    "bench": str,
+    "timestamp": str,
+    "python": str,
+    "quick": bool,
+    "mode": str,
+    "table2": list,
+    "fig10_symmetric_routes": list,
+    "headline": dict,
+}
+_STATIC_PRUNE_CELL_KEYS = {
+    "cost": (int, float),
+    "total_actions": int,
+    "dead_actions": int,
+    "rg_nodes_off": int,
+    "rg_nodes_on": int,
+    "rg_expanded_off": int,
+    "rg_expanded_on": int,
+    "sym_pruned": int,
+    "nodes_reduction_pct": (int, float),
+    "expansions_reduction_pct": (int, float),
+    "analysis_ms": (int, float),
+}
+
+
+def check_bench_static_prune(path: Path, data: dict) -> list[str]:
+    """Validate a static-pruning benchmark file (BENCH_pr6)."""
+    errors: list[str] = []
+    for key, typ in _STATIC_PRUNE_TOP_KEYS.items():
+        if key not in data:
+            errors.append(f"{path}: missing top-level key {key!r}")
+        elif not isinstance(data[key], typ):
+            errors.append(f"{path}: {key!r} should be {typ}")
+    for section in ("table2", "fig10_symmetric_routes"):
+        cells = data.get(section)
+        if not isinstance(cells, list) or not cells:
+            errors.append(f"{path}: {section} must be a non-empty list")
+            continue
+        for i, cell in enumerate(cells):
+            where = f"{path}: {section}[{i}]"
+            if not isinstance(cell, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            for key in ("case", "status", "identical_cost", "solved"):
+                if key not in cell:
+                    errors.append(f"{where} missing {key!r}")
+            if cell.get("identical_cost") is not True:
+                errors.append(
+                    f"{where}: identical_cost must be true — static pruning "
+                    "may never change the plan cost"
+                )
+            if not cell.get("solved"):
+                continue  # infeasible cells carry no planner-work columns
+            for key, typ in _STATIC_PRUNE_CELL_KEYS.items():
+                if key not in cell:
+                    errors.append(f"{where} missing {key!r}")
+                elif not isinstance(cell[key], typ) or (
+                    typ is int and isinstance(cell[key], bool)
+                ):
+                    errors.append(f"{where}.{key} should be {typ}")
+            if errors:
+                continue
+            expect = (
+                100.0
+                * (cell["rg_expanded_off"] - cell["rg_expanded_on"])
+                / max(cell["rg_expanded_off"], 1)
+            )
+            if abs(expect - cell["expansions_reduction_pct"]) > 0.05:
+                errors.append(
+                    f"{where}: expansions_reduction_pct "
+                    f"{cell['expansions_reduction_pct']} inconsistent with "
+                    f"counts ({expect:.2f})"
+                )
+    headline = data.get("headline")
+    if isinstance(headline, dict):
+        for key in ("case", "rg_expanded_off", "rg_expanded_on",
+                    "expansions_reduction_pct", "sym_pruned"):
+            if key not in headline:
+                errors.append(f"{path}: headline missing {key!r}")
+        reduction = headline.get("expansions_reduction_pct")
+        if isinstance(reduction, (int, float)) and reduction <= 0:
+            errors.append(
+                f"{path}: headline.expansions_reduction_pct must be > 0 "
+                "(the symmetric-route cells must show a real saving)"
+            )
+    return errors
+
+
 def check_bench(path: Path, data: dict) -> list[str]:
     """Validate a BENCH_*.json benchmark result file."""
     if data.get("bench") == "parallel-warmstart":
         return check_bench_parallel(path, data)
+    if data.get("bench") == "static-prune":
+        return check_bench_static_prune(path, data)
     errors: list[str] = []
     for key, typ in _TOP_KEYS.items():
         if key not in data:

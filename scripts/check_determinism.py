@@ -1,0 +1,223 @@
+"""Determinism lint: ban nondeterminism sources in the planning core.
+
+The planner's contract (docs/PERFORMANCE.md, tests/parallel/) is that a
+solve is a pure function of its inputs: identical plans byte-for-byte
+across runs, worker counts, and hosts.  That property is easy to lose to
+an innocent-looking ``time.time()`` tiebreak, a ``random`` shuffle, or
+iteration over an unordered set.  This checker walks the AST of every
+module in the deterministic core — ``planner/``, ``compile/``,
+``analysis/``, ``intervals/``, ``expr/`` — and flags:
+
+* calls to wall-clock and entropy sources: ``time.time``,
+  ``time.time_ns``, ``datetime.now``/``utcnow``/``today``,
+  ``os.urandom``, ``uuid.*``, ``secrets.*`` (``time.perf_counter`` is
+  fine: timings are reported, never used to decide anything);
+* any import of the ``random``, ``uuid`` or ``secrets`` modules;
+* ``for``-loops and comprehensions iterating directly over a set
+  literal, ``set(...)``/``frozenset(...)`` call, or ``dict.keys()`` of a
+  ``**``-built dict — unless wrapped in ``sorted(...)``.
+
+A line may opt out with a ``# determinism: ok`` comment when the order
+provably cannot reach an output (e.g. a membership-only accumulation);
+every opt-out is still listed in the report so reviewers see them.
+
+Usage::
+
+    python scripts/check_determinism.py [DIR_OR_FILE ...]
+
+With no arguments, checks the default core directories.  Exits non-zero
+on violations.  CI runs this alongside ruff (see .github/workflows).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import tokenize
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DEFAULT_SCOPE = (
+    "src/repro/planner",
+    "src/repro/compile",
+    "src/repro/analysis",
+    "src/repro/intervals",
+    "src/repro/expr",
+)
+
+# Fully-qualified attribute calls that read wall clocks or entropy.
+BANNED_CALLS = {
+    ("time", "time"): "wall clock",
+    ("time", "time_ns"): "wall clock",
+    ("datetime", "now"): "wall clock",
+    ("datetime", "utcnow"): "wall clock",
+    ("datetime", "today"): "wall clock",
+    ("date", "today"): "wall clock",
+    ("os", "urandom"): "entropy source",
+}
+
+# Modules whose very import is suspicious in the deterministic core.
+BANNED_MODULES = {"random", "uuid", "secrets"}
+
+PRAGMA = "determinism: ok"
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, message: str, waived: bool = False):
+        self.path = path
+        self.line = line
+        self.message = message
+        self.waived = waived
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO) if self.path.is_relative_to(REPO) else self.path
+        tag = " (waived by pragma)" if self.waived else ""
+        return f"{rel}:{self.line}: {self.message}{tag}"
+
+
+def _pragma_lines(path: Path) -> set[int]:
+    """Lines carrying a ``# determinism: ok`` comment."""
+    lines: set[int] = set()
+    with tokenize.open(path) as fh:
+        try:
+            for tok in tokenize.generate_tokens(fh.readline):
+                if tok.type == tokenize.COMMENT and PRAGMA in tok.string:
+                    lines.add(tok.start[0])
+        except tokenize.TokenizeError:
+            pass
+    return lines
+
+
+def _is_unordered(node: ast.expr) -> bool:
+    """True when iterating ``node`` directly has interpreter-defined order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    # someset | otherset, someset - otherset, ... stay unordered
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.Sub, ast.BitAnd, ast.BitXor)):
+        return _is_unordered(node.left) or _is_unordered(node.right)
+    return False
+
+
+class Checker(ast.NodeVisitor):
+    def __init__(self, path: Path):
+        self.path = path
+        self.violations: list[Violation] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(self.path, node.lineno, message))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in BANNED_MODULES:
+                self._flag(node, f"import of nondeterministic module {root!r}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root in BANNED_MODULES:
+            self._flag(node, f"import from nondeterministic module {root!r}")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            key = (func.value.id, func.attr)
+            if key in BANNED_CALLS:
+                self._flag(node, f"call to {'.'.join(key)} ({BANNED_CALLS[key]})")
+            elif func.value.id in BANNED_MODULES:
+                self._flag(
+                    node,
+                    f"call into nondeterministic module "
+                    f"{func.value.id}.{func.attr}",
+                )
+        self.generic_visit(node)
+
+    def _check_iter(self, node: ast.expr) -> None:
+        if _is_unordered(node):
+            self.violations.append(
+                Violation(
+                    self.path,
+                    node.lineno,
+                    "iteration over an unordered set expression "
+                    "(wrap in sorted(...) or iterate a list)",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(self, generators) -> None:
+        for gen in generators:
+            self._check_iter(gen.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+
+def check_file(path: Path) -> list[Violation]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    checker = Checker(path)
+    checker.visit(tree)
+    pragmas = _pragma_lines(path)
+    for violation in checker.violations:
+        if violation.line in pragmas:
+            violation.waived = True
+    return checker.violations
+
+
+def iter_files(targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = REPO / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or list(DEFAULT_SCOPE)
+    violations: list[Violation] = []
+    files = iter_files(targets)
+    for path in files:
+        violations.extend(check_file(path))
+    hard = [v for v in violations if not v.waived]
+    waived = [v for v in violations if v.waived]
+    for v in waived:
+        print(str(v))
+    for v in hard:
+        print(str(v))
+    print(
+        f"checked {len(files)} file(s): {len(hard)} violation(s), "
+        f"{len(waived)} waived"
+    )
+    return 1 if hard else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -32,6 +32,16 @@ Subcommands
 ``lint``
     Statically verify a spec/network pair before planning: monotonicity,
     level soundness, reachability, cost sanity (see docs/LINTING.md).
+``analyze``
+    Abstract-interpret a compiled ground problem (docs/ANALYSIS.md):
+    per-variable invariant resource envelopes, dead ground actions with
+    machine-checkable certificates, and verified symmetry classes of
+    interchangeable nodes/components, reported as stable ``ENV/*``,
+    ``DEAD/*`` and ``SYM/*`` diagnostics (``--format json`` emits the
+    full artifact, envelopes and certificates included).  ``--audit``
+    skips the instance arguments and instead replans every bundled
+    domain with static pruning off vs. on, asserting identical outcomes;
+    ``--fig10`` extends the audit to the full Table-2/fig-10 sweep.
 ``table2``
     Reproduce (a subset of) the paper's Table 2.
 ``gen-network``
@@ -264,6 +274,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     scenarios = tuple(args.scenarios)
     workers = resolve_workers(args.workers, len(networks) * len(scenarios))
     cache = None if args.no_cache else default_compile_cache()
+    telemetry = None
+    if args.metrics:
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
     round_s: list[float] = []
     rows = []
     pool = WorkerPool(workers) if workers > 1 else None
@@ -275,10 +290,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 # across rounds (deterministic sharding pins each cell to
                 # one worker), so repeat rounds skip compilation.
                 rows = _run_table2_parallel(
-                    networks, scenarios, workers, compile_cache=cache, pool=pool
+                    networks,
+                    scenarios,
+                    workers,
+                    compile_cache=cache,
+                    pool=pool,
+                    telemetry=telemetry,
+                    static_prune=args.static_prune,
                 )
             else:
-                rows = run_table2(networks, scenarios, compile_cache=cache)
+                rows = run_table2(
+                    networks,
+                    scenarios,
+                    compile_cache=cache,
+                    telemetry=telemetry,
+                    static_prune=args.static_prune,
+                )
             round_s.append(_time.perf_counter() - t0)
     finally:
         if pool is not None:
@@ -291,11 +318,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"  round {i}: {s * 1e3:.0f} ms")
     print(f"  best: {min(round_s) * 1e3:.0f} ms")
     if cache is not None and workers == 1:
+        # Includes analysis_hits/analysis_misses when --static-prune rode
+        # the analysis result along on the cache entries.
         print(f"  cache: {cache.stats()}")
+    if args.metrics:
+        print()
+        print(telemetry.metrics.render_text())
     if args.json:
         payload = {
             "format": 1,
             "workers": workers,
+            "static_prune": args.static_prune,
             "rounds_s": [round(s, 6) for s in round_s],
             "cache": cache.stats() if cache is not None and workers == 1 else None,
             "cells": [row.to_record() for row in rows],
@@ -340,6 +373,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.audit or args.fig10:
+        from .analysis.audit import run_audit
+
+        rows = run_audit(
+            mode=args.prune,
+            fig10=args.fig10,
+            progress=lambda name: print(f"auditing {name} ...", file=sys.stderr),
+        )
+        if args.format == "json":
+            print(json.dumps([r.to_record() for r in rows], indent=2, sort_keys=True))
+        else:
+            for r in rows:
+                verdict = "ok" if r.ok else "MISMATCH"
+                cost = "-" if r.cost_on is None else f"{r.cost_on:g}"
+                print(
+                    f"{r.case:<18} {r.status_on:<18} cost={cost:<8} "
+                    f"rg {r.rg_expanded_off}->{r.rg_expanded_on} "
+                    f"dead={r.dead_actions} sym={r.sym_pruned}  {verdict}"
+                )
+        bad = [r for r in rows if not r.ok]
+        if bad:
+            print(f"audit FAILED: {len(bad)} case(s) diverged", file=sys.stderr)
+            return 1
+        print(f"audit passed: {len(rows)} cases identical", file=sys.stderr)
+        return 0
+
+    if not (args.network and args.spec and args.goal):
+        print(
+            "analyze: either give --audit/--fig10 or a full instance "
+            "(--network, --spec, --goal)",
+            file=sys.stderr,
+        )
+        return 2
+    from .compile import compile_problem
+
+    app, network, leveling = _load_instance(args)
+    problem = compile_problem(app, network, leveling, analyze=True)
+    result = problem.analysis
+    if args.format == "json":
+        print(json.dumps(result.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(result.render_text())
+    return 0
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .experiments import render_table1, render_table2, run_cell
 
@@ -378,11 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_instance_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--network", required=True, help="network JSON file")
-        p.add_argument("--spec", required=True, help="pseudo-XML spec file")
+    def add_instance_args(p: argparse.ArgumentParser, required: bool = True) -> None:
+        p.add_argument("--network", required=required, help="network JSON file")
+        p.add_argument("--spec", required=required, help="pseudo-XML spec file")
         p.add_argument("--initial", nargs="+", default=[], metavar="COMP=NODE")
-        p.add_argument("--goal", nargs="+", required=True, metavar="COMP=NODE")
+        p.add_argument("--goal", nargs="+", required=required, metavar="COMP=NODE")
         p.add_argument("--levels", nargs="*", metavar="VAR=c1,c2,...")
 
     p_plan = sub.add_parser("plan", help="plan a deployment")
@@ -514,6 +593,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the warm-start compile cache",
     )
     p_bench.add_argument(
+        "--static-prune",
+        choices=("off", "dead", "symmetry", "full"),
+        default=None,
+        metavar="MODE",
+        help="plan every cell with certified static pruning (docs/ANALYSIS.md); "
+        "the analysis result is cached alongside the compiled problem",
+    )
+    p_bench.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged metrics registry after the sweep, including "
+        "cache.hit/miss and cache.analysis.hit/miss counters",
+    )
+    p_bench.add_argument(
         "--json", metavar="FILE", help="write timings and cell records ('-' for stdout)"
     )
     p_bench.set_defaults(fn=_cmd_bench)
@@ -534,6 +627,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--werror", action="store_true", help="exit non-zero on warnings too"
     )
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_ana = sub.add_parser(
+        "analyze",
+        help="abstract-interpret a ground problem: envelopes, dead actions, "
+        "symmetry classes (docs/ANALYSIS.md)",
+    )
+    add_instance_args(p_ana, required=False)
+    p_ana.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p_ana.add_argument(
+        "--audit",
+        action="store_true",
+        help="instead of analyzing one instance, replan every bundled domain "
+        "with static pruning off vs. on and require identical outcomes",
+    )
+    p_ana.add_argument(
+        "--fig10",
+        action="store_true",
+        help="extend --audit to the full Table-2/fig-10 sweep (implies --audit)",
+    )
+    p_ana.add_argument(
+        "--prune",
+        choices=("dead", "symmetry", "full"),
+        default="full",
+        help="static_prune mode the audit runs against (default: full)",
+    )
+    p_ana.set_defaults(fn=_cmd_analyze)
 
     p_t2 = sub.add_parser("table2", help="reproduce Table 2")
     p_t2.add_argument("--networks", nargs="+", default=["Tiny", "Small", "Large"])

@@ -1,0 +1,60 @@
+"""Static analysis of compiled deployment problems.
+
+Interval abstract interpretation over the ground problem: invariant
+resource envelopes (:mod:`.envelopes`), certified dead-action elimination
+(:mod:`.deadcode`, :mod:`.certificates`), verified symmetry classes with
+planner prune hints (:mod:`.symmetry`), and stable ENV/DEAD/SYM
+diagnostics plus the :func:`analyze_problem` entry point (:mod:`.report`).
+
+The differential audit lives in :mod:`repro.analysis.audit`; it imports
+the planner, so it is intentionally **not** re-exported here — import it
+directly to avoid a compile→analysis→planner import cycle.
+"""
+
+from .certificates import (
+    PruneCertificate,
+    certificate_for,
+    check_certificate,
+    interval_from_payload,
+    interval_payload,
+)
+from .deadcode import DeadAction, find_dead_actions
+from .envelopes import (
+    AbstractStep,
+    EnvelopeResult,
+    Refutation,
+    abstract_step,
+    compute_envelopes,
+    initial_envelopes,
+)
+from .report import AnalysisResult, analyze_problem
+from .symmetry import (
+    PruneHints,
+    SymmetryClass,
+    SymmetryResult,
+    compute_symmetry,
+    node_color_classes,
+)
+
+__all__ = [
+    "AbstractStep",
+    "AnalysisResult",
+    "DeadAction",
+    "EnvelopeResult",
+    "PruneCertificate",
+    "PruneHints",
+    "Refutation",
+    "SymmetryClass",
+    "SymmetryResult",
+    "abstract_step",
+    "analyze_problem",
+    "certificate_for",
+    "check_certificate",
+    "compute_envelopes",
+    "compute_symmetry",
+    "find_dead_actions",
+    "initial_envelopes",
+    "interval_from_payload",
+    "interval_payload",
+    "node_color_classes",
+]

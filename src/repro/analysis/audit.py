@@ -1,0 +1,195 @@
+"""Differential soundness audit: replan everything with pruning on vs. off.
+
+Static pruning is only trustworthy if it is *observably* free: for every
+bundled domain and fig-10 scenario, planning with
+``PlannerConfig(static_prune=...)`` must produce the same outcome as
+planning without it — the same plan cost when solvable (and byte-identical
+plans when the optimum is unique), the same error class when not.  This
+module replans each case both ways and compares; CI runs it as the
+``analyze-smoke`` job, and ``repro analyze --audit`` runs it on demand.
+
+Kept out of ``repro.analysis.__init__`` on purpose: it imports the
+planner, which would cycle through ``compile → analysis → planner``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..domains import grid, media, variants, webservice
+from ..experiments import network_case, scenario
+from ..model import AppSpec, Leveling
+from ..network import Network
+from ..planner import Planner, PlannerConfig, PlanningError
+
+__all__ = ["AuditCase", "AuditRow", "bundled_cases", "fig10_cases", "run_audit"]
+
+
+@dataclass(frozen=True)
+class AuditCase:
+    """One (app, network, leveling) instance to replan both ways."""
+
+    name: str
+    app: AppSpec
+    network: Network
+    leveling: Leveling
+    rg_node_budget: int = 500_000
+
+
+@dataclass
+class AuditRow:
+    """Outcome of one case, pruning off vs. on."""
+
+    case: str
+    status_off: str  # "solved" or the raised error class name
+    status_on: str
+    cost_off: float | None = None
+    cost_on: float | None = None
+    plan_off: tuple[str, ...] = ()
+    plan_on: tuple[str, ...] = ()
+    rg_expanded_off: int = 0
+    rg_expanded_on: int = 0
+    dead_actions: int = 0
+    sym_pruned: int = 0
+
+    @property
+    def identical_cost(self) -> bool:
+        if self.status_off != self.status_on:
+            return False
+        if self.cost_off is None:
+            return self.cost_on is None
+        return self.cost_on is not None and abs(self.cost_off - self.cost_on) < 1e-9
+
+    @property
+    def identical_plan(self) -> bool:
+        return self.plan_off == self.plan_on
+
+    @property
+    def ok(self) -> bool:
+        """The soundness criterion: same outcome class and same cost."""
+        return self.status_off == self.status_on and self.identical_cost
+
+    def to_record(self) -> dict[str, object]:
+        return {
+            "case": self.case,
+            "status_off": self.status_off,
+            "status_on": self.status_on,
+            "cost_off": self.cost_off,
+            "cost_on": self.cost_on,
+            "identical_cost": self.identical_cost,
+            "identical_plan": self.identical_plan,
+            "rg_expanded_off": self.rg_expanded_off,
+            "rg_expanded_on": self.rg_expanded_on,
+            "dead_actions": self.dead_actions,
+            "sym_pruned": self.sym_pruned,
+            "ok": self.ok,
+        }
+
+
+def bundled_cases() -> list[AuditCase]:
+    """Every bundled example domain, at its documented default shape."""
+    cases = [
+        AuditCase(
+            name="webservice/fig5",
+            app=webservice.build_app("server", "client"),
+            network=webservice.build_network(),
+            leveling=webservice.ws_leveling(),
+        ),
+        AuditCase(
+            name="grid/4-sites",
+            app=grid.build_app("site0_head", "site3_head"),
+            network=grid.build_network(),
+            leveling=grid.grid_leveling(),
+        ),
+        AuditCase(
+            name="variants/chain",
+            app=variants.build_app("src", "dst"),
+            network=variants.build_network(60.0, 100.0),
+            leveling=variants.variants_leveling(),
+        ),
+    ]
+    for key in ("Tiny", "Small"):
+        case = network_case(key)
+        cases.append(
+            AuditCase(
+                name=f"media/{key}/B",
+                app=media.build_app(case.server, case.client),
+                network=case.network,
+                leveling=scenario("B").leveling(),
+            )
+        )
+    return cases
+
+
+def fig10_cases(
+    networks: tuple[str, ...] = ("Tiny", "Small", "Large"),
+    scenarios: tuple[str, ...] = ("A", "B", "C", "D", "E"),
+) -> list[AuditCase]:
+    """The fig-10 / Table-2 sweep as audit cases (failure cells included)."""
+    cases = []
+    for net_key in networks:
+        case = network_case(net_key)
+        for scen_key in scenarios:
+            cases.append(
+                AuditCase(
+                    name=f"media/{net_key}/{scen_key}",
+                    app=media.build_app(case.server, case.client),
+                    network=case.network,
+                    leveling=scenario(scen_key).leveling(),
+                )
+            )
+    return cases
+
+
+def _solve(case: AuditCase, mode: str | None) -> tuple[str, object]:
+    planner = Planner(
+        PlannerConfig(
+            leveling=case.leveling,
+            rg_node_budget=case.rg_node_budget,
+            static_prune=mode,
+        )
+    )
+    try:
+        plan = planner.solve(case.app, case.network)
+    except PlanningError as exc:
+        return type(exc).__name__, None
+    return "solved", plan
+
+
+def run_audit(
+    cases: list[AuditCase] | None = None,
+    mode: str = "full",
+    fig10: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> list[AuditRow]:
+    """Replan every case with ``static_prune`` off vs. ``mode``.
+
+    Returns one :class:`AuditRow` per case; the audit passes when every
+    row's ``ok`` is true.  ``fig10=True`` appends the full fig-10 sweep
+    (including the infeasible scenario-A cells, which must fail with the
+    same error class on both sides).
+    """
+    if cases is None:
+        cases = bundled_cases()
+        if fig10:
+            cases = cases + fig10_cases()
+    rows: list[AuditRow] = []
+    for case in cases:
+        if progress is not None:
+            progress(case.name)
+        status_off, plan_off = _solve(case, None)
+        status_on, plan_on = _solve(case, mode)
+        row = AuditRow(case=case.name, status_off=status_off, status_on=status_on)
+        if plan_off is not None:
+            row.cost_off = plan_off.cost_lb
+            row.plan_off = tuple(a.name for a in plan_off.actions)
+            row.rg_expanded_off = plan_off.stats.rg_expanded
+        if plan_on is not None:
+            row.cost_on = plan_on.cost_lb
+            row.plan_on = tuple(a.name for a in plan_on.actions)
+            row.rg_expanded_on = plan_on.stats.rg_expanded
+            row.dead_actions = plan_on.stats.static_pruned
+            row.sym_pruned = plan_on.stats.rg_sym_pruned
+        rows.append(row)
+    return rows

@@ -1,0 +1,167 @@
+"""Machine-checkable prune certificates for dead ground actions.
+
+A :class:`PruneCertificate` records *why* an action is dead: the
+refutation kind plus the concrete interval argument (committed level,
+envelope, right-hand side, or condition environment snapshot) that makes
+the refutation go through.  Certificates serialize to plain JSON (with
+infinities encoded as ``"inf"`` / ``"-inf"`` strings, since standard JSON
+has no infinity literal) and :func:`check_certificate` re-verifies one
+deterministically against a problem and its envelopes — the audit's
+machine-checkable half.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..compile import CompiledProblem, GroundAction
+from ..intervals import Interval
+from .envelopes import Refutation, abstract_step
+
+__all__ = [
+    "PruneCertificate",
+    "certificate_for",
+    "check_certificate",
+    "interval_from_payload",
+    "interval_payload",
+]
+
+
+def _encode_num(x: float) -> float | str:
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    return x
+
+
+def _decode_num(x: float | int | str) -> float:
+    if x == "inf":
+        return math.inf
+    if x == "-inf":
+        return -math.inf
+    return float(x)
+
+
+def interval_payload(iv: Interval) -> dict[str, object]:
+    """JSON-ready encoding of an interval (infinities as strings)."""
+    return {
+        "lo": _encode_num(iv.lo),
+        "hi": _encode_num(iv.hi),
+        "lo_open": iv.lo_open,
+        "hi_open": iv.hi_open,
+    }
+
+
+def interval_from_payload(data: dict[str, object]) -> Interval:
+    """Inverse of :func:`interval_payload`."""
+    lo = _decode_num(data["lo"])  # type: ignore[arg-type]
+    hi = _decode_num(data["hi"])  # type: ignore[arg-type]
+    return Interval(lo, hi, bool(data["lo_open"]), bool(data["hi_open"]))
+
+
+@dataclass(frozen=True)
+class PruneCertificate:
+    """The refuting interval argument for one dead ground action."""
+
+    action: str
+    index: int
+    kind: str
+    detail: str
+    spec_var: str | None = None
+    gvar: str | None = None
+    committed: Interval | None = None
+    envelope: Interval | None = None
+    rhs: Interval | None = None
+    condition: str | None = None
+    env: tuple[tuple[str, Interval], ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "action": self.action,
+            "index": self.index,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+        if self.spec_var is not None:
+            out["spec_var"] = self.spec_var
+        if self.gvar is not None:
+            out["gvar"] = self.gvar
+        if self.committed is not None:
+            out["committed"] = interval_payload(self.committed)
+        if self.envelope is not None:
+            out["envelope"] = interval_payload(self.envelope)
+        if self.rhs is not None:
+            out["rhs"] = interval_payload(self.rhs)
+        if self.condition is not None:
+            out["condition"] = self.condition
+        if self.env:
+            out["env"] = {var: interval_payload(iv) for var, iv in self.env}
+        return out
+
+    @staticmethod
+    def from_dict(data: dict[str, object]) -> "PruneCertificate":
+        def _iv(key: str) -> Interval | None:
+            raw = data.get(key)
+            if raw is None:
+                return None
+            return interval_from_payload(raw)  # type: ignore[arg-type]
+
+        env_raw = data.get("env") or {}
+        env = tuple(
+            (var, interval_from_payload(payload))
+            for var, payload in sorted(env_raw.items())  # type: ignore[union-attr]
+        )
+        return PruneCertificate(
+            action=str(data["action"]),
+            index=int(data["index"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            detail=str(data["detail"]),
+            spec_var=data.get("spec_var"),  # type: ignore[arg-type]
+            gvar=data.get("gvar"),  # type: ignore[arg-type]
+            committed=_iv("committed"),
+            envelope=_iv("envelope"),
+            rhs=_iv("rhs"),
+            condition=data.get("condition"),  # type: ignore[arg-type]
+            env=env,
+        )
+
+
+def certificate_for(action: GroundAction, refutation: Refutation) -> PruneCertificate:
+    """Package a refutation as a certificate naming the action."""
+    return PruneCertificate(
+        action=action.name,
+        index=action.index,
+        kind=refutation.kind,
+        detail=refutation.detail,
+        spec_var=refutation.spec_var,
+        gvar=refutation.gvar,
+        committed=refutation.committed,
+        envelope=refutation.envelope,
+        rhs=refutation.rhs,
+        condition=refutation.condition,
+        env=refutation.env,
+    )
+
+
+def check_certificate(
+    problem: CompiledProblem,
+    envelopes: dict[str, Interval],
+    cert: PruneCertificate,
+) -> bool:
+    """Re-verify a certificate against a problem and its envelopes.
+
+    The check recomputes the abstract step for the named action and
+    demands (a) it is refuted, (b) for the *same* reason, and (c) with the
+    *same* interval argument the certificate recorded.  A certificate
+    carried over from a different problem, stale envelopes, or a tampered
+    payload fails the check.
+    """
+    if not 0 <= cert.index < len(problem.actions):
+        return False
+    action = problem.actions[cert.index]
+    if action.name != cert.action:
+        return False
+    step = abstract_step(action, envelopes)
+    if not isinstance(step, Refutation):
+        return False
+    return certificate_for(action, step) == cert

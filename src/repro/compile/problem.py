@@ -105,6 +105,11 @@ class CompiledProblem:
     pruned_actions: list[GroundAction] = field(default_factory=list, repr=False)
     """Actions removed by best-value reachability pruning (kept for
     infeasibility diagnosis)."""
+    analysis: object | None = field(default=None, repr=False)
+    """Static-analysis result (:class:`repro.analysis.AnalysisResult`) when
+    compiled with ``analyze=True``, else ``None``.  The result holds no
+    action references, so forks share it by reference (``fork()`` keeps
+    it via the shallow copy) and a cache can reuse it across forks."""
 
 
 def compile_problem(
@@ -113,12 +118,19 @@ def compile_problem(
     leveling: Leveling | None = None,
     bound_overrides: dict[str, float] | None = None,
     strict: bool = False,
+    analyze: bool = False,
 ) -> CompiledProblem:
     """Compile a CPP instance into a leveled planning problem.
 
     With ``strict=True`` the spec linter (:mod:`repro.lint`) runs first
     and any error-severity finding aborts compilation with a
     :class:`SpecError` listing every diagnostic.
+
+    With ``analyze=True`` the static-analysis pass (:mod:`repro.analysis`)
+    runs over the compiled problem and its result is attached as
+    ``problem.analysis`` — envelope fixpoint, certified dead actions, and
+    verified symmetry hints, ready for ``PlannerConfig(static_prune=...)``.
+    Analysis time is *not* counted in ``compile_seconds``.
 
     Raises
     ------
@@ -189,6 +201,11 @@ def compile_problem(
     )
     problem._initial_streams = initial_streams
     problem.pruned_actions = removed_actions
+    if analyze:
+        # Lazy import: repro.analysis imports this module.
+        from ..analysis import analyze_problem
+
+        problem.analysis = analyze_problem(problem)
     return problem
 
 

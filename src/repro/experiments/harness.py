@@ -119,6 +119,7 @@ def run_cell(
     rg_node_budget: int = 500_000,
     telemetry: Telemetry | None = None,
     compile_cache=None,
+    static_prune: str | None = None,
 ) -> Table2Row:
     """Solve one (network, scenario) cell of the paper's evaluation.
 
@@ -127,7 +128,9 @@ def run_cell(
     export shows every cell on one timeline.  With ``compile_cache`` (a
     :class:`repro.parallel.CompileCache`), compilation of repeated cells
     is served from the cache — identical results, near-zero compile time
-    on a hit.
+    on a hit.  ``static_prune`` (off/dead/symmetry/full) enables the
+    certified static pruning of docs/ANALYSIS.md; with a cache, the
+    analysis result is cached alongside the compiled problem.
     """
     if isinstance(case, str):
         case = network_case(case)
@@ -141,6 +144,7 @@ def run_cell(
             leveling=leveling,
             rg_node_budget=rg_node_budget,
             telemetry=telemetry,
+            static_prune=static_prune,
         )
     )
     row = Table2Row(network=case.key, scenario=scen.key, solved=False)
@@ -154,6 +158,7 @@ def run_cell(
                     app,
                     case.network,
                     leveling,
+                    analyze=static_prune not in (None, "off"),
                     metrics=telemetry.metrics if telemetry is not None else None,
                 )
             else:
@@ -226,6 +231,7 @@ def _run_table2_parallel(
     telemetry: Telemetry | None = None,
     compile_cache=None,
     pool=None,
+    static_prune: str | None = None,
 ) -> list[Table2Row]:
     """One Table-2 cell per pool task; results reassembled in cell order.
 
@@ -247,6 +253,7 @@ def _run_table2_parallel(
             rg_node_budget=rg_node_budget,
             with_metrics=telemetry is not None,
             use_cache=compile_cache is not None,
+            static_prune=static_prune,
         )
         for net_key in networks
         for scen_key in scenarios

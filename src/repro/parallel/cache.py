@@ -63,6 +63,8 @@ class CompileCache:
         self.misses = 0
         self.validate_hits = 0
         self.validate_misses = 0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
 
     def __len__(self) -> int:
         return len(self._problems)
@@ -81,6 +83,8 @@ class CompileCache:
             "hit_rate": round(self.hits / total, 4) if total else 0.0,
             "validate_hits": self.validate_hits,
             "validate_misses": self.validate_misses,
+            "analysis_hits": self.analysis_hits,
+            "analysis_misses": self.analysis_misses,
         }
 
     # -- the memoized compile --------------------------------------------------
@@ -93,6 +97,7 @@ class CompileCache:
         bound_overrides: dict[str, float] | None = None,
         strict: bool = False,
         *,
+        analyze: bool = False,
         metrics: MetricsRegistry | None = None,
     ) -> CompiledProblem:
         """Compile (or reuse) a problem; the result is yours to mutate.
@@ -101,6 +106,13 @@ class CompileCache:
         its exceptions — a ``strict`` lint failure or an invalid
         (app, network) pair raises on every call, cached or not, because
         failures are never cached.
+
+        With ``analyze=True`` the static-analysis result rides along on
+        the cache entry: it is computed at most once per entry (lazily, so
+        a problem first cached without analysis gains it on the first
+        analyzing hit) and shared by reference with every fork — the
+        result holds no action references, so sharing is safe.  Reuse is
+        counted as ``cache.analysis.hit`` / ``cache.analysis.miss``.
         """
         key = (
             app_fingerprint(app),
@@ -115,6 +127,18 @@ class CompileCache:
             self.hits += 1
             if metrics is not None:
                 metrics.inc("cache.hit")
+            if analyze:
+                if cached.analysis is None:
+                    from ..analysis import analyze_problem
+
+                    cached.analysis = analyze_problem(cached)
+                    self.analysis_misses += 1
+                    if metrics is not None:
+                        metrics.inc("cache.analysis.miss")
+                else:
+                    self.analysis_hits += 1
+                    if metrics is not None:
+                        metrics.inc("cache.analysis.hit")
             t0 = time.perf_counter()
             fork = cached.fork()
             fork.compile_seconds = time.perf_counter() - t0
@@ -122,7 +146,13 @@ class CompileCache:
         self.misses += 1
         if metrics is not None:
             metrics.inc("cache.miss")
-        problem = compile_problem(app, network, leveling, bound_overrides, strict)
+        if analyze:
+            self.analysis_misses += 1
+            if metrics is not None:
+                metrics.inc("cache.analysis.miss")
+        problem = compile_problem(
+            app, network, leveling, bound_overrides, strict, analyze=analyze
+        )
         self._problems[key] = problem.fork()  # pristine copy, caller may mutate
         while len(self._problems) > self.max_entries:
             self._problems.popitem(last=False)

@@ -48,6 +48,7 @@ class CellTask:
     rg_node_budget: int
     with_metrics: bool = False
     use_cache: bool = True
+    static_prune: str | None = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,7 @@ def run_cell_task(task: CellTask) -> CellResult:
         rg_node_budget=task.rg_node_budget,
         telemetry=telemetry,
         compile_cache=default_compile_cache() if task.use_cache else None,
+        static_prune=task.static_prune,
     )
     envelope = PlanEnvelope.from_plan(row.plan) if row.plan is not None else None
     row.plan_names = tuple(envelope.actions) if envelope is not None else ()

@@ -102,6 +102,16 @@ class PlannerConfig:
     regresses only the hardest open proposition: faster, complete for
     feasibility on chain-structured problems, but may return suboptimal
     plans when multi-output components feed parallel branches."""
+    static_prune: str | None = None
+    """Certified static pruning (:mod:`repro.analysis`, docs/ANALYSIS.md):
+    ``None``/``"off"`` disables it; ``"dead"`` excludes provably unfirable
+    ground actions before the PLRG; ``"symmetry"`` enables the RG's
+    verified symmetry sibling prune; ``"full"`` enables both.  Plan cost
+    is preserved exactly in every mode (the differential audit asserts
+    this over all bundled domains).  Reuses ``problem.analysis`` when the
+    problem was compiled with ``analyze=True`` (e.g. via the warm-start
+    compile cache); otherwise the analysis runs inline and is counted in
+    ``stats.analysis_ms``, never in search time."""
 
 
 class Planner:
@@ -201,10 +211,51 @@ class Planner:
                 compile_ms=problem.compile_seconds * 1e3,
             )
 
+            mode = self.config.static_prune
+            if mode not in (None, "off", "dead", "symmetry", "full"):
+                raise ValueError(
+                    f"static_prune must be one of off/dead/symmetry/full, got {mode!r}"
+                )
+            dead_actions: frozenset[int] = frozenset()
+            sym_hints = None
+            if mode in ("dead", "symmetry", "full"):
+                analysis = problem.analysis
+                if analysis is None:
+                    # Lazy import: repro.analysis imports repro.compile.
+                    from ..analysis import analyze_problem
+
+                    with maybe_span(tele, "analysis"):
+                        analysis = analyze_problem(problem)
+                    problem.analysis = analysis
+                if mode in ("dead", "full"):
+                    dead_actions = analysis.dead_indices()
+                if mode in ("symmetry", "full"):
+                    sym_hints = analysis.hints
+                stats.static_pruned = len(dead_actions)
+                stats.analysis_ms = analysis.analysis_seconds * 1e3
+                if tele is not None:
+                    m = tele.metrics
+                    m.counter("analysis.dead_actions").inc(len(dead_actions))
+                    m.set_gauge(
+                        "analysis.sym.classes", len(analysis.symmetry.node_classes)
+                    )
+                    m.set_gauge(
+                        "analysis.envelope.tightened", analysis.envelopes.bounded
+                    )
+                    m.set_gauge("analysis.ms", analysis.analysis_seconds * 1e3)
+                    class_hist = m.histogram("analysis.sym.class_size")
+                    for cls in analysis.symmetry.node_classes:
+                        class_hist.observe(len(cls.members))
+
             try:
                 t0 = time.perf_counter()
                 try:
-                    plrg = build_plrg(problem, telemetry=tele, deadline=phase_deadline())
+                    plrg = build_plrg(
+                        problem,
+                        telemetry=tele,
+                        deadline=phase_deadline(),
+                        exclude_actions=dead_actions,
+                    )
                 except Unsolvable:
                     if problem.logically_solvable:
                         # The goal has logical support, but best-value reachability
@@ -258,6 +309,7 @@ class Planner:
                         metrics=tele.metrics if tele is not None else None,
                         deadline=rg_deadline,
                         allow_incumbent=allow_incumbent,
+                        symmetry=sym_hints,
                     )
                     if rg_span is not None:
                         rg_span.attrs.update(
@@ -278,6 +330,7 @@ class Planner:
             stats.rg_replays = result.replay.replays
             stats.rg_actions_replayed = result.replay.actions_replayed
             stats.rg_conditions_checked = result.replay.conditions_checked
+            stats.rg_sym_pruned = result.symmetry_pruned
             stats.incumbent = 1 if result.incumbent else 0
             stats.deadline_hits = 1 if result.stop_reason == "deadline" else 0
             stats.total_ms = (time.perf_counter() - t_start) * 1e3

@@ -64,15 +64,19 @@ def build_plrg(
     problem: CompiledProblem,
     telemetry: Telemetry | None = None,
     deadline: Deadline | None = None,
+    exclude_actions: frozenset[int] = frozenset(),
 ) -> PLRG:
     """Build the PLRG; raises :class:`Unsolvable` if the goal is logically
     unreachable from the initial state.  With ``telemetry``, the build is
     wrapped in a ``plrg`` span and the graph sizes become gauges.  With a
     ``deadline``, both passes poll it and raise :class:`DeadlineExceeded`
     (phase ``"plrg"``) on expiry — the PLRG has no meaningful partial
-    result, so there is no anytime mode here."""
+    result, so there is no anytime mode here.  ``exclude_actions`` removes
+    statically refuted actions (:mod:`repro.analysis`) before relevance:
+    they can never fire, so no plan — and no admissible bound — loses
+    support."""
     with maybe_span(telemetry, "plrg") as span:
-        relevant_props, relevant_actions = _relevance(problem, deadline)
+        relevant_props, relevant_actions = _relevance(problem, deadline, exclude_actions)
         prop_cost = _forward_costs(problem, relevant_actions, deadline)
 
         unreachable = [pid for pid in problem.goal_prop_ids if prop_cost.get(pid, _INF) == _INF]
@@ -114,7 +118,9 @@ def _check(deadline: Deadline | None, expanded: int) -> None:
 
 
 def _relevance(
-    problem: CompiledProblem, deadline: Deadline | None = None
+    problem: CompiledProblem,
+    deadline: Deadline | None = None,
+    exclude_actions: frozenset[int] = frozenset(),
 ) -> tuple[set[int], set[int]]:
     """Backward pass: props/actions reachable (in regression) from the goal."""
     relevant_props: set[int] = set()
@@ -129,7 +135,7 @@ def _relevance(
         if pid in problem.initial_prop_ids:
             continue
         for a_idx in problem.achievers.get(pid, ()):
-            if a_idx in relevant_actions:
+            if a_idx in relevant_actions or a_idx in exclude_actions:
                 continue
             relevant_actions.add(a_idx)
             for pre in problem.actions[a_idx].pre_props:

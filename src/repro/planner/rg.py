@@ -25,11 +25,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from typing import TYPE_CHECKING
+
 from ..compile import CompiledProblem, GroundAction, ReplayCounters, ReplayFailure
 from ..obs import MetricsRegistry
 from .deadline import Deadline
 from .errors import DeadlineExceeded, ResourceInfeasible, SearchBudgetExceeded
 from .trace import SearchTrace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids a hard analysis dep
+    from ..analysis.symmetry import PruneHints
 
 __all__ = ["RGResult", "regression_search"]
 
@@ -86,6 +91,8 @@ class RGResult:
     replay: ReplayCounters = field(default_factory=ReplayCounters)
     incumbent: bool = False
     stop_reason: str = "optimal"
+    symmetry_pruned: int = 0
+    """Children skipped by the verified symmetry sibling prune."""
 
 
 def regression_search(
@@ -100,6 +107,7 @@ def regression_search(
     deadline: Deadline | None = None,
     allow_incumbent: bool = False,
     probe_budget: int = 4096,
+    symmetry: "PruneHints | None" = None,
 ) -> RGResult:
     """A* regression with plan-tail replay.
 
@@ -143,6 +151,15 @@ def regression_search(
     probe_budget:
         Node cap for the greedy incumbent probe (anytime mode only;
         ``0`` disables the probe).
+    symmetry:
+        Optional verified prune hints from the static analysis
+        (:func:`repro.analysis.compute_symmetry`).  When a candidate
+        action is the verified swap image of a cheaper-indexed sibling
+        candidate under a node transposition ``rep ~ other``, and neither
+        swapped node is mentioned by the current node's propositions or
+        plan tail, the candidate is skipped: the sibling's subtree
+        explores the swap image of everything under it at identical cost,
+        so optimal plan cost is preserved (reason ``"symmetry"``).
 
     Raises
     ------
@@ -177,7 +194,7 @@ def regression_search(
         us_hist = metrics.histogram("rg.replay.us_per_action", _US_BOUNDS)
         prune_counters = {
             reason: metrics.counter(f"rg.prune.{reason}")
-            for reason in ("replay", "transposition", "heuristic")
+            for reason in ("replay", "transposition", "heuristic", "symmetry")
         }
 
     counter = itertools.count()
@@ -196,6 +213,7 @@ def regression_search(
     # created (its replay base *is* the initial map), so it can stand in
     # for the optimum when the search is cut short.
     incumbent: _Node | None = None
+    symmetry_pruned = 0
     t_phase = time.perf_counter()
 
     def _weighted_probe(cap: int, weight: float = 2.0) -> tuple[_Node | None, int]:
@@ -289,6 +307,7 @@ def regression_search(
                 replay=counters,
                 incumbent=True,
                 stop_reason=reason,
+                symmetry_pruned=symmetry_pruned,
             )
         elapsed = time.perf_counter() - t_phase
         if reason == "deadline":
@@ -326,6 +345,7 @@ def regression_search(
                 nodes_left_in_queue=len(heap),
                 nodes_expanded=nodes_expanded,
                 replay=counters,
+                symmetry_pruned=symmetry_pruned,
             )
 
         nodes_expanded += 1
@@ -347,9 +367,40 @@ def regression_search(
             branch_hist.observe(len(candidate_actions))
 
         tail_ids = node.tail_ids
+        mentioned: set[str] | None = None  # nodes touched by props/tail, lazy
         for a_idx in candidate_actions:
             if a_idx in tail_ids:
                 continue  # add-only logic never needs a repeated action
+            if symmetry is not None:
+                edge = symmetry.partner.get(a_idx)
+                if (
+                    edge is not None
+                    and edge[0] in candidate_actions
+                    and edge[0] not in tail_ids
+                ):
+                    if mentioned is None:
+                        prop_node = symmetry.prop_node
+                        mentioned = {
+                            prop_node[pid] for pid in node.props if pid in prop_node
+                        }
+                        for t_idx in tail_ids:
+                            mentioned.update(symmetry.action_nodes.get(t_idx, ()))
+                    _a1, rep, other = edge
+                    if rep not in mentioned and other not in mentioned:
+                        # This child is the rep~other swap image of the
+                        # sibling through edge[0]; that sibling's subtree
+                        # covers the image of this one at identical cost.
+                        symmetry_pruned += 1
+                        if trace is not None:
+                            trace.pruned(
+                                actions[a_idx].name,
+                                "symmetry",
+                                node.depth + 1,
+                                f"swap image under {rep}~{other}",
+                            )
+                        if metrics is not None:
+                            prune_counters["symmetry"].inc()
+                        continue
             action = actions[a_idx]
             new_props = frozenset((node.props - action.add_props) | action.pre_props)
             ng = node.g + action.cost_lb

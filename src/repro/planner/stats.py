@@ -46,6 +46,14 @@ class PlannerStats:
     cut short by a deadline or node budget), 0 for a proven optimum."""
     deadline_hits: int = 0
     """1 when a wall-clock deadline ended the run (docs/ROBUSTNESS.md)."""
+    static_pruned: int = 0
+    """Ground actions excluded up front by certified dead-action analysis
+    (``PlannerConfig.static_prune``, docs/ANALYSIS.md)."""
+    rg_sym_pruned: int = 0
+    """RG children skipped by the verified symmetry sibling prune."""
+    analysis_ms: float = 0.0
+    """Static-analysis wall clock (0 when ``static_prune`` is off).  Cached
+    analyses report the original computation time, not the (free) hit."""
     compile_ms: float = 0.0
     plrg_ms: float = 0.0
     slrg_ms: float = 0.0

@@ -1,0 +1,69 @@
+"""Differential audit on cheap cases: identical outcomes, prune counters."""
+
+import pytest
+
+from repro.analysis.audit import AuditCase, bundled_cases, run_audit
+from repro.domains import webservice
+
+from .conftest import build_dead_app, build_dead_network
+
+
+@pytest.fixture(scope="module")
+def cheap_rows():
+    cases = [
+        AuditCase(
+            name="webservice/fig5",
+            app=webservice.build_app("server", "client"),
+            network=webservice.build_network(),
+            leveling=webservice.ws_leveling(),
+        ),
+        AuditCase(
+            name="dead-demo/pair",
+            app=build_dead_app(),
+            network=build_dead_network(),
+            leveling=None,
+        ),
+    ]
+    return run_audit(cases=cases)
+
+
+def test_audit_passes(cheap_rows):
+    assert all(row.ok for row in cheap_rows)
+    assert all(row.identical_cost for row in cheap_rows)
+
+
+def test_audit_reports_dead_actions(cheap_rows):
+    by_case = {row.case: row for row in cheap_rows}
+    assert by_case["dead-demo/pair"].dead_actions == 2
+    assert by_case["dead-demo/pair"].identical_plan
+
+
+def test_audit_records_serialize(cheap_rows):
+    import json
+
+    records = [row.to_record() for row in cheap_rows]
+    wire = json.loads(json.dumps(records))
+    assert {r["case"] for r in wire} == {"webservice/fig5", "dead-demo/pair"}
+    assert all(r["ok"] for r in wire)
+
+
+def test_bundled_cases_shape():
+    names = [case.name for case in bundled_cases()]
+    assert "webservice/fig5" in names
+    assert any(name.startswith("media/") for name in names)
+
+
+def test_progress_callback_fires():
+    seen = []
+    run_audit(
+        cases=[
+            AuditCase(
+                name="dead-demo/pair",
+                app=build_dead_app(),
+                network=build_dead_network(),
+                leveling=None,
+            )
+        ],
+        progress=seen.append,
+    )
+    assert seen == ["dead-demo/pair"]

@@ -1,0 +1,78 @@
+"""Prune certificates: JSON round-trips and tamper detection."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.analysis import (
+    PruneCertificate,
+    analyze_problem,
+    check_certificate,
+    compute_envelopes,
+    interval_from_payload,
+    interval_payload,
+)
+from repro.intervals import Interval
+
+
+@pytest.fixture(scope="module")
+def dead_analysis(dead_problem):
+    ana = analyze_problem(dead_problem)
+    assert ana.dead  # the fixtures below index into it
+    return ana
+
+
+def test_interval_payload_roundtrip():
+    cases = [
+        Interval.point(42.0),
+        Interval(0.0, 100.0),
+        Interval(-math.inf, 5.0, lo_open=False, hi_open=True),
+        Interval(-math.inf, math.inf),
+    ]
+    for iv in cases:
+        payload = json.loads(json.dumps(interval_payload(iv)))
+        assert interval_from_payload(payload) == iv
+
+
+def test_certificate_json_roundtrip(dead_analysis):
+    for dead in dead_analysis.dead:
+        cert = dead.certificate
+        wire = json.loads(json.dumps(cert.to_dict()))
+        assert PruneCertificate.from_dict(wire) == cert
+
+
+def test_certificates_verify(dead_problem, dead_analysis):
+    envelopes = compute_envelopes(dead_problem).envelopes
+    for dead in dead_analysis.dead:
+        assert check_certificate(dead_problem, envelopes, dead.certificate)
+
+
+def test_tampered_certificates_fail(dead_problem, dead_analysis):
+    envelopes = compute_envelopes(dead_problem).envelopes
+    cert = dead_analysis.dead[0].certificate
+    live = next(
+        a for a in dead_problem.actions if a.name == "place(BigConsumer,n1)"
+    )
+    tampered = [
+        dataclasses.replace(cert, index=live.index, action=live.name),
+        dataclasses.replace(cert, index=len(dead_problem.actions) + 7),
+        dataclasses.replace(cert, kind="overdraw"),
+        dataclasses.replace(cert, action="place(SmallConsumer,bogus)"),
+    ]
+    if cert.env:
+        var, iv = cert.env[0]
+        shifted = Interval(iv.lo - 1.0, iv.hi + 1.0, iv.lo_open, iv.hi_open)
+        tampered.append(
+            dataclasses.replace(cert, env=((var, shifted),) + cert.env[1:])
+        )
+    for bad in tampered:
+        assert not check_certificate(dead_problem, envelopes, bad)
+
+
+def test_certificate_rejects_wrong_problem(ws_problem, dead_analysis):
+    """A certificate minted for one problem fails against another."""
+    envelopes = compute_envelopes(ws_problem).envelopes
+    for dead in dead_analysis.dead:
+        assert not check_certificate(ws_problem, envelopes, dead.certificate)

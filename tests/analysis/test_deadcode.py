@@ -1,0 +1,78 @@
+"""Dead-action elimination on the synthetic dead-demo domain.
+
+The bundled domains carry no residual dead actions (compile-time
+best-value reachability already removes everything refutable by optimistic
+closures), so these tests use the ``dead_problem`` fixture: a
+non-degradable exact-transfer stream whose producer emits exactly 100,
+making the ``S.ibw <= 50`` consumer provably unfirable while its
+optimistic closure ``[0, 100]`` keeps it past compile-time pruning.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_problem,
+    check_certificate,
+    compute_envelopes,
+    find_dead_actions,
+)
+from repro.planner import ExecutionError, Planner, PlannerConfig, execute_plan
+
+from .conftest import build_dead_app, build_dead_network
+
+
+def test_dead_set_nonempty_and_deterministic(dead_problem):
+    ana = analyze_problem(dead_problem)
+    names = [d.name for d in ana.dead]
+    assert names == ["place(SmallConsumer,n0)", "place(SmallConsumer,n1)"]
+    assert all(d.certificate.kind == "condition" for d in ana.dead)
+    # Indices ascend (refutation runs in action-index order).
+    assert [d.index for d in ana.dead] == sorted(d.index for d in ana.dead)
+    # A second run reproduces the same dead list exactly.
+    again = find_dead_actions(dead_problem, compute_envelopes(dead_problem).envelopes)
+    assert [(d.index, d.name) for d in again] == [(d.index, d.name) for d in ana.dead]
+
+
+def test_certificates_recheck(dead_problem):
+    envelopes = compute_envelopes(dead_problem).envelopes
+    for dead in find_dead_actions(dead_problem, envelopes):
+        assert check_certificate(dead_problem, envelopes, dead.certificate)
+
+
+def test_dead_actions_cannot_execute(dead_problem):
+    """The ground truth behind the certificates: the executor refuses them.
+
+    The producer's output is the only feasible prefix; appending a dead
+    consumer placement must fail exact execution from any such state.
+    """
+    ana = analyze_problem(dead_problem)
+    by_name = {a.name: a for a in dead_problem.actions}
+    cross = by_name["cross(S,n0->n1)"]
+    for dead in ana.dead:
+        action = dead_problem.actions[dead.index]
+        for prefix in ([], [cross]):
+            with pytest.raises(ExecutionError):
+                execute_plan(dead_problem, prefix + [action])
+
+
+def test_live_actions_not_reported(dead_problem):
+    ana = analyze_problem(dead_problem)
+    dead_names = {d.name for d in ana.dead}
+    assert "place(BigConsumer,n1)" not in dead_names
+    assert "cross(S,n0->n1)" not in dead_names
+
+
+@pytest.mark.parametrize("mode", [None, "dead", "full"])
+def test_planner_parity_with_dead_pruning(mode):
+    plan = Planner(PlannerConfig(static_prune=mode)).solve(
+        build_dead_app(), build_dead_network()
+    )
+    assert plan.cost_lb == pytest.approx(2.0)
+    assert [a.name for a in plan.actions] == [
+        "cross(S,n0->n1)",
+        "place(BigConsumer,n1)",
+    ]
+    if mode in ("dead", "full"):
+        assert plan.stats.static_pruned == 2
+    else:
+        assert plan.stats.static_pruned == 0

@@ -1,0 +1,73 @@
+"""Symmetry classes: verified twins, prune-hint shape, and broken symmetry."""
+
+from repro.analysis import compute_symmetry, node_color_classes
+from repro.compile import compile_problem
+from repro.domains import media
+
+from .conftest import build_diamond_network
+
+
+def test_diamond_twins_verified(diamond_problem):
+    sym = compute_symmetry(diamond_problem)
+    assert [cls.members for cls in sym.node_classes] == [("mid_a", "mid_b")]
+    assert sym.node_classes[0].kind == "node"
+    assert ("mid_a", "mid_b") in sym.verified_pairs
+
+
+def test_partner_edges_descend(diamond_problem):
+    """Every partner edge maps a higher index to a strictly lower one.
+
+    This orientation is what makes the RG's sibling prune terminate: the
+    retained representative of a pruned action always has a smaller
+    index, so prune-dependency chains cannot cycle.
+    """
+    hints = compute_symmetry(diamond_problem).hints
+    assert hints.partner  # the diamond has verified swap images
+    for a2, (a1, rep, other) in hints.partner.items():
+        assert a1 < a2
+        assert {rep, other} == {"mid_a", "mid_b"}
+        # The mapped actions must actually mention the swapped nodes.
+        assert set(hints.action_nodes[a2]) & {rep, other}
+
+
+def test_hint_tables_cover_problem(diamond_problem):
+    hints = compute_symmetry(diamond_problem).hints
+    assert set(hints.action_nodes) == {
+        a.index for a in diamond_problem.actions
+    }
+    for pid, node in hints.prop_node.items():
+        assert getattr(diamond_problem.props[pid], "node", None) == node
+
+
+def test_chain_has_no_node_classes(ws_problem):
+    sym = compute_symmetry(ws_problem)
+    assert sym.node_classes == ()
+    assert sym.hints.partner == {}
+
+
+def test_pinning_breaks_symmetry():
+    """Pinning an endpoint onto a twin disqualifies the class."""
+    net = build_diamond_network()
+    problem = compile_problem(
+        media.build_app("mid_a", "dst"),
+        net,
+        media.proportional_leveling((90.0, 100.0)),
+    )
+    # Color refinement already separates the pinned node from its twin.
+    classes = node_color_classes(problem.app, problem.network)
+    assert ("mid_a", "mid_b") not in classes
+    sym = compute_symmetry(problem)
+    assert all("mid_a" not in cls.members for cls in sym.node_classes)
+
+
+def test_media_components_have_identical_zips(diamond_problem):
+    """Component classes surface structurally identical components, if any.
+
+    The media app's structure is a chain of distinct component types, so
+    the artifact must not invent classes; every reported class must have
+    at least two genuinely identical members.
+    """
+    sym = compute_symmetry(diamond_problem)
+    for cls in sym.component_classes:
+        assert cls.kind == "component"
+        assert len(cls.members) >= 2

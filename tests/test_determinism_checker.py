@@ -1,0 +1,92 @@
+"""The determinism lint itself: flags, pragmas, and a clean core tree."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "check_determinism.py"
+_spec = importlib.util.spec_from_file_location("check_determinism", _SCRIPT)
+check_determinism = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_determinism)
+
+
+def _check(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return check_determinism.check_file(path)
+
+
+def test_flags_banned_calls(tmp_path):
+    violations = _check(
+        tmp_path,
+        "import time\n"
+        "import os\n"
+        "def f():\n"
+        "    t = time.time()\n"
+        "    k = os.urandom(8)\n"
+        "    return t, k\n",
+    )
+    messages = [v.message for v in violations]
+    assert any("time.time" in m for m in messages)
+    assert any("os.urandom" in m for m in messages)
+    assert not any(v.waived for v in violations)
+
+
+def test_perf_counter_is_allowed(tmp_path):
+    assert _check(tmp_path, "import time\nx = time.perf_counter()\n") == []
+
+
+def test_flags_banned_modules(tmp_path):
+    violations = _check(
+        tmp_path,
+        "import random\n"
+        "from uuid import uuid4\n"
+        "import secrets\n"
+        "v = random.random()\n",
+    )
+    assert len(violations) == 4  # three imports + the call
+
+
+def test_flags_set_iteration(tmp_path):
+    violations = _check(
+        tmp_path,
+        "items = [3, 1, 2]\n"
+        "for x in set(items):\n"
+        "    print(x)\n"
+        "ys = [y for y in {1, 2, 3}]\n"
+        "zs = sorted({4, 5})\n"  # sorted() wrapping: fine
+        "union = [u for u in set(items) | {9}]\n",
+    )
+    assert len(violations) == 3
+    assert all("unordered set" in v.message for v in violations)
+
+
+def test_pragma_waives_but_reports(tmp_path):
+    violations = _check(
+        tmp_path,
+        "seen = set()\n"
+        "for x in seen | {1}:  # determinism: ok\n"
+        "    pass\n",
+    )
+    assert len(violations) == 1
+    assert violations[0].waived
+
+
+def test_syntax_error_is_a_violation(tmp_path):
+    violations = _check(tmp_path, "def broken(:\n")
+    assert len(violations) == 1
+    assert "syntax error" in violations[0].message
+
+
+@pytest.mark.parametrize("scope", check_determinism.DEFAULT_SCOPE)
+def test_core_tree_is_clean(scope):
+    """The shipped planning core passes its own lint, per directory."""
+    assert check_determinism.main([scope]) == 0
+
+
+def test_main_flags_a_dirty_file(tmp_path, capsys):
+    bad = tmp_path / "dirty.py"
+    bad.write_text("import random\n")
+    assert check_determinism.main([str(bad)]) == 1
+    assert "random" in capsys.readouterr().out
