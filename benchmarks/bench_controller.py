@@ -1,0 +1,177 @@
+"""Fleet-controller TTR benchmark: delta replanning vs full recompile.
+
+Replays the same fleet + fault timeline through the controller three
+ways and reports the repair TTR (time-to-repair, wall ms per repair):
+
+* ``full_recompile`` — no compile cache: every repair pays a full
+  ground-problem compilation (the pre-PR repair loop).
+* ``warm_cache`` — the warm-start compile cache, delta replanning off:
+  repairs on a previously-seen network state fork a cached problem,
+  but a *new* network state still compiles from scratch.
+* ``delta`` — cache plus delta replanning: a new network state is
+  compiled by patching the member's previous ground problem with the
+  structured network diff, so only the changed elements re-ground.
+
+Equivalence is asserted, not assumed: the three records must be
+identical after popping the provenance counters
+(``summary.delta_hits`` / ``summary.delta_full``) and every timing
+field.  The headline number is ``speedup_ttr`` — full-recompile mean
+TTR over delta mean TTR, best round each.  ``host_cpus`` is recorded
+so the committed number can be read honestly (the controller repairs
+inline here; worker fan-out is benchmarked in ``bench_parallel.py``).
+
+Not collected by pytest (no ``test_`` prefix); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_controller.py [--rounds N] \
+        [--fleet F] [--events E] [--seed S] [--out FILE]
+
+See ``docs/ROBUSTNESS.md`` for the controller spec and the committed
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.domains import media  # noqa: E402
+from repro.network import chain_network  # noqa: E402
+from repro.parallel import CompileCache  # noqa: E402
+from repro.simulate import run_controller  # noqa: E402
+
+_TIMING_KEYS = ("ttr_ms_mean", "ttr_ms_max")
+_PROVENANCE_KEYS = ("delta_hits", "delta_full")
+
+
+def strip_record(record: dict) -> dict:
+    """The record minus timings and compile-path provenance.
+
+    What remains must be byte-identical across all three modes — the
+    cache and the delta patcher are performance paths, never outcome
+    paths.
+    """
+    out = {k: v for k, v in record.items() if k != "wall_ms"}
+    out["summary"] = {
+        k: v
+        for k, v in record["summary"].items()
+        if k not in _TIMING_KEYS + _PROVENANCE_KEYS
+    }
+    out["steps"] = [
+        {
+            **step,
+            "repairs": [
+                {k: v for k, v in repair.items() if k != "ttr_ms"}
+                for repair in step["repairs"]
+            ],
+        }
+        for step in record["steps"]
+    ]
+    return out
+
+
+def bench_mode(app, network, leveling, spec, rounds, cached, delta):
+    """Min-of-N rounds of one controller mode; every round gets a fresh
+    cache so round timings are independent and comparable."""
+    records, means = [], []
+    for _ in range(rounds):
+        cache = CompileCache(max_entries=64) if cached else None
+        mode_spec = dict(spec, delta_replanning=delta)
+        t0 = time.perf_counter()
+        record = run_controller(
+            app, network, leveling, mode_spec,
+            include_timings=True, compile_cache=cache,
+        )
+        wall = time.perf_counter() - t0
+        records.append(record)
+        means.append(record["summary"]["ttr_ms_mean"])
+        print(
+            f"  round: ttr_ms_mean={record['summary']['ttr_ms_mean']:.1f} "
+            f"wall={wall:.3f}s warm={record['summary']['delta_hits']} "
+            f"full={record['summary']['delta_full']}",
+            flush=True,
+        )
+    best = records[means.index(min(means))]
+    summary = best["summary"]
+    return best, {
+        "ttr_ms_mean_rounds": [round(m, 2) for m in means],
+        "ttr_ms_mean_best": round(min(means), 2),
+        "ttr_ms_max_best": round(summary["ttr_ms_max"], 2),
+        "repairs": summary["repairs"],
+        "outages": summary["outages"],
+        "availability": summary["availability"],
+        "delta_hits": summary["delta_hits"],
+        "delta_full": summary["delta_full"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--rounds", type=int, default=3,
+                    help="controller runs per mode; best mean TTR is reported")
+    ap.add_argument("--fleet", type=int, default=3, help="fleet size")
+    ap.add_argument("--events", type=int, default=8,
+                    help="fault-timeline length")
+    ap.add_argument("--seed", type=int, default=13, help="fault-model seed")
+    ap.add_argument("--out", default="BENCH_pr7.json", help="output JSON path")
+    args = ap.parse_args(argv)
+
+    app = media.build_app("n0", "n2")
+    network = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+    leveling = media.proportional_leveling((90, 100))
+    spec = {
+        "fleet": args.fleet,
+        "faults": {"seed": args.seed, "events": args.events},
+        "rg_node_budget": 20_000,
+    }
+
+    modes = {}
+    records = {}
+    for name, cached, delta in (
+        ("full_recompile", False, False),
+        ("warm_cache", True, False),
+        ("delta", True, True),
+    ):
+        print(f"{name}:", flush=True)
+        records[name], modes[name] = bench_mode(
+            app, network, leveling, spec, args.rounds, cached, delta
+        )
+
+    reference = strip_record(records["full_recompile"])
+    for name, record in records.items():
+        if strip_record(record) != reference:
+            raise SystemExit(f"controller record diverged in mode {name!r}")
+
+    full_best = modes["full_recompile"]["ttr_ms_mean_best"]
+    cache_best = modes["warm_cache"]["ttr_ms_mean_best"]
+    delta_best = modes["delta"]["ttr_ms_mean_best"]
+    result = {
+        "bench": "controller-delta",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "host_cpus": os.cpu_count() or 1,
+        "fleet": args.fleet,
+        "events": args.events,
+        "seed": args.seed,
+        "rounds": args.rounds,
+        "modes": modes,
+        "speedup_ttr": round(full_best / max(delta_best, 1e-9), 2),
+        "speedup_ttr_vs_cache": round(cache_best / max(delta_best, 1e-9), 2),
+        "equivalent": True,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"\nTTR {full_best:.1f} ms full -> {delta_best:.1f} ms delta "
+        f"(x{result['speedup_ttr']}); wrote {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -319,12 +319,92 @@ def check_bench_static_prune(path: Path, data: dict) -> list[str]:
     return errors
 
 
+_CONTROLLER_TOP_KEYS = {
+    "bench": str,
+    "timestamp": str,
+    "python": str,
+    "host_cpus": int,
+    "fleet": int,
+    "events": int,
+    "seed": int,
+    "rounds": int,
+    "modes": dict,
+    "speedup_ttr": (int, float),
+    "speedup_ttr_vs_cache": (int, float),
+    "equivalent": bool,
+}
+_CONTROLLER_MODE_KEYS = {
+    "ttr_ms_mean_rounds": list,
+    "ttr_ms_mean_best": (int, float),
+    "ttr_ms_max_best": (int, float),
+    "repairs": int,
+    "outages": int,
+    "availability": (int, float),
+    "delta_hits": int,
+    "delta_full": int,
+}
+
+
+def check_bench_controller(path: Path, data: dict) -> list[str]:
+    """Validate a controller-delta TTR benchmark file (BENCH_pr7)."""
+    errors: list[str] = []
+    for key, typ in _CONTROLLER_TOP_KEYS.items():
+        if key not in data:
+            errors.append(f"{path}: missing top-level key {key!r}")
+        elif not isinstance(data[key], typ) or (
+            typ is int and isinstance(data[key], bool)
+        ):
+            errors.append(f"{path}: {key!r} should be {typ}")
+    modes = data.get("modes", {})
+    for mode in ("full_recompile", "warm_cache", "delta"):
+        entry = modes.get(mode)
+        if not isinstance(entry, dict):
+            errors.append(f"{path}: modes.{mode} missing or not an object")
+            continue
+        for key, typ in _CONTROLLER_MODE_KEYS.items():
+            if key not in entry:
+                errors.append(f"{path}: modes.{mode} missing {key!r}")
+            elif not isinstance(entry[key], typ) or (
+                typ is int and isinstance(entry[key], bool)
+            ):
+                errors.append(f"{path}: modes.{mode}.{key} should be {typ}")
+        rounds_ms = entry.get("ttr_ms_mean_rounds")
+        best = entry.get("ttr_ms_mean_best")
+        if isinstance(rounds_ms, list) and rounds_ms and isinstance(best, (int, float)):
+            if abs(best - min(rounds_ms)) > 1e-3:
+                errors.append(
+                    f"{path}: modes.{mode}.ttr_ms_mean_best inconsistent "
+                    "with ttr_ms_mean_rounds"
+                )
+    if data.get("equivalent") is not True:
+        errors.append(
+            f"{path}: equivalent must be true — delta replanning may "
+            "never change a repair outcome or cost"
+        )
+    delta = modes.get("delta", {})
+    full = modes.get("full_recompile", {})
+    if isinstance(delta.get("delta_hits"), int) and delta["delta_hits"] <= 0:
+        errors.append(
+            f"{path}: modes.delta.delta_hits must be > 0 "
+            "(the delta path must serve some repairs warm)"
+        )
+    for key in ("repairs", "outages", "availability"):
+        if key in delta and key in full and delta[key] != full[key]:
+            errors.append(
+                f"{path}: modes.delta.{key} != modes.full_recompile.{key} "
+                "(outcomes must not depend on the compile path)"
+            )
+    return errors
+
+
 def check_bench(path: Path, data: dict) -> list[str]:
     """Validate a BENCH_*.json benchmark result file."""
     if data.get("bench") == "parallel-warmstart":
         return check_bench_parallel(path, data)
     if data.get("bench") == "static-prune":
         return check_bench_static_prune(path, data)
+    if data.get("bench") == "controller-delta":
+        return check_bench_controller(path, data)
     errors: list[str] = []
     for key, typ in _TOP_KEYS.items():
         if key not in data:

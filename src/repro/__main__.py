@@ -262,6 +262,67 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_controller(args: argparse.Namespace) -> int:
+    from .simulate.controller import run_controller
+
+    app, network, leveling = _load_instance(args)
+    spec = json.load(open(args.campaign)) if args.campaign else {}
+    if args.delta:
+        spec = dict(spec, delta_replanning=True)
+    telemetry = None
+    if args.metrics:
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
+
+    try:
+        record = run_controller(
+            app,
+            network,
+            leveling,
+            spec,
+            fleet=args.fleet,
+            seed=args.seed,
+            events=args.events,
+            time_limit_s=args.time_limit,
+            include_timings=args.timings,
+            telemetry=telemetry,
+            workers=args.workers,
+        )
+    except TypeError as exc:
+        print(f"invalid campaign fault model: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"invalid campaign event: {exc}", file=sys.stderr)
+        return 1
+
+    summary = record["summary"]
+    print(
+        f"fleet {summary['fleet']}, events {summary['events']}: "
+        f"{summary['repairs']} repairs, {summary['outages']} outages, "
+        f"{summary['redeployments']} redeployments, "
+        f"availability {summary['availability']:.3f}"
+    )
+    print(
+        f"repair compiles: {summary['delta_hits']} warm (cache/delta), "
+        f"{summary['delta_full']} full"
+    )
+    if args.metrics:
+        print()
+        print(telemetry.metrics.render_text())
+    if args.json:
+        payload = json.dumps(record, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            open(args.json, "w").write(payload + "\n")
+            # stderr: stdout must stay byte-identical across same-seed runs
+            # (the controller-smoke CI job diffs it).
+            print(f"wrote {args.json}", file=sys.stderr)
+    initial_ok = all(entry["deployed"] for entry in record["initial"])
+    return 0 if initial_ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time the Table-2 sweep, serially or across worker processes."""
     import time as _time
@@ -566,6 +627,66 @@ def build_parser() -> argparse.ArgumentParser:
         "including cache.hit / cache.miss compile-cache counters",
     )
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_ctl = sub.add_parser(
+        "controller",
+        help="replay a fault timeline against a fleet of deployments",
+    )
+    add_instance_args(p_ctl)
+    p_ctl.add_argument(
+        "--campaign",
+        metavar="FILE",
+        help="JSON campaign spec (same format as simulate, plus 'fleet' "
+        "and 'delta_replanning'; see docs/ROBUSTNESS.md)",
+    )
+    p_ctl.add_argument(
+        "--fleet", type=int, help="fleet size (overrides the spec's 'fleet')"
+    )
+    p_ctl.add_argument(
+        "--delta",
+        action="store_true",
+        help="compile repair problems by patching each member's previous "
+        "network state (spec key 'delta_replanning'); records are "
+        "identical with or without, only time-to-recover changes",
+    )
+    p_ctl.add_argument(
+        "--seed", type=int, help="override the fault model's timeline seed"
+    )
+    p_ctl.add_argument(
+        "--events", type=int, help="override the fault model's timeline length"
+    )
+    p_ctl.add_argument(
+        "--time-limit",
+        type=float,
+        metavar="SECONDS",
+        help="per-repair wall-clock budget (campaign spec takes precedence)",
+    )
+    p_ctl.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the controller record as JSON ('-' for stdout); "
+        "deterministic for fixed seeds unless --timings is given",
+    )
+    p_ctl.add_argument(
+        "--timings",
+        action="store_true",
+        help="include wall-clock time-to-recover figures in the record",
+    )
+    p_ctl.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the per-event repair queue out over N worker processes "
+        "(one member per task); records are identical to --workers 1",
+    )
+    p_ctl.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry after the run, including the "
+        "repair.ttr histogram and repair.delta.hit/full counters",
+    )
+    p_ctl.set_defaults(fn=_cmd_controller)
 
     p_bench = sub.add_parser(
         "bench", help="time the Table-2 sweep (serial or parallel)"

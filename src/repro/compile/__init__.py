@@ -13,6 +13,7 @@ from .actions import (
     use_replay_backend,
 )
 from .bounds import compute_property_bounds, resource_capacity_bounds
+from .delta import patch_problem
 from .grounding import Grounder, PropTable
 from .problem import CompiledProblem, compile_problem
 from .propositions import AvailProp, PlacedProp, Prop, dominated_level_tuples
@@ -42,6 +43,7 @@ __all__ = [
     "dominated_level_tuples",
     "prune_unreachable_actions",
     "logically_reachable",
+    "patch_problem",
     "Diagnosis",
     "diagnose",
 ]

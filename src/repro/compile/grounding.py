@@ -271,7 +271,17 @@ class Grounder:
             self._ground_interface(iface)
         return self.actions
 
-    def _ground_component(self, comp: ComponentSpec) -> None:
+    def _ground_component(
+        self, comp: ComponentSpec, only_nodes: frozenset[str] | None = None
+    ) -> None:
+        """Ground one component; ``only_nodes`` restricts the node domain.
+
+        The restriction (used by the delta-aware compile to re-ground
+        only changed nodes) filters *after* the placeable-node
+        computation, so the surviving nodes keep their canonical order
+        and every emitted action is byte-equivalent to its unrestricted
+        counterpart.
+        """
         mentioned: set[str] = set()
         for f in comp.all_formulas():
             mentioned |= variables(f)
@@ -279,6 +289,8 @@ class Grounder:
             n.id for n in self.network.nodes.values() if n.allows(comp.name)
         ]
         nodes = self.app.placeable_nodes(comp.name, candidate_nodes)
+        if only_nodes is not None:
+            nodes = [n for n in nodes if n in only_nodes]
 
         base_env, input_axes = self._input_env_and_axes(comp.requires)
 
@@ -459,7 +471,14 @@ class Grounder:
 
     # ------------------------------------------------------------------ cross
 
-    def _ground_interface(self, iface: InterfaceType) -> None:
+    def _ground_interface(
+        self,
+        iface: InterfaceType,
+        only_links: frozenset[tuple[str, str]] | None = None,
+    ) -> None:
+        """Ground one interface's crossings; ``only_links`` restricts the
+        edge domain to the given canonical link keys (both directions of
+        each kept link, in their canonical iteration order)."""
         if not iface.cross_effects:
             return  # a non-transferable interface (e.g. a local-only service)
         mentioned: set[str] = set()
@@ -473,6 +492,8 @@ class Grounder:
         memo: dict[tuple, tuple | None] = {}
 
         for src, dst, link in self.network.directed_edges():
+            if only_links is not None and link.key not in only_links:
+                continue
             caps = {r.name: link.capacity(r.name) for r in self.app.link_resources()}
             res_env, res_axes = self._resource_axes(ResourceScope.LINK, mentioned, caps)
             cap_key = tuple(sorted(caps.items()))

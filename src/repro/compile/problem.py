@@ -42,6 +42,10 @@ class CompiledProblem:
     logically_solvable: bool = True  # goal reachable ignoring resources
     reachability_pruned: int = 0  # actions removed by best-value propagation
     compile_seconds: float = 0.0
+    compile_source: str = "fresh"
+    """How this problem came to be: ``"fresh"`` (full compilation),
+    ``"cache"`` (warm-start cache hit), or ``"delta"`` (patched from a
+    cached base by :func:`repro.compile.delta.patch_problem`)."""
     _initial_map_cache: ResourceMap | None = field(default=None, repr=False)
 
     # -- queries ---------------------------------------------------------------
@@ -105,6 +109,11 @@ class CompiledProblem:
     pruned_actions: list[GroundAction] = field(default_factory=list, repr=False)
     """Actions removed by best-value reachability pruning (kept for
     infeasibility diagnosis)."""
+    _ground_names: tuple[str, ...] = field(default=(), repr=False)
+    """Action names in pre-prune grounding order.  Reachability pruning
+    renumbers the kept actions, losing the original interleave of kept
+    and pruned; the delta-aware compile needs that order to splice
+    re-grounded groups back in at exactly the canonical positions."""
     analysis: object | None = field(default=None, repr=False)
     """Static-analysis result (:class:`repro.analysis.AnalysisResult`) when
     compiled with ``analyze=True``, else ``None``.  The result holds no
@@ -160,6 +169,7 @@ def compile_problem(
     props = PropTable()
     grounder = Grounder(app, network, leveling, bounds, props)
     actions = grounder.ground_all()
+    ground_names = tuple(a.name for a in actions)
 
     initial_ids, initial_values, initial_streams = _build_initial_state(
         app, network, leveling, props
@@ -201,6 +211,7 @@ def compile_problem(
     )
     problem._initial_streams = initial_streams
     problem.pruned_actions = removed_actions
+    problem._ground_names = ground_names
     if analyze:
         # Lazy import: repro.analysis imports this module.
         from ..analysis import analyze_problem

@@ -32,9 +32,11 @@ from .envelope import (
     check_picklable,
 )
 from .fingerprint import (
+    NetworkDelta,
     app_fingerprint,
     digest,
     leveling_fingerprint,
+    network_delta,
     network_fingerprint,
 )
 from .pool import START_METHOD, TaskFailed, WorkerCrashed, WorkerPool, resolve_workers
@@ -44,8 +46,11 @@ from .workers import (
     CampaignTask,
     CellResult,
     CellTask,
+    RepairOutcome,
+    RepairTask,
     run_campaign_task,
     run_cell_task,
+    run_repair_task,
 )
 
 __all__ = [
@@ -66,6 +71,8 @@ __all__ = [
     "app_fingerprint",
     "network_fingerprint",
     "leveling_fingerprint",
+    "NetworkDelta",
+    "network_delta",
     "RungJob",
     "RungOutcome",
     "race_rungs",
@@ -75,4 +82,7 @@ __all__ = [
     "CampaignTask",
     "CampaignResult",
     "run_campaign_task",
+    "RepairTask",
+    "RepairOutcome",
+    "run_repair_task",
 ]

@@ -65,6 +65,8 @@ class CompileCache:
         self.validate_misses = 0
         self.analysis_hits = 0
         self.analysis_misses = 0
+        self.delta_hits = 0
+        self.delta_fallbacks = 0
 
     def __len__(self) -> int:
         return len(self._problems)
@@ -85,6 +87,8 @@ class CompileCache:
             "validate_misses": self.validate_misses,
             "analysis_hits": self.analysis_hits,
             "analysis_misses": self.analysis_misses,
+            "delta_hits": self.delta_hits,
+            "delta_fallbacks": self.delta_fallbacks,
         }
 
     # -- the memoized compile --------------------------------------------------
@@ -142,6 +146,7 @@ class CompileCache:
             t0 = time.perf_counter()
             fork = cached.fork()
             fork.compile_seconds = time.perf_counter() - t0
+            fork.compile_source = "cache"
             return fork
         self.misses += 1
         if metrics is not None:
@@ -159,6 +164,89 @@ class CompileCache:
         # A successful compilation implies the pair validated; remember it.
         self._remember_valid(key[0], key[1])
         return problem
+
+    # -- the delta-aware compile -----------------------------------------------
+
+    def compile_delta(
+        self,
+        app: AppSpec,
+        network: Network,
+        leveling: Leveling | None = None,
+        bound_overrides: dict[str, float] | None = None,
+        strict: bool = False,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> CompiledProblem:
+        """Compile, preferring a cached base patched across a network diff.
+
+        The incremental-replanning entry point: on an exact-fingerprint
+        hit this is :meth:`compile`; on a miss it looks for a cached
+        entry sharing the (app, leveling, overrides) key with a
+        *different* network — the previous network state of a repair
+        loop — diffs the two topologies
+        (:func:`~repro.parallel.fingerprint.network_delta`), and patches
+        only the ground actions touching changed elements
+        (:func:`repro.compile.delta.patch_problem`) instead of
+        recompiling the triple.  The patched problem is cached under the
+        new key, so the stitched-validation compile of the same repair
+        is a plain hit.
+
+        A successful patch counts as ``cache.delta.hit`` (plus the
+        ordinary ``cache.miss`` — the exact key was absent); any
+        fallback to full compilation counts as ``cache.delta.full``.
+        The result's :attr:`~repro.compile.CompiledProblem.compile_source`
+        says which way it came: ``"cache"``, ``"delta"``, or ``"fresh"``.
+
+        Exceptions mirror :meth:`compile`: an invalid (app, network)
+        pair raises ``ValueError`` whether patched or compiled.  The
+        ``strict`` path never patches (the lint pass reads the network).
+        """
+        key = (
+            app_fingerprint(app),
+            network_fingerprint(network),
+            leveling_fingerprint(leveling),
+            digest(bound_overrides),
+            strict,
+        )
+        if key in self._problems:
+            return self.compile(
+                app, network, leveling, bound_overrides, strict, metrics=metrics
+            )
+
+        base: CompiledProblem | None = None
+        if not strict:
+            for cached_key in reversed(self._problems):
+                if (
+                    cached_key[0] == key[0]
+                    and cached_key[2:] == key[2:]
+                    and cached_key[1] != key[1]
+                ):
+                    base = self._problems[cached_key]
+                    break
+        if base is not None:
+            from ..compile.delta import patch_problem
+            from .fingerprint import network_delta
+
+            delta = network_delta(base.network, network)
+            patched = patch_problem(base.fork(), network, delta, bound_overrides)
+            if patched is not None:
+                self.misses += 1
+                self.delta_hits += 1
+                if metrics is not None:
+                    metrics.inc("cache.miss")
+                    metrics.inc("cache.delta.hit")
+                self._problems[key] = patched.fork()
+                while len(self._problems) > self.max_entries:
+                    self._problems.popitem(last=False)
+                self._remember_valid(key[0], key[1])
+                return patched
+
+        self.delta_fallbacks += 1
+        if metrics is not None:
+            metrics.inc("cache.delta.full")
+        return self.compile(
+            app, network, leveling, bound_overrides, strict, metrics=metrics
+        )
 
     # -- the memoized validation ----------------------------------------------
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..model import AppSpec, Leveling
@@ -25,6 +26,8 @@ __all__ = [
     "network_fingerprint",
     "leveling_fingerprint",
     "digest",
+    "NetworkDelta",
+    "network_delta",
 ]
 
 _DIGEST_SIZE = 16  # 128-bit digests: collision-safe for cache keys
@@ -95,6 +98,101 @@ def app_fingerprint(app: AppSpec) -> str:
         "pinned": dict(sorted(app.pinned.items())),
     }
     return digest(payload)
+
+
+@dataclass(frozen=True)
+class NetworkDelta:
+    """A structured diff between two networks over the *same* node set.
+
+    The delta-aware compile (:mod:`repro.compile.delta`) patches only
+    the ground actions touching changed elements, so the diff records
+    exactly the patch-relevant facts: which nodes changed a resource
+    value, which links changed one, and which links appeared or
+    disappeared.  Changes the patcher cannot express — a different node
+    set, label or software edits (they gate where components may ground
+    at all) — mark the delta unpatchable with a reason.
+    """
+
+    changed_nodes: tuple[str, ...] = ()
+    changed_links: tuple[tuple[str, str], ...] = ()
+    added_links: tuple[tuple[str, str], ...] = ()
+    removed_links: tuple[tuple[str, str], ...] = ()
+    patchable: bool = True
+    reason: str = field(default="", compare=False)
+
+    def is_empty(self) -> bool:
+        """No difference at all (the networks fingerprint identically)."""
+        return self.patchable and not (
+            self.changed_nodes
+            or self.changed_links
+            or self.added_links
+            or self.removed_links
+        )
+
+    def touched_links(self) -> frozenset[tuple[str, str]]:
+        """Canonical link keys whose cross actions need re-grounding."""
+        return frozenset(self.changed_links) | frozenset(self.added_links)
+
+    def describe(self) -> str:
+        if not self.patchable:
+            return f"unpatchable: {self.reason}"
+        parts = []
+        if self.changed_nodes:
+            parts.append(f"{len(self.changed_nodes)} node(s) changed")
+        if self.changed_links:
+            parts.append(f"{len(self.changed_links)} link(s) changed")
+        if self.added_links:
+            parts.append(f"{len(self.added_links)} link(s) added")
+        if self.removed_links:
+            parts.append(f"{len(self.removed_links)} link(s) removed")
+        return ", ".join(parts) if parts else "no change"
+
+
+def network_delta(old: Network, new: Network) -> NetworkDelta:
+    """Diff two networks into a :class:`NetworkDelta`.
+
+    Patchable deltas cover exactly what fault-campaign events produce:
+    node/link resource-value changes, link failures, and link
+    recoveries.  Anything else (node add/remove, label or software
+    changes) yields ``patchable=False`` and the caller falls back to a
+    full compilation.
+    """
+
+    def _unpatchable(reason: str) -> NetworkDelta:
+        return NetworkDelta(patchable=False, reason=reason)
+
+    old_nodes, new_nodes = old.nodes, new.nodes
+    if old_nodes.keys() != new_nodes.keys():
+        return _unpatchable("node set changed")
+    changed_nodes = []
+    for node_id in new_nodes:
+        o, n = old_nodes[node_id], new_nodes[node_id]
+        if o.labels != n.labels or o.software != n.software:
+            return _unpatchable(f"node {node_id} labels/software changed")
+        if o.resources != n.resources:
+            changed_nodes.append(node_id)
+
+    old_links, new_links = old.links, new.links
+    changed_links, added, removed = [], [], []
+    for key in new_links:
+        if key not in old_links:
+            added.append(key)
+            continue
+        o, n = old_links[key], new_links[key]
+        if o.labels != n.labels:
+            return _unpatchable(f"link {key[0]}~{key[1]} labels changed")
+        if o.resources != n.resources:
+            changed_links.append(key)
+    for key in old_links:
+        if key not in new_links:
+            removed.append(key)
+
+    return NetworkDelta(
+        changed_nodes=tuple(sorted(changed_nodes)),
+        changed_links=tuple(sorted(changed_links)),
+        added_links=tuple(sorted(added)),
+        removed_links=tuple(sorted(removed)),
+    )
 
 
 def leveling_fingerprint(leveling: Leveling | None) -> str:

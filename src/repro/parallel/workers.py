@@ -18,7 +18,7 @@ counters ride home in the snapshot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..model import AppSpec, Leveling
 from ..network import Network
@@ -31,6 +31,9 @@ __all__ = [
     "CampaignTask",
     "CampaignResult",
     "run_campaign_task",
+    "RepairTask",
+    "RepairOutcome",
+    "run_repair_task",
 ]
 
 
@@ -140,3 +143,74 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
         description=result.describe(),
         metrics=MetricsSnapshot.from_telemetry(telemetry),
     )
+
+
+# -- fleet-repair tasks (controller fan-out) -----------------------------------
+
+
+@dataclass(frozen=True)
+class RepairTask:
+    """One fleet member's repair against the current network state.
+
+    ``deployment_names`` is the member's running deployment as ground-
+    action names (the serializable identity used by
+    :func:`repro.planner.repair_by_names`) — or ``None`` when the member
+    is down and needs a from-scratch deployment.
+    """
+
+    app: AppSpec
+    network: Network
+    leveling: Leveling
+    deployment_names: tuple[str, ...] | None
+    migration_cost_factor: float = 0.5
+    rg_node_budget: int = 20_000
+    time_limit_s: float | None = None
+    use_delta: bool = False
+    use_cache: bool = True
+    replan_from_scratch: bool = True
+    with_metrics: bool = False
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """One repair's result: the new deployment (as names) and its costs."""
+
+    app: str
+    outcome: str
+    """``"repaired"`` (prefix kept, delta planned), ``"redeployed"``
+    (from-scratch solve), or ``"outage"`` (planning failed or replanning
+    disabled)."""
+    deployment_names: tuple[str, ...] = ()
+    survived: int = 0
+    repaired: int = 0
+    repair_cost: float = 0.0
+    total_cost: float = 0.0
+    failure: str = ""
+    compile_source: str = "fresh"
+    wall_ms: float = 0.0
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome == "outage"
+
+
+def run_repair_task(task: RepairTask) -> RepairOutcome:
+    """Repair one fleet member in this worker.
+
+    Compilation goes through the worker's process-global cache; with
+    deterministic task→worker sharding the same member lands on the same
+    worker every event, so that cache holds the member's *previous*
+    network state — exactly what ``use_delta`` patches from.
+    """
+    from ..obs import Telemetry
+    from ..simulate.controller import repair_member
+    from .cache import default_compile_cache
+
+    telemetry = Telemetry() if task.with_metrics else None
+    outcome = repair_member(
+        task,
+        telemetry=telemetry,
+        compile_cache=default_compile_cache() if task.use_cache else None,
+    )
+    return replace(outcome, metrics=MetricsSnapshot.from_telemetry(telemetry))

@@ -1,7 +1,20 @@
 """The leveled Sekitei planner: PLRG, SLRG, RG phases and the facade."""
 
-from .adaptation import Deployment, RepairResult, repair_deployment, surviving_prefix
+from .adaptation import (
+    Deployment,
+    RepairResult,
+    repair_by_names,
+    repair_deployment,
+    surviving_prefix,
+)
 from .deadline import Deadline
+from .delta import (
+    StitchedDeployment,
+    fold_prefix,
+    parse_stream_var,
+    placements_of_names,
+    stitch_plan,
+)
 from .errors import (
     DeadlineExceeded,
     ExecutionError,
@@ -10,7 +23,7 @@ from .errors import (
     SearchBudgetExceeded,
     Unsolvable,
 )
-from .executor import ExecutionReport, ExecutionStep, execute_plan
+from .executor import ExecutionReport, ExecutionStep, PlanExecutor, execute_plan
 from .plan import Plan
 from .planner import Heuristic, Planner, PlannerConfig, solve
 from .plrg import PLRG, build_plrg
@@ -31,6 +44,7 @@ __all__ = [
     "ExecutionError",
     "ExecutionReport",
     "ExecutionStep",
+    "PlanExecutor",
     "execute_plan",
     "Plan",
     "Planner",
@@ -46,7 +60,13 @@ __all__ = [
     "Deployment",
     "RepairResult",
     "repair_deployment",
+    "repair_by_names",
     "surviving_prefix",
+    "StitchedDeployment",
+    "stitch_plan",
+    "fold_prefix",
+    "parse_stream_var",
+    "placements_of_names",
     "PostOptResult",
     "post_optimize",
     "RUNGS",

@@ -1,0 +1,191 @@
+"""Plan stitching and prefix folding for delta replanning.
+
+Deployment repair (:mod:`repro.planner.adaptation`) keeps the surviving
+prefix of a broken deployment *structurally*: instead of rediscovering
+the old placements, the prefix's exact post-execution state is folded
+into the repair problem's initial state and the planner only completes
+the delta.  This module holds the shared machinery:
+
+* :func:`parse_stream_var` — the hardened inverse of
+  :func:`~repro.compile.iface_prop_var` (a malformed ground variable
+  raises a structured :class:`~repro.planner.errors.ExecutionError`
+  naming the offender instead of a bare ``ValueError`` mid-repair);
+* :func:`fold_prefix` — rewrite a compiled problem's initial state to
+  start *after* an executed prefix;
+* :func:`stitch_plan` / :class:`StitchedDeployment` — resolve
+  ``prefix + delta`` in one problem, execute it exactly, and expose the
+  stitched deployment's total cost (what
+  ``SimulationStep.total_plan_cost`` reports).
+
+The equivalence guarantee (docs/ROBUSTNESS.md): folding is exact — the
+post-prefix values come from the executor, not from bounds — so a delta
+plan for the folded problem extends the prefix into a deployment that
+re-executes cleanly from the *unfolded* initial state.  ``stitch_plan``
+verifies exactly that on a fresh compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compile import CompiledProblem, GroundAction
+from ..model import AppSpec
+from .errors import ExecutionError
+from .executor import ExecutionReport, execute_plan
+
+__all__ = [
+    "parse_stream_var",
+    "fold_prefix",
+    "StitchedDeployment",
+    "stitch_plan",
+    "placements_of_names",
+]
+
+
+def parse_stream_var(gvar: str) -> tuple[str, str, str] | None:
+    """Parse a ground stream variable ``prop:iface@node``.
+
+    Returns ``(prop, iface, node)``, or ``None`` for variables that are
+    not stream-shaped at all (no ``:`` — node/link resource variables).
+    A variable that *looks* like a stream but is missing the ``@node``
+    part raises :class:`ExecutionError` naming it — surfacing a
+    malformed resource name at the fold site instead of a bare
+    ``ValueError`` deep inside repair.
+    """
+    prop, sep, rest = gvar.partition(":")
+    if not sep:
+        return None
+    iface, sep, node = rest.partition("@")
+    if not sep or not prop or not iface or not node:
+        raise ExecutionError(
+            f"cannot fold stream variable {gvar!r} into the repair state: "
+            "expected the form 'prop:iface@node'"
+        )
+    return prop, iface, node
+
+
+def fold_prefix(
+    problem: CompiledProblem,
+    app: AppSpec,
+    prefix: list[GroundAction],
+    report: ExecutionReport,
+) -> None:
+    """Fold an executed prefix into ``problem``'s initial state (in place).
+
+    ``report`` must be the exact execution report of ``prefix`` against
+    ``problem``'s (unfolded) initial state.  Achieved propositions join
+    the initial set, post-prefix resource values replace the initial
+    values, and streams produced by the prefix become initial streams.
+
+    Raises
+    ------
+    ExecutionError
+        If a post-prefix ground variable cannot be interpreted — a
+        stream variable without a node part, or one naming an interface
+        the app does not declare.
+    """
+    achieved = set(problem.initial_prop_ids)
+    for action in prefix:
+        achieved |= action.add_props
+    problem.initial_prop_ids = frozenset(achieved)
+    problem.initial_values = {
+        k: v for k, v in report.final_values.items() if k in problem.initial_values
+    }
+    extra_streams = []
+    for gvar, value in report.final_values.items():
+        if gvar in problem.initial_values:
+            continue
+        parsed = parse_stream_var(gvar)
+        if parsed is None:
+            continue
+        prop_part, iface_name, node_id = parsed
+        if iface_name not in app.interfaces:
+            raise ExecutionError(
+                f"cannot fold stream variable {gvar!r}: app {app.name!r} "
+                f"declares no interface {iface_name!r}"
+            )
+        iface = app.interface(iface_name)
+        extra_streams.append(
+            (
+                iface_name,
+                node_id,
+                value,
+                iface.is_degradable(prop_part),
+                iface.property_spec(prop_part).upgradable,
+                prop_part,
+            )
+        )
+    problem._initial_streams = list(problem._initial_streams) + extra_streams
+    problem._initial_map_cache = None
+
+
+@dataclass
+class StitchedDeployment:
+    """``prefix + delta`` resolved and exactly executed in one problem."""
+
+    problem: CompiledProblem
+    actions: list[GroundAction]
+    prefix_len: int
+    report: ExecutionReport
+
+    @property
+    def total_cost(self) -> float:
+        """Exact cost of the whole stitched deployment (prefix included)."""
+        return self.report.total_cost
+
+    @property
+    def prefix_actions(self) -> list[GroundAction]:
+        return self.actions[: self.prefix_len]
+
+    @property
+    def delta_actions(self) -> list[GroundAction]:
+        return self.actions[self.prefix_len :]
+
+
+def stitch_plan(
+    problem: CompiledProblem,
+    prefix_names: list[str],
+    delta_names: list[str],
+) -> StitchedDeployment:
+    """Resolve and validate a stitched deployment against ``problem``.
+
+    Every name must exist in ``problem`` and the combined sequence must
+    execute exactly from its initial state; a missing action raises
+    :class:`ExecutionError` naming it (the prefix was discovered against
+    a problem compiled from the same triple, so a miss means the caller
+    stitched across incompatible networks).
+    """
+    by_name = {a.name: a for a in problem.actions}
+    actions: list[GroundAction] = []
+    for name in list(prefix_names) + list(delta_names):
+        action = by_name.get(name)
+        if action is None:
+            raise ExecutionError(
+                f"stitched action {name!r} does not exist in the compiled "
+                "problem (different network or leveling?)"
+            )
+        actions.append(action)
+    report = execute_plan(problem, actions)
+    return StitchedDeployment(
+        problem=problem,
+        actions=actions,
+        prefix_len=len(prefix_names),
+        report=report,
+    )
+
+
+def placements_of_names(names: list[str]) -> dict[str, str]:
+    """Component → node placements encoded in ground ``place(...)`` names.
+
+    The last placement of a component wins, matching execution order (a
+    component re-placed later in a deployment runs at its final node).
+    """
+    out: dict[str, str] = {}
+    for name in names:
+        if not name.startswith("place("):
+            continue
+        inner = name[len("place(") :].split(")", 1)[0]
+        comp, sep, node = inner.partition(",")
+        if sep:
+            out[comp] = node
+    return out

@@ -11,7 +11,6 @@ that every plan it returns executes cleanly.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from ..expr import (
@@ -25,7 +24,7 @@ from ..compile import CompiledProblem, EffectKind, GroundAction, replay_backend
 from ..obs import Telemetry, maybe_span
 from .errors import ExecutionError
 
-__all__ = ["ExecutionStep", "ExecutionReport", "execute_plan"]
+__all__ = ["ExecutionStep", "ExecutionReport", "PlanExecutor", "execute_plan"]
 
 _EPS = 1e-6
 
@@ -85,18 +84,81 @@ def execute_plan(
         return _execute(problem, actions)
 
 
-def _execute(problem: CompiledProblem, actions: list[GroundAction]) -> ExecutionReport:
-    values: dict[str, float] = dict(problem.initial_values)
-    for iface, node, value, _deg, _upg, prop in problem._initial_streams:
-        from ..compile import iface_prop_var
+class PlanExecutor:
+    """Stateful, checkpointed forward execution — one atomic step at a time.
 
-        values[iface_prop_var(prop, iface, node)] = value
+    The incremental counterpart of :func:`execute_plan`: state (the exact
+    ground-variable values) persists across :meth:`step` calls, so
+    executing an n-action plan costs n action evaluations total instead
+    of O(n²) re-executions when a caller probes one action at a time
+    (deployment repair's surviving-prefix scan does exactly that).
 
-    report = ExecutionReport()
-    baseline = dict(values)
-    compiled = replay_backend() == "compiled"
+    Steps are **atomic**: every read, condition, and staged write of an
+    action is validated against the current state before anything is
+    applied, so a failing :meth:`step`/:meth:`try_step` leaves the
+    executor exactly where it was — the caller can go on probing other
+    candidates or finalize the report of the successful prefix.
+    """
 
-    for action in actions:
+    def __init__(self, problem: CompiledProblem):
+        values: dict[str, float] = dict(problem.initial_values)
+        for iface, node, value, _deg, _upg, prop in problem._initial_streams:
+            from ..compile import iface_prop_var
+
+            values[iface_prop_var(prop, iface, node)] = value
+        self._values = values
+        self._baseline = dict(values)
+        self._report = ExecutionReport()
+        self._compiled = replay_backend() == "compiled"
+
+    @property
+    def steps(self) -> list[ExecutionStep]:
+        return self._report.steps
+
+    def step(self, action: GroundAction) -> ExecutionStep:
+        """Execute one action; raises :class:`ExecutionError` on any
+        violation, leaving the state unchanged."""
+        env, inputs = self._read_inputs(action)
+        self._check_conditions(action, env)
+        outputs, writes = self._stage_effects(action, env)
+        cost = self._action_cost(action, env)
+        # All validation passed: apply the staged writes atomically.
+        self._values.update(writes)
+        step = ExecutionStep(action, inputs, outputs, cost)
+        self._report.steps.append(step)
+        self._report.total_cost += cost
+        return step
+
+    def try_step(self, action: GroundAction) -> bool:
+        """Like :meth:`step` but returns ``False`` instead of raising."""
+        try:
+            self.step(action)
+        except ExecutionError:
+            return False
+        return True
+
+    def report(self) -> ExecutionReport:
+        """The report of everything executed so far.
+
+        Snapshots ``final_values`` and ``consumed`` from the current
+        state; safe to call repeatedly (e.g. once per probed prefix
+        length) — further steps simply extend the same report.
+        """
+        self._report.final_values = dict(self._values)
+        consumed: dict[str, float] = {}
+        for gvar, before in self._baseline.items():
+            after = self._values.get(gvar, before)
+            if after < before - _EPS:
+                consumed[gvar] = before - after
+        self._report.consumed = consumed
+        return self._report
+
+    # -- one action, in validate-then-apply stages ---------------------------
+
+    def _read_inputs(
+        self, action: GroundAction
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        values = self._values
         env: dict[str, float] = {}
         inputs: dict[str, float] = {}
         for spec_var, gvar in action.var_map.items():
@@ -113,11 +175,8 @@ def _execute(problem: CompiledProblem, actions: list[GroundAction]) -> Execution
                 raise ExecutionError(
                     f"{action.name}: input stream {gvar} is not available"
                 )
-            cap = math.inf
-            lo = 0.0
-            if committed is not None:
-                cap = committed.hi
-                lo = committed.lo
+            cap = committed.hi
+            lo = committed.lo
             u = min(raw, cap)
             if u + _EPS < lo:
                 raise ExecutionError(
@@ -126,12 +185,14 @@ def _execute(problem: CompiledProblem, actions: list[GroundAction]) -> Execution
                 )
             env[spec_var] = u
             inputs[spec_var] = u
+        return env, inputs
 
+    def _check_conditions(self, action: GroundAction, env: dict[str, float]) -> None:
         try:
             for cond in action.conditions:
                 holds = (
                     compile_condition_float(cond)(env)
-                    if compiled
+                    if self._compiled
                     else check_condition_float(cond, env)
                 )
                 if not holds:
@@ -142,13 +203,23 @@ def _execute(problem: CompiledProblem, actions: list[GroundAction]) -> Execution
         except EvalError as exc:
             raise ExecutionError(f"{action.name}: {exc}") from exc
 
-        # Simultaneous effects: stage all right-hand sides, then write.
+    def _stage_effects(
+        self, action: GroundAction, env: dict[str, float]
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """Validate and stage all effect writes without touching state.
+
+        Right-hand sides all read the pre-state (simultaneous-effect
+        semantics); sequential writes to a shared target accumulate in
+        the ``writes`` overlay, so a CONSUME overdraw is detected before
+        any write lands.
+        """
+        values = self._values
         staged: list[tuple[str, EffectKind, float, str]] = []
         for assign, (gvar, kind) in zip(action.effects, action.effect_targets):
             try:
                 rhs = (
                     compile_float(assign.expr)(env)
-                    if compiled
+                    if self._compiled
                     else eval_float(assign.expr, env)
                 )
             except EvalError as exc:
@@ -156,44 +227,44 @@ def _execute(problem: CompiledProblem, actions: list[GroundAction]) -> Execution
             staged.append((gvar, kind, rhs, assign.op))
 
         outputs: dict[str, float] = {}
+        writes: dict[str, float] = {}
         for gvar, kind, rhs, op in staged:
+            current = writes.get(gvar, values.get(gvar, 0.0))
             if kind is EffectKind.CONSUME:
-                values[gvar] = values.get(gvar, 0.0) - rhs
-                if values[gvar] < -_EPS:
+                new = current - rhs
+                if new < -_EPS:
                     raise ExecutionError(
-                        f"{action.name}: overdraws {gvar} by {-values[gvar]:g}"
+                        f"{action.name}: overdraws {gvar} by {-new:g}"
                     )
-                values[gvar] = max(values[gvar], 0.0)
+                writes[gvar] = max(new, 0.0)
             elif kind is EffectKind.SET_RESOURCE:
-                current = values.get(gvar, 0.0)
                 if op == ":=":
-                    values[gvar] = rhs
+                    writes[gvar] = rhs
                 elif op == "+=":
-                    values[gvar] = current + rhs
+                    writes[gvar] = current + rhs
                 else:
-                    values[gvar] = current - rhs
+                    writes[gvar] = current - rhs
             else:
-                values[gvar] = rhs
-            outputs[gvar] = values[gvar]
+                writes[gvar] = rhs
+            outputs[gvar] = writes[gvar]
+        return outputs, writes
 
+    def _action_cost(self, action: GroundAction, env: dict[str, float]) -> float:
         try:
             if action.cost_ast is None:
-                cost = 1.0
-            elif compiled:
-                cost = compile_float(action.cost_ast)(env)
-            else:
-                cost = eval_float(action.cost_ast, env)
+                return 1.0
+            if self._compiled:
+                return compile_float(action.cost_ast)(env)
+            return eval_float(action.cost_ast, env)
         except EvalError as exc:
             raise ExecutionError(f"{action.name}: cost formula: {exc}") from exc
-        report.steps.append(ExecutionStep(action, inputs, outputs, cost))
-        report.total_cost += cost
 
-    report.final_values = values
-    for gvar, before in baseline.items():
-        after = values.get(gvar, before)
-        if after < before - _EPS:
-            report.consumed[gvar] = before - after
-    return report
+
+def _execute(problem: CompiledProblem, actions: list[GroundAction]) -> ExecutionReport:
+    executor = PlanExecutor(problem)
+    for action in actions:
+        executor.step(action)
+    return executor.report()
 
 
 def _is_resource_var(spec_var: str) -> bool:

@@ -11,6 +11,8 @@ from .events import (
     event_from_dict,
     event_to_dict,
 )
+from .campaign import campaign_timeline, run_campaign, run_campaign_run
+from .controller import repair_member, replicate_apps, run_controller
 from .faults import FaultInjector, FaultModel, RetryPolicy, TransientFault, generate_timeline
 from .runner import Simulation, SimulationResult, SimulationStep
 
@@ -32,4 +34,10 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "SimulationStep",
+    "campaign_timeline",
+    "run_campaign",
+    "run_campaign_run",
+    "replicate_apps",
+    "repair_member",
+    "run_controller",
 ]

@@ -116,6 +116,7 @@ def run_campaign_run(
         retry_policy=retry,
         planner_config=config,
         compile_cache=compile_cache,
+        delta_replanning=bool(spec.get("delta_replanning", False)),
     )
     return sim.run(timeline)
 

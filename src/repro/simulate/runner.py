@@ -209,6 +209,14 @@ class Simulation:
         time (the pre-cache behavior).  Results are identical either way
         — only wall clock changes, and timings are excluded from campaign
         records by default.
+    delta_replanning:
+        Compile repair problems via the cache's delta path
+        (:meth:`~repro.parallel.CompileCache.compile_delta`): when the
+        cache holds the previous network state, only the ground actions
+        touching changed elements are re-ground.  Semantically
+        transparent — campaign records are identical with the flag on or
+        off (audited in ``tests/test_simulate.py``); only time-to-repair
+        changes.  Ignored when ``compile_cache`` is ``None``.
     """
 
     _DEFAULT_CACHE = object()  # sentinel: "use the process-global cache"
@@ -224,6 +232,7 @@ class Simulation:
         retry_policy: RetryPolicy | None = None,
         planner_config: PlannerConfig | None = None,
         compile_cache=_DEFAULT_CACHE,
+        delta_replanning: bool = False,
     ):
         self.app = app
         self.network = network
@@ -239,6 +248,7 @@ class Simulation:
 
             compile_cache = default_compile_cache()
         self.compile_cache = compile_cache
+        self.delta_replanning = delta_replanning
 
     def _solve(self, network: Network) -> Plan:
         """Full solve against ``network``, through the cache when present."""
@@ -337,11 +347,16 @@ class Simulation:
             migration_cost_factor=self.migration_cost_factor,
             planner_config=replace(self.planner_config),
             compile_cache=self.compile_cache,
+            use_delta=self.delta_replanning,
         )
         step.survived_actions = len(repair.surviving_actions)
         step.repair_actions = len(repair.repair_plan)
         step.repair_cost = (
             repair.repair_plan.exact_cost if repair.repair_plan.actions else 0.0
         )
-        step.total_plan_cost = step.repair_cost
+        # The deployment's exact cost after this step: surviving prefix
+        # plus repair delta, measured undiscounted on the stitched
+        # validation — not just the repair delta (which drops the prefix
+        # and is cheapened by the migration discount).
+        step.total_plan_cost = repair.total_cost
         return Deployment(problem=repair.repair_plan.problem, actions=repair.combined_actions())

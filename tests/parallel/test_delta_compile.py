@@ -1,0 +1,160 @@
+"""Tests for structured network diffs and the delta-aware compile path.
+
+``network_delta`` must classify exactly which changes are patchable
+(resource-only changes, link failures/recoveries) versus those that
+invalidate every cached group (node set, labels, software), and
+``CompileCache.compile_delta`` must be semantically invisible: same
+problems and plans as ``compile``, with only the hit/fallback counters
+telling the paths apart.
+"""
+
+import pytest
+
+from repro.domains import media
+from repro.network import Node, chain_network
+from repro.obs import MetricsRegistry
+from repro.parallel import CompileCache, network_delta
+from repro.simulate import (
+    LinkChange,
+    LinkFailure,
+    LinkRecovery,
+    NodeChange,
+    apply_event,
+)
+
+LEV = media.proportional_leveling((90, 100))
+
+
+def chain(name="net"):
+    return chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0, name=name)
+
+
+class TestNetworkDelta:
+    def test_identical_networks_empty_delta(self):
+        d = network_delta(chain(), chain())
+        assert d.is_empty()
+        assert d.patchable
+
+    def test_link_capacity_change(self):
+        d = network_delta(chain(), apply_event(chain(), LinkChange("n1", "n2", "lbw", 95.0)))
+        assert d.patchable
+        assert d.changed_links == (("n1", "n2"),)
+        assert d.changed_nodes == ()
+        assert d.touched_links() == {("n1", "n2")}
+
+    def test_node_capacity_change(self):
+        d = network_delta(chain(), apply_event(chain(), NodeChange("n1", "cpu", 10.0)))
+        assert d.patchable
+        assert d.changed_nodes == ("n1",)
+        assert d.changed_links == ()
+
+    def test_link_failure_and_recovery(self):
+        net = chain()
+        failed = apply_event(net, LinkFailure("n1", "n2"))
+        d = network_delta(net, failed)
+        assert d.patchable
+        assert d.removed_links == (("n1", "n2"),)
+        back = apply_event(failed, LinkRecovery("n1", "n2", {"lbw": 150.0}))
+        d2 = network_delta(failed, back)
+        assert d2.patchable
+        assert d2.added_links == (("n1", "n2"),)
+        assert d2.touched_links() == {("n1", "n2")}
+
+    def test_node_set_change_unpatchable(self):
+        net = chain()
+        bigger = chain()
+        bigger.nodes["n3"] = Node("n3", {"cpu": 30.0})
+        d = network_delta(net, bigger)
+        assert not d.patchable
+        assert "node set" in d.reason
+
+    def test_link_label_change_unpatchable(self):
+        other = chain_network([(150, "LAN"), (150, "WAN")], cpu=30.0, name="net")
+        d = network_delta(chain(), other)
+        assert not d.patchable
+
+    def test_describe_mentions_changes(self):
+        d = network_delta(chain(), apply_event(chain(), LinkChange("n1", "n2", "lbw", 95.0)))
+        assert "1 link(s) changed" in d.describe()
+        assert network_delta(chain(), chain()).describe() == "no change"
+
+
+class TestCompileDelta:
+    def instance(self):
+        return media.build_app("n0", "n2"), chain()
+
+    def test_delta_patch_after_network_change(self):
+        app, net = self.instance()
+        cache = CompileCache()
+        base = cache.compile(app, net, LEV)
+        assert base.compile_source == "fresh"
+        changed = apply_event(net, LinkChange("n1", "n2", "lbw", 95.0))
+        patched = cache.compile_delta(app, changed, LEV)
+        assert patched.compile_source == "delta"
+        assert cache.delta_hits == 1
+        assert cache.delta_fallbacks == 0
+        # The patched problem was cached: the same key now exact-hits.
+        again = cache.compile_delta(app, changed, LEV)
+        assert again.compile_source == "cache"
+        assert cache.delta_hits == 1
+
+    def test_delta_equals_scratch_compile(self):
+        app, net = self.instance()
+        cache = CompileCache()
+        cache.compile(app, net, LEV)
+        changed = apply_event(net, LinkChange("n1", "n2", "lbw", 95.0))
+        patched = cache.compile_delta(app, changed, LEV)
+        scratch = CompileCache().compile(app, changed, LEV)
+        assert [a.name for a in patched.actions] == [a.name for a in scratch.actions]
+        assert patched.initial_values == scratch.initial_values
+        assert [a.cost_lb for a in patched.actions] == [
+            a.cost_lb for a in scratch.actions
+        ]
+
+    def test_cold_cache_falls_back_to_full(self):
+        app, net = self.instance()
+        cache = CompileCache()
+        problem = cache.compile_delta(app, net, LEV)
+        assert problem.compile_source == "fresh"
+        assert cache.delta_fallbacks == 1
+        assert cache.delta_hits == 0
+
+    def test_unpatchable_change_falls_back(self):
+        app, net = self.instance()
+        cache = CompileCache()
+        cache.compile(app, net, LEV)
+        relabeled = chain_network([(150, "LAN"), (150, "WAN")], cpu=30.0, name="net")
+        problem = cache.compile_delta(app, relabeled, LEV)
+        assert problem.compile_source == "fresh"
+        assert cache.delta_fallbacks == 1
+
+    def test_strict_never_patches(self):
+        app, net = self.instance()
+        cache = CompileCache()
+        cache.compile(app, net, LEV, strict=True)
+        changed = apply_event(net, LinkChange("n1", "n2", "lbw", 95.0))
+        problem = cache.compile_delta(app, changed, LEV, strict=True)
+        assert problem.compile_source == "fresh"
+        assert cache.delta_hits == 0
+
+    def test_invalid_pair_raises_like_compile(self):
+        app, net = self.instance()
+        cache = CompileCache()
+        cache.compile(app, net, LEV)
+        cut = apply_event(net, LinkFailure("n1", "n2"))
+        with pytest.raises(ValueError, match="inconsistent with network"):
+            cache.compile_delta(app, cut, LEV)
+
+    def test_metrics_counters(self):
+        app, net = self.instance()
+        cache = CompileCache()
+        metrics = MetricsRegistry()
+        cache.compile(app, net, LEV, metrics=metrics)
+        changed = apply_event(net, LinkChange("n1", "n2", "lbw", 95.0))
+        cache.compile_delta(app, changed, LEV, metrics=metrics)
+        cache.compile_delta(app, net, LEV, metrics=metrics)  # exact hit
+        assert metrics.counter("cache.delta.hit").value == 1
+        assert metrics.counter("cache.hit").value == 1
+        stats = cache.stats()
+        assert stats["delta_hits"] == 1
+        assert stats["delta_fallbacks"] == 0

@@ -8,6 +8,8 @@ from repro.planner import (
     Deployment,
     Planner,
     PlannerConfig,
+    execute_plan,
+    repair_by_names,
     repair_deployment,
     solve,
     surviving_prefix,
@@ -121,3 +123,171 @@ class TestMigrationDiscount:
             app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
         )
         assert isinstance(result.migrated_components, list)
+
+    def test_migrated_means_moved_to_a_different_node(self, deployed):
+        """Regression: migrated_components used to report every running
+        (discount-eligible) component; it must list only components the
+        repair actually re-placed on a *different* node."""
+        app, plan = deployed
+        result = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        old_placements = {c: n for c, n in Deployment.from_plan(plan).placements()}
+        new_placements = {
+            a.subject: a.node
+            for a in result.repair_plan.actions
+            if a.kind == "place"
+        }
+        expected = sorted(
+            comp
+            for comp, node in new_placements.items()
+            if old_placements.get(comp) not in (None, node)
+        )
+        assert result.migrated_components == expected
+        # The surviving-prefix components are discounted, not migrated.
+        running = {
+            a.subject for a in result.surviving_actions if a.kind == "place"
+        }
+        assert result.discounted_components == sorted(running)
+        assert set(result.migrated_components) <= set(new_placements)
+
+    def test_noop_repair_migrates_nothing(self, deployed):
+        app, plan = deployed
+        result = repair_deployment(
+            app, healthy_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        assert result.migrated_components == []
+
+
+class TestTotalCost:
+    def test_total_cost_covers_prefix_and_delta(self, deployed):
+        """Regression: total cost must be the exact cost of the stitched
+        deployment (surviving prefix + repair delta), not just the
+        discounted delta."""
+        app, plan = deployed
+        result = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        problem = Planner(PlannerConfig(leveling=LEV)).compile(app, degraded_chain())
+        by_name = {a.name: a for a in problem.actions}
+        stitched = [by_name[a.name] for a in result.combined_actions()]
+        exact = execute_plan(problem, stitched).total_cost
+        assert result.total_cost == pytest.approx(exact)
+        assert result.total_cost > result.repair_plan.exact_cost
+
+    def test_noop_repair_total_cost_is_plan_cost(self, deployed):
+        app, plan = deployed
+        result = repair_deployment(
+            app, healthy_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        assert result.total_cost == pytest.approx(plan.exact_cost)
+
+    def test_to_dict_is_json_ready(self, deployed):
+        import json
+
+        app, plan = deployed
+        result = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        record = json.loads(json.dumps(result.to_dict()))
+        assert record["surviving"] == [a.name for a in result.surviving_actions]
+        assert record["total_cost"] == pytest.approx(result.total_cost)
+        assert "compile_source" not in record  # provenance stays out of records
+
+
+class TestRepairEdgeCases:
+    def test_empty_surviving_prefix(self):
+        """Every old action dies (the first link is gone from under the
+        whole route): repair degenerates to a full re-plan."""
+        app = media.build_app("n0", "n2")
+        plan = solve(app, healthy_chain(), LEV)
+        crushed = chain_network([(70, "WAN"), (70, "WAN")], cpu=30.0, name="after")
+        result = repair_deployment(
+            app, crushed, Deployment.from_plan(plan), leveling=LEV
+        )
+        assert result.surviving_actions == []
+        assert result.repair_plan.actions
+        assert result.total_cost == pytest.approx(result.repair_plan.exact_cost)
+
+    def test_prefix_equals_full_plan(self):
+        """Nothing broke: the whole old plan survives and the repair
+        delta is empty."""
+        app = media.build_app("n0", "n2")
+        plan = solve(app, healthy_chain(), LEV)
+        result = repair_deployment(
+            app, healthy_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        assert [a.name for a in result.surviving_actions] == plan.action_names()
+        assert result.repair_plan.actions == []
+        assert result.migrated_components == []
+
+    def test_zero_migration_cost_factor(self, deployed):
+        """factor=0.0 makes re-placement of running components logically
+        free for the search; the repair still validates exactly."""
+        app, plan = deployed
+        result = repair_deployment(
+            app,
+            degraded_chain(),
+            Deployment.from_plan(plan),
+            leveling=LEV,
+            migration_cost_factor=0.0,
+        )
+        assert result.repair_plan.actions
+        assert result.total_cost > 0.0
+
+    def test_repair_by_names_matches_deployment_api(self, deployed):
+        app, plan = deployed
+        via_deployment = repair_deployment(
+            app, degraded_chain(), Deployment.from_plan(plan), leveling=LEV
+        )
+        via_names = repair_by_names(
+            app, degraded_chain(), plan.action_names(), leveling=LEV
+        )
+        assert via_names.to_dict() == via_deployment.to_dict()
+
+    def test_cache_on_and_off_identical_records(self, deployed):
+        from repro.parallel import CompileCache
+
+        app, plan = deployed
+        without = repair_deployment(
+            app,
+            degraded_chain(),
+            Deployment.from_plan(plan),
+            leveling=LEV,
+            compile_cache=None,
+        )
+        with_cache = repair_deployment(
+            app,
+            degraded_chain(),
+            Deployment.from_plan(plan),
+            leveling=LEV,
+            compile_cache=CompileCache(),
+        )
+        assert without.to_dict() == with_cache.to_dict()
+
+    def test_delta_on_and_off_identical_records(self, deployed):
+        from repro.parallel import CompileCache
+        from repro.simulate import LinkChange, apply_event
+
+        app, plan = deployed
+        # Warm each cache with the healthy network, then repair across a
+        # patchable (resource-only) change: the delta path must patch and
+        # still produce a byte-identical record.
+        changed = apply_event(healthy_chain(), LinkChange("n1", "n2", "lbw", 95.0))
+        records = []
+        sources = []
+        for use_delta in (False, True):
+            cache = CompileCache()
+            cache.compile(app, healthy_chain(), LEV)
+            result = repair_deployment(
+                app,
+                changed,
+                Deployment.from_plan(plan),
+                leveling=LEV,
+                compile_cache=cache,
+                use_delta=use_delta,
+            )
+            records.append(result.to_dict())
+            sources.append(result.compile_source)
+        assert records[0] == records[1]
+        assert sources == ["fresh", "delta"]

@@ -1,0 +1,102 @@
+"""Tests for plan stitching and prefix folding (repro.planner.delta)."""
+
+import pytest
+
+from repro.domains import media
+from repro.network import chain_network
+from repro.planner import (
+    Deployment,
+    ExecutionError,
+    Planner,
+    PlannerConfig,
+    fold_prefix,
+    parse_stream_var,
+    placements_of_names,
+    solve,
+    stitch_plan,
+    surviving_prefix,
+)
+
+LEV = media.proportional_leveling((90, 100))
+
+
+def healthy_chain():
+    return chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0, name="before")
+
+
+class TestParseStreamVar:
+    def test_stream_var_round_trip(self):
+        assert parse_stream_var("ibw:M@n1") == ("ibw", "M", "n1")
+
+    def test_resource_vars_are_not_streams(self):
+        assert parse_stream_var("cpu@n1") is None
+        assert parse_stream_var("lbw@n0~n1") is None
+
+    def test_malformed_stream_raises_structured_error(self):
+        # Historically this was a bare ValueError from str.split deep in
+        # the repair fold; it must be an ExecutionError naming the var.
+        with pytest.raises(ExecutionError, match="ibw:M"):
+            parse_stream_var("ibw:M")
+
+    def test_empty_parts_raise(self):
+        for bad in (":M@n1", "ibw:@n1", "ibw:M@"):
+            with pytest.raises(ExecutionError, match="cannot fold"):
+                parse_stream_var(bad)
+
+
+class TestFoldPrefix:
+    def test_fold_makes_prefix_state_initial(self):
+        app = media.build_app("n0", "n2")
+        plan = solve(app, healthy_chain(), LEV)
+        problem = Planner(PlannerConfig(leveling=LEV)).compile(app, healthy_chain())
+        prefix = surviving_prefix(Deployment.from_plan(plan), problem)
+        from repro.planner import PlanExecutor
+
+        executor = PlanExecutor(problem)
+        for action in prefix:
+            executor.step(action)
+        fold_prefix(problem, app, prefix, executor.report())
+        for action in prefix:
+            assert action.add_props <= problem.initial_prop_ids
+
+    def test_fold_rejects_unknown_interface(self):
+        app = media.build_app("n0", "n2")
+        problem = Planner(PlannerConfig(leveling=LEV)).compile(app, healthy_chain())
+        from repro.planner import ExecutionReport
+
+        report = ExecutionReport(final_values={"ibw:Ghost@n1": 50.0})
+        with pytest.raises(ExecutionError, match="no interface 'Ghost'"):
+            fold_prefix(problem, app, [], report)
+
+
+class TestStitchPlan:
+    def test_stitch_executes_full_plan(self):
+        app = media.build_app("n0", "n2")
+        plan = solve(app, healthy_chain(), LEV)
+        problem = Planner(PlannerConfig(leveling=LEV)).compile(app, healthy_chain())
+        names = plan.action_names()
+        stitched = stitch_plan(problem, names[:2], names[2:])
+        assert stitched.prefix_len == 2
+        assert [a.name for a in stitched.prefix_actions] == names[:2]
+        assert [a.name for a in stitched.delta_actions] == names[2:]
+        assert stitched.total_cost == pytest.approx(plan.exact_cost)
+
+    def test_missing_action_raises(self):
+        app = media.build_app("n0", "n2")
+        problem = Planner(PlannerConfig(leveling=LEV)).compile(app, healthy_chain())
+        with pytest.raises(ExecutionError, match="does not exist"):
+            stitch_plan(problem, ["place(Ghost,n9)"], [])
+
+
+class TestPlacementsOfNames:
+    def test_parses_place_names_only(self):
+        names = [
+            "place(Server,n0)",
+            "cross(M,n0->n1)[90~100]",
+            "place(Client,n2)[x]",
+        ]
+        assert placements_of_names(names) == {"Server": "n0", "Client": "n2"}
+
+    def test_last_placement_wins(self):
+        names = ["place(A,n0)", "place(A,n1)"]
+        assert placements_of_names(names) == {"A": "n1"}

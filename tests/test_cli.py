@@ -355,6 +355,57 @@ class TestSimulate:
             assert "steps" in run["record"]
 
 
+class TestController:
+    def _args(self, workdir, *extra):
+        return [
+            "controller",
+            "--network", str(workdir / "net.json"),
+            "--spec", str(workdir / "app.spec"),
+            "--initial", "Server=n0",
+            "--goal", "Client=n1",
+            "--levels", "M.ibw=90,100",
+            "--fleet", "2",
+            "--seed", "3",
+            "--events", "4",
+            *extra,
+        ]
+
+    def test_controller_runs_fleet(self, workdir, capsys):
+        rc = main(self._args(workdir))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fleet 2, events 4" in out
+        assert "repair compiles" in out
+
+    def test_json_record_shape(self, workdir, capsys):
+        out_file = workdir / "controller.json"
+        rc = main(self._args(workdir, "--json", str(out_file)))
+        assert rc == 0
+        record = json.loads(out_file.read_text())
+        assert len(record["fleet"]) == 2
+        assert len(record["steps"]) == 4
+        assert record["summary"]["repairs"] == 8
+
+    def test_delta_flag_keeps_record_identical(self, workdir, capsys):
+        plain, delta = workdir / "plain.json", workdir / "delta.json"
+        assert main(self._args(workdir, "--json", str(plain))) == 0
+        assert main(self._args(workdir, "--delta", "--json", str(delta))) == 0
+        capsys.readouterr()
+        a = json.loads(plain.read_text())
+        b = json.loads(delta.read_text())
+        for rec in (a, b):
+            for key in ("delta_hits", "delta_full"):
+                rec["summary"].pop(key)
+        assert a == b
+
+    def test_stdout_deterministic_across_runs(self, workdir, capsys):
+        args = self._args(workdir, "--json", "-")
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestBench:
     def test_serial_quick_cells_with_cache(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"

@@ -146,3 +146,79 @@ class TestOutagePaths:
         assert result.steps == []
         assert result.availability == 0.0
         assert "FAILED" in result.describe()
+
+
+class TestTotalPlanCost:
+    """Regression: repair steps must report the stitched deployment's
+    exact cost, not just the (discounted) repair delta."""
+
+    def _sim(self, **kwargs):
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        return Simulation(media.build_app("n0", "n2"), net, LEV, **kwargs)
+
+    def test_repair_step_total_includes_surviving_prefix(self):
+        sim = self._sim()
+        result = sim.run([LinkChange("n1", "n2", "lbw", 70.0)])
+        step = result.steps[0]
+        assert not step.failed
+        assert step.survived_actions > 0
+        assert step.repair_actions > 0
+        # The stitched deployment costs strictly more than the delta
+        # alone (the surviving prefix's cost was previously dropped).
+        assert step.total_plan_cost > step.repair_cost
+
+    def test_quiet_step_total_is_initial_plan_cost(self):
+        sim = self._sim()
+        result = sim.run([NodeChange("n0", "cpu", 29.0)])
+        step = result.steps[0]
+        assert step.repair_actions == 0
+        assert step.total_plan_cost == pytest.approx(
+            result.initial_plan.exact_cost
+        )
+
+    def test_from_scratch_step_total_is_fresh_plan_cost(self):
+        sim = self._sim(replan_from_scratch_on_outage=True)
+        result = sim.run(
+            [
+                LinkChange("n1", "n2", "lbw", 10.0),  # outage
+                LinkChange("n1", "n2", "lbw", 150.0),  # recovery: full replan
+            ]
+        )
+        recovery = result.steps[1]
+        assert recovery.survived_actions == 0
+        assert recovery.total_plan_cost == pytest.approx(recovery.repair_cost)
+
+
+class TestDeltaReplanning:
+    """delta_replanning is semantically transparent: identical records,
+    different compile path."""
+
+    EVENTS = [
+        LinkChange("n1", "n2", "lbw", 95.0),
+        NodeChange("n1", "cpu", 25.0),
+        LinkChange("n1", "n2", "lbw", 150.0),
+    ]
+
+    def _run(self, delta: bool) -> dict:
+        from repro.parallel import CompileCache
+
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        cache = CompileCache(max_entries=32)
+        sim = Simulation(
+            media.build_app("n0", "n2"),
+            net,
+            LEV,
+            compile_cache=cache,
+            delta_replanning=delta,
+        )
+        record = sim.run(list(self.EVENTS)).to_dict()
+        record["_delta_hits"] = cache.delta_hits
+        return record
+
+    def test_records_identical_with_and_without_delta(self):
+        off = self._run(delta=False)
+        on = self._run(delta=True)
+        hits = on.pop("_delta_hits")
+        off.pop("_delta_hits")
+        assert on == off
+        assert hits > 0  # the delta path actually patched something
