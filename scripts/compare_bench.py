@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Diff two BENCH_*.json files: per-headline deltas, regressions flagged.
+
+Usage::
+
+    python scripts/compare_bench.py BASELINE.json CANDIDATE.json [--strict]
+    python scripts/compare_bench.py BENCH_pr7.json BENCH_ctl_smoke.json
+
+Both files must be the same benchmark kind (the ``bench`` field —
+``replay-engine``, ``parallel-warmstart``, ``static-prune``,
+``controller-delta``, ...); mixing kinds is a usage error, not a diff.
+The tool walks every numeric leaf both documents share (dotted paths,
+list indices), prints the delta per leaf, and *flags* a leaf as a
+regression when it moved past ``--tolerance`` (default 10%) in the bad
+direction:
+
+* **time-like** fields (``*_ms``, ``*_s``, ``*ms_mean*``, ...) — up is bad;
+* **speedup / rate / reduction** fields (``speedup*``, ``hit_rate``,
+  ``*_reduction_pct``, ``availability``) — down is bad;
+* everything else is informational only (counters like ``rg_nodes`` are
+  workload descriptors, not verdicts).
+
+By default the exit code is 0 even with regressions — CI runs this
+informationally, timings on shared runners are noisy.  ``--strict``
+exits 1 on any flagged regression (for local gating runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Direction heuristics over dotted-path leaf names (the last component).
+TIME_LIKE_SUFFIXES = ("_ms", "_s", "_us")
+TIME_LIKE_MARKERS = ("ms_mean", "ms_max", "ttr_ms", "wall_ms", "analysis_ms")
+LOWER_IS_BAD = (
+    "speedup",
+    "hit_rate",
+    "availability",
+    "reduction_pct",
+)
+
+SKIP_KEYS = {"host_cpus", "python", "format", "version", "seed", "rounds"}
+"""Environment descriptors — never comparable figures."""
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def numeric_leaves(doc, prefix: str = "") -> dict[str, float]:
+    """Flatten every numeric leaf to ``dotted.path -> value``."""
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            if key in SKIP_KEYS:
+                continue
+            out.update(numeric_leaves(doc[key], f"{prefix}{key}."))
+    elif isinstance(doc, list):
+        for index, item in enumerate(doc):
+            out.update(numeric_leaves(item, f"{prefix}{index}."))
+    elif _is_number(doc):
+        out[prefix.rstrip(".")] = float(doc)
+    return out
+
+
+def direction(path: str) -> str:
+    """``'lower'`` (time-like: up is bad), ``'higher'``, or ``'info'``."""
+    leaf = path.rsplit(".", 1)[-1]
+    if any(marker in leaf for marker in LOWER_IS_BAD):
+        return "higher"
+    if leaf.endswith(TIME_LIKE_SUFFIXES) or any(m in leaf for m in TIME_LIKE_MARKERS):
+        return "lower"
+    return "info"
+
+
+def compare(baseline: dict, candidate: dict, tolerance: float) -> tuple[list, list]:
+    """(rows, regressions): per-shared-leaf deltas and the flagged subset.
+
+    Each row is ``(path, base, cand, delta_pct, direction, flagged)``.
+    ``delta_pct`` is ``None`` when the baseline value is 0.
+    """
+    base = numeric_leaves(baseline)
+    cand = numeric_leaves(candidate)
+    rows = []
+    regressions = []
+    for path in sorted(set(base) & set(cand)):
+        b, c = base[path], cand[path]
+        delta_pct = ((c - b) / abs(b) * 100.0) if b != 0 else None
+        sense = direction(path)
+        flagged = False
+        if delta_pct is not None and sense != "info":
+            if sense == "lower" and delta_pct > tolerance * 100.0:
+                flagged = True
+            elif sense == "higher" and delta_pct < -tolerance * 100.0:
+                flagged = True
+        row = (path, b, c, delta_pct, sense, flagged)
+        rows.append(row)
+        if flagged:
+            regressions.append(row)
+    return rows, regressions
+
+
+def render(rows: list, regressions: list, only_flagged: bool = False) -> str:
+    lines = []
+    shown = regressions if only_flagged else rows
+    for path, b, c, delta_pct, sense, flagged in shown:
+        delta = "  n/a " if delta_pct is None else f"{delta_pct:+7.1f}%"
+        mark = "  REGRESSION" if flagged else ""
+        note = {"lower": " (lower is better)", "higher": " (higher is better)"}.get(
+            sense, ""
+        )
+        lines.append(f"  {path:<60s} {b:>12g} -> {c:>12g}  {delta}{note}{mark}")
+    lines.append("")
+    lines.append(
+        f"{len(rows)} shared numeric leaves, {len(regressions)} regression(s) flagged"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json of the same kind")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="relative slack before a directional move is flagged (default 0.10)",
+    )
+    parser.add_argument(
+        "--only-flagged",
+        action="store_true",
+        help="print only flagged regressions, not every shared leaf",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any regression is flagged (default: informational)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.load(open(args.baseline))
+        candidate = json.load(open(args.candidate))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"compare_bench: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    kind_b = baseline.get("bench")
+    kind_c = candidate.get("bench")
+    if not kind_b or not kind_c:
+        print(
+            "compare_bench: both files must carry a 'bench' kind field",
+            file=sys.stderr,
+        )
+        return 2
+    if kind_b != kind_c:
+        print(
+            f"compare_bench: benchmark kinds differ: {kind_b!r} vs {kind_c!r} — "
+            "compare like with like",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows, regressions = compare(baseline, candidate, args.tolerance)
+    if not rows:
+        print("compare_bench: no shared numeric leaves — nothing to compare")
+        return 0
+    print(f"bench kind: {kind_b}  ({args.baseline} -> {args.candidate})")
+    print(render(rows, regressions, only_flagged=args.only_flagged))
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -120,13 +120,42 @@ def _load_instance(args: argparse.Namespace) -> tuple[AppSpec, object, Leveling]
     return app, network, _leveling_from_args(args.levels)
 
 
+def _make_live_monitor(args: argparse.Namespace):
+    """A LiveMonitor (stderr) when ``--live`` was given, else ``None``."""
+    if not getattr(args, "live", False):
+        return None
+    from .obs import LiveMonitor
+
+    return LiveMonitor()
+
+
+def _export_trace_to_stderr(args: argparse.Namespace, telemetry) -> None:
+    """Handle ``--trace-out`` for the streaming commands.
+
+    The confirmation goes to *stderr*: simulate/controller/bench stdout
+    must stay byte-identical across runs regardless of trace flags.
+    """
+    if getattr(args, "trace_out", None) and telemetry is not None:
+        from .obs import export_trace
+
+        records = export_trace(telemetry, args.trace_out, args.trace_format)
+        print(
+            f"wrote {args.trace_out} ({args.trace_format}, {records} records)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     app, network, leveling = _load_instance(args)
     telemetry = None
-    if args.trace_out or args.metrics:
+    if args.trace_out or args.metrics or args.profile_out:
         from .obs import Telemetry
 
         telemetry = Telemetry()
+    if args.profile_out:
+        from .obs import PhaseProfiler
+
+        telemetry.profiler = PhaseProfiler()
     config = PlannerConfig(
         leveling=leveling,
         strict=args.strict,
@@ -173,6 +202,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
         records = export_trace(telemetry, args.trace_out, args.trace_format)
         print(f"wrote {args.trace_out} ({args.trace_format}, {records} records)")
+    if args.profile_out:
+        paths = telemetry.profiler.write(args.profile_out)
+        print(f"wrote {len(paths)} profile file(s): {', '.join(paths)}")
     if args.json:
         payload = {
             "actions": plan.action_names(),
@@ -191,10 +223,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     app, network, leveling = _load_instance(args)
     spec = json.load(open(args.campaign)) if args.campaign else {}
     telemetry = None
-    if args.metrics:
+    if args.metrics or args.trace_out:
         from .obs import Telemetry
 
         telemetry = Telemetry()
+    monitor = _make_live_monitor(args)
 
     try:
         if args.seeds:
@@ -212,6 +245,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 include_timings=args.timings,
                 telemetry=telemetry,
                 workers=args.workers,
+                on_frame=monitor.on_frame if monitor is not None else None,
             )
             failed = 0
             for run in doc["runs"]:
@@ -247,9 +281,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"invalid campaign event: {exc}", file=sys.stderr)
         return 1
 
+    if monitor is not None:
+        monitor.finish()
     if args.metrics:
         print()
         print(telemetry.metrics.render_text())
+    _export_trace_to_stderr(args, telemetry)
     if args.json:
         payload = json.dumps(payload_doc, indent=2, sort_keys=True)
         if args.json == "-":
@@ -270,10 +307,11 @@ def _cmd_controller(args: argparse.Namespace) -> int:
     if args.delta:
         spec = dict(spec, delta_replanning=True)
     telemetry = None
-    if args.metrics:
+    if args.metrics or args.trace_out:
         from .obs import Telemetry
 
         telemetry = Telemetry()
+    monitor = _make_live_monitor(args)
 
     try:
         record = run_controller(
@@ -288,6 +326,7 @@ def _cmd_controller(args: argparse.Namespace) -> int:
             include_timings=args.timings,
             telemetry=telemetry,
             workers=args.workers,
+            on_frame=monitor.on_frame if monitor is not None else None,
         )
     except TypeError as exc:
         print(f"invalid campaign fault model: {exc}", file=sys.stderr)
@@ -307,9 +346,12 @@ def _cmd_controller(args: argparse.Namespace) -> int:
         f"repair compiles: {summary['delta_hits']} warm (cache/delta), "
         f"{summary['delta_full']} full"
     )
+    if monitor is not None:
+        monitor.finish()
     if args.metrics:
         print()
         print(telemetry.metrics.render_text())
+    _export_trace_to_stderr(args, telemetry)
     if args.json:
         payload = json.dumps(record, indent=2, sort_keys=True)
         if args.json == "-":
@@ -336,10 +378,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers, len(networks) * len(scenarios))
     cache = None if args.no_cache else default_compile_cache()
     telemetry = None
-    if args.metrics:
+    if args.metrics or args.trace_out:
         from .obs import Telemetry
 
         telemetry = Telemetry()
+    monitor = _make_live_monitor(args)
+    on_frame = monitor.on_frame if monitor is not None else None
+    profile_sink: list | None = [] if args.profile_out else None
     round_s: list[float] = []
     rows = []
     pool = WorkerPool(workers) if workers > 1 else None
@@ -358,6 +403,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     pool=pool,
                     telemetry=telemetry,
                     static_prune=args.static_prune,
+                    on_frame=on_frame,
+                    profile_sink=profile_sink,
                 )
             else:
                 rows = run_table2(
@@ -366,12 +413,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     compile_cache=cache,
                     telemetry=telemetry,
                     static_prune=args.static_prune,
+                    on_frame=on_frame,
+                    profile_sink=profile_sink,
                 )
             round_s.append(_time.perf_counter() - t0)
     finally:
         if pool is not None:
             pool.close()
 
+    if monitor is not None:
+        monitor.finish()
     print(render_table2(rows))
     print()
     print(f"workers {workers}, rounds {args.rounds}, cache {'off' if args.no_cache else 'on'}")
@@ -385,6 +436,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(telemetry.metrics.render_text())
+    _export_trace_to_stderr(args, telemetry)
+    if profile_sink is not None:
+        from .obs import merge_profile_blobs, write_pstats
+
+        written = []
+        merged = merge_profile_blobs([blob for _pid, blob in profile_sink])
+        if merged is not None:
+            write_pstats(merged, args.profile_out)
+            written.append(args.profile_out)
+        by_pid: dict[int, list[bytes]] = {}
+        for pid, blob in profile_sink:
+            by_pid.setdefault(pid, []).append(blob)
+        if len(by_pid) > 1:
+            for pid in sorted(by_pid):
+                stats = merge_profile_blobs(by_pid[pid])
+                pid_path = f"{args.profile_out}.pid{pid}.pstats"
+                write_pstats(stats, pid_path)
+                written.append(pid_path)
+        print(
+            f"wrote {len(written)} profile file(s): {', '.join(written)}",
+            file=sys.stderr,
+        )
     if args.json:
         payload = {
             "format": 1,
@@ -525,6 +598,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--goal", nargs="+", required=required, metavar="COMP=NODE")
         p.add_argument("--levels", nargs="*", metavar="VAR=c1,c2,...")
 
+    def add_streaming_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--live",
+            action="store_true",
+            help="render a live fleet view on stderr while the run streams "
+            "worker telemetry frames (docs/OBSERVABILITY.md)",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="export the run's telemetry — including worker spans "
+            "stitched into per-process lanes — after the run",
+        )
+        p.add_argument(
+            "--trace-format",
+            choices=("jsonl", "chrome"),
+            default="jsonl",
+            help="trace file format: JSONL event stream or Chrome "
+            "trace-event JSON",
+        )
+
     p_plan = sub.add_parser("plan", help="plan a deployment")
     add_instance_args(p_plan)
     p_plan.add_argument("--json", help="also write the plan as JSON")
@@ -570,6 +664,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fallback: race the ladder rungs in N processes, each "
         "with the whole time budget; the best rung that succeeds wins "
         "(docs/PERFORMANCE.md). No effect on a plain solve.",
+    )
+    p_plan.add_argument(
+        "--profile-out",
+        metavar="PREFIX",
+        help="capture an exclusive cProfile per planner phase and write "
+        "PREFIX (merged pstats) plus PREFIX.<phase>.pstats files",
     )
     p_plan.set_defaults(fn=_cmd_plan)
 
@@ -626,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the merged metrics registry after the run(s), "
         "including cache.hit / cache.miss compile-cache counters",
     )
+    add_streaming_args(p_sim)
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_ctl = sub.add_parser(
@@ -686,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the metrics registry after the run, including the "
         "repair.ttr histogram and repair.delta.hit/full counters",
     )
+    add_streaming_args(p_ctl)
     p_ctl.set_defaults(fn=_cmd_controller)
 
     p_bench = sub.add_parser(
@@ -730,6 +832,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--json", metavar="FILE", help="write timings and cell records ('-' for stdout)"
     )
+    p_bench.add_argument(
+        "--profile-out",
+        metavar="PREFIX",
+        help="capture a cProfile per cell (in the workers, when parallel) "
+        "and write PREFIX (merged pstats) plus per-pid PREFIX.pidN.pstats",
+    )
+    add_streaming_args(p_bench)
     p_bench.set_defaults(fn=_cmd_bench)
 
     p_lint = sub.add_parser(

@@ -9,7 +9,9 @@ graph sizes, timings).
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..domains.media import DEFAULT_DEMAND, DEFAULT_SOURCE_BW, build_app
@@ -198,6 +200,9 @@ def run_table2(
     networks: tuple[str, ...] = TABLE2_NETWORKS,
     scenarios: tuple[str, ...] = TABLE2_SCENARIOS,
     workers: int = 1,
+    on_frame=None,
+    stream_interval_s: float | None = None,
+    profile_sink: list | None = None,
     **kwargs,
 ) -> list[Table2Row]:
     """Reproduce Table 2: every (network, scenario) pair.
@@ -208,16 +213,60 @@ def run_table2(
     order as the serial walk, worker metrics are merged into the caller's
     telemetry in task order, and every row's ``plan`` field is ``None``
     (``plan_names`` carries the actions — compiled problems stay in the
-    workers).  Per-cell *spans* are not collected from workers; only the
-    metrics registry crosses the process boundary.
+    workers).  Worker *spans* ride home in the metrics snapshots and are
+    stitched under the coordinator's ``table2.fanout`` dispatch span
+    (per-pid lanes in the exporters).
+
+    ``on_frame`` attaches a live telemetry stream (``--live``): workers
+    push :mod:`repro.obs.stream` frames while running; the serial walk
+    emits equivalent worker-0 frames itself (without per-task metric
+    deltas — the caller's registry already has them).  ``profile_sink``
+    collects per-cell cProfile blobs as ``(pid, blob)`` tuples
+    (``repro bench --profile-out``).
     """
     if workers > 1:
-        return _run_table2_parallel(networks, scenarios, workers, **kwargs)
-    rows = []
+        return _run_table2_parallel(
+            networks,
+            scenarios,
+            workers,
+            on_frame=on_frame,
+            stream_interval_s=stream_interval_s,
+            profile_sink=profile_sink,
+            **kwargs,
+        )
+    from ..obs import capture_profile, make_frame
+
+    total = len(networks) * len(scenarios)
+    rows: list[Table2Row] = []
     for net_key in networks:
         case = network_case(net_key)
         for scen_key in scenarios:
-            rows.append(run_cell(case, scen_key, **kwargs))
+            index = len(rows)
+            label = f"{net_key}/{scen_key}"
+            if on_frame is not None:
+                on_frame(
+                    0,
+                    make_frame(
+                        "task_start", task=index, label=label,
+                        done=index, total=total,
+                    ),
+                )
+            if profile_sink is not None:
+                blobs: list[bytes] = []
+                with capture_profile(blobs):
+                    row = run_cell(case, scen_key, **kwargs)
+                profile_sink.append((os.getpid(), blobs[0]))
+            else:
+                row = run_cell(case, scen_key, **kwargs)
+            rows.append(row)
+            if on_frame is not None:
+                on_frame(
+                    0,
+                    make_frame(
+                        "task_end", task=index, label=label,
+                        done=len(rows), total=total, ok=row.solved,
+                    ),
+                )
     return rows
 
 
@@ -232,6 +281,9 @@ def _run_table2_parallel(
     compile_cache=None,
     pool=None,
     static_prune: str | None = None,
+    on_frame=None,
+    stream_interval_s: float | None = None,
+    profile_sink: list | None = None,
 ) -> list[Table2Row]:
     """One Table-2 cell per pool task; results reassembled in cell order.
 
@@ -244,29 +296,52 @@ def _run_table2_parallel(
     """
     from ..parallel import CellTask, WorkerPool, resolve_workers, run_cell_task
 
-    tasks = [
-        CellTask(
-            network=net_key,
-            scenario=scen_key,
-            source_bw=source_bw,
-            demand=demand,
-            rg_node_budget=rg_node_budget,
-            with_metrics=telemetry is not None,
-            use_cache=compile_cache is not None,
-            static_prune=static_prune,
-        )
-        for net_key in networks
-        for scen_key in scenarios
-    ]
-    workers = resolve_workers(workers, len(tasks))
-    if pool is not None:
-        results = pool.map(run_cell_task, tasks)
-    else:
-        with WorkerPool(workers) as fresh:
-            results = fresh.map(run_cell_task, tasks)
-    # Merge metrics in task order (deterministic regardless of completion
-    # interleaving), then hand rows back in the serial walk's order.
+    workers = resolve_workers(workers, len(networks) * len(scenarios))
+    dispatch = (
+        telemetry.span("table2.fanout", workers=workers)
+        if telemetry is not None
+        else nullcontext()
+    )
+    with dispatch:
+        # Tasks carry the dispatch span's context so every worker span
+        # stitches under it when the snapshots come home.
+        ctx = telemetry.current_context() if telemetry is not None else None
+        tasks = [
+            CellTask(
+                network=net_key,
+                scenario=scen_key,
+                source_bw=source_bw,
+                demand=demand,
+                rg_node_budget=rg_node_budget,
+                with_metrics=telemetry is not None,
+                use_cache=compile_cache is not None,
+                static_prune=static_prune,
+                trace=ctx,
+                profile=profile_sink is not None,
+            )
+            for net_key in networks
+            for scen_key in scenarios
+        ]
+        if pool is not None:
+            results = pool.map(
+                run_cell_task, tasks,
+                on_frame=on_frame, stream_interval_s=stream_interval_s,
+            )
+        else:
+            with WorkerPool(workers) as fresh:
+                results = fresh.map(
+                    run_cell_task, tasks,
+                    on_frame=on_frame, stream_interval_s=stream_interval_s,
+                )
+    # Stitch worker spans and merge metrics in task order (deterministic
+    # regardless of completion interleaving), then hand rows back in the
+    # serial walk's order.
     if telemetry is not None:
-        for result in results:
+        for index, result in enumerate(results):
+            telemetry.stitch_snapshot(result.metrics, worker=index % workers)
             result.metrics.merge_into(telemetry.metrics)
+    if profile_sink is not None:
+        for result in results:
+            if result.profile:
+                profile_sink.append((result.metrics.pid, result.profile))
     return [result.row for result in results]

@@ -12,8 +12,22 @@ and the experiment harness (see docs/OBSERVABILITY.md):
   Perfetto), surfaced as ``repro plan --trace-out``.
 * :func:`load_trace` / :func:`summarize_trace` — read an exported file
   back and render the Figs. 7–8 style account (``repro trace summarize``).
+* :class:`TraceContext` / :func:`stitch_snapshot` — cross-process trace
+  propagation: worker spans ship home in metrics snapshots and stitch
+  under the dispatching coordinator span as :class:`RemoteSpan` lanes.
+* :class:`StreamAggregator` / :class:`LiveMonitor` — live worker
+  telemetry frames (``--live``) with stalled-worker heartbeat detection.
+* :class:`PhaseProfiler` / :func:`capture_profile` — opt-in cProfile
+  capture per planner phase or per worker task (``--profile-out``).
 """
 
+from .context import (
+    RemoteSpan,
+    TraceContext,
+    new_trace_id,
+    spans_payload,
+    stitch_snapshot,
+)
 from .export import (
     CHROME_FORMAT,
     JSONL_FORMAT,
@@ -22,8 +36,24 @@ from .export import (
     export_trace,
     render_phase_report,
 )
+from .live import LiveMonitor
 from .metrics import DEFAULT_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    PhaseProfiler,
+    capture_profile,
+    merge_profile_blobs,
+    profile_blob,
+    write_pstats,
+)
 from .span import Span, SpanRecorder
+from .stream import (
+    DEFAULT_STREAM_INTERVAL_S,
+    FrameSender,
+    StreamAggregator,
+    WorkerView,
+    make_frame,
+    task_label,
+)
 from .summarize import TraceFile, TraceFileError, load_trace, summarize_trace
 from .telemetry import Telemetry, maybe_span
 from .trace import SearchTrace, TraceEvent
@@ -40,6 +70,23 @@ __all__ = [
     "DEFAULT_BOUNDS",
     "SearchTrace",
     "TraceEvent",
+    "TraceContext",
+    "RemoteSpan",
+    "new_trace_id",
+    "spans_payload",
+    "stitch_snapshot",
+    "DEFAULT_STREAM_INTERVAL_S",
+    "task_label",
+    "make_frame",
+    "FrameSender",
+    "WorkerView",
+    "StreamAggregator",
+    "LiveMonitor",
+    "PhaseProfiler",
+    "capture_profile",
+    "profile_blob",
+    "merge_profile_blobs",
+    "write_pstats",
     "JSONL_FORMAT",
     "CHROME_FORMAT",
     "export_jsonl",

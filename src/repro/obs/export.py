@@ -14,11 +14,22 @@ Two file formats, one committed schema each (``benchmarks/schemas/``):
 
 Timestamps are re-based so the earliest span starts at 0 µs; both
 formats use microseconds, matching the trace-event convention.
+
+Distributed runs: spans stitched home from worker processes
+(:attr:`Telemetry.remote_spans <repro.obs.Telemetry.remote_spans>`) are
+exported alongside the coordinator's own — tagged with their worker pid
+(``pid``/``worker`` fields in JSONL; a real per-pid lane with a
+``process_name`` metadata event in Chrome), already re-based onto the
+coordinator's clock by the stitcher.  Both formats carry explicit span
+ids and parent ids (Chrome puts them in ``args`` under ``span_id`` /
+``parent_span_id``), so a loaded trace reconstructs the exact
+coordinator→worker parenting, not just visual nesting.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from typing import IO
 
 from .telemetry import Telemetry
@@ -39,6 +50,7 @@ FORMAT_VERSION = 1
 
 def _time_base(telemetry: Telemetry) -> float:
     starts = [sp.start_s for sp in telemetry.spans.spans]
+    starts.extend(sp.start_s for sp in telemetry.remote_spans)
     if telemetry.trace is not None:
         starts.extend(e.ts for e in telemetry.trace.events if e.ts)
     return min(starts, default=0.0)
@@ -58,6 +70,20 @@ def _span_records(telemetry: Telemetry, base_s: float) -> list[dict]:
                 "attrs": sp.attrs,
             }
         )
+    for sp in telemetry.remote_spans:
+        record = {
+            "type": "span",
+            "id": sp.id,
+            "name": sp.name,
+            "parent": sp.parent,
+            "start_us": (sp.start_s - base_s) * 1e6,
+            "dur_us": sp.duration_s * 1e6,
+            "attrs": sp.attrs,
+            "pid": sp.pid,
+        }
+        if sp.worker is not None:
+            record["worker"] = sp.worker
+        out.append(record)
     return out
 
 
@@ -91,6 +117,8 @@ def export_jsonl(telemetry: Telemetry, fp: IO[str]) -> int:
             "version": FORMAT_VERSION,
             "generator": "repro",
             "runs": telemetry.runs,
+            "trace_id": telemetry.trace_id,
+            "pid": os.getpid(),
         }
     ]
     records.extend(_span_records(telemetry, base_s))
@@ -123,9 +151,29 @@ def export_chrome(telemetry: Telemetry, fp: IO[str]) -> int:
             "ts": 0,
             "pid": 1,
             "tid": 1,
-            "args": {"name": "repro planner"},
+            "args": {"name": "repro coordinator"},
         }
     ]
+    # One metadata lane per worker pid, labelled with the pool index when
+    # the stitcher knew it.
+    lanes: dict[int, str] = {}
+    for sp in telemetry.remote_spans:
+        if sp.pid not in lanes:
+            label = f"repro worker pid {sp.pid}"
+            if sp.worker is not None:
+                label = f"repro worker {sp.worker} (pid {sp.pid})"
+            lanes[sp.pid] = label
+    for pid, label in sorted(lanes.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 1,
+                "args": {"name": label},
+            }
+        )
     for sp in telemetry.spans.spans:
         events.append(
             {
@@ -136,7 +184,28 @@ def export_chrome(telemetry: Telemetry, fp: IO[str]) -> int:
                 "dur": sp.duration_s * 1e6,
                 "pid": 1,
                 "tid": 1,
-                "args": sp.attrs,
+                "args": {
+                    **sp.attrs,
+                    "span_id": sp.id,
+                    "parent_span_id": sp.parent,
+                },
+            }
+        )
+    for sp in telemetry.remote_spans:
+        events.append(
+            {
+                "name": sp.name,
+                "cat": "worker",
+                "ph": "X",
+                "ts": (sp.start_s - base_s) * 1e6,
+                "dur": sp.duration_s * 1e6,
+                "pid": sp.pid,
+                "tid": 1,
+                "args": {
+                    **sp.attrs,
+                    "span_id": sp.id,
+                    "parent_span_id": sp.parent,
+                },
             }
         )
     if telemetry.trace is not None:
@@ -165,6 +234,7 @@ def export_chrome(telemetry: Telemetry, fp: IO[str]) -> int:
             "format": CHROME_FORMAT,
             "version": FORMAT_VERSION,
             "generator": "repro",
+            "trace_id": telemetry.trace_id,
             "metrics": telemetry.metrics.snapshot(),
         },
     }

@@ -1,0 +1,155 @@
+"""Opt-in cProfile/pstats capture for planner phases and worker tasks.
+
+Two capture shapes, both exported as standard ``pstats`` files (open
+with ``python -m pstats FILE`` or ``snakeviz``):
+
+* :class:`PhaseProfiler` — attach to a :class:`~repro.obs.Telemetry`
+  (``telemetry.profiler = PhaseProfiler()``) and every span entry/exit
+  switches the active profile, so each planner phase (compile, plrg,
+  slrg, rg, ...) gets **exclusive** accounting: time inside a child
+  span is charged to the child, not the parent.  CPython allows only
+  one active profiler at a time, hence the explicit disable/enable
+  dance on the phase stack.  Surfaced as ``repro plan --profile-out``.
+* :func:`capture_profile` — whole-task capture for worker processes;
+  the profile travels home as a marshal *blob* (the exact payload of a
+  ``.pstats`` file) inside the task result, and
+  :func:`merge_profile_blobs` folds any number of per-process blobs
+  into one :class:`pstats.Stats`.  Surfaced as
+  ``repro bench --profile-out`` (one blob per cell, merged per worker
+  pid and overall).
+
+Profiling is opt-in and orthogonal to the rest of telemetry: with no
+profiler attached, the only cost on the span path is one ``is None``
+check (covered by the overhead guard).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import marshal
+import pstats
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "PhaseProfiler",
+    "capture_profile",
+    "profile_blob",
+    "merge_profile_blobs",
+    "write_pstats",
+]
+
+
+class _BlobStats:
+    """Adapter making a marshal blob loadable by :class:`pstats.Stats`."""
+
+    def __init__(self, blob: bytes):
+        self.stats = marshal.loads(blob)
+
+    def create_stats(self) -> None:  # pstats' load protocol
+        pass
+
+
+def profile_blob(profile: cProfile.Profile) -> bytes:
+    """Flatten a finished profile to the portable ``.pstats`` payload."""
+    profile.create_stats()
+    return marshal.dumps(profile.stats)
+
+
+def merge_profile_blobs(blobs) -> pstats.Stats | None:
+    """Fold profile blobs into one :class:`pstats.Stats` (None if empty).
+
+    ``pstats`` merges by call-site key, so blobs from different
+    processes (or repeated captures of the same phase) accumulate the
+    way repeated ``Stats.add`` calls on files would.
+    """
+    loaded = [_BlobStats(blob) for blob in blobs if blob]
+    if not loaded:
+        return None
+    stats = pstats.Stats(loaded[0])
+    for extra in loaded[1:]:
+        stats.add(extra)
+    return stats
+
+
+def write_pstats(stats: pstats.Stats, path: str) -> None:
+    stats.dump_stats(path)
+
+
+@contextmanager
+def capture_profile(sink: list) -> Iterator[None]:
+    """Profile the enclosed block; append the blob to ``sink``.
+
+    The worker-task capture: cheap to ship (bytes), mergeable in the
+    parent, and never raises — a failing task still reports the profile
+    of the work it did.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        sink.append(profile_blob(profile))
+
+
+class PhaseProfiler:
+    """Span-driven exclusive per-phase profiling.
+
+    Driven by :meth:`Telemetry.span <repro.obs.Telemetry.span>`: entering
+    a span suspends the enclosing phase's profile and starts a fresh one;
+    leaving it folds the capture into that phase's accumulated blobs and
+    resumes the parent.  Repeated entries of the same span name (one
+    ``rg`` span per scenario in a sweep) accumulate under one phase key.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[tuple[str, cProfile.Profile]] = []
+        self._captures: dict[str, list[bytes]] = {}
+
+    def enter_phase(self, name: str) -> None:
+        if self._stack:
+            self._stack[-1][1].disable()
+        profile = cProfile.Profile()
+        self._stack.append((name, profile))
+        profile.enable()
+
+    def exit_phase(self, name: str) -> None:
+        if not self._stack:
+            return
+        top_name, profile = self._stack.pop()
+        profile.disable()
+        self._captures.setdefault(top_name, []).append(profile_blob(profile))
+        if self._stack:
+            self._stack[-1][1].enable()
+
+    @property
+    def phases(self) -> list[str]:
+        """Phase names seen so far, in first-entry order."""
+        return list(self._captures)
+
+    def phase_stats(self, name: str) -> pstats.Stats | None:
+        return merge_profile_blobs(self._captures.get(name, ()))
+
+    def merged_stats(self) -> pstats.Stats | None:
+        return merge_profile_blobs(
+            blob for blobs in self._captures.values() for blob in blobs
+        )
+
+    def write(self, prefix: str) -> list[str]:
+        """Write ``<prefix>`` (merged) plus ``<prefix>.<phase>.pstats``.
+
+        Returns the written paths, merged file first.
+        """
+        written: list[str] = []
+        merged = self.merged_stats()
+        if merged is not None:
+            write_pstats(merged, prefix)
+            written.append(prefix)
+        for name in self._captures:
+            stats = self.phase_stats(name)
+            if stats is not None:
+                path = f"{prefix}.{name}.pstats"
+                write_pstats(stats, path)
+                written.append(path)
+        return written

@@ -52,6 +52,11 @@ class SpanRecorder:
     def __len__(self) -> int:
         return len(self.spans)
 
+    @property
+    def current_id(self) -> int | None:
+        """Id of the innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
         """Open a child of the currently active span; closes on exit."""

@@ -5,6 +5,13 @@ Chrome trace-event JSON), normalizes both into one :class:`TraceFile`
 shape, and renders the same search-progress account the live
 ``--metrics`` flag prints — so a trace captured on one machine can be
 read on another without the planner objects.
+
+Multi-process traces (a ``--workers N`` run with ``--trace-out``) group
+per *lane*: spans carrying a worker ``pid`` render under their own
+``lane: worker pid P`` heading, with cross-lane parent links (a worker
+root span parented onto the coordinator's dispatch span) annotated
+rather than silently flattened.  Concatenating two exports into one
+file is *mixed-schema input* and fails loudly with the offending line.
 """
 
 from __future__ import annotations
@@ -72,6 +79,12 @@ def _load_jsonl(path: str, text: str) -> TraceFile:
                 raise TraceFileError(
                     f"{path}: unexpected format {record.get('format')!r}"
                 )
+            if out.header:
+                raise TraceFileError(
+                    f"{path}:{lineno}: second header record — mixed-schema "
+                    "input (two exports concatenated into one file?); "
+                    "summarize each export separately"
+                )
             out.header = record
         elif rtype == "span":
             out.spans.append(record)
@@ -103,16 +116,24 @@ def _load_chrome(path: str, text: str) -> TraceFile:
     for ev in payload["traceEvents"]:
         ph = ev.get("ph")
         if ph == "X":
-            out.spans.append(
-                {
-                    "id": next_id,
-                    "name": ev.get("name", "?"),
-                    "parent": None,  # nesting is implied by timestamps in this format
-                    "start_us": ev.get("ts", 0.0),
-                    "dur_us": ev.get("dur", 0.0),
-                    "attrs": ev.get("args", {}),
-                }
-            )
+            # Current exports carry explicit span identity in args
+            # (span_id / parent_span_id); older files fall back to
+            # sequential ids with nesting implied by timestamps only.
+            args = dict(ev.get("args", {}))
+            span_id = args.pop("span_id", None)
+            parent = args.pop("parent_span_id", None)
+            record = {
+                "id": span_id if span_id is not None else next_id,
+                "name": ev.get("name", "?"),
+                "parent": parent,
+                "start_us": ev.get("ts", 0.0),
+                "dur_us": ev.get("dur", 0.0),
+                "attrs": args,
+            }
+            pid = ev.get("pid", 1)
+            if pid != 1:  # pid 1 is the coordinator lane by convention
+                record["pid"] = pid
+            out.spans.append(record)
             next_id += 1
         elif ph == "i":
             args = ev.get("args", {})
@@ -137,31 +158,72 @@ def summarize_trace(trace: TraceFile) -> str:
         lines.append(f"planner runs recorded: {trace.header['runs']}")
 
     if trace.spans:
-        lines.append("")
-        lines.append("spans:")
         by_id = {sp["id"]: sp for sp in trace.spans}
-        depth_cache: dict[int, int] = {}
-
-        def depth_of(sp: dict) -> int:
-            sid = sp["id"]
-            if sid in depth_cache:
-                return depth_cache[sid]
-            parent = sp.get("parent")
-            d = 0 if parent is None or parent not in by_id else depth_of(by_id[parent]) + 1
-            depth_cache[sid] = d
-            return d
-
+        # Group spans into lanes: pid-less spans are the coordinator's
+        # own; spans stitched home from workers carry their worker pid.
+        lanes: dict[object, list[dict]] = {}
         for sp in trace.spans:
-            indent = "  " * depth_of(sp)
-            attrs = sp.get("attrs") or {}
-            shown = (
-                "  [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
-                if attrs
-                else ""
-            )
+            lanes.setdefault(sp.get("pid"), []).append(sp)
+        multi = len(lanes) > 1
+        if multi:
+            worker_lanes = len([pid for pid in lanes if pid is not None])
             lines.append(
-                f"  {indent}{sp['name']:<24s} {sp.get('dur_us', 0.0) / 1e3:9.2f} ms{shown}"
+                f"lanes: coordinator + {worker_lanes} worker process(es)"
             )
+
+        def render_lane(spans: list[dict], title: str) -> None:
+            lines.append("")
+            lines.append(title)
+            lane_ids = {sp["id"] for sp in spans}
+            depth_cache: dict[int, int] = {}
+
+            def depth_of(sp: dict) -> int:
+                sid = sp["id"]
+                if sid in depth_cache:
+                    return depth_cache[sid]
+                parent = sp.get("parent")
+                d = (
+                    0
+                    if parent is None or parent not in lane_ids
+                    else depth_of(by_id[parent]) + 1
+                )
+                depth_cache[sid] = d
+                return d
+
+            for sp in spans:
+                indent = "  " * depth_of(sp)
+                attrs = sp.get("attrs") or {}
+                shown = (
+                    "  [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+                    if attrs
+                    else ""
+                )
+                parent = sp.get("parent")
+                cross = ""
+                if parent is not None and parent not in lane_ids and parent in by_id:
+                    # Cross-lane link: a worker root dispatched by a
+                    # coordinator span — annotate instead of flattening.
+                    cross = f"  <- {by_id[parent]['name']}#{parent}"
+                lines.append(
+                    f"  {indent}{sp['name']:<24s} "
+                    f"{sp.get('dur_us', 0.0) / 1e3:9.2f} ms{shown}{cross}"
+                )
+
+        coordinator = lanes.pop(None, [])
+        if coordinator:
+            render_lane(coordinator, "spans (coordinator):" if multi else "spans:")
+        for pid in sorted(lanes):
+            spans = lanes[pid]
+            worker = next(
+                (sp.get("worker") for sp in spans if sp.get("worker") is not None),
+                None,
+            )
+            title = (
+                f"spans (worker {worker}, pid {pid}):"
+                if worker is not None
+                else f"spans (worker pid {pid}):"
+            )
+            render_lane(spans, title)
 
     stats_gauges = {
         m["name"]: m.get("value")

@@ -178,16 +178,43 @@ class PlanEnvelope:
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
-    """A worker metrics registry, flattened to its JSON snapshot."""
+    """A worker telemetry, flattened for the trip home.
+
+    ``records`` is the registry's JSON snapshot; ``spans`` carries the
+    worker's recorded spans as plain dicts (:func:`repro.obs.spans_payload`)
+    together with the provenance the coordinator needs to stitch them
+    into its own timeline (docs/OBSERVABILITY.md, "Distributed
+    tracing"): the worker pid (the trace lane), the trace context the
+    task ran under, and the paired epoch/perf clock anchors that map
+    worker ``perf_counter`` timestamps onto the coordinator's clock.
+    """
 
     records: tuple = ()
     spans: tuple = ()
+    pid: int = 0
+    trace_id: str = ""
+    parent_span_id: int | None = None
+    epoch_anchor_s: float = 0.0
+    perf_anchor_s: float = 0.0
 
     @staticmethod
     def from_telemetry(telemetry) -> "MetricsSnapshot":
         if telemetry is None:
             return MetricsSnapshot()
-        return MetricsSnapshot(records=tuple(telemetry.metrics.snapshot()))
+        import os
+
+        from ..obs.context import spans_payload
+
+        context = getattr(telemetry, "context", None)
+        return MetricsSnapshot(
+            records=tuple(telemetry.metrics.snapshot()),
+            spans=spans_payload(telemetry.spans),
+            pid=os.getpid(),
+            trace_id=getattr(telemetry, "trace_id", ""),
+            parent_span_id=context.parent_span_id if context is not None else None,
+            epoch_anchor_s=getattr(telemetry, "epoch_anchor_s", 0.0),
+            perf_anchor_s=getattr(telemetry, "perf_anchor_s", 0.0),
+        )
 
     @staticmethod
     def from_registry(metrics) -> "MetricsSnapshot":

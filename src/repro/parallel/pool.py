@@ -26,10 +26,15 @@ module-level importables and payloads must survive pickling
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
+from multiprocessing import connection as mp_connection
 from typing import Callable, Sequence
 
 __all__ = ["WorkerPool", "WorkerCrashed", "TaskFailed", "resolve_workers"]
+
+STALL_INTERVALS = 4
+"""A streaming worker silent for this many heartbeat periods is stalled."""
 
 START_METHOD = "spawn"
 
@@ -58,18 +63,32 @@ def resolve_workers(workers: int | None, tasks: int) -> int:
 
 
 def _worker_main(conn) -> None:
-    """Worker loop: receive (fn, shard), run, reply; repeat until 'stop'."""
+    """Worker loop: receive (fn, shard, interval), run, reply; repeat.
+
+    With a stream interval set, zero or more ``("frame", dict)`` messages
+    precede the final ``("done", results)`` — the heartbeat thread is
+    joined before the done send, so no frame ever trails the results.
+    """
     try:
         while True:
             message = conn.recv()
             if message[0] == "stop":
                 break
-            _, fn, shard = message
+            _, fn, shard, interval_s = message
+            sender = None
+            if interval_s is not None:
+                from ..obs.stream import FrameSender
+
+                sender = FrameSender(conn, interval_s, total=len(shard))
             results = []
             for index, payload in shard:
+                if sender is not None:
+                    sender.task_start(index, payload)
                 try:
                     value = fn(payload)
                     results.append((index, True, value, None))
+                    if sender is not None:
+                        sender.task_end(index, True, value)
                 except BaseException as exc:  # noqa: BLE001 - report, don't die
                     results.append(
                         (
@@ -79,7 +98,11 @@ def _worker_main(conn) -> None:
                             traceback.format_exc(),
                         )
                     )
-            conn.send(results)
+                    if sender is not None:
+                        sender.task_end(index, False, None)
+            if sender is not None:
+                sender.close()
+            conn.send(("done", results))
     except (EOFError, KeyboardInterrupt):  # parent went away / interrupt
         pass
     finally:
@@ -121,22 +144,49 @@ class WorkerPool:
     def workers(self) -> int:
         return len(self._procs)
 
+    @property
+    def pids(self) -> list[int]:
+        """The worker process ids, in worker order."""
+        return [proc.pid or 0 for proc in self._procs]
+
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def map(self, fn: Callable, payloads: Sequence) -> list:
+    def map(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        on_frame: Callable[[int, dict], None] | None = None,
+        stream_interval_s: float | None = None,
+    ) -> list:
         """Run ``fn`` over ``payloads``; results in payload order.
 
         ``fn`` must be a module-level callable (pickled by reference).
         Task ``i`` always runs on worker ``i % workers``; within one
         worker, its shard runs in ascending task order.  The first
         failing task (lowest index) is re-raised as :class:`TaskFailed`.
+
+        With ``on_frame`` set, workers stream telemetry frames (see
+        :mod:`repro.obs.stream`) interleaved with their results;
+        ``on_frame(worker_id, frame)`` is invoked for each, on this
+        thread, in arrival order.  A streaming worker that stays silent
+        for ``STALL_INTERVALS`` heartbeat periods gets a synthesized
+        ``heartbeat_missed`` frame per further silent period — detection
+        only; the pool keeps waiting for its results.  Without
+        ``on_frame``, no frames are requested and workers send exactly
+        one results message, as before.
         """
         if not self._procs:
             raise RuntimeError("pool is closed")
+        if on_frame is not None and stream_interval_s is None:
+            from ..obs.stream import DEFAULT_STREAM_INTERVAL_S
+
+            stream_interval_s = DEFAULT_STREAM_INTERVAL_S
+        interval = stream_interval_s if on_frame is not None else None
+
         shards: list[list[tuple[int, object]]] = [[] for _ in self._procs]
         for index, payload in enumerate(payloads):
             shards[index % len(self._procs)].append((index, payload))
@@ -144,25 +194,61 @@ class WorkerPool:
         busy = []
         for worker_id, shard in enumerate(shards):
             if shard:
-                self._conns[worker_id].send(("run", fn, shard))
+                self._conns[worker_id].send(("run", fn, shard, interval))
                 busy.append(worker_id)
 
         results: dict[int, object] = {}
         failures: dict[int, tuple[str, str]] = {}
-        for worker_id in busy:
-            try:
-                replies = self._conns[worker_id].recv()
-            except (EOFError, ConnectionResetError) as exc:
-                shard_ids = [i for i, _ in shards[worker_id]]
-                raise WorkerCrashed(
-                    f"worker {worker_id} died while running tasks {shard_ids} "
-                    f"({type(exc).__name__}); its results are lost"
-                ) from exc
-            for index, ok, value, remote_tb in replies:
-                if ok:
-                    results[index] = value
-                else:
-                    failures[index] = (value, remote_tb)
+        pending = set(busy)
+        by_conn = {self._conns[worker_id]: worker_id for worker_id in busy}
+        last_seen = {worker_id: time.monotonic() for worker_id in busy}
+        stall_after = (interval or 0.0) * STALL_INTERVALS
+        while pending:
+            conns = [self._conns[worker_id] for worker_id in sorted(pending)]
+            ready = mp_connection.wait(
+                conns, timeout=stall_after if interval is not None else None
+            )
+            if not ready:
+                now = time.monotonic()
+                for worker_id in sorted(pending):
+                    if now - last_seen[worker_id] >= stall_after:
+                        last_seen[worker_id] = now
+                        on_frame(
+                            worker_id,
+                            {
+                                "kind": "heartbeat_missed",
+                                "pid": self._procs[worker_id].pid or 0,
+                                "seq": 0,
+                                "ts_s": time.time(),
+                                "task": None,
+                                "label": "",
+                                "done": 0,
+                                "total": 0,
+                            },
+                        )
+                continue
+            for conn in ready:
+                worker_id = by_conn[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, ConnectionResetError) as exc:
+                    shard_ids = [i for i, _ in shards[worker_id]]
+                    raise WorkerCrashed(
+                        f"worker {worker_id} died while running tasks {shard_ids} "
+                        f"({type(exc).__name__}); its results are lost"
+                    ) from exc
+                last_seen[worker_id] = time.monotonic()
+                tag = message[0]
+                if tag == "frame":
+                    if on_frame is not None:
+                        on_frame(worker_id, message[1])
+                    continue
+                pending.discard(worker_id)
+                for index, ok, value, remote_tb in message[1]:
+                    if ok:
+                        results[index] = value
+                    else:
+                        failures[index] = (value, remote_tb)
 
         if failures:
             first = min(failures)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 
 from ..model import AppSpec, Leveling
 from ..network import Network
+from ..obs.context import TraceContext
 from .envelope import MetricsSnapshot, PlanEnvelope
 from .pool import START_METHOD
 
@@ -50,6 +51,7 @@ class RungJob:
     leveling: Leveling | None
     config: object  # PlannerConfig with telemetry stripped
     with_metrics: bool = False
+    trace: TraceContext | None = None
 
 
 @dataclass
@@ -71,7 +73,7 @@ def _race_child(job: RungJob, queue) -> None:
     from ..planner.errors import ResourceInfeasible, SearchBudgetExceeded, Unsolvable
     from ..planner.planner import Planner
 
-    telemetry = Telemetry() if job.with_metrics else None
+    telemetry = Telemetry(context=job.trace) if job.with_metrics else None
     config = replace(job.config, leveling=job.leveling, telemetry=telemetry)
     t0 = time.perf_counter()
     try:

@@ -18,10 +18,12 @@ counters ride home in the snapshot.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _noop
 from dataclasses import dataclass, field, replace
 
 from ..model import AppSpec, Leveling
 from ..network import Network
+from ..obs.context import TraceContext
 from .envelope import MetricsSnapshot, PlanEnvelope
 
 __all__ = [
@@ -52,6 +54,8 @@ class CellTask:
     with_metrics: bool = False
     use_cache: bool = True
     static_prune: str | None = None
+    trace: TraceContext | None = None
+    profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -61,25 +65,29 @@ class CellResult:
     row: object  # Table2Row with plan=None and plan_names filled
     plan: PlanEnvelope | None
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    profile: bytes = b""
+    """Marshal pstats blob of the whole task, when profiling was asked."""
 
 
 def run_cell_task(task: CellTask) -> CellResult:
     """Solve one Table 2 cell in this worker."""
     from ..experiments.harness import run_cell
-    from ..obs import Telemetry
+    from ..obs import Telemetry, capture_profile
     from .cache import default_compile_cache
 
-    telemetry = Telemetry() if task.with_metrics else None
-    row = run_cell(
-        task.network,
-        task.scenario,
-        source_bw=task.source_bw,
-        demand=task.demand,
-        rg_node_budget=task.rg_node_budget,
-        telemetry=telemetry,
-        compile_cache=default_compile_cache() if task.use_cache else None,
-        static_prune=task.static_prune,
-    )
+    telemetry = Telemetry(context=task.trace) if task.with_metrics else None
+    blobs: list[bytes] = []
+    with capture_profile(blobs) if task.profile else _noop():
+        row = run_cell(
+            task.network,
+            task.scenario,
+            source_bw=task.source_bw,
+            demand=task.demand,
+            rg_node_budget=task.rg_node_budget,
+            telemetry=telemetry,
+            compile_cache=default_compile_cache() if task.use_cache else None,
+            static_prune=task.static_prune,
+        )
     envelope = PlanEnvelope.from_plan(row.plan) if row.plan is not None else None
     row.plan_names = tuple(envelope.actions) if envelope is not None else ()
     row.plan = None  # the full Plan holds the compiled problem; too big to ship
@@ -87,6 +95,7 @@ def run_cell_task(task: CellTask) -> CellResult:
         row=row,
         plan=envelope,
         metrics=MetricsSnapshot.from_telemetry(telemetry),
+        profile=blobs[0] if blobs else b"",
     )
 
 
@@ -107,6 +116,7 @@ class CampaignTask:
     include_timings: bool = False
     with_metrics: bool = False
     use_cache: bool = True
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -125,7 +135,7 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
     from ..simulate.campaign import run_campaign_run
     from .cache import default_compile_cache
 
-    telemetry = Telemetry() if task.with_metrics else None
+    telemetry = Telemetry(context=task.trace) if task.with_metrics else None
     result = run_campaign_run(
         task.app,
         task.network,
@@ -169,6 +179,7 @@ class RepairTask:
     use_cache: bool = True
     replan_from_scratch: bool = True
     with_metrics: bool = False
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -207,7 +218,7 @@ def run_repair_task(task: RepairTask) -> RepairOutcome:
     from ..simulate.controller import repair_member
     from .cache import default_compile_cache
 
-    telemetry = Telemetry() if task.with_metrics else None
+    telemetry = Telemetry(context=task.trace) if task.with_metrics else None
     outcome = repair_member(
         task,
         telemetry=telemetry,

@@ -338,7 +338,15 @@ def _solve_robust_racing(
     )
     leveling_of = {job.rung: job.leveling for job in jobs}
 
-    winner, raced = race_rungs(jobs, workers=workers, time_limit_s=time_limit_s)
+    if telemetry is not None:
+        # Dispatch span: racing rungs inherit its context, so the
+        # winner's remote spans stitch under it in the merged trace.
+        with telemetry.span("robust.race", workers=workers, rungs=len(jobs)):
+            ctx = telemetry.current_context()
+            jobs = [replace(job, trace=ctx) for job in jobs]
+            winner, raced = race_rungs(jobs, workers=workers, time_limit_s=time_limit_s)
+    else:
+        winner, raced = race_rungs(jobs, workers=workers, time_limit_s=time_limit_s)
 
     outcome = SolveOutcome(plan=None)
     for res in raced:
@@ -385,5 +393,6 @@ def _solve_robust_racing(
     if metrics is not None:
         metrics.inc(f"robust.fallback.{outcome.rung}")
         if winner.metrics is not None:
+            telemetry.stitch_snapshot(winner.metrics)
             winner.metrics.merge_into(metrics)
     return outcome

@@ -133,6 +133,8 @@ def run_campaign(
     telemetry: Telemetry | None = None,
     compile_cache=_DEFAULT_CACHE,
     workers: int = 1,
+    on_frame=None,
+    stream_interval_s: float | None = None,
 ) -> dict:
     """Run a campaign once per seed; return one deterministic document.
 
@@ -141,40 +143,70 @@ def run_campaign(
     per task; records come back keyed and ordered by their position in
     ``seeds`` regardless of completion order, and worker metrics are
     merged into ``telemetry`` in task order — so the returned document
-    is byte-identical at any worker count for fixed seeds.
+    is byte-identical at any worker count for fixed seeds.  Worker spans
+    stitch under the coordinator's ``campaign.fanout`` dispatch span.
+    ``on_frame`` attaches the live telemetry stream (``--live``); frames
+    are display-only and never touch the returned document.
     """
     run_seeds: list[int | None] = list(seeds) if seeds else [None]
 
     if workers > 1 and len(run_seeds) > 1:
+        from contextlib import nullcontext
+
         from ..parallel import CampaignTask, WorkerPool, resolve_workers, run_campaign_task
 
-        tasks = [
-            CampaignTask(
-                app=app,
-                network=network,
-                leveling=leveling,
-                spec=spec,
-                seed=s,
-                events=events,
-                time_limit_s=time_limit_s,
-                include_timings=include_timings,
-                with_metrics=telemetry is not None,
-                use_cache=compile_cache is not None,
-            )
-            for s in run_seeds
-        ]
-        with WorkerPool(resolve_workers(workers, len(tasks))) as pool:
-            results = pool.map(run_campaign_task, tasks)
+        pool_size = resolve_workers(workers, len(run_seeds))
+        dispatch = (
+            telemetry.span("campaign.fanout", workers=pool_size)
+            if telemetry is not None
+            else nullcontext()
+        )
+        with dispatch:
+            ctx = telemetry.current_context() if telemetry is not None else None
+            tasks = [
+                CampaignTask(
+                    app=app,
+                    network=network,
+                    leveling=leveling,
+                    spec=spec,
+                    seed=s,
+                    events=events,
+                    time_limit_s=time_limit_s,
+                    include_timings=include_timings,
+                    with_metrics=telemetry is not None,
+                    use_cache=compile_cache is not None,
+                    trace=ctx,
+                )
+                for s in run_seeds
+            ]
+            with WorkerPool(pool_size) as pool:
+                results = pool.map(
+                    run_campaign_task, tasks,
+                    on_frame=on_frame, stream_interval_s=stream_interval_s,
+                )
         if telemetry is not None:
-            for res in results:
+            for index, res in enumerate(results):
+                telemetry.stitch_snapshot(res.metrics, worker=index % pool_size)
                 res.metrics.merge_into(telemetry.metrics)
         runs = [
             {"seed": res.seed, "record": res.record, "description": res.description}
             for res in results
         ]
     else:
+        from ..obs import make_frame
+
         runs = []
-        for s in run_seeds:
+        total = len(run_seeds)
+        for index, s in enumerate(run_seeds):
+            if on_frame is not None:
+                label = f"seed={s}" if s is not None else "seed=spec"
+                on_frame(
+                    0,
+                    make_frame(
+                        "task_start", task=index, label=label,
+                        done=index, total=total,
+                    ),
+                )
             result = run_campaign_run(
                 app,
                 network,
@@ -193,4 +225,12 @@ def run_campaign(
                     "description": result.describe(),
                 }
             )
+            if on_frame is not None:
+                on_frame(
+                    0,
+                    make_frame(
+                        "task_end", task=index, label=label,
+                        done=index + 1, total=total, ok=True,
+                    ),
+                )
     return {"format": 1, "runs": runs}

@@ -166,6 +166,8 @@ def run_controller(
     telemetry: Telemetry | None = None,
     compile_cache=_DEFAULT_CACHE,
     workers: int = 1,
+    on_frame=None,
+    stream_interval_s: float | None = None,
 ) -> dict:
     """Replay a fault timeline against a fleet; return one record.
 
@@ -182,6 +184,11 @@ def run_controller(
     excluded unless ``include_timings``, and the only delta-dependent
     fields are ``summary.delta_hits`` / ``summary.delta_full`` (the CI
     audit pops exactly those before diffing).
+
+    With ``telemetry``, each fanned-out batch runs under a
+    ``controller.batch`` dispatch span and worker repair spans stitch
+    under it; ``on_frame`` attaches the live telemetry stream
+    (``--live``) in both the inline and fanned-out paths.
     """
     from ..parallel import RepairTask, WorkerPool, resolve_workers, run_repair_task
 
@@ -220,15 +227,45 @@ def run_controller(
 
     def run_batch(tasks: list, pool) -> list:
         if pool is not None:
-            outcomes = pool.map(run_repair_task, tasks)
             if telemetry is not None:
-                for o in outcomes:
+                with telemetry.span("controller.batch", members=len(tasks)):
+                    ctx = telemetry.current_context()
+                    tasks = [replace(t, trace=ctx) for t in tasks]
+                    outcomes = pool.map(
+                        run_repair_task, tasks,
+                        on_frame=on_frame, stream_interval_s=stream_interval_s,
+                    )
+                for i, o in enumerate(outcomes):
+                    telemetry.stitch_snapshot(o.metrics, worker=i % pool.workers)
                     o.metrics.merge_into(telemetry.metrics)
+            else:
+                outcomes = pool.map(
+                    run_repair_task, tasks,
+                    on_frame=on_frame, stream_interval_s=stream_interval_s,
+                )
         else:
-            outcomes = [
-                repair_member(t, telemetry=telemetry, compile_cache=compile_cache)
-                for t in tasks
-            ]
+            from ..obs import make_frame
+
+            outcomes = []
+            for i, t in enumerate(tasks):
+                if on_frame is not None:
+                    on_frame(
+                        0,
+                        make_frame(
+                            "task_start", task=i, label=t.app.name,
+                            done=i, total=len(tasks),
+                        ),
+                    )
+                o = repair_member(t, telemetry=telemetry, compile_cache=compile_cache)
+                outcomes.append(o)
+                if on_frame is not None:
+                    on_frame(
+                        0,
+                        make_frame(
+                            "task_end", task=i, label=t.app.name,
+                            done=i + 1, total=len(tasks), ok=not o.failed,
+                        ),
+                    )
         return outcomes
 
     t_run = time.perf_counter()

@@ -59,6 +59,9 @@ class TestPlanTraceFlags:
         assert rc == 0
         assert f"wrote {out} (jsonl," in capsys.readouterr().out
         first = json.loads(out.read_text().splitlines()[0])
+        # The header also carries the run's trace_id and writer pid.
+        assert first.pop("trace_id")
+        assert first.pop("pid") > 0
         assert first == {
             "type": "header",
             "format": "repro-trace-jsonl",

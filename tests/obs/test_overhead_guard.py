@@ -99,3 +99,56 @@ def test_disabled_planner_allocates_no_telemetry_objects(problem):
     plan = Planner(solve_config).solve(problem=compiled)
     # No trace requested, no telemetry: the plan carries neither.
     assert plan.trace is None
+
+
+class TestStreamingAndContextStayOff:
+    """The fleet-observability hooks obey the same off-by-default bar.
+
+    Streaming, trace context, and profiling all ride the existing task
+    envelopes and pipes — when nothing asks for them, no frames are
+    produced, tasks carry ``trace=None``, and the snapshot that travels
+    home is the empty frozen default (a near-free pickle).
+    """
+
+    def test_default_cell_task_carries_no_observability(self):
+        from repro.parallel import CellTask, MetricsSnapshot, run_cell_task
+
+        task = CellTask(
+            network="Tiny", scenario="B", source_bw=1.0, demand=1.0,
+            rg_node_budget=10_000,
+        )
+        assert task.trace is None
+        assert task.profile is False
+        assert task.with_metrics is False
+        result = run_cell_task(task)
+        assert result.profile == b""
+        # from_telemetry(None) is the shared all-default instance.
+        assert result.metrics == MetricsSnapshot()
+        assert result.metrics.spans == () and result.metrics.trace_id == ""
+
+    def test_harness_without_telemetry_sends_no_trace_context(self, monkeypatch):
+        from repro.experiments import harness
+        from repro.parallel import WorkerPool
+
+        seen = {}
+        original = WorkerPool.map
+
+        def spy(self, fn, payloads, on_frame=None, stream_interval_s=None):
+            seen["tasks"] = list(payloads)
+            seen["on_frame"] = on_frame
+            seen["stream_interval_s"] = stream_interval_s
+            return original(self, fn, seen["tasks"], on_frame=on_frame,
+                            stream_interval_s=stream_interval_s)
+
+        monkeypatch.setattr(WorkerPool, "map", spy)
+        harness.run_table2(("Tiny",), ("B",), workers=2)
+        assert all(t.trace is None and not t.profile for t in seen["tasks"])
+        assert seen["on_frame"] is None and seen["stream_interval_s"] is None
+
+    def test_empty_snapshot_pickle_is_tiny(self):
+        import pickle
+
+        from repro.parallel import MetricsSnapshot
+
+        empty = pickle.dumps(MetricsSnapshot())
+        assert len(empty) < 256  # the per-task wire cost when telemetry is off

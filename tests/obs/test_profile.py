@@ -1,0 +1,142 @@
+"""Profiling hooks: exclusive phase accounting, worker blobs, merging."""
+
+import pstats
+
+import pytest
+
+from repro.obs import (
+    PhaseProfiler,
+    Telemetry,
+    capture_profile,
+    merge_profile_blobs,
+    profile_blob,
+    write_pstats,
+)
+
+
+def _spin(n: int = 2000) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _total_calls(stats: pstats.Stats) -> int:
+    return stats.total_calls
+
+
+class TestCaptureProfile:
+    def test_appends_one_blob(self):
+        sink = []
+        with capture_profile(sink):
+            _spin()
+        assert len(sink) == 1 and isinstance(sink[0], bytes) and sink[0]
+
+    def test_blob_captured_even_on_exception(self):
+        sink = []
+        with pytest.raises(RuntimeError):
+            with capture_profile(sink):
+                _spin()
+                raise RuntimeError("task failed")
+        assert len(sink) == 1  # a failing task still reports its profile
+
+    def test_blob_loads_as_pstats_and_names_the_function(self):
+        sink = []
+        with capture_profile(sink):
+            _spin()
+        stats = merge_profile_blobs(sink)
+        assert any(key[2] == "_spin" for key in stats.stats)
+
+
+class TestMergeProfileBlobs:
+    def test_empty_and_falsy_blobs_merge_to_none(self):
+        assert merge_profile_blobs([]) is None
+        assert merge_profile_blobs([b"", b""]) is None
+
+    def test_merging_doubles_call_counts(self):
+        sink = []
+        with capture_profile(sink):
+            _spin()
+        one = merge_profile_blobs(sink)
+        two = merge_profile_blobs(sink * 2)
+        assert _total_calls(two) == 2 * _total_calls(one)
+
+    def test_write_pstats_round_trips(self, tmp_path):
+        sink = []
+        with capture_profile(sink):
+            _spin()
+        path = tmp_path / "out.pstats"
+        write_pstats(merge_profile_blobs(sink), str(path))
+        loaded = pstats.Stats(str(path))
+        assert _total_calls(loaded) > 0
+
+
+class TestPhaseProfiler:
+    def test_phases_recorded_in_first_entry_order(self):
+        profiler = PhaseProfiler()
+        for name in ("compile", "rg", "compile"):
+            profiler.enter_phase(name)
+            _spin(100)
+            profiler.exit_phase(name)
+        assert profiler.phases == ["compile", "rg"]
+
+    def test_nested_phase_time_is_exclusive(self):
+        # Work done inside the child span must charge the child's
+        # profile, not the parent's — _spin only runs under "child".
+        profiler = PhaseProfiler()
+        profiler.enter_phase("parent")
+        profiler.enter_phase("child")
+        _spin()
+        profiler.exit_phase("child")
+        profiler.exit_phase("parent")
+        child = profiler.phase_stats("child")
+        parent = profiler.phase_stats("parent")
+        assert any(key[2] == "_spin" for key in child.stats)
+        assert not any(key[2] == "_spin" for key in parent.stats)
+
+    def test_repeated_entries_accumulate_under_one_phase(self):
+        profiler = PhaseProfiler()
+        for _ in range(2):
+            profiler.enter_phase("rg")
+            _spin()
+            profiler.exit_phase("rg")
+        merged = profiler.phase_stats("rg")
+        calls = [v[0] for k, v in merged.stats.items() if k[2] == "_spin"]
+        assert calls == [2]
+
+    def test_write_emits_merged_plus_per_phase_files(self, tmp_path):
+        profiler = PhaseProfiler()
+        for name in ("compile", "rg"):
+            profiler.enter_phase(name)
+            _spin(100)
+            profiler.exit_phase(name)
+        prefix = str(tmp_path / "prof")
+        paths = profiler.write(prefix)
+        assert paths[0] == prefix
+        assert set(paths[1:]) == {f"{prefix}.compile.pstats", f"{prefix}.rg.pstats"}
+        for path in paths:
+            assert _total_calls(pstats.Stats(path)) > 0
+
+    def test_exit_without_enter_is_a_noop(self):
+        profiler = PhaseProfiler()
+        profiler.exit_phase("ghost")
+        assert profiler.phases == []
+        assert profiler.merged_stats() is None
+
+
+class TestTelemetryIntegration:
+    def test_spans_drive_the_profiler(self):
+        telemetry = Telemetry()
+        telemetry.profiler = PhaseProfiler()
+        with telemetry.span("plan.solve"):
+            with telemetry.span("rg"):
+                _spin()
+        assert set(telemetry.profiler.phases) == {"plan.solve", "rg"}
+        rg = telemetry.profiler.phase_stats("rg")
+        assert any(key[2] == "_spin" for key in rg.stats)
+
+    def test_no_profiler_attached_costs_nothing(self):
+        telemetry = Telemetry()
+        with telemetry.span("plan.solve"):
+            _spin(100)
+        assert telemetry.profiler is None

@@ -69,6 +69,43 @@ class TestTable2Determinism:
             )
 
 
+class TestObservabilityDoesNotPerturbOutputs:
+    """Tracing and streaming are observers: same records on or off."""
+
+    def test_telemetry_on_vs_off_rows_byte_identical(self):
+        plain = run_table2(("Tiny",), ("B", "C"), workers=2)
+        traced = run_table2(
+            ("Tiny",), ("B", "C"), workers=2, telemetry=Telemetry()
+        )
+        assert normalize_rows(plain) == normalize_rows(traced)
+
+    def test_streaming_on_vs_off_rows_byte_identical(self):
+        frames = []
+        plain = run_table2(("Tiny",), ("B", "C"), workers=2)
+        streamed = run_table2(
+            ("Tiny",),
+            ("B", "C"),
+            workers=2,
+            telemetry=Telemetry(),
+            on_frame=lambda wid, frame: frames.append(frame),
+        )
+        assert normalize_rows(plain) == normalize_rows(streamed)
+        assert frames  # the stream actually ran
+
+    def test_campaign_telemetry_on_vs_off_byte_identical(self):
+        def run(telemetry):
+            net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+            app = media.build_app("n0", "n2")
+            lev = media.proportional_leveling((90, 100))
+            doc = run_campaign(
+                app, net, lev, CAMPAIGN_SPEC, seeds=[11, 23], workers=2,
+                telemetry=telemetry,
+            )
+            return json.dumps(doc, indent=2, sort_keys=True)
+
+        assert run(None) == run(Telemetry())
+
+
 class TestCampaignDeterminism:
     @staticmethod
     def run(workers):

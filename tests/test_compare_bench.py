@@ -1,0 +1,111 @@
+"""The benchmark diff tool: leaf flattening, direction rules, flagging."""
+
+import importlib.util
+import json
+import pathlib
+
+_SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestNumericLeaves:
+    def test_flattens_nested_dicts_and_lists(self):
+        doc = {"bench": "x", "results": [{"wall_ms": 5.0}, {"wall_ms": 7.0}],
+               "meta": {"depth": 3}}
+        leaves = compare_bench.numeric_leaves(doc)
+        assert leaves == {
+            "results.0.wall_ms": 5.0,
+            "results.1.wall_ms": 7.0,
+            "meta.depth": 3.0,
+        }
+
+    def test_skips_environment_descriptors_and_bools(self):
+        leaves = compare_bench.numeric_leaves(
+            {"host_cpus": 8, "seed": 42, "rounds": 3, "ok": True, "n": 1}
+        )
+        assert leaves == {"n": 1.0}
+
+
+class TestDirection:
+    def test_time_like_is_lower_is_better(self):
+        for path in ("wall_ms", "a.b.solve_s", "repair.ttr_ms", "cell.ms_mean"):
+            assert compare_bench.direction(path) == "lower"
+
+    def test_rates_and_speedups_are_higher_is_better(self):
+        for path in ("speedup", "cache.hit_rate", "availability",
+                     "prune.reduction_pct"):
+            assert compare_bench.direction(path) == "higher"
+
+    def test_counters_are_informational(self):
+        for path in ("rg_nodes", "runs.0.actions", "events"):
+            assert compare_bench.direction(path) == "info"
+
+
+class TestCompare:
+    def test_flags_directional_moves_beyond_tolerance(self):
+        base = {"wall_ms": 100.0, "hit_rate": 0.8, "rg_nodes": 50}
+        cand = {"wall_ms": 150.0, "hit_rate": 0.4, "rg_nodes": 500}
+        rows, regressions = compare_bench.compare(base, cand, tolerance=0.10)
+        flagged = {row[0] for row in regressions}
+        # Slower and lower hit rate are regressions; the counter is not.
+        assert flagged == {"wall_ms", "hit_rate"}
+        assert len(rows) == 3
+
+    def test_within_tolerance_is_not_flagged(self):
+        base = {"wall_ms": 100.0}
+        cand = {"wall_ms": 105.0}
+        _rows, regressions = compare_bench.compare(base, cand, tolerance=0.10)
+        assert regressions == []
+
+    def test_improvements_are_never_flagged(self):
+        base = {"wall_ms": 100.0, "hit_rate": 0.5}
+        cand = {"wall_ms": 10.0, "hit_rate": 0.9}
+        _rows, regressions = compare_bench.compare(base, cand, tolerance=0.10)
+        assert regressions == []
+
+    def test_zero_baseline_reports_na_not_crash(self):
+        rows, regressions = compare_bench.compare(
+            {"wall_ms": 0.0}, {"wall_ms": 5.0}, tolerance=0.10
+        )
+        assert rows[0][3] is None and regressions == []
+
+
+class TestMain:
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        doc = {"bench": "replay-engine", "wall_ms": 10.0}
+        a = _write(tmp_path, "a.json", doc)
+        b = _write(tmp_path, "b.json", doc)
+        assert compare_bench.main([a, b]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_mixed_kinds_are_a_usage_error(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", {"bench": "replay-engine", "wall_ms": 1})
+        b = _write(tmp_path, "b.json", {"bench": "static-prune", "wall_ms": 1})
+        assert compare_bench.main([a, b]) == 2
+        assert "kinds differ" in capsys.readouterr().err
+
+    def test_missing_kind_is_a_usage_error(self, tmp_path):
+        a = _write(tmp_path, "a.json", {"wall_ms": 1})
+        b = _write(tmp_path, "b.json", {"bench": "x", "wall_ms": 1})
+        assert compare_bench.main([a, b]) == 2
+
+    def test_regressions_exit_zero_unless_strict(self, tmp_path):
+        a = _write(tmp_path, "a.json", {"bench": "x", "wall_ms": 10.0})
+        b = _write(tmp_path, "b.json", {"bench": "x", "wall_ms": 100.0})
+        assert compare_bench.main([a, b]) == 0  # informational by default
+        assert compare_bench.main([a, b, "--strict"]) == 1
+
+    def test_real_bench_file_self_diff_is_clean(self, capsys):
+        bench = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
+        if not bench.exists():
+            return
+        assert compare_bench.main([str(bench), str(bench)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
