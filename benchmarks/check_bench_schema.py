@@ -397,6 +397,65 @@ def check_bench_controller(path: Path, data: dict) -> list[str]:
     return errors
 
 
+_SUPERVISION_TOP_KEYS = {
+    "bench": str,
+    "timestamp": str,
+    "python": str,
+    "host_cpus": int,
+    "workers": int,
+    "runs": int,
+    "events": int,
+    "rounds": int,
+    "modes": dict,
+    "overhead_pct": (int, float),
+    "recovery_s": (int, float),
+    "equivalent": bool,
+}
+
+
+def check_bench_supervision(path: Path, data: dict) -> list[str]:
+    """Validate a supervision overhead/recovery benchmark file (BENCH_pr9)."""
+    errors: list[str] = []
+    for key, typ in _SUPERVISION_TOP_KEYS.items():
+        if key not in data:
+            errors.append(f"{path}: missing top-level key {key!r}")
+        elif not isinstance(data[key], typ) or (
+            typ is int and isinstance(data[key], bool)
+        ):
+            errors.append(f"{path}: {key!r} should be {typ}")
+    modes = data.get("modes", {})
+    for mode in ("serial", "pool", "supervised", "supervised_kill"):
+        entry = modes.get(mode)
+        if not isinstance(entry, dict):
+            errors.append(f"{path}: modes.{mode} missing or not an object")
+            continue
+        rounds_s = entry.get("rounds_s")
+        best = entry.get("best_s")
+        if not isinstance(rounds_s, list) or not rounds_s:
+            errors.append(f"{path}: modes.{mode}.rounds_s must be a non-empty list")
+        if not isinstance(best, (int, float)):
+            errors.append(f"{path}: modes.{mode}.best_s must be a number")
+        elif isinstance(rounds_s, list) and rounds_s:
+            if abs(best - min(rounds_s)) > 1e-3:
+                errors.append(
+                    f"{path}: modes.{mode}.best_s inconsistent with rounds_s"
+                )
+    killed = modes.get("supervised_kill", {})
+    for key in ("respawns", "retries"):
+        value = killed.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            errors.append(
+                f"{path}: modes.supervised_kill.{key} must be an int >= 1 "
+                "(the injected kill must actually exercise recovery)"
+            )
+    if data.get("equivalent") is not True:
+        errors.append(
+            f"{path}: equivalent must be true — supervised recovery may "
+            "never change a campaign record"
+        )
+    return errors
+
+
 def check_bench(path: Path, data: dict) -> list[str]:
     """Validate a BENCH_*.json benchmark result file."""
     if data.get("bench") == "parallel-warmstart":
@@ -405,6 +464,8 @@ def check_bench(path: Path, data: dict) -> list[str]:
         return check_bench_static_prune(path, data)
     if data.get("bench") == "controller-delta":
         return check_bench_controller(path, data)
+    if data.get("bench") == "supervision":
+        return check_bench_supervision(path, data)
     errors: list[str] = []
     for key, typ in _TOP_KEYS.items():
         if key not in data:

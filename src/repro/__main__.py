@@ -217,7 +217,35 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_task_failure(args: argparse.Namespace, exc) -> int:
+    """Render a multi-task :class:`~repro.parallel.TaskFailed` loudly.
+
+    Every failed index is reported — the message carries them all, and
+    ``--json`` gets a structured failure document (``error`` /
+    ``failed_indices`` / per-index messages) instead of a partial or
+    missing record.
+    """
+    print(exc, file=sys.stderr)
+    if args.json:
+        payload_doc = {
+            "error": "task_failed",
+            "failed_indices": list(exc.indices),
+            "failures": {
+                str(i): {"message": message, "remote_traceback": remote_tb}
+                for i, (message, remote_tb) in sorted(exc.failures.items())
+            },
+        }
+        payload = json.dumps(payload_doc, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            open(args.json, "w").write(payload + "\n")
+            print(f"wrote {args.json}", file=sys.stderr)
+    return 1
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .parallel import TaskFailed
     from .simulate.campaign import run_campaign, run_campaign_run
 
     app, network, leveling = _load_instance(args)
@@ -229,11 +257,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         telemetry = Telemetry()
     monitor = _make_live_monitor(args)
 
+    journal = None
+    if args.checkpoint:
+        if not args.seeds:
+            print("--checkpoint requires --seeds (multi-seed campaign)", file=sys.stderr)
+            return 2
+        from .simulate import JournalMismatch, RunJournal, campaign_fingerprint
+
+        fingerprint = campaign_fingerprint(
+            app, network, leveling, spec,
+            seeds=args.seeds, events=args.events,
+            time_limit_s=args.time_limit, include_timings=args.timings,
+        )
+        try:
+            journal = RunJournal(args.checkpoint, fingerprint, resume=args.resume)
+        except JournalMismatch as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        if args.resume and len(journal):
+            print(
+                f"resuming: {len(journal)} run(s) replayed from {args.checkpoint}",
+                file=sys.stderr,
+            )
+
     try:
         if args.seeds:
             # Multi-seed campaign: one run per seed, optionally fanned out
-            # over worker processes; the document is byte-identical at any
-            # worker count for fixed seeds.
+            # over supervised worker processes; the document is
+            # byte-identical at any worker count for fixed seeds, worker
+            # deaths and checkpoint resume included.
             doc = run_campaign(
                 app,
                 network,
@@ -246,12 +298,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 telemetry=telemetry,
                 workers=args.workers,
                 on_frame=monitor.on_frame if monitor is not None else None,
+                journal=journal,
+                inject_kill=args.inject_kill or (),
             )
             failed = 0
             for run in doc["runs"]:
                 print(f"--- seed {run['seed']} ---")
                 print(run["description"])
-                if "failure" in run["record"]["initial"]:
+                if run["record"] is None or "failure" in run["record"]["initial"]:
                     failed += 1
             payload_doc = {
                 "format": doc["format"],
@@ -280,6 +334,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid campaign event: {exc}", file=sys.stderr)
         return 1
+    except TaskFailed as exc:
+        return _report_task_failure(args, exc)
+    finally:
+        if journal is not None:
+            journal.close()
 
     if monitor is not None:
         monitor.finish()
@@ -300,6 +359,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_controller(args: argparse.Namespace) -> int:
+    from .parallel import TaskFailed
     from .simulate.controller import run_controller
 
     app, network, leveling = _load_instance(args)
@@ -312,6 +372,26 @@ def _cmd_controller(args: argparse.Namespace) -> int:
 
         telemetry = Telemetry()
     monitor = _make_live_monitor(args)
+
+    journal = None
+    if args.checkpoint:
+        from .simulate import JournalMismatch, RunJournal, controller_fingerprint
+
+        fingerprint = controller_fingerprint(
+            app, network, leveling, spec,
+            fleet=args.fleet, seed=args.seed, events=args.events,
+            time_limit_s=args.time_limit, include_timings=args.timings,
+        )
+        try:
+            journal = RunJournal(args.checkpoint, fingerprint, resume=args.resume)
+        except JournalMismatch as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        if args.resume and len(journal):
+            print(
+                f"resuming: {len(journal)} step(s) replayed from {args.checkpoint}",
+                file=sys.stderr,
+            )
 
     try:
         record = run_controller(
@@ -327,6 +407,8 @@ def _cmd_controller(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             workers=args.workers,
             on_frame=monitor.on_frame if monitor is not None else None,
+            journal=journal,
+            inject_kill=args.inject_kill or (),
         )
     except TypeError as exc:
         print(f"invalid campaign fault model: {exc}", file=sys.stderr)
@@ -334,6 +416,11 @@ def _cmd_controller(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid campaign event: {exc}", file=sys.stderr)
         return 1
+    except TaskFailed as exc:
+        return _report_task_failure(args, exc)
+    finally:
+        if journal is not None:
+            journal.close()
 
     summary = record["summary"]
     print(
@@ -371,7 +458,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from .experiments import render_table2
     from .experiments.harness import _run_table2_parallel, run_table2
-    from .parallel import WorkerPool, default_compile_cache, resolve_workers
+    from .parallel import Supervisor, default_compile_cache, resolve_workers
 
     networks = tuple(args.networks)
     scenarios = tuple(args.scenarios)
@@ -387,14 +474,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     profile_sink: list | None = [] if args.profile_out else None
     round_s: list[float] = []
     rows = []
-    pool = WorkerPool(workers) if workers > 1 else None
+    pool = Supervisor(workers, telemetry=telemetry) if workers > 1 else None
     try:
         for _ in range(args.rounds):
             t0 = _time.perf_counter()
             if pool is not None:
-                # A persistent pool keeps per-worker compile caches warm
-                # across rounds (deterministic sharding pins each cell to
-                # one worker), so repeat rounds skip compilation.
+                # A persistent supervised pool keeps per-worker compile
+                # caches warm across rounds (deterministic sharding pins
+                # each cell to one worker), so repeat rounds skip
+                # compilation — and a worker death mid-round respawns and
+                # retries instead of aborting the bench.
                 rows = _run_table2_parallel(
                     networks,
                     scenarios,
@@ -726,6 +815,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the merged metrics registry after the run(s), "
         "including cache.hit / cache.miss compile-cache counters",
     )
+    p_sim.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="with --seeds: journal each completed run to a crash-safe "
+        "JSONL checkpoint as it finishes (docs/ROBUSTNESS.md)",
+    )
+    p_sim.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing --checkpoint journal and skip finished "
+        "runs; the resumed document is byte-identical to an "
+        "uninterrupted run",
+    )
+    p_sim.add_argument(
+        "--inject-kill",
+        type=int,
+        nargs="+",
+        metavar="TASK",
+        help="fault injection: SIGKILL the worker assigned each listed "
+        "task index right before it runs, once (supervision testing)",
+    )
     add_streaming_args(p_sim)
     p_sim.set_defaults(fn=_cmd_simulate)
 
@@ -786,6 +896,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the metrics registry after the run, including the "
         "repair.ttr histogram and repair.delta.hit/full counters",
+    )
+    p_ctl.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="journal the initial deploy and each completed step to a "
+        "crash-safe JSONL checkpoint (docs/ROBUSTNESS.md)",
+    )
+    p_ctl.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing --checkpoint journal and skip finished "
+        "steps; the resumed record is byte-identical to an "
+        "uninterrupted run",
+    )
+    p_ctl.add_argument(
+        "--inject-kill",
+        type=int,
+        nargs="+",
+        metavar="TASK",
+        help="fault injection: SIGKILL the worker assigned each listed "
+        "batch-task index in the first executed batch (supervision testing)",
     )
     add_streaming_args(p_ctl)
     p_ctl.set_defaults(fn=_cmd_controller)

@@ -288,13 +288,15 @@ def _run_table2_parallel(
     """One Table-2 cell per pool task; results reassembled in cell order.
 
     ``pool`` lets a caller (the benchmark harness) keep one warm
-    :class:`~repro.parallel.WorkerPool` across repeated sweeps so the
-    per-worker compile caches persist; by default a pool is created and
-    torn down around this one sweep.  ``compile_cache`` only gates
-    whether workers use *their own* process-global cache (it cannot cross
-    the process boundary).
+    pool-compatible executor across repeated sweeps so the per-worker
+    compile caches persist; by default a
+    :class:`~repro.parallel.Supervisor` is created and torn down around
+    this one sweep, so a worker death mid-sweep respawns and retries
+    instead of aborting.  ``compile_cache`` only gates whether workers
+    use *their own* process-global cache (it cannot cross the process
+    boundary).
     """
-    from ..parallel import CellTask, WorkerPool, resolve_workers, run_cell_task
+    from ..parallel import CellTask, Supervisor, resolve_workers, run_cell_task
 
     workers = resolve_workers(workers, len(networks) * len(scenarios))
     dispatch = (
@@ -328,7 +330,7 @@ def _run_table2_parallel(
                 on_frame=on_frame, stream_interval_s=stream_interval_s,
             )
         else:
-            with WorkerPool(workers) as fresh:
+            with Supervisor(workers, telemetry=telemetry) as fresh:
                 results = fresh.map(
                     run_cell_task, tasks,
                     on_frame=on_frame, stream_interval_s=stream_interval_s,

@@ -74,6 +74,12 @@ class LiveMonitor:
             parts.append(f"ttr {ttr:.0f}ms")
         if agg.heartbeat_missed:
             parts.append(f"heartbeats missed {agg.heartbeat_missed}")
+        if agg.respawned:
+            parts.append(f"workers respawned {agg.respawned}")
+        if agg.retried:
+            parts.append(f"tasks retried {agg.retried}")
+        if agg.quarantined:
+            parts.append(f"tasks quarantined {agg.quarantined}")
         return "  ".join(parts)
 
     def render(self) -> str:

@@ -27,6 +27,14 @@ Kinds:
 * ``heartbeat_missed`` — synthesized *coordinator-side* by the pool when
   a streaming worker goes quiet (see ``WorkerPool.map``); counted as
   ``pool.heartbeat.missed`` in the live registry.
+* ``heartbeat_recovered`` — synthesized coordinator-side when a stalled
+  worker speaks again (e.g. after SIGCONT); clears the view's missed
+  strikes so the STALLED row disappears instead of sticking stale.
+* ``worker_respawned`` / ``task_retried`` / ``task_quarantined`` —
+  synthesized by the :class:`~repro.parallel.Supervisor` as it recovers
+  from worker deaths; counted in the live registry
+  (``pool.worker.respawned`` etc.) so ``--live`` shows recovery as it
+  happens.
 
 The coordinator folds frames into a :class:`StreamAggregator`, whose
 registry is **live/display-only** — the deterministic final metrics
@@ -229,9 +237,28 @@ class StreamAggregator:
         view.frames += 1
         view.pid = frame.get("pid", view.pid) or view.pid
         view.last_ts_s = frame.get("ts_s", view.last_ts_s)
-        if frame.get("kind") == "heartbeat_missed":
+        kind = frame.get("kind")
+        if kind == "heartbeat_missed":
             view.missed += 1
             self.live.inc("pool.heartbeat.missed")
+            return
+        if kind == "heartbeat_recovered":
+            view.missed = 0
+            self.live.inc("pool.heartbeat.recovered")
+            return
+        if kind == "worker_respawned":
+            # New process in the same slot: reset the view's liveness
+            # state; progress counters (done/total) survive the respawn.
+            view.missed = 0
+            view.task = None
+            view.label = ""
+            self.live.inc("pool.worker.respawned")
+            return
+        if kind == "task_retried":
+            self.live.inc("pool.task.retried")
+            return
+        if kind == "task_quarantined":
+            self.live.inc("pool.task.quarantined")
             return
         view.missed = 0
         if "task" in frame:
@@ -284,3 +311,19 @@ class StreamAggregator:
     def heartbeat_missed(self) -> int:
         counter = self.live.get("pool.heartbeat.missed")
         return counter.value if counter is not None else 0
+
+    def _count(self, name: str) -> int:
+        counter = self.live.get(name)
+        return counter.value if counter is not None else 0
+
+    @property
+    def respawned(self) -> int:
+        return self._count("pool.worker.respawned")
+
+    @property
+    def retried(self) -> int:
+        return self._count("pool.task.retried")
+
+    @property
+    def quarantined(self) -> int:
+        return self._count("pool.task.quarantined")

@@ -5,6 +5,11 @@ Spawn-safe building blocks for running planner work across processes:
 * :class:`WorkerPool` — persistent spawn-started workers with
   deterministic task→worker sharding and loud failures
   (:class:`TaskFailed`, :class:`WorkerCrashed`).
+* :class:`Supervisor` (:mod:`repro.parallel.supervisor`) — the
+  self-healing layer on the same workers: death detection, respawn,
+  retry with a budget, poison quarantine
+  (:class:`TaskQuarantined`), and in-process fallback, reported via
+  :class:`SupervisionReport` (docs/ROBUSTNESS.md).
 * Envelopes (:mod:`repro.parallel.envelope`) — the pickleable contract
   between parent and workers; :func:`check_picklable` names the exact
   offending field when something unpicklable sneaks in.
@@ -41,6 +46,13 @@ from .fingerprint import (
 )
 from .pool import START_METHOD, TaskFailed, WorkerCrashed, WorkerPool, resolve_workers
 from .race import RungJob, RungOutcome, race_rungs
+from .supervisor import (
+    SupervisionReport,
+    SupervisionStats,
+    Supervisor,
+    SupervisorConfig,
+    TaskQuarantined,
+)
 from .workers import (
     CampaignResult,
     CampaignTask,
@@ -59,6 +71,11 @@ __all__ = [
     "WorkerCrashed",
     "TaskFailed",
     "resolve_workers",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisionReport",
+    "SupervisionStats",
+    "TaskQuarantined",
     "CompileCache",
     "default_compile_cache",
     "EnvelopeError",

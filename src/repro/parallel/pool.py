@@ -26,6 +26,8 @@ module-level importables and payloads must survive pickling
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
 import time
 import traceback
 from multiprocessing import connection as mp_connection
@@ -44,15 +46,36 @@ class WorkerCrashed(RuntimeError):
 
 
 class TaskFailed(RuntimeError):
-    """A task raised in a worker; carries the remote traceback text."""
+    """One or more tasks raised in workers; carries remote tracebacks.
 
-    def __init__(self, index: int, message: str, remote_traceback: str):
-        super().__init__(
+    ``index``/``remote_traceback`` describe the lowest failing task (the
+    deterministic primary); ``failures`` maps *every* failed task index
+    to its ``(message, remote_traceback)`` pair so multi-failure runs are
+    debuggable in one pass, and ``indices`` lists them sorted.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        message: str,
+        remote_traceback: str,
+        failures: dict[int, tuple[str, str]] | None = None,
+    ):
+        self.index = index
+        self.remote_traceback = remote_traceback
+        self.failures = dict(failures) if failures else {index: (message, remote_traceback)}
+        self.indices = sorted(self.failures)
+        text = (
             f"task {index} failed in worker: {message}\n"
             f"--- remote traceback ---\n{remote_traceback}"
         )
-        self.index = index
-        self.remote_traceback = remote_traceback
+        others = [i for i in self.indices if i != index]
+        if others:
+            text += f"\n({len(self.indices)} tasks failed in total: {self.indices})"
+            for i in others:
+                other_message, _tb = self.failures[i]
+                text += f"\ntask {i} failed in worker: {other_message}"
+        super().__init__(text)
 
 
 def resolve_workers(workers: int | None, tasks: int) -> int:
@@ -62,19 +85,58 @@ def resolve_workers(workers: int | None, tasks: int) -> int:
     return max(1, min(workers, tasks))
 
 
+def _synth_frame(kind: str, pid: int, **extra) -> dict:
+    """A coordinator-side frame (stall/recovery/respawn bookkeeping)."""
+    frame = {
+        "kind": kind,
+        "pid": pid,
+        "seq": 0,
+        "ts_s": time.time(),
+        "task": None,
+        "label": "",
+        "done": 0,
+        "total": 0,
+    }
+    frame.update(extra)
+    return frame
+
+
+def _run_one(fn, payload) -> tuple[bool, object, str | None]:
+    """Run one task; never raises — failures come back as data."""
+    try:
+        return True, fn(payload), None
+    except BaseException as exc:  # noqa: BLE001 - report, don't die
+        return False, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+
+
 def _worker_main(conn) -> None:
     """Worker loop: receive (fn, shard, interval), run, reply; repeat.
 
+    Two dispatch forms:
+
+    * ``("run", fn, shard, interval)`` — the classic batch contract: one
+      final ``("done", results)`` message carries the whole shard.
+    * ``("run_each", fn, shard, interval, kill_before)`` — the supervised
+      contract (:class:`~repro.parallel.Supervisor`): each task's result
+      is sent eagerly as ``("result", (index, ok, value, remote_tb))``,
+      so the coordinator knows exactly which tasks completed if this
+      process dies mid-shard; an empty ``("done", [])`` marks the shard's
+      end.  ``kill_before`` is the fault-injection hook: the worker
+      SIGKILLs *itself* immediately before running any task listed there
+      (tests and the supervision-smoke CI job inject crashes this way).
+
     With a stream interval set, zero or more ``("frame", dict)`` messages
-    precede the final ``("done", results)`` — the heartbeat thread is
-    joined before the done send, so no frame ever trails the results.
+    precede the final ``("done", ...)`` — the heartbeat thread is joined
+    before the done send, so no frame ever trails the results.
     """
     try:
         while True:
             message = conn.recv()
             if message[0] == "stop":
                 break
-            _, fn, shard, interval_s = message
+            eager = message[0] == "run_each"
+            kill_before = frozenset(message[4]) if eager else frozenset()
+            _, fn, shard, interval_s = message[:4]
             sender = None
             if interval_s is not None:
                 from ..obs.stream import FrameSender
@@ -82,24 +144,34 @@ def _worker_main(conn) -> None:
                 sender = FrameSender(conn, interval_s, total=len(shard))
             results = []
             for index, payload in shard:
+                if index in kill_before:
+                    if sender is not None:
+                        sender.close()
+                    os.kill(os.getpid(), signal.SIGKILL)
                 if sender is not None:
                     sender.task_start(index, payload)
-                try:
-                    value = fn(payload)
-                    results.append((index, True, value, None))
-                    if sender is not None:
-                        sender.task_end(index, True, value)
-                except BaseException as exc:  # noqa: BLE001 - report, don't die
-                    results.append(
-                        (
-                            index,
-                            False,
-                            f"{type(exc).__name__}: {exc}",
-                            traceback.format_exc(),
+                ok, value, remote_tb = _run_one(fn, payload)
+                if sender is not None:
+                    sender.task_end(index, ok, value if ok else None)
+                if eager:
+                    try:
+                        conn.send(("result", (index, ok, value, remote_tb)))
+                    except (BrokenPipeError, EOFError, OSError):
+                        raise
+                    except Exception as exc:  # unpicklable result value
+                        conn.send(
+                            (
+                                "result",
+                                (
+                                    index,
+                                    False,
+                                    f"result not picklable: {type(exc).__name__}: {exc}",
+                                    traceback.format_exc(),
+                                ),
+                            )
                         )
-                    )
-                    if sender is not None:
-                        sender.task_end(index, False, None)
+                else:
+                    results.append((index, ok, value, remote_tb))
             if sender is not None:
                 sender.close()
             conn.send(("done", results))
@@ -202,30 +274,32 @@ class WorkerPool:
         pending = set(busy)
         by_conn = {self._conns[worker_id]: worker_id for worker_id in busy}
         last_seen = {worker_id: time.monotonic() for worker_id in busy}
+        stalled: set[int] = set()
         stall_after = (interval or 0.0) * STALL_INTERVALS
         while pending:
             conns = [self._conns[worker_id] for worker_id in sorted(pending)]
+            # Wake at heartbeat granularity when streaming, so one silent
+            # worker is flagged on time even while its siblings chatter.
             ready = mp_connection.wait(
-                conns, timeout=stall_after if interval is not None else None
+                conns, timeout=interval if interval is not None else None
             )
-            if not ready:
+            if interval is not None:
                 now = time.monotonic()
                 for worker_id in sorted(pending):
-                    if now - last_seen[worker_id] >= stall_after:
+                    if (
+                        self._conns[worker_id] not in (ready or ())
+                        and now - last_seen[worker_id] >= stall_after
+                    ):
+                        # One synthesized frame per further silent period.
                         last_seen[worker_id] = now
+                        stalled.add(worker_id)
                         on_frame(
                             worker_id,
-                            {
-                                "kind": "heartbeat_missed",
-                                "pid": self._procs[worker_id].pid or 0,
-                                "seq": 0,
-                                "ts_s": time.time(),
-                                "task": None,
-                                "label": "",
-                                "done": 0,
-                                "total": 0,
-                            },
+                            _synth_frame(
+                                "heartbeat_missed", self._procs[worker_id].pid or 0
+                            ),
                         )
+            if not ready:
                 continue
             for conn in ready:
                 worker_id = by_conn[conn]
@@ -238,6 +312,18 @@ class WorkerPool:
                         f"({type(exc).__name__}); its results are lost"
                     ) from exc
                 last_seen[worker_id] = time.monotonic()
+                if worker_id in stalled:
+                    # The worker resumed (e.g. SIGCONT): synthesize an
+                    # explicit recovery frame so live views clear the
+                    # STALLED row instead of sticking stale.
+                    stalled.discard(worker_id)
+                    if on_frame is not None:
+                        on_frame(
+                            worker_id,
+                            _synth_frame(
+                                "heartbeat_recovered", self._procs[worker_id].pid or 0
+                            ),
+                        )
                 tag = message[0]
                 if tag == "frame":
                     if on_frame is not None:
@@ -253,7 +339,7 @@ class WorkerPool:
         if failures:
             first = min(failures)
             message, remote_tb = failures[first]
-            raise TaskFailed(first, message, remote_tb)
+            raise TaskFailed(first, message, remote_tb, failures=failures)
         return [results[i] for i in range(len(payloads))]
 
     def close(self) -> None:

@@ -20,7 +20,10 @@ than the sequential walk — the outcome records which).
 Failures keep ladder semantics: :class:`~repro.planner.Unsolvable` and
 :class:`~repro.planner.ResourceInfeasible` from any rung abort the whole
 race (no rung below can fix either), and rungs still running when the
-winner is accepted are terminated and recorded as ``cancelled``.
+winner is accepted are terminated and recorded as ``cancelled``.  A rung
+whose process dies *silently* (OOM kill, stray signal) is relaunched
+once with the remaining budget before being recorded as ``crashed`` —
+the racing mode's slice of the supervision story (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -126,6 +129,8 @@ def race_rungs(
     outcomes: dict[str, RungOutcome] = {}
     procs: dict[str, mp.process.BaseProcess] = {}
     pending = list(jobs)
+    jobs_by_rung = {job.rung: job for job in jobs}
+    relaunched: set[str] = set()
     deadline = (
         time.monotonic() + time_limit_s + _GRACE_S if time_limit_s is not None else None
     )
@@ -196,13 +201,23 @@ def race_rungs(
         for rung in crashed:
             proc = procs.pop(rung)
             proc.join()
-            if not resolved(rung):
-                outcomes[rung] = RungOutcome(
-                    rung=rung,
-                    status="crashed",
-                    error_type="WorkerCrashed",
-                    detail=f"rung process exited with code {proc.exitcode}",
-                )
+            if resolved(rung):
+                continue
+            if rung not in relaunched:
+                # One supervised relaunch per rung: a transient death
+                # (OOM kill, stray signal) should not forfeit the race.
+                relaunched.add(rung)
+                pending.insert(0, jobs_by_rung[rung])
+                continue
+            outcomes[rung] = RungOutcome(
+                rung=rung,
+                status="crashed",
+                error_type="WorkerCrashed",
+                detail=(
+                    f"rung process exited with code {proc.exitcode} "
+                    "(crashed again after one relaunch)"
+                ),
+            )
         if crashed:
             launch_available()
             continue

@@ -189,8 +189,9 @@ class RepairOutcome:
     app: str
     outcome: str
     """``"repaired"`` (prefix kept, delta planned), ``"redeployed"``
-    (from-scratch solve), or ``"outage"`` (planning failed or replanning
-    disabled)."""
+    (from-scratch solve), ``"outage"`` (planning failed or replanning
+    disabled), or ``"quarantined"`` (the repair task repeatedly killed
+    its worker and the supervisor pulled it from circulation)."""
     deployment_names: tuple[str, ...] = ()
     survived: int = 0
     repaired: int = 0
@@ -203,7 +204,7 @@ class RepairOutcome:
 
     @property
     def failed(self) -> bool:
-        return self.outcome == "outage"
+        return self.outcome in ("outage", "quarantined")
 
 
 def run_repair_task(task: RepairTask) -> RepairOutcome:

@@ -12,6 +12,12 @@ from .events import (
     event_to_dict,
 )
 from .campaign import campaign_timeline, run_campaign, run_campaign_run
+from .checkpoint import (
+    JournalMismatch,
+    RunJournal,
+    campaign_fingerprint,
+    controller_fingerprint,
+)
 from .controller import repair_member, replicate_apps, run_controller
 from .faults import FaultInjector, FaultModel, RetryPolicy, TransientFault, generate_timeline
 from .runner import Simulation, SimulationResult, SimulationStep
@@ -37,6 +43,10 @@ __all__ = [
     "campaign_timeline",
     "run_campaign",
     "run_campaign_run",
+    "RunJournal",
+    "JournalMismatch",
+    "campaign_fingerprint",
+    "controller_fingerprint",
     "replicate_apps",
     "repair_member",
     "run_controller",

@@ -135,27 +135,61 @@ def run_campaign(
     workers: int = 1,
     on_frame=None,
     stream_interval_s: float | None = None,
+    journal=None,
+    inject_kill=(),
 ) -> dict:
     """Run a campaign once per seed; return one deterministic document.
 
     ``seeds=None`` runs once with the spec's own seed.  With
-    ``workers > 1`` the runs fan out over a spawn-started pool, one run
-    per task; records come back keyed and ordered by their position in
-    ``seeds`` regardless of completion order, and worker metrics are
-    merged into ``telemetry`` in task order — so the returned document
-    is byte-identical at any worker count for fixed seeds.  Worker spans
-    stitch under the coordinator's ``campaign.fanout`` dispatch span.
-    ``on_frame`` attaches the live telemetry stream (``--live``); frames
-    are display-only and never touch the returned document.
+    ``workers > 1`` the runs fan out under a
+    :class:`~repro.parallel.Supervisor`, one run per task: a worker that
+    dies mid-run is respawned and its tasks retried, poison tasks are
+    quarantined as structured run entries (``"quarantined"`` key) rather
+    than aborting the sweep, and only genuine task exceptions raise
+    :class:`~repro.parallel.TaskFailed` (carrying *every* failed index).
+    Records come back keyed and ordered by their position in ``seeds``
+    regardless of completion order, and worker metrics are merged into
+    ``telemetry`` in task order — so the returned document is
+    byte-identical at any worker count for fixed seeds, worker deaths
+    included.  Worker spans stitch under the coordinator's
+    ``campaign.fanout`` dispatch span.  ``on_frame`` attaches the live
+    telemetry stream (``--live``); frames are display-only and never
+    touch the returned document.
+
+    ``journal`` (a :class:`~repro.simulate.RunJournal`) checkpoints each
+    completed run as it lands (key ``run-{i}``) and skips runs already
+    journaled — the crash-safe ``--checkpoint``/``--resume`` path.
+    ``inject_kill`` lists task indices whose worker SIGKILLs itself
+    before running them, once each (fault injection for tests/CI).
     """
     run_seeds: list[int | None] = list(seeds) if seeds else [None]
+    total = len(run_seeds)
+    entries: list[dict | None] = [None] * total
+    pending: list[int] = []
+    for index in range(total):
+        key = f"run-{index}"
+        if journal is not None and key in journal:
+            entries[index] = journal.get(key)
+        else:
+            pending.append(index)
 
-    if workers > 1 and len(run_seeds) > 1:
+    def settle(index: int, entry: dict) -> None:
+        entries[index] = entry
+        if journal is not None:
+            journal.append(f"run-{index}", entry)
+
+    if workers > 1 and len(pending) > 1:
         from contextlib import nullcontext
 
-        from ..parallel import CampaignTask, WorkerPool, resolve_workers, run_campaign_task
+        from ..parallel import (
+            CampaignTask,
+            Supervisor,
+            TaskFailed,
+            resolve_workers,
+            run_campaign_task,
+        )
 
-        pool_size = resolve_workers(workers, len(run_seeds))
+        pool_size = resolve_workers(workers, len(pending))
         dispatch = (
             telemetry.span("campaign.fanout", workers=pool_size)
             if telemetry is not None
@@ -169,7 +203,7 @@ def run_campaign(
                     network=network,
                     leveling=leveling,
                     spec=spec,
-                    seed=s,
+                    seed=run_seeds[i],
                     events=events,
                     time_limit_s=time_limit_s,
                     include_timings=include_timings,
@@ -177,27 +211,51 @@ def run_campaign(
                     use_cache=compile_cache is not None,
                     trace=ctx,
                 )
-                for s in run_seeds
+                for i in pending
             ]
-            with WorkerPool(pool_size) as pool:
-                results = pool.map(
+
+            def on_result(local_index: int, res) -> None:
+                settle(
+                    pending[local_index],
+                    {
+                        "seed": res.seed,
+                        "record": res.record,
+                        "description": res.description,
+                    },
+                )
+
+            with Supervisor(pool_size, telemetry=telemetry) as sup:
+                report = sup.run(
                     run_campaign_task, tasks,
                     on_frame=on_frame, stream_interval_s=stream_interval_s,
+                    on_result=on_result, inject_kill=inject_kill,
                 )
+        if report.failures:
+            first = min(report.failures)
+            message, remote_tb = report.failures[first]
+            raise TaskFailed(first, message, remote_tb, failures=report.failures)
+        for q in report.quarantined:
+            index = pending[q.index]
+            settle(
+                index,
+                {
+                    "seed": run_seeds[index],
+                    "record": None,
+                    "description": f"quarantined: {q.reason}",
+                    "quarantined": q.to_dict(),
+                },
+            )
         if telemetry is not None:
-            for index, res in enumerate(results):
-                telemetry.stitch_snapshot(res.metrics, worker=index % pool_size)
+            for local_index, res in enumerate(report.values):
+                if res is None or res.metrics is None:
+                    continue
+                telemetry.stitch_snapshot(res.metrics, worker=local_index % pool_size)
                 res.metrics.merge_into(telemetry.metrics)
-        runs = [
-            {"seed": res.seed, "record": res.record, "description": res.description}
-            for res in results
-        ]
     else:
         from ..obs import make_frame
 
-        runs = []
-        total = len(run_seeds)
-        for index, s in enumerate(run_seeds):
+        for index in pending:
+            s = run_seeds[index]
             if on_frame is not None:
                 label = f"seed={s}" if s is not None else "seed=spec"
                 on_frame(
@@ -218,12 +276,13 @@ def run_campaign(
                 telemetry=telemetry,
                 compile_cache=compile_cache,
             )
-            runs.append(
+            settle(
+                index,
                 {
                     "seed": s,
                     "record": result.to_dict(include_timings=include_timings),
                     "description": result.describe(),
-                }
+                },
             )
             if on_frame is not None:
                 on_frame(
@@ -233,4 +292,4 @@ def run_campaign(
                         done=index + 1, total=total, ok=True,
                     ),
                 )
-    return {"format": 1, "runs": runs}
+    return {"format": 1, "runs": entries}

@@ -1,0 +1,258 @@
+"""Crash-safe run journaling (docs/ROBUSTNESS.md, "Checkpoint/resume").
+
+Long campaigns and controller runs are exactly the workloads a machine
+reboot, OOM kill, or ctrl-C interrupts.  A :class:`RunJournal` makes
+them resumable: as each unit of work completes (one campaign run, one
+controller step), its result is appended to a JSONL file — flushed and
+fsynced per entry, so a crash loses at most the entry being written —
+and ``--resume`` replays the journal to skip finished units.
+
+The journal is **fingerprint-keyed**: its header records a digest of
+everything that determines the run's output (app, network, leveling,
+spec, seeds, flags).  Resuming against a journal whose fingerprint does
+not match the current invocation raises :class:`JournalMismatch` — a
+checkpoint must never silently graft one problem's results onto
+another's.
+
+Determinism contract: journal entries hold the exact JSON payloads the
+run document assembles (records exclude timings unless the run itself
+included them), and the document is assembled in task order regardless
+of which entries were replayed vs freshly computed — so an
+interrupted-then-resumed run serializes **byte-identically** to an
+uninterrupted one (``tests/test_checkpoint.py`` and the
+``supervision-smoke`` CI job diff exactly that).
+
+File format (one JSON object per line)::
+
+    {"kind": "header", "format": 1, "fingerprint": "<hex>"}
+    {"kind": "entry", "key": "run-0", "payload": {...}}
+    {"kind": "entry", "key": "run-2", "payload": {...}}
+
+A torn final line (the crash happened mid-write) is tolerated on
+replay: that entry is dropped and its unit recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+from ..model import AppSpec, Leveling
+from ..network import Network
+
+__all__ = [
+    "JournalMismatch",
+    "RunJournal",
+    "campaign_fingerprint",
+    "controller_fingerprint",
+]
+
+JOURNAL_FORMAT = 1
+
+
+class JournalMismatch(ValueError):
+    """The checkpoint on disk belongs to a different run configuration."""
+
+
+def _run_fingerprint(kind: str, app: AppSpec, network: Network,
+                     leveling: Leveling | None, spec: dict, extra: dict) -> str:
+    from ..parallel import (
+        app_fingerprint,
+        digest,
+        leveling_fingerprint,
+        network_fingerprint,
+    )
+
+    return digest(
+        {
+            "kind": kind,
+            "app": app_fingerprint(app),
+            "network": network_fingerprint(network),
+            "leveling": leveling_fingerprint(leveling),
+            "spec": spec,
+            **extra,
+        }
+    )
+
+
+def campaign_fingerprint(
+    app: AppSpec,
+    network: Network,
+    leveling: Leveling | None,
+    spec: dict,
+    seeds: list[int] | None,
+    events: int | None,
+    time_limit_s: float | None,
+    include_timings: bool,
+) -> str:
+    """Digest of everything that determines a campaign's output document."""
+    return _run_fingerprint(
+        "campaign",
+        app,
+        network,
+        leveling,
+        spec,
+        {
+            "seeds": list(seeds) if seeds else None,
+            "events": events,
+            "time_limit_s": time_limit_s,
+            "include_timings": include_timings,
+        },
+    )
+
+
+def controller_fingerprint(
+    app: AppSpec,
+    network: Network,
+    leveling: Leveling | None,
+    spec: dict,
+    fleet: int | None,
+    seed: int | None,
+    events: int | None,
+    time_limit_s: float | None,
+    include_timings: bool,
+) -> str:
+    """Digest of everything that determines a controller run's record."""
+    return _run_fingerprint(
+        "controller",
+        app,
+        network,
+        leveling,
+        spec,
+        {
+            "fleet": fleet,
+            "seed": seed,
+            "events": events,
+            "time_limit_s": time_limit_s,
+            "include_timings": include_timings,
+        },
+    )
+
+
+def _replay(path: str, fingerprint: str) -> tuple[dict[str, object], int]:
+    """Read a journal's completed entries, validating its header.
+
+    Returns ``(completed, valid_bytes)`` where ``valid_bytes`` is the
+    byte extent of intact content — everything past it (a torn final
+    line from a mid-append crash) must be truncated before reopening
+    the file for append, or the next entry would be welded onto the
+    torn fragment and lost too.
+    """
+    completed: dict[str, object] = {}
+    with open(path, "rb") as fh:
+        data = fh.read()
+    lines = data.decode("utf-8").split("\n")
+    header_seen = False
+    offset = 0  # byte offset of the current line's start
+    valid_bytes = 0
+    for lineno, line in enumerate(lines):
+        line_len = len(line.encode("utf-8"))
+        end = min(offset + line_len + 1, len(data))  # +1 for the newline
+        if not line.strip():
+            offset, valid_bytes = end, end
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno >= len(lines) - 2:
+                # Torn final line: the crash happened mid-append.  Drop
+                # it — that unit simply recomputes.
+                break
+            raise JournalMismatch(
+                f"{path}:{lineno + 1}: corrupt journal line (not valid JSON)"
+            ) from None
+        if not header_seen:
+            if obj.get("kind") != "header":
+                raise JournalMismatch(f"{path}: first line is not a journal header")
+            if obj.get("fingerprint") != fingerprint:
+                raise JournalMismatch(
+                    f"{path}: checkpoint fingerprint {obj.get('fingerprint')!r} "
+                    f"does not match this invocation ({fingerprint!r}); "
+                    "refusing to graft results across configurations"
+                )
+            header_seen = True
+            offset, valid_bytes = end, end
+            continue
+        if obj.get("kind") == "entry":
+            completed[obj["key"]] = obj["payload"]
+        offset, valid_bytes = end, end
+    if not header_seen:
+        raise JournalMismatch(f"{path}: journal has no header")
+    return completed, valid_bytes
+
+
+class RunJournal:
+    """An append-only, fingerprint-keyed JSONL checkpoint.
+
+    ``resume=False`` starts a fresh journal (truncating any existing
+    file).  ``resume=True`` replays an existing journal's entries into
+    :attr:`completed` — validating the fingerprint — and reopens it for
+    appending; a missing file resumes from nothing.
+
+    Use as a context manager, or :meth:`close` explicitly.  Appends are
+    flushed and fsynced immediately: a crash loses at most the entry
+    being written, and replay tolerates exactly that torn final line.
+    """
+
+    def __init__(self, path: str, fingerprint: str, resume: bool = False):
+        self.path = str(path)
+        self.fingerprint = fingerprint
+        self.completed: dict[str, object] = {}
+        if resume and os.path.exists(self.path):
+            self.completed, valid_bytes = _replay(self.path, fingerprint)
+            if valid_bytes < os.path.getsize(self.path):
+                # Cut the torn final line, or the next append would weld
+                # a fresh entry onto the fragment and corrupt it too.
+                os.truncate(self.path, valid_bytes)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write(
+                {
+                    "kind": "header",
+                    "format": JOURNAL_FORMAT,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    def _write(self, obj: dict) -> None:
+        # No sort_keys: payload dicts must round-trip with their key
+        # order intact, or a resumed run's records would serialize with
+        # different key order than a fresh run's (byte-identity broken).
+        self._fh.write(json.dumps(obj) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # -- the journal surface -------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def get(self, key: str):
+        return self.completed.get(key)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self.completed)
+
+    def append(self, key: str, payload) -> None:
+        """Record one completed unit (idempotent per key)."""
+        if self._fh.closed:
+            raise RuntimeError("journal is closed")
+        if key in self.completed:
+            return
+        self._write({"kind": "entry", "key": key, "payload": payload})
+        self.completed[key] = payload
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -168,6 +168,8 @@ def run_controller(
     workers: int = 1,
     on_frame=None,
     stream_interval_s: float | None = None,
+    journal=None,
+    inject_kill=(),
 ) -> dict:
     """Replay a fault timeline against a fleet; return one record.
 
@@ -189,8 +191,27 @@ def run_controller(
     ``controller.batch`` dispatch span and worker repair spans stitch
     under it; ``on_frame`` attaches the live telemetry stream
     (``--live``) in both the inline and fanned-out paths.
+
+    Fanned-out batches run under a :class:`~repro.parallel.Supervisor`:
+    a worker death respawns the worker and retries its repairs, and a
+    repair that repeatedly kills workers lands as a structured
+    ``"quarantined"`` outcome (counted as an outage) instead of aborting
+    the run.  ``journal`` (a :class:`~repro.simulate.RunJournal`)
+    checkpoints the initial deploy and each completed step (keys
+    ``initial``, ``step-{i}``), and already-journaled steps are replayed
+    instead of recomputed — the ``--checkpoint``/``--resume`` path.
+    ``inject_kill`` lists batch-task indices whose worker SIGKILLs
+    itself before running them, once, in the *first non-replayed batch*
+    (fault injection for tests/CI).
     """
-    from ..parallel import RepairTask, WorkerPool, resolve_workers, run_repair_task
+    from ..parallel import (
+        RepairOutcome,
+        RepairTask,
+        Supervisor,
+        TaskFailed,
+        resolve_workers,
+        run_repair_task,
+    )
 
     if compile_cache is _DEFAULT_CACHE:
         from ..parallel import default_compile_cache
@@ -224,6 +245,28 @@ def run_controller(
     delta_hits = 0
     delta_full = 0
     ttr_ms: list[float] = []
+    inject_pending = set(inject_kill)
+
+    def supervised_batch(tasks: list, pool) -> list:
+        kills = sorted(inject_pending)
+        inject_pending.clear()
+        report = pool.run(
+            run_repair_task, tasks,
+            on_frame=on_frame, stream_interval_s=stream_interval_s,
+            inject_kill=kills,
+        )
+        if report.failures:
+            first = min(report.failures)
+            message, remote_tb = report.failures[first]
+            raise TaskFailed(first, message, remote_tb, failures=report.failures)
+        outcomes = list(report.values)
+        for q in report.quarantined:
+            outcomes[q.index] = RepairOutcome(
+                app=tasks[q.index].app.name,
+                outcome="quarantined",
+                failure=f"quarantined: {q.reason}",
+            )
+        return outcomes
 
     def run_batch(tasks: list, pool) -> list:
         if pool is not None:
@@ -231,18 +274,12 @@ def run_controller(
                 with telemetry.span("controller.batch", members=len(tasks)):
                     ctx = telemetry.current_context()
                     tasks = [replace(t, trace=ctx) for t in tasks]
-                    outcomes = pool.map(
-                        run_repair_task, tasks,
-                        on_frame=on_frame, stream_interval_s=stream_interval_s,
-                    )
+                    outcomes = supervised_batch(tasks, pool)
                 for i, o in enumerate(outcomes):
                     telemetry.stitch_snapshot(o.metrics, worker=i % pool.workers)
                     o.metrics.merge_into(telemetry.metrics)
             else:
-                outcomes = pool.map(
-                    run_repair_task, tasks,
-                    on_frame=on_frame, stream_interval_s=stream_interval_s,
-                )
+                outcomes = supervised_batch(tasks, pool)
         else:
             from ..obs import make_frame
 
@@ -269,33 +306,68 @@ def run_controller(
         return outcomes
 
     t_run = time.perf_counter()
-    pool_cm = (
-        WorkerPool(resolve_workers(workers, fleet_size)) if workers > 1 else None
-    )
+    pool_cm = None
+
+    def ensure_pool():
+        # Created lazily: a fully-journaled resume never spawns workers.
+        nonlocal pool_cm
+        if workers > 1 and pool_cm is None:
+            pool_cm = Supervisor(
+                resolve_workers(workers, fleet_size), telemetry=telemetry
+            )
+        return pool_cm
+
+    def freeze_deployments(deployments: dict) -> dict:
+        return {
+            name: (list(names) if names is not None else None)
+            for name, names in deployments.items()
+        }
+
+    def thaw_deployments(payload: dict) -> dict:
+        return {
+            name: (tuple(names) if names is not None else None)
+            for name, names in payload.items()
+        }
+
     try:
         # Initial deploys: every member solved from scratch on the
         # starting network (these also warm each worker's cache with the
         # member's first network state).
-        initial_outcomes = run_batch(
-            [member_task(m, None, network) for m in members], pool_cm
-        )
-        deployments: dict[str, tuple[str, ...] | None] = {
-            o.app: (o.deployment_names if not o.failed else None)
-            for o in initial_outcomes
-        }
-        initial_records = [
-            (
-                {
-                    "app": o.app,
-                    "deployed": not o.failed,
-                    "actions": len(o.deployment_names),
-                    "cost": o.total_cost,
-                }
-                if not o.failed
-                else {"app": o.app, "deployed": False, "failure": o.failure}
+        if journal is not None and "initial" in journal:
+            payload = journal.get("initial")
+            initial_records = payload["records"]
+            deployments: dict[str, tuple[str, ...] | None] = thaw_deployments(
+                payload["deployments"]
             )
-            for o in initial_outcomes
-        ]
+        else:
+            initial_outcomes = run_batch(
+                [member_task(m, None, network) for m in members], ensure_pool()
+            )
+            deployments = {
+                o.app: (o.deployment_names if not o.failed else None)
+                for o in initial_outcomes
+            }
+            initial_records = [
+                (
+                    {
+                        "app": o.app,
+                        "deployed": not o.failed,
+                        "actions": len(o.deployment_names),
+                        "cost": o.total_cost,
+                    }
+                    if not o.failed
+                    else {"app": o.app, "deployed": False, "failure": o.failure}
+                )
+                for o in initial_outcomes
+            ]
+            if journal is not None:
+                journal.append(
+                    "initial",
+                    {
+                        "records": initial_records,
+                        "deployments": freeze_deployments(deployments),
+                    },
+                )
 
         steps = []
         repairs_total = 0
@@ -305,14 +377,37 @@ def run_controller(
         current = network
         for index, event in enumerate(timeline):
             current = apply_event(current, event)
+            key = f"step-{index}"
+            if journal is not None and key in journal:
+                # Replay a journaled step: restore the record verbatim
+                # and the counters/state the later steps build on.
+                payload = journal.get(key)
+                step = payload["step"]
+                deployments = thaw_deployments(payload["deployments"])
+                delta_hits += int(payload["delta_hits"])
+                delta_full += int(payload["delta_full"])
+                for record in step["repairs"]:
+                    repairs_total += 1
+                    if record["failed"]:
+                        outages += 1
+                    else:
+                        total_repair_cost += record["repair_cost"]
+                        if "ttr_ms" in record:
+                            ttr_ms.append(record["ttr_ms"])
+                        if record["outcome"] == "redeployed":
+                            redeployments += 1
+                steps.append(step)
+                continue
             outcomes = run_batch(
                 [
                     member_task(m, deployments[m.name], current)
                     for m in members
                 ],
-                pool_cm,
+                ensure_pool(),
             )
             repair_records = []
+            step_hits = 0
+            step_full = 0
             for outcome in outcomes:
                 deployments[outcome.app] = (
                     outcome.deployment_names if not outcome.failed else None
@@ -326,9 +421,9 @@ def run_controller(
                     if outcome.outcome == "redeployed":
                         redeployments += 1
                 if outcome.compile_source in ("cache", "delta"):
-                    delta_hits += 1
+                    step_hits += 1
                 else:
-                    delta_full += 1
+                    step_full += 1
                 if telemetry is not None:
                     telemetry.metrics.observe("repair.ttr", outcome.wall_ms)
                     if outcome.compile_source in ("cache", "delta"):
@@ -348,13 +443,24 @@ def run_controller(
                 if include_timings:
                     record["ttr_ms"] = outcome.wall_ms
                 repair_records.append(record)
-            steps.append(
-                {
-                    "index": index,
-                    "event": event_to_dict(event),
-                    "repairs": repair_records,
-                }
-            )
+            delta_hits += step_hits
+            delta_full += step_full
+            step = {
+                "index": index,
+                "event": event_to_dict(event),
+                "repairs": repair_records,
+            }
+            steps.append(step)
+            if journal is not None:
+                journal.append(
+                    key,
+                    {
+                        "step": step,
+                        "deployments": freeze_deployments(deployments),
+                        "delta_hits": step_hits,
+                        "delta_full": step_full,
+                    },
+                )
     finally:
         if pool_cm is not None:
             pool_cm.close()

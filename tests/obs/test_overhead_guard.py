@@ -128,10 +128,10 @@ class TestStreamingAndContextStayOff:
 
     def test_harness_without_telemetry_sends_no_trace_context(self, monkeypatch):
         from repro.experiments import harness
-        from repro.parallel import WorkerPool
+        from repro.parallel import Supervisor
 
         seen = {}
-        original = WorkerPool.map
+        original = Supervisor.map
 
         def spy(self, fn, payloads, on_frame=None, stream_interval_s=None):
             seen["tasks"] = list(payloads)
@@ -140,7 +140,7 @@ class TestStreamingAndContextStayOff:
             return original(self, fn, seen["tasks"], on_frame=on_frame,
                             stream_interval_s=stream_interval_s)
 
-        monkeypatch.setattr(WorkerPool, "map", spy)
+        monkeypatch.setattr(Supervisor, "map", spy)
         harness.run_table2(("Tiny",), ("B",), workers=2)
         assert all(t.trace is None and not t.profile for t in seen["tasks"])
         assert seen["on_frame"] is None and seen["stream_interval_s"] is None

@@ -137,6 +137,46 @@ class TestStreamAggregator:
         assert agg.workers[1].missed == 0  # any real frame clears strikes
         assert agg.heartbeat_missed == 2  # the counter remembers
 
+    def test_heartbeat_recovered_clears_stall_and_counts(self):
+        agg = StreamAggregator()
+        missed = {"kind": "heartbeat_missed", "pid": 9, "seq": 0, "ts_s": 0.0,
+                  "task": None, "label": "", "done": 0, "total": 0}
+        agg.on_frame(1, missed)
+        agg.on_frame(1, missed)
+        assert agg.workers[1].missed == 2
+        recovered = dict(missed, kind="heartbeat_recovered")
+        agg.on_frame(1, recovered)
+        assert agg.workers[1].missed == 0
+        assert agg.live.get("pool.heartbeat.recovered").value == 1
+        assert agg.heartbeat_missed == 2  # history survives recovery
+
+    def test_worker_respawned_resets_liveness_keeps_progress(self):
+        agg = StreamAggregator()
+        agg.on_frame(0, make_frame("task_start", task=3, label="seed=47",
+                                   done=1, total=4))
+        missed = {"kind": "heartbeat_missed", "pid": 9, "seq": 0, "ts_s": 0.0,
+                  "task": None, "label": "", "done": 0, "total": 0}
+        agg.on_frame(0, missed)
+        respawned = dict(missed, kind="worker_respawned")
+        agg.on_frame(0, respawned)
+        view = agg.workers[0]
+        assert view.missed == 0 and view.task is None and view.label == ""
+        assert view.done == 1 and view.total == 4  # progress survives
+        assert agg.respawned == 1
+
+    def test_retry_and_quarantine_frames_count_without_progress_noise(self):
+        agg = StreamAggregator()
+        agg.on_frame(0, make_frame("task_start", task=0, label="seed=11",
+                                   done=0, total=2))
+        base = {"pid": 9, "seq": 0, "ts_s": 0.0, "task": 5, "label": "seed=99",
+                "done": 0, "total": 0}
+        agg.on_frame(0, dict(base, kind="task_retried"))
+        agg.on_frame(0, dict(base, kind="task_quarantined"))
+        assert agg.retried == 1 and agg.quarantined == 1
+        # Supervision frames are bookkeeping, not progress: the worker's
+        # current-task view is untouched.
+        assert agg.workers[0].label == "seed=11"
+
     def test_live_registry_is_display_only(self):
         # The aggregator owns its registry — folding frames must never
         # reach into the run's own telemetry (that merge is task-ordered).
@@ -172,3 +212,26 @@ class TestLiveMonitor:
         assert lines[0].startswith("live:")
         assert any("w0" in line and "Tiny/B" in line for line in lines)
         assert any("w1" in line and "STALLED" in line for line in lines)
+
+    def test_headline_reports_supervision_events(self):
+        monitor = LiveMonitor(out=io.StringIO())
+        base = {"pid": 9, "seq": 0, "ts_s": 0.0, "task": None, "label": "",
+                "done": 0, "total": 0}
+        monitor.aggregator.on_frame(0, dict(base, kind="worker_respawned"))
+        monitor.aggregator.on_frame(0, dict(base, kind="task_retried"))
+        monitor.aggregator.on_frame(0, dict(base, kind="task_quarantined"))
+        headline = monitor.headline()
+        assert "workers respawned 1" in headline
+        assert "tasks retried 1" in headline
+        assert "tasks quarantined 1" in headline
+
+    def test_stall_row_clears_after_recovery_frame(self):
+        monitor = LiveMonitor(out=io.StringIO())
+        base = {"pid": 9, "seq": 0, "ts_s": 0.0, "task": None, "label": "",
+                "done": 0, "total": 0}
+        monitor.aggregator.on_frame(1, dict(base, kind="heartbeat_missed"))
+        assert any("STALLED" in line for line in monitor.render().splitlines())
+        monitor.aggregator.on_frame(1, dict(base, kind="heartbeat_recovered"))
+        assert not any(
+            "STALLED" in line for line in monitor.render().splitlines()
+        )

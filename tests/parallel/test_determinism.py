@@ -15,6 +15,7 @@ from repro.domains import media
 from repro.experiments.harness import run_table2
 from repro.network import chain_network
 from repro.obs import Telemetry
+from repro.simulate import RunJournal, campaign_fingerprint
 from repro.simulate.campaign import run_campaign
 
 pytestmark = pytest.mark.slow  # spawns real worker processes
@@ -131,3 +132,91 @@ class TestCampaignDeterminism:
             app, net, lev, CAMPAIGN_SPEC, seeds=[5, 3, 9], workers=2
         )
         assert [r["seed"] for r in doc["runs"]] == [5, 3, 9]
+
+
+def campaign_problem():
+    net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+    app = media.build_app("n0", "n2")
+    lev = media.proportional_leveling((90, 100))
+    return app, net, lev
+
+
+class TestCrashRecoveryDeterminism:
+    """The supervision contract: worker deaths change nothing but wall clock.
+
+    A worker SIGKILLed mid-campaign (via the supervisor's fault-injection
+    hook) is respawned, its tasks retried, and the resulting document is
+    byte-identical to a crash-free serial run.
+    """
+
+    @staticmethod
+    def run(workers, telemetry=None, inject_kill=()):
+        app, net, lev = campaign_problem()
+        doc = run_campaign(
+            app, net, lev, CAMPAIGN_SPEC, seeds=[11, 23, 47], workers=workers,
+            telemetry=telemetry, inject_kill=inject_kill,
+        )
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    def test_sigkilled_worker_output_matches_crash_free_serial(self):
+        telemetry = Telemetry()
+        killed = self.run(4, telemetry=telemetry, inject_kill={1})
+        assert telemetry.metrics.counter("pool.worker.respawned").value >= 1
+        assert telemetry.metrics.counter("pool.task.retried").value >= 1
+        assert killed == self.run(1)
+
+    def test_two_kills_still_match_serial(self):
+        # Tasks 0 and 1 shard onto different workers, so both die.
+        telemetry = Telemetry()
+        killed = self.run(2, telemetry=telemetry, inject_kill={0, 1})
+        assert telemetry.metrics.counter("pool.worker.respawned").value >= 2
+        assert killed == self.run(1)
+
+
+class TestCheckpointResumeDeterminism:
+    """An interrupted, checkpointed campaign resumes byte-identically."""
+
+    SEEDS = [11, 23, 47]
+
+    def fingerprint(self):
+        app, net, lev = campaign_problem()
+        return campaign_fingerprint(
+            app, net, lev, CAMPAIGN_SPEC, self.SEEDS, None, None, False
+        )
+
+    def run(self, journal=None, workers=1):
+        app, net, lev = campaign_problem()
+        doc = run_campaign(
+            app, net, lev, CAMPAIGN_SPEC, seeds=self.SEEDS, workers=workers,
+            journal=journal,
+        )
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    def test_interrupted_run_resumes_byte_identically(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        fp = self.fingerprint()
+        with RunJournal(path, fp) as journal:
+            baseline = self.run(journal=journal)
+
+        # Interrupt: keep the header + the first completed entry, plus a
+        # torn final line (the crash happened mid-append).
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == 1 + len(self.SEEDS)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines[:2]) + "\n")
+            fh.write(lines[2][: len(lines[2]) // 2])
+
+        with RunJournal(path, fp, resume=True) as journal:
+            assert len(journal) == 1  # torn entry dropped, one replayed
+            resumed = self.run(journal=journal)
+        assert resumed == baseline
+
+    def test_resume_replays_without_recomputing(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        fp = self.fingerprint()
+        with RunJournal(path, fp) as journal:
+            baseline = self.run(journal=journal, workers=2)
+        with RunJournal(path, fp, resume=True) as journal:
+            assert len(journal) == len(self.SEEDS)
+            replayed = self.run(journal=journal, workers=2)
+        assert replayed == baseline

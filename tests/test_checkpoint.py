@@ -1,0 +1,164 @@
+"""RunJournal: the crash-safe, fingerprint-keyed JSONL checkpoint."""
+
+import json
+
+import pytest
+
+from repro.domains import media
+from repro.network import chain_network
+from repro.simulate import (
+    JournalMismatch,
+    RunJournal,
+    campaign_fingerprint,
+    controller_fingerprint,
+)
+
+FP = "a" * 16  # any fingerprint string works at the journal layer
+
+
+def read_lines(path):
+    return open(path, encoding="utf-8").read().splitlines()
+
+
+class TestJournalBasics:
+    def test_fresh_journal_writes_header_first(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path, FP):
+            pass
+        (line,) = read_lines(path)
+        header = json.loads(line)
+        assert header == {"kind": "header", "format": 1, "fingerprint": FP}
+
+    def test_append_and_replay_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        payload = {"zeta": 1, "alpha": [2.5, None], "nested": {"b": 1, "a": 2}}
+        with RunJournal(path, FP) as journal:
+            journal.append("run-0", payload)
+            journal.append("run-2", "plain string")
+        with RunJournal(path, FP, resume=True) as journal:
+            assert len(journal) == 2
+            assert "run-0" in journal and "run-2" in journal
+            assert "run-1" not in journal
+            assert journal.get("run-0") == payload
+            assert journal.get("run-2") == "plain string"
+            assert list(journal.keys()) == ["run-0", "run-2"]
+
+    def test_replay_preserves_payload_key_order(self, tmp_path):
+        # Byte-identity of resumed runs depends on this: payload dicts
+        # must round-trip with insertion order intact, not sorted.
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path, FP) as journal:
+            journal.append("k", {"zeta": 1, "alpha": 2})
+        with RunJournal(path, FP, resume=True) as journal:
+            assert list(journal.get("k")) == ["zeta", "alpha"]
+
+    def test_append_is_idempotent_per_key(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path, FP) as journal:
+            journal.append("k", {"v": 1})
+            journal.append("k", {"v": 999})  # ignored: k already settled
+        assert len(read_lines(path)) == 2  # header + one entry
+        with RunJournal(path, FP, resume=True) as journal:
+            assert journal.get("k") == {"v": 1}
+
+    def test_fresh_journal_truncates_existing_file(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path, FP) as journal:
+            journal.append("old", 1)
+        with RunJournal(path, FP) as journal:
+            assert len(journal) == 0
+        assert len(read_lines(path)) == 1  # just the new header
+
+    def test_resume_from_missing_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "missing.jsonl")
+        with RunJournal(path, FP, resume=True) as journal:
+            assert len(journal) == 0
+            journal.append("k", 1)
+        with RunJournal(path, FP, resume=True) as journal:
+            assert journal.get("k") == 1
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "j.jsonl"), FP)
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            journal.append("k", 1)
+
+
+class TestJournalSafety:
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path, FP) as journal:
+            journal.append("k", 1)
+        with pytest.raises(JournalMismatch, match="fingerprint"):
+            RunJournal(path, "b" * 16, resume=True)
+
+    def test_missing_header_refuses_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "entry", "key": "k", "payload": 1}) + "\n")
+        with pytest.raises(JournalMismatch, match="header"):
+            RunJournal(path, FP, resume=True)
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path, FP) as journal:
+            journal.append("run-0", {"v": 0})
+            journal.append("run-1", {"v": 1})
+        lines = read_lines(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines[:2]) + "\n")
+            fh.write(lines[2][: len(lines[2]) // 2])  # mid-write crash
+        with RunJournal(path, FP, resume=True) as journal:
+            assert len(journal) == 1
+            assert journal.get("run-0") == {"v": 0}
+            journal.append("run-1", {"v": 1})  # recomputed and re-settled
+        with RunJournal(path, FP, resume=True) as journal:
+            assert len(journal) == 2
+
+    def test_corruption_before_the_end_is_an_error(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path, FP) as journal:
+            for i in range(4):
+                journal.append(f"run-{i}", i)
+        lines = read_lines(path)
+        lines[2] = lines[2][: len(lines[2]) // 2]  # corrupt a MIDDLE line
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalMismatch, match="corrupt"):
+            RunJournal(path, FP, resume=True)
+
+
+class TestFingerprints:
+    @staticmethod
+    def problem():
+        net = chain_network([(150, "LAN"), (150, "LAN")], cpu=30.0)
+        app = media.build_app("n0", "n2")
+        lev = media.proportional_leveling((90, 100))
+        return app, net, lev
+
+    def test_campaign_fingerprint_is_stable_and_sensitive(self):
+        app, net, lev = self.problem()
+        spec = {"faults": {"events": 3}}
+        base = campaign_fingerprint(app, net, lev, spec, [1, 2], None, None, False)
+        assert base == campaign_fingerprint(
+            app, net, lev, spec, [1, 2], None, None, False
+        )
+        assert base != campaign_fingerprint(
+            app, net, lev, spec, [1, 3], None, None, False
+        )
+        assert base != campaign_fingerprint(
+            app, net, lev, {"faults": {"events": 4}}, [1, 2], None, None, False
+        )
+        assert base != campaign_fingerprint(
+            app, net, lev, spec, [1, 2], None, None, True
+        )
+
+    def test_campaign_and_controller_fingerprints_never_collide(self):
+        app, net, lev = self.problem()
+        spec = {"faults": {"events": 3}}
+        campaign = campaign_fingerprint(app, net, lev, spec, None, 3, None, False)
+        controller = controller_fingerprint(
+            app, net, lev, spec, None, None, 3, None, False
+        )
+        assert campaign != controller
