@@ -1,0 +1,184 @@
+"""Hierarchical vs flat planning across 1k–10k-node transit-stub networks.
+
+Runs :func:`repro.experiments.scaling_compare_sweep` over the
+domain-count network family (3 + 30·S nodes) and records, per size:
+
+* the flat planner's wall time, cost, and failure (timed out points
+  record ``DeadlineExceeded`` and the time limit they burned);
+* the hierarchical planner's wall time, cost, mode (``hierarchical`` —
+  never a silent fallback rung on a healthy sweep), and domain count.
+
+The headline claims, asserted here and re-checked structurally by
+``check_bench_schema.py``:
+
+* a ≥1000-node network solves end-to-end hierarchically;
+* at the largest size flat planning completes, hierarchical is ≥3×
+  faster;
+* hierarchical wall time grows **sub-linearly** in node count across
+  the sweep (flat planning is super-linear: per-node ground actions ×
+  per-action search work);
+* at every size where flat planning finishes, the hierarchical plan has
+  the same cost (``cost_delta`` 0 per point);
+* the stitched plan is byte-identical at 1 and 4 workers.
+
+Not collected by pytest (no ``test_`` prefix); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_hierarchy.py [--quick] \
+        [--stub-domains S ...] [--flat-time-limit SEC] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.domains.media import build_app  # noqa: E402
+from repro.experiments import scaling_compare_sweep, scaling_network_domains  # noqa: E402
+from repro.experiments.scenarios import scenario  # noqa: E402
+from repro.hierarchy import HierarchyConfig, solve_hierarchical  # noqa: E402
+
+FULL_SWEEP = (4, 11, 33, 111, 333)  # 123 / 333 / 993 / 3333 / 9993 nodes
+QUICK_SWEEP = (4, 11, 33)
+
+
+def determinism_check(stub_domains: int, worker_counts: tuple[int, ...]) -> dict:
+    """Solve one size at several worker counts; plans must match exactly."""
+    net, server, client = scaling_network_domains(stub_domains)
+    app = build_app(server, client)
+    plans = {}
+    for workers in worker_counts:
+        outcome = solve_hierarchical(
+            app,
+            net,
+            leveling=scenario("C").leveling(),
+            config=HierarchyConfig(workers=workers),
+        )
+        assert outcome.solved and outcome.mode == "hierarchical", outcome.mode
+        plans[workers] = (outcome.plan.action_names(), outcome.plan.cost_lb)
+    reference = plans[worker_counts[0]]
+    identical = all(plans[w] == reference for w in worker_counts)
+    return {
+        "stub_domains": stub_domains,
+        "workers_checked": list(worker_counts),
+        "plan_len": len(reference[0]),
+        "identical": identical,
+    }
+
+
+def headline(points: list[dict], require_kilonode: bool = True) -> dict:
+    """Derive and assert the headline claims from the sweep points."""
+    hier_solved = [p for p in points if p["hierarchical"]["solved"]]
+    flat_solved = [p for p in points if p["flat"]["solved"]]
+    assert hier_solved, "no hierarchical point solved"
+    largest_hier = max(hier_solved, key=lambda p: p["nodes"])
+    if require_kilonode:  # the full sweep must reach the 1k–10k regime
+        assert largest_hier["nodes"] >= 1000, "sweep never reached 1000 nodes"
+    assert all(
+        p["hierarchical"]["mode"] == "hierarchical" for p in hier_solved
+    ), "a sweep point silently fell back to flat planning"
+
+    assert flat_solved, "no flat point solved (nothing to compare against)"
+    largest_flat = max(flat_solved, key=lambda p: p["nodes"])
+    speedup = largest_flat["speedup"]
+    if require_kilonode:  # CI smoke boxes are too noisy for a speedup gate
+        assert speedup is not None and speedup >= 3.0, (
+            f"hierarchical speedup {speedup} at {largest_flat['nodes']} nodes "
+            "is below the 3x headline"
+        )
+    for p in flat_solved:
+        delta = p["cost_delta"]
+        assert delta is not None and abs(delta) < 1e-6, (
+            f"cost delta {delta} at {p['nodes']} nodes — decomposition "
+            "changed the plan cost"
+        )
+
+    if len(hier_solved) >= 2:
+        first, last = hier_solved[0], largest_hier
+        node_growth = last["nodes"] / first["nodes"]
+        time_growth = last["hierarchical"]["wall_ms"] / max(
+            first["hierarchical"]["wall_ms"], 1e-9
+        )
+        assert time_growth < node_growth, (
+            f"hierarchical time grew {time_growth:.1f}x over a "
+            f"{node_growth:.1f}x node-count increase — not sub-linear"
+        )
+        sublinear = True
+    else:  # single-point smoke run: no growth curve to judge
+        node_growth = time_growth = 1.0
+        sublinear = None
+    return {
+        "largest_hier_nodes": largest_hier["nodes"],
+        "largest_hier_wall_ms": largest_hier["hierarchical"]["wall_ms"],
+        "largest_flat_nodes": largest_flat["nodes"],
+        "speedup_at_largest_flat": speedup,
+        "node_growth": round(node_growth, 2),
+        "time_growth": round(time_growth, 2),
+        "sublinear": sublinear,
+        "max_abs_cost_delta": max(
+            (abs(p["cost_delta"]) for p in flat_solved), default=0.0
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="3-point sweep (123–993 nodes) for CI smoke runs")
+    parser.add_argument("--stub-domains", type=int, nargs="+", default=None)
+    parser.add_argument("--flat-time-limit", type=float, default=120.0)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count for the determinism cross-check")
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args()
+
+    sweep = tuple(args.stub_domains or (QUICK_SWEEP if args.quick else FULL_SWEEP))
+    print(f"sweep: stub domains {sweep} "
+          f"({', '.join(str(3 + 30 * s) for s in sweep)} nodes)")
+    points = scaling_compare_sweep(
+        stub_domains=sweep, flat_time_limit_s=args.flat_time_limit
+    )
+    for p in points:
+        flat = f"{p.flat_ms:9.0f} ms" if p.flat_solved else f"  [{p.flat_failure}]"
+        speed = f"{p.speedup:6.1f}x" if p.speedup else "      -"
+        print(f"  {p.nodes:5d} nodes: flat {flat:>20}  "
+              f"hier {p.hier_ms:7.0f} ms ({p.hier_mode})  {speed}")
+
+    detcheck = determinism_check(sweep[min(1, len(sweep) - 1)], (1, args.workers))
+    assert detcheck["identical"], "plans differ across worker counts"
+    print(f"determinism: workers {detcheck['workers_checked']} identical "
+          f"({detcheck['plan_len']} actions)")
+
+    payload = {
+        "bench": "hierarchy",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "host_cpus": os.cpu_count() or 1,
+        "quick": bool(args.quick),
+        "flat_time_limit_s": args.flat_time_limit,
+        "points": [p.to_dict() for p in points],
+        "determinism": detcheck,
+        "headline": headline(
+            [p.to_dict() for p in points], require_kilonode=not args.quick
+        ),
+    }
+    h = payload["headline"]
+    print(f"headline: {h['largest_hier_nodes']} nodes in "
+          f"{h['largest_hier_wall_ms']:.0f} ms hierarchically; "
+          f"{h['speedup_at_largest_flat']}x over flat at "
+          f"{h['largest_flat_nodes']} nodes; time growth {h['time_growth']}x "
+          f"over {h['node_growth']}x nodes")
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -456,8 +456,112 @@ def check_bench_supervision(path: Path, data: dict) -> list[str]:
     return errors
 
 
+_HIERARCHY_TOP_KEYS = {
+    "bench": str,
+    "timestamp": str,
+    "python": str,
+    "host_cpus": int,
+    "quick": bool,
+    "flat_time_limit_s": (int, float),
+    "points": list,
+    "determinism": dict,
+    "headline": dict,
+}
+_HIERARCHY_SIDE_KEYS = {  # per-point "flat" / "hierarchical" sub-objects
+    "solved": bool,
+    "wall_ms": (int, float),
+    "cost_lb": (int, float),
+}
+
+
+def check_bench_hierarchy(path: Path, data: dict) -> list[str]:
+    """Validate a hierarchical-scaling benchmark file (BENCH_pr10)."""
+    errors: list[str] = []
+    for key, typ in _HIERARCHY_TOP_KEYS.items():
+        if key not in data:
+            errors.append(f"{path}: missing top-level key {key!r}")
+        elif not isinstance(data[key], typ) or (
+            typ is int and isinstance(data[key], bool)
+        ):
+            errors.append(f"{path}: {key!r} should be {typ}")
+    points = data.get("points")
+    if not isinstance(points, list) or not points:
+        return errors + [f"{path}: points must be a non-empty list"]
+    for i, point in enumerate(points):
+        where = f"{path}: points[{i}]"
+        if not isinstance(point, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("stub_domains", "nodes", "links"):
+            if not isinstance(point.get(key), int):
+                errors.append(f"{where}.{key} must be an int")
+        for side in ("flat", "hierarchical"):
+            entry = point.get(side)
+            if not isinstance(entry, dict):
+                errors.append(f"{where}.{side} missing or not an object")
+                continue
+            for key, typ in _HIERARCHY_SIDE_KEYS.items():
+                if not isinstance(entry.get(key), typ):
+                    errors.append(f"{where}.{side}.{key} should be {typ}")
+        flat, hier = point.get("flat", {}), point.get("hierarchical", {})
+        if hier.get("solved") and hier.get("mode") != "hierarchical":
+            errors.append(
+                f"{where}: hierarchical.mode is {hier.get('mode')!r} — the "
+                "sweep silently fell back instead of planning hierarchically"
+            )
+        if flat.get("solved") and hier.get("solved"):
+            delta = point.get("cost_delta")
+            if not isinstance(delta, (int, float)) or abs(delta) > 1e-6:
+                errors.append(
+                    f"{where}: cost_delta {delta!r} — the decomposition must "
+                    "preserve the flat plan's cost where flat completes"
+                )
+
+    # The sub-linear headline, recomputed from the raw points rather than
+    # trusted from the headline block.
+    hier_solved = [
+        p for p in points
+        if isinstance(p, dict) and p.get("hierarchical", {}).get("solved")
+    ]
+    if len(hier_solved) >= 2:
+        first, last = hier_solved[0], max(hier_solved, key=lambda p: p["nodes"])
+        node_growth = last["nodes"] / first["nodes"]
+        time_growth = last["hierarchical"]["wall_ms"] / max(
+            first["hierarchical"]["wall_ms"], 1e-9
+        )
+        if time_growth >= node_growth:
+            errors.append(
+                f"{path}: hierarchical wall time grew {time_growth:.1f}x over "
+                f"{node_growth:.1f}x nodes — the sub-linear headline fails"
+            )
+    elif not data.get("quick"):
+        errors.append(f"{path}: fewer than two solved hierarchical points")
+    if not data.get("quick"):
+        if not any(p.get("nodes", 0) >= 1000 for p in hier_solved):
+            errors.append(
+                f"{path}: a full (non-quick) sweep must solve a >=1000-node "
+                "network hierarchically"
+            )
+    det = data.get("determinism")
+    if isinstance(det, dict):
+        if det.get("identical") is not True:
+            errors.append(
+                f"{path}: determinism.identical must be true — plans must be "
+                "byte-identical across worker counts"
+            )
+        workers = det.get("workers_checked")
+        if not isinstance(workers, list) or len(set(map(str, workers or []))) < 2:
+            errors.append(
+                f"{path}: determinism.workers_checked must list >=2 distinct "
+                "worker counts"
+            )
+    return errors
+
+
 def check_bench(path: Path, data: dict) -> list[str]:
     """Validate a BENCH_*.json benchmark result file."""
+    if data.get("bench") == "hierarchy":
+        return check_bench_hierarchy(path, data)
     if data.get("bench") == "parallel-warmstart":
         return check_bench_parallel(path, data)
     if data.get("bench") == "static-prune":

@@ -172,6 +172,18 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 print("no plan: every ladder rung failed", file=sys.stderr)
                 return 1
             plan = outcome.plan
+        elif args.hierarchical:
+            from .hierarchy import HierarchyConfig, solve_hierarchical
+
+            h_outcome = solve_hierarchical(
+                app,
+                network,
+                config=HierarchyConfig(workers=args.workers),
+                planner_config=config,
+                telemetry=telemetry,
+            )
+            print(h_outcome.describe())
+            plan = h_outcome.plan
         else:
             plan = Planner(config).solve(app, network)
     except PlanningError as exc:
@@ -452,9 +464,58 @@ def _cmd_controller(args: argparse.Namespace) -> int:
     return 0 if initial_ok else 1
 
 
+def _cmd_bench_hierarchy(args: argparse.Namespace) -> int:
+    """Flat vs hierarchical planning across the domain-count family."""
+    from .experiments import format_table, scaling_compare_sweep
+
+    points = scaling_compare_sweep(
+        stub_domains=tuple(args.stub_domains),
+        flat_time_limit_s=args.flat_time_limit,
+        workers=args.workers,
+    )
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                str(p.nodes),
+                f"{p.flat_ms:.0f}" if p.flat_solved else p.flat_failure or "—",
+                f"{p.flat_cost:g}" if p.flat_solved else "—",
+                f"{p.hier_ms:.0f}" if p.hier_solved else "—",
+                f"{p.hier_cost:g}" if p.hier_solved else "—",
+                p.hier_mode or "—",
+                f"{p.speedup:.1f}x" if p.speedup is not None else "—",
+                "—" if p.cost_delta is None else ("0" if abs(p.cost_delta) < 1e-9 else f"{p.cost_delta:g}"),
+            ]
+        )
+    print(
+        format_table(
+            ["nodes", "flat ms", "flat cost", "hier ms", "hier cost", "mode", "speedup", "Δcost"],
+            rows,
+        )
+    )
+    if args.json:
+        payload = {
+            "format": 1,
+            "suite": "hierarchy",
+            "workers": args.workers,
+            "points": [p.to_dict() for p in points],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time the Table-2 sweep, serially or across worker processes."""
     import time as _time
+
+    if args.hierarchical:
+        return _cmd_bench_hierarchy(args)
 
     from .experiments import render_table2
     from .experiments.harness import _run_table2_parallel, run_table2
@@ -746,6 +807,14 @@ def build_parser() -> argparse.ArgumentParser:
         "coarsened levels -> greedy) instead of failing outright",
     )
     p_plan.add_argument(
+        "--hierarchical",
+        action="store_true",
+        help="plan by stub-domain decomposition on transit-stub networks "
+        "(backbone over an abstracted network, per-domain subproblems in "
+        "--workers processes, stitched and exactly validated; falls back "
+        "to flat planning when the network does not decompose)",
+    )
+    p_plan.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -968,6 +1037,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PREFIX",
         help="capture a cProfile per cell (in the workers, when parallel) "
         "and write PREFIX (merged pstats) plus per-pid PREFIX.pidN.pstats",
+    )
+    p_bench.add_argument(
+        "--hierarchical",
+        action="store_true",
+        help="bench flat vs hierarchical planning over the 1k-10k-node "
+        "domain-count scaling family instead of the Table-2 sweep",
+    )
+    p_bench.add_argument(
+        "--stub-domains",
+        nargs="+",
+        type=int,
+        default=[4, 11, 33],
+        metavar="S",
+        help="with --hierarchical: stub-domain counts to sweep "
+        "(network size is 3 + 30*S nodes)",
+    )
+    p_bench.add_argument(
+        "--flat-time-limit",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="with --hierarchical: wall-clock budget per flat solve",
     )
     add_streaming_args(p_bench)
     p_bench.set_defaults(fn=_cmd_bench)

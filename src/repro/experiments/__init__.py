@@ -9,7 +9,14 @@ from .harness import (
 )
 from .networks import NetworkCase, large_case, network_case, small_case, tiny_case
 from .reporting import format_table, render_table1, render_table2
-from .scaling import ScalingPoint, scaling_network, scaling_sweep
+from .scaling import (
+    ComparePoint,
+    ScalingPoint,
+    scaling_compare_sweep,
+    scaling_network,
+    scaling_network_domains,
+    scaling_sweep,
+)
 from .scenarios import SCENARIOS, Scenario, scenario, scenario_keys
 
 __all__ = [
@@ -33,4 +40,7 @@ __all__ = [
     "ScalingPoint",
     "scaling_network",
     "scaling_sweep",
+    "ComparePoint",
+    "scaling_compare_sweep",
+    "scaling_network_domains",
 ]

@@ -1,0 +1,124 @@
+"""Gateway abstraction: collapse stub domains to capacity envelopes.
+
+The abstract network keeps the backbone verbatim — every transit node,
+every transit link, and every attachment link, with their real
+capacities — and replaces each *included* stub domain by a single
+representative node that reuses the gateway's node id.  Reusing the real
+id is load-bearing: backbone-level ground actions (``cross`` over an
+attachment link, ``place`` on a transit node) carry node ids in their
+names, so they resolve verbatim against the concrete network when the
+stitched plan is validated.
+
+The representative's capacity is the **domain envelope**: per resource,
+the interval ``[best single node, sum over all members]`` built with the
+PR-6 interval machinery.  The abstract node advertises the upper end
+(the sum), which makes the abstraction a relaxation — anything feasible
+on the concrete domain (placements spread over members, intra-LAN
+crossings free of backbone budgets) is feasible on the representative,
+so a backbone-infeasible abstract problem proves the concrete problem
+backbone-infeasible, never the other way around.  The price is the
+converse gap: an abstract placement may not fit any *single* concrete
+node — that is caught later, when the domain subproblem is solved
+concretely and, ultimately, by exact stitch validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..intervals import Interval
+from ..network import Network
+from ..network.partition import StubDomain, TransitStubPartition
+
+__all__ = ["AbstractionResult", "domain_envelope", "abstract_network"]
+
+
+@dataclass(frozen=True)
+class AbstractionResult:
+    """The abstract backbone network plus the concrete→abstract node map."""
+
+    network: Network
+    included: tuple[StubDomain, ...]
+    rep_of: dict[str, str]
+    """Concrete node id → representative node id, for members of included
+    domains.  Backbone nodes map to themselves (identity is implicit)."""
+    envelopes: dict[str, dict[str, Interval]]
+    """Domain key → resource → ``[max single capacity, summed capacity]``."""
+
+    def to_abstract(self, node_id: str) -> str:
+        """The abstract node standing in for a concrete node."""
+        return self.rep_of.get(node_id, node_id)
+
+
+def domain_envelope(net: Network, domain: StubDomain) -> dict[str, Interval]:
+    """Per-resource capacity envelope ``[max single node, sum]`` of a domain.
+
+    The lower end is what any one placement is guaranteed to find on some
+    member; the upper end is the aggregate the whole domain can absorb.
+    Soundness (tested property-style): for every resource, every member's
+    capacity lies inside the envelope, and the abstract node's advertised
+    capacity (the upper end) dominates any single member.
+    """
+    envelope: dict[str, Interval] = {}
+    resources: set[str] = set()
+    for member in domain.members:
+        resources |= set(net.node(member).resources)
+    for res in sorted(resources):
+        values = [net.node(member).capacity(res) for member in domain.members]
+        envelope[res] = Interval.closed(max(values), sum(values))
+    return envelope
+
+
+def abstract_network(
+    net: Network,
+    partition: TransitStubPartition,
+    include: frozenset[str] | set[str],
+) -> AbstractionResult:
+    """Build the abstract backbone network.
+
+    ``include`` names the stub domains (by key) that get a representative
+    node; every other domain is dropped entirely — a domain that hosts no
+    pinned component and is not forced by the caller cannot appear in a
+    cost-optimal backbone routing, because stub representatives are leaf
+    nodes (detouring through one only adds crossings).
+    """
+    abstract = Network(f"{net.name}#abstract")
+    for node_id in partition.transit_nodes:
+        node = net.node(node_id)
+        abstract.add_node(
+            node_id, dict(node.resources), labels=set(node.labels), software=node.software
+        )
+    for link in net.links.values():
+        if link.a in abstract and link.b in abstract:
+            abstract.add_link(link.a, link.b, dict(link.resources), labels=set(link.labels))
+
+    included: list[StubDomain] = []
+    rep_of: dict[str, str] = {}
+    envelopes: dict[str, dict[str, Interval]] = {}
+    for domain in partition.domains:
+        if domain.key not in include:
+            continue
+        included.append(domain)
+        envelope = domain_envelope(net, domain)
+        envelopes[domain.key] = envelope
+        gateway_node = net.node(domain.gateway)
+        abstract.add_node(
+            domain.key,
+            {res: iv.hi for res, iv in envelope.items()},
+            labels=set(gateway_node.labels) | {"abstract"},
+        )
+        attach = net.link(domain.gateway, domain.attach_transit)
+        abstract.add_link(
+            domain.gateway,
+            domain.attach_transit,
+            dict(attach.resources),
+            labels=set(attach.labels),
+        )
+        for member in domain.members:
+            rep_of[member] = domain.key
+    return AbstractionResult(
+        network=abstract,
+        included=tuple(included),
+        rep_of=rep_of,
+        envelopes=envelopes,
+    )

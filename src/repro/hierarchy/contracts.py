@@ -1,0 +1,299 @@
+"""Boundary contracts: from an abstract plan to concrete domain subproblems.
+
+The abstract (backbone) plan fixes *what crosses each stub's attachment
+link, committed at which level*.  Executing it exactly with the
+:class:`~repro.planner.PlanExecutor` yields, per boundary crossing:
+
+* **ingress** (into a stub): the exact post-crossing stream value at the
+  representative node — the value the concrete domain will really see
+  arriving at its gateway, because every upstream value is either pinned
+  by a committed level cap or by a link capacity, and those are identical
+  in the abstract and concrete networks;
+* **egress** (out of a stub): the committed-level floor the crossing
+  relies on — the minimum the concrete domain must deliver at its
+  gateway for the backbone chain to stay level-feasible.  (The exact
+  delivered value is re-checked end-to-end by stitch validation.)
+
+Each involved domain then becomes an ordinary flat planning problem over
+its own members only, with synthetic boundary components standing in for
+the rest of the world: a pre-placed ``_In<iface>`` source at the gateway
+produces each ingress stream at its exact contract value, and a
+zero-cost ``_Out<iface>`` goal at the gateway demands each egress stream
+at its contract value.  Components the original app pins outside the
+domain are removed (so the domain planner cannot re-place a component
+the backbone already owns); unpinned components stay available
+everywhere — the domain planner decides locally whether to split,
+compress, or merge, exactly as the flat planner would.
+
+Contract values travel into formulas via ``repr`` (round-trip exact for
+floats); a value whose repr the formula parser cannot digest surfaces as
+a :class:`ContractError` and the caller falls back to flat planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compile import GroundAction, iface_prop_var
+from ..model import AppSpec, ComponentSpec, Placement
+from ..network import Network
+from ..network.partition import StubDomain
+from ..planner.executor import PlanExecutor
+from .abstraction import AbstractionResult
+
+__all__ = [
+    "ContractError",
+    "BoundaryContract",
+    "SkeletonEntry",
+    "AbstractDecomposition",
+    "derive_contracts",
+    "DomainProblem",
+    "build_domain_problem",
+    "abstracted_app",
+    "INGRESS_PREFIX",
+    "EGRESS_PREFIX",
+]
+
+INGRESS_PREFIX = "_In"
+EGRESS_PREFIX = "_Out"
+
+
+class ContractError(Exception):
+    """The abstract plan does not decompose into clean domain contracts."""
+
+
+@dataclass(frozen=True)
+class BoundaryContract:
+    """One stream crossing a domain's attachment link, with its exact value."""
+
+    domain: str
+    iface: str
+    prop: str
+    direction: str  # "in" | "out"
+    value: float
+    position: int
+    """Index of the crossing in the abstract plan's action order."""
+    action_name: str
+
+
+@dataclass(frozen=True)
+class SkeletonEntry:
+    """One abstract-plan action kept in the stitched sequence."""
+
+    name: str
+    domain: str | None = None
+    direction: str | None = None  # boundary crossings only
+
+
+@dataclass(frozen=True)
+class AbstractDecomposition:
+    """Everything the stitcher needs from one abstract plan execution."""
+
+    skeleton: tuple[SkeletonEntry, ...]
+    contracts: tuple[BoundaryContract, ...]
+    dropped_interior: tuple[str, ...]
+    """Abstract placements on representative nodes — re-decided concretely
+    by the domain subproblems, never copied into the stitched plan."""
+
+    def domain_contracts(self, key: str) -> tuple[BoundaryContract, ...]:
+        return tuple(c for c in self.contracts if c.domain == key)
+
+
+def derive_contracts(
+    problem,
+    actions: list[GroundAction],
+    abstraction: AbstractionResult,
+) -> AbstractDecomposition:
+    """Execute the abstract plan exactly and split it at domain boundaries.
+
+    Raises :class:`ContractError` when the same (domain, interface,
+    direction) boundary is crossed twice — the synthetic sub-app can
+    carry only one contract per stream and direction, and a plan that
+    re-crosses the same attachment link with the same stream is never
+    cost-optimal anyway.
+    """
+    rep_keys = {d.key for d in abstraction.included}
+    executor = PlanExecutor(problem)
+    skeleton: list[SkeletonEntry] = []
+    contracts: list[BoundaryContract] = []
+    dropped: list[str] = []
+    seen: set[tuple[str, str, str, str]] = set()
+    for position, action in enumerate(actions):
+        step = executor.step(action)
+        if action.kind == "place":
+            if action.node in rep_keys:
+                dropped.append(action.name)
+            else:
+                skeleton.append(SkeletonEntry(action.name))
+            continue
+        domain: str | None = None
+        direction: str | None = None
+        if action.dst in rep_keys:
+            domain, direction = action.dst, "in"
+        elif action.src in rep_keys:
+            domain, direction = action.src, "out"
+        skeleton.append(SkeletonEntry(action.name, domain=domain, direction=direction))
+        if domain is None:
+            continue
+        iface = action.subject
+        props = sorted(
+            spec_var.split(".", 1)[1]
+            for spec_var in step.inputs
+            if spec_var.startswith(f"{iface}.")
+        )
+        if not props:
+            raise ContractError(
+                f"boundary crossing {action.name} processed no {iface} stream input"
+            )
+        for prop in props:
+            key = (domain, iface, prop, direction)
+            if key in seen:
+                raise ContractError(
+                    f"domain {domain} crossed {iface}.{prop} {direction} twice "
+                    f"(second at {action.name}); cannot derive a single contract"
+                )
+            seen.add(key)
+            if direction == "in":
+                value = step.outputs[iface_prop_var(prop, iface, domain)]
+            else:
+                # The domain must deliver what the boundary crossing *relies
+                # on*: its committed level's guaranteed floor.  Demanding the
+                # exact capped input instead would force the domain planner
+                # one level up (a ">= exact-hi" condition is only level-
+                # guaranteed by the next level), losing cost parity with flat.
+                committed = action.committed.get(f"{iface}.{prop}")
+                if committed is not None:
+                    value = committed.lo
+                else:
+                    value = step.inputs[f"{iface}.{prop}"]
+            contracts.append(
+                BoundaryContract(
+                    domain=domain,
+                    iface=iface,
+                    prop=prop,
+                    direction=direction,
+                    value=value,
+                    position=position,
+                    action_name=action.name,
+                )
+            )
+    return AbstractDecomposition(
+        skeleton=tuple(skeleton),
+        contracts=tuple(contracts),
+        dropped_interior=tuple(dropped),
+    )
+
+
+@dataclass
+class DomainProblem:
+    """One stub domain's concrete subproblem, ready for a flat solve."""
+
+    domain: StubDomain
+    app: AppSpec
+    network: Network
+    ingress: tuple[BoundaryContract, ...]
+    egress: tuple[BoundaryContract, ...]
+
+    @property
+    def synthetic_components(self) -> frozenset[str]:
+        return frozenset(
+            name
+            for name in self.app.components
+            if name.startswith(INGRESS_PREFIX) or name.startswith(EGRESS_PREFIX)
+        )
+
+
+def build_domain_problem(
+    app: AppSpec,
+    net: Network,
+    domain: StubDomain,
+    contracts: tuple[BoundaryContract, ...],
+) -> DomainProblem:
+    """Assemble the synthetic sub-app and sub-network for one domain."""
+    members = set(domain.members)
+    ingress = tuple(c for c in contracts if c.direction == "in")
+    egress = tuple(c for c in contracts if c.direction == "out")
+
+    components: dict[str, ComponentSpec] = {}
+    for name, spec in app.components.items():
+        pin = app.pinned.get(name)
+        if pin is not None and pin not in members:
+            continue  # owned by the backbone or another domain
+        components[name] = spec
+
+    for iface in sorted({c.iface for c in ingress}):
+        effects = [
+            f"{c.iface}.{c.prop} := {c.value!r}" for c in ingress if c.iface == iface
+        ]
+        components[f"{INGRESS_PREFIX}{iface}"] = ComponentSpec.parse(
+            f"{INGRESS_PREFIX}{iface}", implements=[iface], effects=effects, cost="0"
+        )
+    for iface in sorted({c.iface for c in egress}):
+        conditions = [
+            f"{c.iface}.{c.prop} >= {c.value!r}" for c in egress if c.iface == iface
+        ]
+        components[f"{EGRESS_PREFIX}{iface}"] = ComponentSpec.parse(
+            f"{EGRESS_PREFIX}{iface}", requires=[iface], conditions=conditions, cost="0"
+        )
+
+    initial = [p for p in app.initial_placements if p.node in members]
+    initial += [
+        Placement(f"{INGRESS_PREFIX}{iface}", domain.gateway)
+        for iface in sorted({c.iface for c in ingress})
+    ]
+    goals = [p for p in app.goal_placements if p.node in members]
+    goals += [
+        Placement(f"{EGRESS_PREFIX}{iface}", domain.gateway)
+        for iface in sorted({c.iface for c in egress})
+    ]
+    if not goals:
+        raise ContractError(
+            f"domain {domain.key} has neither goal placements nor egress "
+            "contracts; it should not have been involved at all"
+        )
+    pinned = {p.component: p.node for p in initial + goals}
+    for comp, node in app.pinned.items():
+        if comp in components and node in members:
+            pinned.setdefault(comp, node)
+
+    sub_app = AppSpec(
+        name=f"{app.name}#dom-{domain.key}",
+        interfaces=dict(app.interfaces),
+        components=components,
+        resources=app.resources,
+        initial_placements=tuple(initial),
+        goal_placements=tuple(goals),
+        pinned=pinned,
+    )
+
+    sub_net = Network(f"{net.name}#dom-{domain.key}")
+    for member in domain.members:
+        node = net.node(member)
+        sub_net.add_node(
+            member, dict(node.resources), labels=set(node.labels), software=node.software
+        )
+    for link in net.links.values():
+        if link.a in members and link.b in members:
+            sub_net.add_link(link.a, link.b, dict(link.resources), labels=set(link.labels))
+
+    return DomainProblem(
+        domain=domain, app=sub_app, network=sub_net, ingress=ingress, egress=egress
+    )
+
+
+def abstracted_app(app: AppSpec, abstraction: AbstractionResult) -> AppSpec:
+    """The original app with every placement retargeted to abstract nodes."""
+    to_abstract = abstraction.to_abstract
+    return AppSpec(
+        name=f"{app.name}#abstract",
+        interfaces=dict(app.interfaces),
+        components=dict(app.components),
+        resources=app.resources,
+        initial_placements=tuple(
+            Placement(p.component, to_abstract(p.node)) for p in app.initial_placements
+        ),
+        goal_placements=tuple(
+            Placement(p.component, to_abstract(p.node)) for p in app.goal_placements
+        ),
+        pinned={comp: to_abstract(node) for comp, node in app.pinned.items()},
+    )

@@ -1,0 +1,128 @@
+"""Stitch per-domain sub-plans and the backbone skeleton into one plan.
+
+The stitched sequence is assembled purely positionally from the abstract
+plan's action order:
+
+* source domains (no ingress contract) run their sub-plans first, in
+  domain-key order — they only *produce* streams at their gateways;
+* the backbone skeleton then runs in abstract-plan order (transit
+  placements and every kept crossing, boundary crossings included);
+* a consuming domain's sub-plan is spliced immediately after the **last**
+  ingress crossing into it, so every stream its gateway expects has
+  arrived by the time its actions run.
+
+A domain that both receives and sends (its first egress crossing
+precedes its last ingress) cannot be linearized this way and raises
+:class:`StitchError` — the caller widens to flat planning.
+
+Synthetic boundary components never reach the stitched plan: ingress
+sources are *initially placed* in the sub-app (they contribute no action
+at all), and egress goal placements are recognized by name and dropped
+here.  Every remaining name must resolve in the union problem — same
+app, same leveling, and node/link capacities identical to the sub- and
+abstract networks, so the grounder emits byte-identical action names.
+
+The result is then executed action-by-action with the exact
+:class:`~repro.planner.PlanExecutor` against the union subnetwork's
+initial state.  By locality of execution (an action only reads and
+writes variables of the nodes and links it names), a sequence that
+executes cleanly on the union subnetwork executes identically on the
+full network — the union problem *is* the certificate.
+"""
+
+from __future__ import annotations
+
+from ..compile import CompiledProblem, GroundAction
+from ..planner.errors import ExecutionError
+from ..planner.executor import ExecutionReport, PlanExecutor
+from .contracts import AbstractDecomposition
+
+__all__ = ["StitchError", "place_subject", "stitch_hierarchical"]
+
+
+class StitchError(Exception):
+    """The decomposition does not linearize or does not validate."""
+
+
+def place_subject(name: str) -> str | None:
+    """The component a ``place(...)`` ground-action name places, else None."""
+    if not name.startswith("place("):
+        return None
+    return name[len("place(") :].split(",", 1)[0]
+
+
+def stitch_hierarchical(
+    union_problem: CompiledProblem,
+    decomposition: AbstractDecomposition,
+    domain_plans: dict[str, tuple[str, ...]],
+    synthetic: dict[str, frozenset[str]],
+) -> tuple[list[GroundAction], ExecutionReport]:
+    """Resolve, order, and exactly validate the stitched sequence.
+
+    ``domain_plans`` maps domain key → the domain sub-plan's action
+    names; ``synthetic`` maps domain key → its synthetic component names
+    (whose placements are stripped).  Raises :class:`StitchError` on an
+    unlinearizable decomposition, an unresolvable action name, or an
+    exact-execution failure — all three mean "fall back", never "ship a
+    wrong plan".
+    """
+    last_in: dict[str, int] = {}
+    first_out: dict[str, int] = {}
+    for position, entry in enumerate(decomposition.skeleton):
+        if entry.domain is None:
+            continue
+        if entry.direction == "in":
+            last_in[entry.domain] = position
+        elif entry.domain not in first_out:
+            first_out[entry.domain] = position
+    for key, out_pos in first_out.items():
+        if key in last_in and out_pos < last_in[key]:
+            raise StitchError(
+                f"domain {key} sends (position {out_pos}) before it has finished "
+                f"receiving (position {last_in[key]}); cannot linearize"
+            )
+
+    def domain_names(key: str) -> list[str]:
+        stripped = synthetic.get(key, frozenset())
+        names = []
+        for name in domain_plans.get(key, ()):
+            subject = place_subject(name)
+            if subject is not None and subject in stripped:
+                continue
+            names.append(name)
+        return names
+
+    ordered: list[str] = []
+    spliced: set[str] = set()
+    for key in sorted(domain_plans):
+        if key not in last_in:  # pure source (or isolated) domain
+            ordered.extend(domain_names(key))
+            spliced.add(key)
+    for position, entry in enumerate(decomposition.skeleton):
+        ordered.append(entry.name)
+        for key, pos in last_in.items():
+            if pos == position and key not in spliced:
+                ordered.extend(domain_names(key))
+                spliced.add(key)
+    missing = sorted(set(domain_plans) - spliced)
+    if missing:
+        raise StitchError(f"domains {missing} were never spliced into the skeleton")
+
+    by_name = {a.name: a for a in union_problem.actions}
+    actions: list[GroundAction] = []
+    for name in ordered:
+        action = by_name.get(name)
+        if action is None:
+            raise StitchError(
+                f"stitched action {name!r} does not exist in the union problem "
+                "(level grounding diverged between the planning scopes)"
+            )
+        actions.append(action)
+
+    executor = PlanExecutor(union_problem)
+    for action in actions:
+        try:
+            executor.step(action)
+        except ExecutionError as exc:
+            raise StitchError(f"stitched plan failed exact validation: {exc}") from exc
+    return actions, executor.report()

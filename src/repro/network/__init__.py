@@ -5,6 +5,7 @@ from .topology import Link, Network, NetworkError, Node, canonical_ends
 from .builders import chain_network, grid_network, pair_network, ring_network, star_network
 from .gtitm import TransitStubParams, large_paper_network, transit_stub_network, waxman_network
 from .io import load_network, network_from_dict, network_to_dict, save_network
+from .partition import PartitionError, StubDomain, TransitStubPartition, partition_transit_stub
 from .paths import bottleneck, k_shortest_paths, path_capacity, widest_path
 
 __all__ = [
@@ -36,4 +37,8 @@ __all__ = [
     "bottleneck",
     "path_capacity",
     "k_shortest_paths",
+    "PartitionError",
+    "StubDomain",
+    "TransitStubPartition",
+    "partition_transit_stub",
 ]

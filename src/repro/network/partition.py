@@ -1,0 +1,160 @@
+"""Transit-stub domain partitioning (docs/ALGORITHM.md, "Hierarchical
+domain decomposition").
+
+A transit-stub network (:mod:`repro.network.gtitm`) is structurally a
+small backbone of ``transit``-labelled nodes with ``stub``-labelled
+LAN domains hanging off it.  This module recovers that structure from an
+arbitrary :class:`Network`: the stub domains are the connected components
+of the stub-only subgraph, and each domain's *gateway* is its unique node
+with an attachment link to the backbone.
+
+The partition is purely topological (labels + adjacency) and fully
+deterministic: members, gateways, and domain keys are derived from sorted
+node ids, never from iteration order.  Networks that do not fit the shape
+— missing labels, a stub domain with zero or several attachment links, a
+node bridging two stubs — raise :class:`PartitionError` with the exact
+reason; callers (``repro.hierarchy``) treat that as "not decomposable"
+and fall back to flat planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .topology import Network, NetworkError
+
+__all__ = ["PartitionError", "StubDomain", "TransitStubPartition", "partition_transit_stub"]
+
+TRANSIT_LABEL = "transit"
+STUB_LABEL = "stub"
+
+
+class PartitionError(NetworkError):
+    """The network does not decompose into transit + stub domains."""
+
+
+@dataclass(frozen=True)
+class StubDomain:
+    """One stub domain: a LAN hanging off the backbone via its gateway.
+
+    ``key`` doubles as the domain's deterministic identity and as the id
+    of its representative node in the abstract network — it *is* the
+    gateway's node id, so abstract-level ground actions naming the
+    representative resolve verbatim against the concrete network.
+    """
+
+    key: str
+    members: tuple[str, ...]
+    gateway: str
+    attach_transit: str
+    """The transit node the gateway's attachment link reaches."""
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._member_set
+
+    @property
+    def _member_set(self) -> frozenset[str]:
+        return frozenset(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class TransitStubPartition:
+    """The full decomposition: backbone nodes plus stub domains."""
+
+    transit_nodes: tuple[str, ...]
+    domains: tuple[StubDomain, ...]
+    _domain_of: dict[str, StubDomain] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for dom in self.domains:
+            for member in dom.members:
+                self._domain_of[member] = dom
+
+    def domain_of(self, node_id: str) -> StubDomain | None:
+        """The stub domain containing ``node_id`` (None for backbone nodes)."""
+        return self._domain_of.get(node_id)
+
+    def domain(self, key: str) -> StubDomain:
+        for dom in self.domains:
+            if dom.key == key:
+                return dom
+        raise PartitionError(f"no stub domain with key {key!r}")
+
+
+def partition_transit_stub(net: Network) -> TransitStubPartition:
+    """Decompose ``net`` into its backbone and stub domains.
+
+    Requirements (each violation raises :class:`PartitionError`):
+
+    * every node carries exactly one of the ``transit`` / ``stub`` labels;
+    * at least one transit node exists;
+    * every stub component has exactly **one** attachment link to the
+      backbone (the generator's invariant) — the hierarchical planner's
+      boundary-contract extraction relies on a single choke point per
+      domain.
+    """
+    transit: list[str] = []
+    stub: list[str] = []
+    for node_id in sorted(net.nodes):
+        labels = net.nodes[node_id].labels
+        is_transit = TRANSIT_LABEL in labels
+        is_stub = STUB_LABEL in labels
+        if is_transit and is_stub:
+            raise PartitionError(f"node {node_id!r} is labelled both transit and stub")
+        if not is_transit and not is_stub:
+            raise PartitionError(
+                f"node {node_id!r} carries neither a 'transit' nor a 'stub' label; "
+                "the network is not transit-stub shaped"
+            )
+        (transit if is_transit else stub).append(node_id)
+    if not transit:
+        raise PartitionError("no transit-labelled nodes: nothing to use as a backbone")
+    if not stub:
+        raise PartitionError("no stub-labelled nodes: nothing to decompose")
+
+    transit_set = set(transit)
+    seen: set[str] = set()
+    domains: list[StubDomain] = []
+    for start in stub:  # sorted — component discovery order is deterministic
+        if start in seen:
+            continue
+        members = _stub_component(net, start, transit_set)
+        seen |= members
+        gateways: list[tuple[str, str]] = []
+        for member in sorted(members):
+            for neighbor in sorted(net.neighbors(member)):
+                if neighbor in transit_set:
+                    gateways.append((member, neighbor))
+        if len(gateways) != 1:
+            raise PartitionError(
+                f"stub domain containing {start!r} has {len(gateways)} attachment "
+                "links to the backbone; hierarchical decomposition needs exactly one"
+            )
+        gateway, attach = gateways[0]
+        domains.append(
+            StubDomain(
+                key=gateway,
+                members=tuple(sorted(members)),
+                gateway=gateway,
+                attach_transit=attach,
+            )
+        )
+    domains.sort(key=lambda d: d.key)
+    return TransitStubPartition(transit_nodes=tuple(transit), domains=tuple(domains))
+
+
+def _stub_component(net: Network, start: str, transit_set: set[str]) -> set[str]:
+    """Connected component of the stub-only subgraph containing ``start``."""
+    component = {start}
+    frontier = [start]
+    while frontier:
+        u = frontier.pop()
+        for v in net.neighbors(u):
+            if v in transit_set or v in component:
+                continue
+            component.add(v)
+            frontier.append(v)
+    return component

@@ -89,6 +89,10 @@ def k_shortest_paths(
         return []
     paths: list[list[str]] = [first]
     candidates: list[tuple[int, list[str]]] = []
+    # Sorted adjacency, computed once: the spur BFS re-sorts every
+    # neighbor list on every visit otherwise — the dominant cost of this
+    # algorithm on 10k-node networks.
+    adjacency = {u: sorted(net.neighbors(u)) for u in net.nodes}
 
     for _ in range(1, k):
         prev = paths[-1]
@@ -100,7 +104,7 @@ def k_shortest_paths(
                 if p[: i + 1] == root and len(p) > i + 1:
                     removed_edges.add(tuple(sorted((p[i], p[i + 1]))))
             removed_nodes = set(root[:-1])
-            spur = _shortest_avoiding(net, spur_node, target, removed_edges, removed_nodes)
+            spur = _shortest_avoiding(adjacency, spur_node, target, removed_edges, removed_nodes)
             if spur is None:
                 continue
             candidate = root[:-1] + spur
@@ -114,7 +118,7 @@ def k_shortest_paths(
 
 
 def _shortest_avoiding(
-    net: Network,
+    adjacency: dict[str, list[str]],
     source: str,
     target: str,
     removed_edges: set[tuple[str, str]],
@@ -129,7 +133,7 @@ def _shortest_avoiding(
     queue = deque([source])
     while queue:
         u = queue.popleft()
-        for v in sorted(net.neighbors(u)):
+        for v in adjacency[u]:
             if v in parent or v in removed_nodes:
                 continue
             if tuple(sorted((u, v))) in removed_edges:

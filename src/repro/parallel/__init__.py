@@ -58,10 +58,13 @@ from .workers import (
     CampaignTask,
     CellResult,
     CellTask,
+    DomainResult,
+    DomainTask,
     RepairOutcome,
     RepairTask,
     run_campaign_task,
     run_cell_task,
+    run_domain_task,
     run_repair_task,
 )
 
@@ -102,4 +105,7 @@ __all__ = [
     "RepairTask",
     "RepairOutcome",
     "run_repair_task",
+    "DomainTask",
+    "DomainResult",
+    "run_domain_task",
 ]

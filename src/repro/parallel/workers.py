@@ -36,6 +36,9 @@ __all__ = [
     "RepairTask",
     "RepairOutcome",
     "run_repair_task",
+    "DomainTask",
+    "DomainResult",
+    "run_domain_task",
 ]
 
 
@@ -151,6 +154,96 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
         seed=task.seed,
         record=result.to_dict(include_timings=task.include_timings),
         description=result.describe(),
+        metrics=MetricsSnapshot.from_telemetry(telemetry),
+    )
+
+
+# -- hierarchical domain subproblems (repro.hierarchy fan-out) ------------------
+
+
+@dataclass(frozen=True)
+class DomainTask:
+    """One stub domain's concrete subproblem (docs/ALGORITHM.md).
+
+    The payload is the fully synthetic (app, network, leveling) triple
+    built by :func:`repro.hierarchy.build_domain_problem` — boundary
+    contracts are baked into the sub-app, so the task is a plain flat
+    solve and is byte-identical no matter which worker (or how many)
+    runs it.  Compilation goes through the worker's process-global
+    :class:`~repro.parallel.CompileCache`, keyed by the sub-app /
+    sub-network / leveling content fingerprints: warm sweeps over the
+    same topology re-ground nothing.
+    """
+
+    domain: str
+    app: AppSpec
+    network: Network
+    leveling: Leveling | None
+    rg_node_budget: int = 200_000
+    time_limit_s: float | None = None
+    with_metrics: bool = False
+    use_cache: bool = True
+    trace: TraceContext | None = None
+
+
+@dataclass(frozen=True)
+class DomainResult:
+    """One domain solve: the sub-plan as ground-action names.
+
+    Planning failures travel as data (``solved=False`` + the failure
+    type), not as exceptions — the coordinator decides whether to fall
+    back; the supervision layer only ever sees worker *crashes*.
+    """
+
+    domain: str
+    solved: bool
+    action_names: tuple[str, ...] = ()
+    cost_lb: float = 0.0
+    exact_cost: float = 0.0
+    failure: str = ""
+    compile_source: str = "fresh"
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+
+def run_domain_task(task: DomainTask) -> DomainResult:
+    """Solve one hierarchical domain subproblem in this worker."""
+    from ..obs import Telemetry
+    from ..planner import Planner, PlannerConfig, PlanningError
+    from .cache import default_compile_cache
+
+    telemetry = Telemetry(context=task.trace) if task.with_metrics else None
+    config = PlannerConfig(
+        leveling=task.leveling,
+        rg_node_budget=task.rg_node_budget,
+        time_limit_s=task.time_limit_s,
+        telemetry=telemetry,
+    )
+    planner = Planner(config)
+    try:
+        if task.use_cache:
+            problem = default_compile_cache().compile(
+                task.app,
+                task.network,
+                task.leveling,
+                metrics=telemetry.metrics if telemetry is not None else None,
+            )
+        else:
+            problem = planner.compile(task.app, task.network)
+        plan = planner.solve(problem=problem)
+    except PlanningError as exc:
+        return DomainResult(
+            domain=task.domain,
+            solved=False,
+            failure=type(exc).__name__,
+            metrics=MetricsSnapshot.from_telemetry(telemetry),
+        )
+    return DomainResult(
+        domain=task.domain,
+        solved=True,
+        action_names=tuple(plan.action_names()),
+        cost_lb=plan.cost_lb,
+        exact_cost=plan.exact_cost,
+        compile_source=problem.compile_source,
         metrics=MetricsSnapshot.from_telemetry(telemetry),
     )
 

@@ -76,4 +76,19 @@ __all__ = [
     "solve_robust",
     "SearchTrace",
     "TraceEvent",
+    "HierarchyConfig",
+    "HierarchyOutcome",
+    "solve_hierarchical",
 ]
+
+_HIERARCHY_EXPORTS = ("HierarchyConfig", "HierarchyOutcome", "solve_hierarchical")
+
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.hierarchy imports repro.planner, so importing
+    # it eagerly here would be a cycle.
+    if name in _HIERARCHY_EXPORTS:
+        from .. import hierarchy
+
+        return getattr(hierarchy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

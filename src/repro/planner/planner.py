@@ -10,6 +10,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..hierarchy import HierarchyConfig
 
 from ..compile import CompiledProblem, compile_problem
 from ..model import AppSpec, Leveling
@@ -102,6 +106,15 @@ class PlannerConfig:
     regresses only the hardest open proposition: faster, complete for
     feasibility on chain-structured problems, but may return suboptimal
     plans when multi-output components feed parallel branches."""
+    hierarchy: "HierarchyConfig | None" = None
+    """Hierarchical domain decomposition (:mod:`repro.hierarchy`,
+    docs/ALGORITHM.md): when set and :meth:`Planner.solve` is given an
+    ``app`` and a transit-stub ``network``, the solve partitions the
+    network into stub domains, plans the backbone over an abstracted
+    network, fans the per-domain subproblems out, and stitches — falling
+    back to flat planning whenever any stage misses.  ``None`` (default)
+    always plans flat.  Ignored when a pre-compiled ``problem`` is
+    passed (the compiled problem already fixed its scope)."""
     static_prune: str | None = None
     """Certified static pruning (:mod:`repro.analysis`, docs/ANALYSIS.md):
     ``None``/``"off"`` disables it; ``"dead"`` excludes provably unfirable
@@ -158,6 +171,21 @@ class Planner:
             never expected).
         """
         tele = self.config.telemetry
+        if self.config.hierarchy is not None and problem is None:
+            if app is None or network is None:
+                raise ValueError("pass either problem= or both app= and network=")
+            # Lazy import: repro.hierarchy imports repro.planner.
+            from ..hierarchy import solve_hierarchical
+
+            outcome = solve_hierarchical(
+                app,
+                network,
+                config=self.config.hierarchy,
+                planner_config=self.config,
+                telemetry=tele,
+            )
+            assert outcome.plan is not None  # the flat rung raised otherwise
+            return outcome.plan
         # The total deadline is anchored at entry, so internal compilation
         # counts against time_limit_s even though only the search loops
         # poll the clock (docs/ROBUSTNESS.md).

@@ -1,0 +1,1 @@
+"""Tests for hierarchical domain-decomposed planning (repro.hierarchy)."""

@@ -1,0 +1,119 @@
+"""Gateway abstraction: structure and envelope-soundness properties.
+
+The envelope properties are the soundness half of the hierarchical
+planner's correctness argument (docs/ALGORITHM.md): the abstract
+representative advertises the domain envelope's upper end, so anything
+feasible on some concrete member is feasible on the representative —
+abstract-feasible is a superset of concrete-feasible.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hierarchy import abstract_network, domain_envelope
+from repro.network import Network, large_paper_network, partition_transit_stub
+from repro.network.partition import StubDomain
+
+capacities = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _domain_net(values):
+    """A star-shaped stub domain with one cpu capacity per member."""
+    net = Network("env")
+    net.add_node("t0", {"cpu": 1.0}, labels={"transit"})
+    members = []
+    for i, v in enumerate(values):
+        node_id = f"s{i}"
+        net.add_node(node_id, {"cpu": v}, labels={"stub"})
+        members.append(node_id)
+        if i > 0:
+            net.add_link(node_id, "s0", {"lbw": 1.0})
+    net.add_link("s0", "t0", {"lbw": 1.0})
+    domain = StubDomain(
+        key="s0", members=tuple(sorted(members)), gateway="s0", attach_transit="t0"
+    )
+    return net, domain
+
+
+class TestEnvelopeSoundness:
+    @given(capacities)
+    def test_envelope_dominates_every_member(self, values):
+        """The advertised capacity (upper end) dominates any single
+        member, and the lower end is achievable on some member."""
+        net, domain = _domain_net(values)
+        envelope = domain_envelope(net, domain)["cpu"]
+        assert envelope.lo <= envelope.hi
+        for v in values:
+            assert v <= envelope.hi
+        assert envelope.lo in values
+
+    @given(capacities)
+    def test_envelope_ends_are_max_and_sum(self, values):
+        net, domain = _domain_net(values)
+        envelope = domain_envelope(net, domain)["cpu"]
+        assert envelope.lo == max(values)
+        # Members sum in sorted-node-id order; tolerate reassociation.
+        assert envelope.hi == pytest.approx(sum(values), rel=1e-9, abs=1e-9)
+
+    @given(capacities, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_abstract_feasible_superset_of_concrete(self, values, demand):
+        """Any demand some single member can host, the representative can
+        host: the abstraction never rejects a concretely feasible
+        placement."""
+        net, domain = _domain_net(values)
+        abstraction = abstract_network(net, _partition(net), {"s0"})
+        advertised = abstraction.network.node("s0").capacity("cpu")
+        if any(v >= demand for v in values):
+            assert advertised >= demand
+
+
+def _partition(net):
+    return partition_transit_stub(net)
+
+
+class TestAbstractNetworkStructure:
+    def test_backbone_kept_verbatim_plus_reps(self):
+        net = large_paper_network()
+        part = partition_transit_stub(net)
+        include = {part.domains[0].key, part.domains[4].key}
+        result = abstract_network(net, part, include)
+        assert set(result.network.nodes) == set(part.transit_nodes) | include
+        for t in part.transit_nodes:
+            assert result.network.node(t).capacity("cpu") == net.node(t).capacity("cpu")
+
+    def test_rep_advertises_summed_capacity(self):
+        net = large_paper_network()
+        part = partition_transit_stub(net)
+        dom = part.domains[0]
+        result = abstract_network(net, part, {dom.key})
+        advertised = result.network.node(dom.key).capacity("cpu")
+        assert advertised == sum(net.node(m).capacity("cpu") for m in dom.members)
+        assert "abstract" in result.network.node(dom.key).labels
+
+    def test_attachment_link_kept_with_real_capacity(self):
+        net = large_paper_network()
+        part = partition_transit_stub(net)
+        dom = part.domains[2]
+        result = abstract_network(net, part, {dom.key})
+        link = result.network.link(dom.gateway, dom.attach_transit)
+        assert link.capacity("lbw") == net.link(dom.gateway, dom.attach_transit).capacity("lbw")
+
+    def test_to_abstract_maps_members_to_rep(self):
+        net = large_paper_network()
+        part = partition_transit_stub(net)
+        dom = part.domains[1]
+        result = abstract_network(net, part, {dom.key})
+        for member in dom.members:
+            assert result.to_abstract(member) == dom.key
+        assert result.to_abstract(part.transit_nodes[0]) == part.transit_nodes[0]
+
+    def test_excluded_domains_dropped(self):
+        net = large_paper_network()
+        part = partition_transit_stub(net)
+        result = abstract_network(net, part, {part.domains[0].key})
+        assert len(result.network) == len(part.transit_nodes) + 1
+        assert part.domains[1].key not in result.network

@@ -1,0 +1,104 @@
+"""Transit-stub partition recovery: shape, determinism, rejections."""
+
+import pytest
+
+from repro.network import (
+    Network,
+    PartitionError,
+    large_paper_network,
+    pair_network,
+    partition_transit_stub,
+)
+
+
+class TestLargeNetworkPartition:
+    def test_nine_domains_three_transit(self):
+        part = partition_transit_stub(large_paper_network())
+        assert len(part.transit_nodes) == 3
+        assert len(part.domains) == 9
+        assert all(len(dom) == 10 for dom in part.domains)
+
+    def test_gateway_is_member_with_transit_attach(self):
+        net = large_paper_network()
+        part = partition_transit_stub(net)
+        for dom in part.domains:
+            assert dom.gateway in dom.members
+            assert dom.key == dom.gateway
+            assert dom.attach_transit in part.transit_nodes
+            assert net.has_link(dom.gateway, dom.attach_transit)
+
+    def test_domains_cover_all_stub_nodes_disjointly(self):
+        net = large_paper_network()
+        part = partition_transit_stub(net)
+        covered: list[str] = []
+        for dom in part.domains:
+            covered.extend(dom.members)
+        assert len(covered) == len(set(covered)) == 90
+        assert set(covered) | set(part.transit_nodes) == set(net.nodes)
+
+    def test_domain_of_lookup(self):
+        part = partition_transit_stub(large_paper_network())
+        dom = part.domain_of("t0_1_s2_4")
+        assert dom is not None and "t0_1_s2_4" in dom
+        assert part.domain_of("t0_0") is None
+        assert part.domain(dom.key) is dom
+
+    def test_deterministic(self):
+        a = partition_transit_stub(large_paper_network())
+        b = partition_transit_stub(large_paper_network())
+        assert [d.key for d in a.domains] == [d.key for d in b.domains]
+        assert [d.members for d in a.domains] == [d.members for d in b.domains]
+
+    def test_keys_sorted(self):
+        part = partition_transit_stub(large_paper_network())
+        keys = [d.key for d in part.domains]
+        assert keys == sorted(keys)
+
+
+def _labelled_net(labels_by_node, links):
+    net = Network("toy")
+    for node_id, labels in labels_by_node.items():
+        net.add_node(node_id, {"cpu": 10.0}, labels=labels)
+    for a, b in links:
+        net.add_link(a, b, {"lbw": 10.0})
+    return net
+
+
+class TestRejections:
+    def test_unlabelled_network(self):
+        with pytest.raises(PartitionError, match="neither"):
+            partition_transit_stub(pair_network())
+
+    def test_node_with_both_labels(self):
+        net = _labelled_net(
+            {"t0": {"transit"}, "x": {"transit", "stub"}, "s0": {"stub"}},
+            [("t0", "x"), ("x", "s0")],
+        )
+        with pytest.raises(PartitionError, match="both"):
+            partition_transit_stub(net)
+
+    def test_no_transit_nodes(self):
+        net = _labelled_net({"s0": {"stub"}, "s1": {"stub"}}, [("s0", "s1")])
+        with pytest.raises(PartitionError, match="backbone"):
+            partition_transit_stub(net)
+
+    def test_no_stub_nodes(self):
+        net = _labelled_net({"t0": {"transit"}, "t1": {"transit"}}, [("t0", "t1")])
+        with pytest.raises(PartitionError, match="decompose"):
+            partition_transit_stub(net)
+
+    def test_domain_with_two_attachment_links(self):
+        net = _labelled_net(
+            {"t0": {"transit"}, "s0": {"stub"}, "s1": {"stub"}},
+            [("t0", "s0"), ("t0", "s1"), ("s0", "s1")],
+        )
+        with pytest.raises(PartitionError, match="2 attachment"):
+            partition_transit_stub(net)
+
+    def test_orphan_stub_domain(self):
+        net = _labelled_net(
+            {"t0": {"transit"}, "s0": {"stub"}, "s1": {"stub"}, "s2": {"stub"}},
+            [("t0", "s0"), ("s1", "s2")],
+        )
+        with pytest.raises(PartitionError, match="0 attachment"):
+            partition_transit_stub(net)

@@ -1,0 +1,117 @@
+"""Stitch unit tests: linearization, name resolution, synthetic stripping.
+
+These drive :func:`stitch_hierarchical`'s failure paths directly with
+hand-built skeletons — each raise means "fall back to flat planning",
+so the error cases are contract, not incidental behavior.
+"""
+
+import pytest
+
+from repro.hierarchy import StitchError, place_subject, stitch_hierarchical
+from repro.hierarchy.contracts import AbstractDecomposition, SkeletonEntry
+
+
+def _decomp(entries):
+    return AbstractDecomposition(
+        skeleton=tuple(entries), contracts=(), dropped_interior=()
+    )
+
+
+class _FakeProblem:
+    """Just enough of CompiledProblem for the resolution step."""
+
+    def __init__(self, names):
+        self.actions = [_FakeAction(n) for n in names]
+
+
+class _FakeAction:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestPlaceSubject:
+    def test_extracts_component(self):
+        assert place_subject("place(Server,t0_0)[M.ibw=1]") == "Server"
+
+    def test_cross_actions_are_not_placements(self):
+        assert place_subject("cross(M,t0_0->t0_1)[M.ibw=1]") is None
+
+    def test_component_name_with_no_args(self):
+        assert place_subject("place(_OutM,s0)") == "_OutM"
+
+
+class TestLinearization:
+    def test_send_before_receive_raises(self):
+        decomp = _decomp(
+            [
+                SkeletonEntry("cross(A,g->t)", domain="g", direction="out"),
+                SkeletonEntry("cross(B,t->g)", domain="g", direction="in"),
+            ]
+        )
+        with pytest.raises(StitchError, match="cannot linearize"):
+            stitch_hierarchical(_FakeProblem([]), decomp, {"g": ()}, {})
+
+    def test_consuming_domain_spliced_after_last_ingress(self):
+        decomp = _decomp(
+            [SkeletonEntry("cross(A,t->g)", domain="g", direction="in")]
+        )
+        problem = _FakeProblem(["cross(A,t->g)", "place(C,g0)"])
+        actions, _report = _stitch_no_validate(
+            problem, decomp, {"g": ("place(C,g0)",)}, {}
+        )
+        assert [a.name for a in actions] == ["cross(A,t->g)", "place(C,g0)"]
+
+    def test_source_domains_run_before_skeleton(self):
+        decomp = _decomp(
+            [SkeletonEntry("cross(A,g->t)", domain="g", direction="out")]
+        )
+        problem = _FakeProblem(["place(S,g1)", "cross(A,g->t)"])
+        actions, _ = _stitch_no_validate(problem, decomp, {"g": ("place(S,g1)",)}, {})
+        assert [a.name for a in actions] == ["place(S,g1)", "cross(A,g->t)"]
+
+
+class TestResolutionAndStripping:
+    def test_unresolvable_name_raises(self):
+        decomp = _decomp([SkeletonEntry("cross(A,t0->t1)")])
+        with pytest.raises(StitchError, match="does not exist in the union problem"):
+            stitch_hierarchical(_FakeProblem([]), decomp, {}, {})
+
+    def test_synthetic_placements_stripped(self):
+        decomp = _decomp(
+            [SkeletonEntry("cross(A,t->g)", domain="g", direction="in")]
+        )
+        problem = _FakeProblem(["cross(A,t->g)", "place(C,g0)"])
+        actions, _ = _stitch_no_validate(
+            problem,
+            decomp,
+            {"g": ("place(_InA,g)", "place(C,g0)", "place(_OutB,g)")},
+            {"g": frozenset({"_InA", "_OutB"})},
+        )
+        assert [a.name for a in actions] == ["cross(A,t->g)", "place(C,g0)"]
+
+
+def _stitch_no_validate(problem, decomp, plans, synthetic):
+    """Run the stitcher with exact validation stubbed to a no-op.
+
+    The fake actions carry no effects, so only the ordering/resolution
+    logic is under test here; exact validation is covered end-to-end by
+    the equivalence suite.
+    """
+    import repro.hierarchy.stitch as stitch_mod
+
+    class _NullExecutor:
+        def __init__(self, _problem):
+            pass
+
+        def step(self, action):
+            pass
+
+        def report(self):
+            return None
+
+    real = stitch_mod.PlanExecutor
+    stitch_mod.PlanExecutor = _NullExecutor
+    try:
+        return stitch_hierarchical(problem, decomp, plans, synthetic)
+    finally:
+        stitch_mod.PlanExecutor = real
